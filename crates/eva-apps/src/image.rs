@@ -1,0 +1,246 @@
+//! Image-processing applications: Sobel filter detection and Harris corner
+//! detection on encrypted images (paper Figure 6 and Section 8.3).
+//!
+//! Images are packed row-major into a single ciphertext of `n * n` slots;
+//! neighbourhood accesses become slot rotations exactly as in the paper's
+//! PyEVA listing.
+
+use std::collections::HashMap;
+
+use eva_frontend::{Expr, ProgramBuilder};
+use rand::{Rng, SeedableRng};
+
+use crate::{sqrt_approx, Application};
+
+const IMAGE_SCALE: u32 = 30;
+const COEFF_SCALE: u32 = 20;
+
+/// The Sobel horizontal-gradient kernel; its transpose is the vertical one.
+const SOBEL_KERNEL: [[f64; 3]; 3] = [[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]];
+
+fn sqrt_poly(x: &Expr) -> Expr {
+    x * 2.214 + &(x * x) * -1.098 + &(&(x * x) * x) * 0.173
+}
+
+/// Builds the Sobel filter program for an `n x n` encrypted image
+/// (the Rust rendition of the paper's Figure 6).
+pub fn sobel_program(n: usize) -> eva_core::Program {
+    let mut builder = ProgramBuilder::with_default_scale("sobel", n * n, COEFF_SCALE);
+    let image = builder.input_cipher("image", IMAGE_SCALE);
+    let mut ix: Option<Expr> = None;
+    let mut iy: Option<Expr> = None;
+    for i in 0..3 {
+        for j in 0..3 {
+            let rotated = &image << (i * n + j) as i32;
+            let h = &rotated * SOBEL_KERNEL[i][j];
+            let v = &rotated * SOBEL_KERNEL[j][i];
+            ix = Some(match ix {
+                None => h,
+                Some(acc) => acc + h,
+            });
+            iy = Some(match iy {
+                None => v,
+                Some(acc) => acc + v,
+            });
+        }
+    }
+    let (ix, iy) = (ix.expect("kernel is non-empty"), iy.expect("kernel is non-empty"));
+    let energy = &(&ix * &ix) + &(&iy * &iy);
+    let magnitude = sqrt_poly(&energy);
+    builder.output("edges", magnitude, IMAGE_SCALE);
+    builder.build()
+}
+
+/// Builds the Harris corner detection program for an `n x n` encrypted image.
+///
+/// Gradients are computed with the Sobel kernels, the structure tensor is
+/// aggregated over a 3×3 window, and the Harris response
+/// `det(M) - k * trace(M)^2` with `k = 0.04` is returned.
+pub fn harris_program(n: usize) -> eva_core::Program {
+    let mut builder = ProgramBuilder::with_default_scale("harris", n * n, COEFF_SCALE);
+    let image = builder.input_cipher("image", IMAGE_SCALE);
+    let mut ix: Option<Expr> = None;
+    let mut iy: Option<Expr> = None;
+    for i in 0..3 {
+        for j in 0..3 {
+            if SOBEL_KERNEL[i][j] == 0.0 && SOBEL_KERNEL[j][i] == 0.0 {
+                continue;
+            }
+            let rotated = &image << (i * n + j) as i32;
+            if SOBEL_KERNEL[i][j] != 0.0 {
+                let h = &rotated * SOBEL_KERNEL[i][j];
+                ix = Some(match ix.take() {
+                    None => h,
+                    Some(acc) => acc + h,
+                });
+            }
+            if SOBEL_KERNEL[j][i] != 0.0 {
+                let v = &rotated * SOBEL_KERNEL[j][i];
+                iy = Some(match iy.take() {
+                    None => v,
+                    Some(acc) => acc + v,
+                });
+            }
+        }
+    }
+    let (ix, iy) = (ix.expect("kernel is non-empty"), iy.expect("kernel is non-empty"));
+    let ixx = &ix * &ix;
+    let iyy = &iy * &iy;
+    let ixy = &ix * &iy;
+    let window_sum = |field: &Expr| -> Expr {
+        let mut acc: Option<Expr> = None;
+        for i in 0..3 {
+            for j in 0..3 {
+                let shifted = field << (i * n + j) as i32;
+                acc = Some(match acc {
+                    None => shifted,
+                    Some(acc) => acc + shifted,
+                });
+            }
+        }
+        acc.expect("window is non-empty")
+    };
+    let sxx = window_sum(&ixx);
+    let syy = window_sum(&iyy);
+    let sxy = window_sum(&ixy);
+    let det = &(&sxx * &syy) - &(&sxy * &sxy);
+    let trace = &sxx + &syy;
+    let response = &det - &(&(&trace * &trace) * 0.04);
+    builder.output("corners", response, IMAGE_SCALE);
+    builder.build()
+}
+
+/// Plaintext Sobel reference on a packed row-major image (with the same
+/// wrap-around boundary behaviour as the rotation-based encrypted version).
+pub fn sobel_reference(image: &[f64], n: usize) -> Vec<f64> {
+    let at = |idx: usize, offset: usize| image[(idx + offset) % (n * n)];
+    (0..n * n)
+        .map(|idx| {
+            let mut ix = 0.0;
+            let mut iy = 0.0;
+            for i in 0..3 {
+                for j in 0..3 {
+                    let v = at(idx, i * n + j);
+                    ix += v * SOBEL_KERNEL[i][j];
+                    iy += v * SOBEL_KERNEL[j][i];
+                }
+            }
+            sqrt_approx(ix * ix + iy * iy)
+        })
+        .collect()
+}
+
+/// Plaintext Harris reference on a packed row-major image.
+pub fn harris_reference(image: &[f64], n: usize) -> Vec<f64> {
+    let size = n * n;
+    let at = |idx: usize, offset: usize| image[(idx + offset) % size];
+    let mut ixx = vec![0.0; size];
+    let mut iyy = vec![0.0; size];
+    let mut ixy = vec![0.0; size];
+    for idx in 0..size {
+        let mut ix = 0.0;
+        let mut iy = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                let v = at(idx, i * n + j);
+                ix += v * SOBEL_KERNEL[i][j];
+                iy += v * SOBEL_KERNEL[j][i];
+            }
+        }
+        ixx[idx] = ix * ix;
+        iyy[idx] = iy * iy;
+        ixy[idx] = ix * iy;
+    }
+    let window = |field: &[f64], idx: usize| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                acc += field[(idx + i * n + j) % size];
+            }
+        }
+        acc
+    };
+    (0..size)
+        .map(|idx| {
+            let sxx = window(&ixx, idx);
+            let syy = window(&iyy, idx);
+            let sxy = window(&ixy, idx);
+            let det = sxx * syy - sxy * sxy;
+            let trace = sxx + syy;
+            det - 0.04 * trace * trace
+        })
+        .collect()
+}
+
+fn random_image(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n * n).map(|_| rng.gen_range(0.0..0.2)).collect()
+}
+
+/// Packaged Sobel application on an `n x n` random image.
+pub fn sobel(n: usize, seed: u64) -> Application {
+    let image = random_image(n, seed);
+    let expected = sobel_reference(&image, n);
+    Application {
+        name: "Sobel Filter Detection".into(),
+        program: sobel_program(n),
+        inputs: HashMap::from([("image".to_string(), image)]),
+        expected: HashMap::from([("edges".to_string(), expected)]),
+        tolerance: 1e-2,
+    }
+}
+
+/// Packaged Harris application on an `n x n` random image.
+pub fn harris(n: usize, seed: u64) -> Application {
+    let image = random_image(n, seed);
+    let expected = harris_reference(&image, n);
+    Application {
+        name: "Harris Corner Detection".into(),
+        program: harris_program(n),
+        inputs: HashMap::from([("image".to_string(), image)]),
+        expected: HashMap::from([("corners".to_string(), expected)]),
+        tolerance: 1e-2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_backend::run_reference;
+    use eva_core::{compile, CompilerOptions};
+
+    #[test]
+    fn sobel_program_matches_reference() {
+        let app = sobel(8, 1);
+        let outputs = run_reference(&app.program, &app.inputs).unwrap();
+        for (a, b) in outputs["edges"].iter().zip(&app.expected["edges"]) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn harris_program_matches_reference() {
+        let app = harris(8, 2);
+        let outputs = run_reference(&app.program, &app.inputs).unwrap();
+        for (a, b) in outputs["corners"].iter().zip(&app.expected["corners"]) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn harris_is_the_largest_application() {
+        // The paper calls Harris one of the most complex CKKS programs; it has
+        // clearly more instructions than Sobel and still compiles cleanly.
+        let sobel_nodes = sobel_program(8).len();
+        let harris_nodes = harris_program(8).len();
+        assert!(harris_nodes > sobel_nodes);
+        assert!(compile(&harris_program(8), &CompilerOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn rotation_keys_are_bounded_by_window_size() {
+        let compiled = compile(&sobel_program(16), &CompilerOptions::default()).unwrap();
+        // 3x3 window minus the zero rotation.
+        assert!(compiled.rotation_steps.len() <= 8);
+    }
+}

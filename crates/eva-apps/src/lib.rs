@@ -1,0 +1,94 @@
+//! # eva-apps — the applications evaluated in the EVA paper (Table 8)
+//!
+//! Each module builds the corresponding EVA program through the frontend
+//! builder, provides a plaintext reference computation, and a generator for
+//! random test inputs:
+//!
+//! * [`path_length`] — length of an encrypted path in 3-D space (the secure
+//!   fitness-tracking kernel of Section 8.3);
+//! * [`regression`] — linear, polynomial and multivariate regression on
+//!   encrypted vectors;
+//! * [`image`] — Sobel filter detection and Harris corner detection on
+//!   encrypted images (Figures 6 and Section 8.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod path_length;
+pub mod regression;
+
+use std::collections::HashMap;
+
+use eva_core::Program;
+
+/// A packaged application: the EVA program plus matching sample inputs and the
+/// plaintext reference output, so benchmarks and tests can treat all
+/// applications uniformly (one row of the paper's Table 8 each).
+#[derive(Debug, Clone)]
+pub struct Application {
+    /// Human-readable name (matches Table 8).
+    pub name: String,
+    /// The EVA input program.
+    pub program: Program,
+    /// Sample input bindings.
+    pub inputs: HashMap<String, Vec<f64>>,
+    /// Expected (plaintext) outputs for the sample inputs.
+    pub expected: HashMap<String, Vec<f64>>,
+    /// Tolerance within which encrypted results should match `expected`.
+    pub tolerance: f64,
+}
+
+/// Builds every application of Table 8 with the given RNG seed.
+pub fn all_applications(seed: u64) -> Vec<Application> {
+    vec![
+        path_length::application(4096, seed),
+        regression::linear(2048, seed + 1),
+        regression::polynomial(4096, seed + 2),
+        regression::multivariate(2048, seed + 3),
+        image::sobel(64, seed + 4),
+        image::harris(64, seed + 5),
+    ]
+}
+
+/// The cubic polynomial approximation of `sqrt` used by the paper's Sobel
+/// example (Figure 6): `2.214 x - 1.098 x^2 + 0.173 x^3`.
+pub fn sqrt_approx(x: f64) -> f64 {
+    2.214 * x - 1.098 * x * x + 0.173 * x * x * x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_backend::run_reference;
+    use eva_core::{compile, CompilerOptions};
+
+    #[test]
+    fn all_applications_compile_and_match_their_reference_outputs() {
+        for app in all_applications(7) {
+            let compiled = compile(&app.program, &CompilerOptions::default())
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", app.name));
+            let outputs = run_reference(&compiled.program, &app.inputs)
+                .unwrap_or_else(|e| panic!("{} failed to execute: {e}", app.name));
+            for (name, expected) in &app.expected {
+                let actual = &outputs[name];
+                for (i, (a, b)) in actual.iter().zip(expected).enumerate() {
+                    assert!(
+                        (a - b).abs() < app.tolerance,
+                        "{}: output {name}[{i}] = {a}, expected {b}",
+                        app.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn applications_report_expected_vector_sizes() {
+        let sizes: Vec<usize> = all_applications(1)
+            .iter()
+            .map(|a| a.program.vec_size())
+            .collect();
+        assert_eq!(sizes, vec![4096, 2048, 4096, 2048, 4096, 4096]);
+    }
+}

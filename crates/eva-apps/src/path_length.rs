@@ -1,0 +1,90 @@
+//! Length of an encrypted path in 3-dimensional space.
+//!
+//! Given two encrypted point streams `(x1, y1, z1)` and `(x2, y2, z2)` the
+//! program computes, slot-wise, an approximation of the Euclidean distance
+//! between corresponding points using the cubic square-root approximation of
+//! the paper's Sobel example. Summing the slots (a plaintext post-processing
+//! step) yields the path length — the kernel of a secure fitness application.
+
+use std::collections::HashMap;
+
+use eva_frontend::{Expr, ProgramBuilder};
+use rand::{Rng, SeedableRng};
+
+use crate::{sqrt_approx, Application};
+
+/// Scale (bits) used for the encrypted coordinates.
+pub const INPUT_SCALE: u32 = 30;
+
+/// Builds the path-length program for `vec_size` path segments.
+pub fn program(vec_size: usize) -> eva_core::Program {
+    let mut b = ProgramBuilder::with_default_scale("path_length_3d", vec_size, INPUT_SCALE);
+    let x1 = b.input_cipher("x1", INPUT_SCALE);
+    let y1 = b.input_cipher("y1", INPUT_SCALE);
+    let z1 = b.input_cipher("z1", INPUT_SCALE);
+    let x2 = b.input_cipher("x2", INPUT_SCALE);
+    let y2 = b.input_cipher("y2", INPUT_SCALE);
+    let z2 = b.input_cipher("z2", INPUT_SCALE);
+    let dx = &x1 - &x2;
+    let dy = &y1 - &y2;
+    let dz = &z1 - &z2;
+    let squared = &(&dx * &dx) + &(&dy * &dy) + (&dz * &dz);
+    let distance = sqrt_poly(&squared);
+    b.output("distance", distance, INPUT_SCALE);
+    b.build()
+}
+
+/// The cubic polynomial approximation of the square root as an expression.
+fn sqrt_poly(x: &Expr) -> Expr {
+    x * 2.214 + &(x * x) * -1.098 + &(&(x * x) * x) * 0.173
+}
+
+/// Builds the packaged application with random sample inputs.
+pub fn application(vec_size: usize, seed: u64) -> Application {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut coord = |_: &str| -> Vec<f64> {
+        (0..vec_size).map(|_| rng.gen_range(-0.5..0.5)).collect()
+    };
+    let inputs: HashMap<String, Vec<f64>> = ["x1", "y1", "z1", "x2", "y2", "z2"]
+        .iter()
+        .map(|&name| (name.to_string(), coord(name)))
+        .collect();
+    let expected: Vec<f64> = (0..vec_size)
+        .map(|i| {
+            let dx = inputs["x1"][i] - inputs["x2"][i];
+            let dy = inputs["y1"][i] - inputs["y2"][i];
+            let dz = inputs["z1"][i] - inputs["z2"][i];
+            sqrt_approx(dx * dx + dy * dy + dz * dz)
+        })
+        .collect();
+    Application {
+        name: "3-dimensional Path Length".into(),
+        program: program(vec_size),
+        inputs,
+        expected: [("distance".to_string(), expected)].into_iter().collect(),
+        tolerance: 1e-2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_backend::run_reference;
+
+    #[test]
+    fn reference_execution_matches_closed_form() {
+        let app = application(64, 3);
+        let outputs = run_reference(&app.program, &app.inputs).unwrap();
+        for (a, b) in outputs["distance"].iter().zip(&app.expected["distance"]) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multiplicative_depth_is_bounded() {
+        // squared differences (1), cubing (2 more) and the polynomial's
+        // constant coefficients (1 more) give a depth of at most 4.
+        let p = program(16);
+        assert!(p.multiplicative_depth() <= 4);
+    }
+}

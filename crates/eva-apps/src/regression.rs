@@ -1,0 +1,154 @@
+//! Statistical machine-learning applications: linear, polynomial and
+//! multivariate regression on encrypted feature vectors (paper Section 8.3).
+//!
+//! In each case the model coefficients are public (plaintext) and the data is
+//! encrypted: the server evaluates the model on ciphertexts and returns
+//! encrypted predictions plus residuals against encrypted labels.
+
+use eva_frontend::ProgramBuilder;
+use rand::{Rng, SeedableRng};
+
+use crate::Application;
+
+const DATA_SCALE: u32 = 30;
+const COEFF_SCALE: u32 = 20;
+
+/// Linear regression `pred = w * x + b`, plus residuals against labels `y`.
+pub fn linear_program(vec_size: usize, w: f64, b: f64) -> eva_core::Program {
+    let mut builder = ProgramBuilder::with_default_scale("linear_regression", vec_size, COEFF_SCALE);
+    let x = builder.input_cipher("x", DATA_SCALE);
+    let y = builder.input_cipher("y", DATA_SCALE);
+    let pred = &x * w + b;
+    let residual = &pred - &y;
+    builder.output("prediction", pred, DATA_SCALE);
+    builder.output("residual", residual, DATA_SCALE);
+    builder.build()
+}
+
+/// Cubic polynomial regression `pred = w3 x^3 + w2 x^2 + w1 x + b`.
+pub fn polynomial_program(vec_size: usize, coeffs: [f64; 4]) -> eva_core::Program {
+    let [b, w1, w2, w3] = coeffs;
+    let mut builder =
+        ProgramBuilder::with_default_scale("polynomial_regression", vec_size, COEFF_SCALE);
+    let x = builder.input_cipher("x", DATA_SCALE);
+    let x2 = &x * &x;
+    let x3 = &x2 * &x;
+    let pred = &x * w1 + &x2 * w2 + &x3 * w3 + b;
+    builder.output("prediction", pred, DATA_SCALE);
+    builder.build()
+}
+
+/// Multivariate regression over four encrypted feature vectors.
+pub fn multivariate_program(vec_size: usize, weights: [f64; 4], bias: f64) -> eva_core::Program {
+    let mut builder =
+        ProgramBuilder::with_default_scale("multivariate_regression", vec_size, COEFF_SCALE);
+    let features: Vec<_> = (0..4)
+        .map(|i| builder.input_cipher(format!("x{i}"), DATA_SCALE))
+        .collect();
+    let mut pred = &features[0] * weights[0];
+    for (feature, &w) in features.iter().zip(&weights).skip(1) {
+        pred = pred + feature * w;
+    }
+    pred = pred + bias;
+    builder.output("prediction", pred, DATA_SCALE);
+    builder.build()
+}
+
+fn random_vec(rng: &mut rand::rngs::StdRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Packaged linear-regression application with random data.
+pub fn linear(vec_size: usize, seed: u64) -> Application {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (w, b) = (0.75, -0.2);
+    let x = random_vec(&mut rng, vec_size);
+    let y = random_vec(&mut rng, vec_size);
+    let pred: Vec<f64> = x.iter().map(|&v| w * v + b).collect();
+    let residual: Vec<f64> = pred.iter().zip(&y).map(|(p, v)| p - v).collect();
+    Application {
+        name: "Linear Regression".into(),
+        program: linear_program(vec_size, w, b),
+        inputs: [("x".to_string(), x), ("y".to_string(), y)].into_iter().collect(),
+        expected: [
+            ("prediction".to_string(), pred),
+            ("residual".to_string(), residual),
+        ]
+        .into_iter()
+        .collect(),
+        tolerance: 1e-3,
+    }
+}
+
+/// Packaged polynomial-regression application with random data.
+pub fn polynomial(vec_size: usize, seed: u64) -> Application {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let coeffs = [0.1, 0.8, -0.4, 0.25];
+    let x = random_vec(&mut rng, vec_size);
+    let pred: Vec<f64> = x
+        .iter()
+        .map(|&v| coeffs[0] + coeffs[1] * v + coeffs[2] * v * v + coeffs[3] * v * v * v)
+        .collect();
+    Application {
+        name: "Polynomial Regression".into(),
+        program: polynomial_program(vec_size, coeffs),
+        inputs: [("x".to_string(), x)].into_iter().collect(),
+        expected: [("prediction".to_string(), pred)].into_iter().collect(),
+        tolerance: 1e-3,
+    }
+}
+
+/// Packaged multivariate-regression application with random data.
+pub fn multivariate(vec_size: usize, seed: u64) -> Application {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let weights = [0.3, -0.5, 0.9, 0.2];
+    let bias = 0.05;
+    let features: Vec<Vec<f64>> = (0..4).map(|_| random_vec(&mut rng, vec_size)).collect();
+    let pred: Vec<f64> = (0..vec_size)
+        .map(|i| bias + (0..4).map(|k| weights[k] * features[k][i]).sum::<f64>())
+        .collect();
+    Application {
+        name: "Multivariate Regression".into(),
+        program: multivariate_program(vec_size, weights, bias),
+        inputs: features
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| (format!("x{i}"), f))
+            .collect(),
+        expected: [("prediction".to_string(), pred)].into_iter().collect(),
+        tolerance: 1e-3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_backend::run_reference;
+    use eva_core::{compile, CompilerOptions};
+
+    #[test]
+    fn linear_regression_outputs_predictions_and_residuals() {
+        let app = linear(32, 1);
+        let outputs = run_reference(&app.program, &app.inputs).unwrap();
+        assert_eq!(outputs.len(), 2);
+        for (a, b) in outputs["residual"].iter().zip(&app.expected["residual"]) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn polynomial_regression_depth_and_compilation() {
+        let app = polynomial(32, 2);
+        assert_eq!(app.program.multiplicative_depth(), 3);
+        assert!(compile(&app.program, &CompilerOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn multivariate_prediction_matches_dot_product() {
+        let app = multivariate(16, 3);
+        let outputs = run_reference(&app.program, &app.inputs).unwrap();
+        for (a, b) in outputs["prediction"].iter().zip(&app.expected["prediction"]) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

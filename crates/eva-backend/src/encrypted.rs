@@ -1,0 +1,534 @@
+//! The encrypted executor: runs a compiled EVA program against the RNS-CKKS
+//! scheme, handling key generation, input encryption, plaintext encoding of
+//! non-cipher operands and output decryption.
+//!
+//! The executor is split into explicit phases (context/key generation, input
+//! encryption, execution, decryption) so the benchmark harness can time each
+//! phase separately, exactly like the paper's Table 7.
+
+use std::collections::HashMap;
+
+use eva_ckks::{
+    Ciphertext, CkksContext, CkksEncoder, CkksError, CkksParameters, Decryptor, Encryptor,
+    Evaluator, GaloisKeys, KeyGenerator, RelinearizationKey,
+};
+use eva_core::{CompiledProgram, EvaError, NodeId, NodeKind, Opcode, Program, ValueType};
+
+/// A value flowing through the encrypted executor: either a ciphertext or a
+/// plaintext vector (the executor keeps plaintext data unencoded and encodes
+/// it on demand at the level and scale its cipher consumer requires).
+#[derive(Debug, Clone)]
+pub enum NodeValue {
+    /// An encrypted value.
+    Cipher(Ciphertext),
+    /// A plaintext vector of program-vector-size elements.
+    Plain(Vec<f64>),
+}
+
+impl NodeValue {
+    /// Approximate heap memory held by this value, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            NodeValue::Cipher(ct) => ct.memory_bytes(),
+            NodeValue::Plain(v) => v.len() * std::mem::size_of::<f64>(),
+        }
+    }
+}
+
+/// CKKS context plus all key material needed to run one compiled program.
+pub struct EncryptedContext {
+    context: CkksContext,
+    encoder: CkksEncoder,
+    evaluator: Evaluator,
+    encryptor: Encryptor,
+    decryptor: Decryptor,
+    relin_key: Option<RelinearizationKey>,
+    galois_keys: GaloisKeys,
+}
+
+impl std::fmt::Debug for EncryptedContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncryptedContext")
+            .field("degree", &self.context.degree())
+            .field("levels", &self.context.max_level())
+            .finish()
+    }
+}
+
+fn to_eva_error(err: CkksError) -> EvaError {
+    EvaError::Execution(format!("CKKS backend error: {err}"))
+}
+
+impl EncryptedContext {
+    /// Generates the encryption context and all keys the compiled program
+    /// needs (public key, relinearization key if the program relinearizes,
+    /// Galois keys for the program's rotation steps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaError::Execution`] if the parameter specification cannot be
+    /// instantiated.
+    pub fn setup(compiled: &CompiledProgram, seed: Option<u64>) -> Result<Self, EvaError> {
+        let spec = &compiled.parameters;
+        let params = if spec.secure {
+            CkksParameters::with_special_prime_bits(
+                spec.degree,
+                &spec.data_prime_bits,
+                spec.special_prime_bits,
+            )
+        } else {
+            CkksParameters::new_insecure(
+                spec.degree,
+                &spec.data_prime_bits,
+                spec.special_prime_bits,
+            )
+        }
+        .map_err(|e| EvaError::Execution(format!("invalid encryption parameters: {e}")))?;
+        let context = CkksContext::new(params)
+            .map_err(|e| EvaError::Execution(format!("context creation failed: {e}")))?;
+
+        let mut keygen = match seed {
+            Some(seed) => KeyGenerator::from_seed(context.clone(), seed),
+            None => KeyGenerator::new(context.clone()),
+        };
+        let public_key = keygen.create_public_key();
+        let needs_relin = compiled
+            .program
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, NodeKind::Instruction { op: Opcode::Relinearize, .. }));
+        let relin_key = needs_relin.then(|| keygen.create_relinearization_key());
+        let galois_keys = keygen.create_galois_keys(&compiled.rotation_steps);
+
+        let encoder = CkksEncoder::new(context.clone());
+        let encryptor = match seed {
+            Some(seed) => Encryptor::from_seed(context.clone(), public_key, seed.wrapping_add(1)),
+            None => Encryptor::new(context.clone(), public_key),
+        };
+        let decryptor = Decryptor::new(context.clone(), keygen.secret_key().clone());
+        let evaluator = Evaluator::new(context.clone());
+        Ok(Self {
+            context,
+            encoder,
+            evaluator,
+            encryptor,
+            decryptor,
+            relin_key,
+            galois_keys,
+        })
+    }
+
+    /// The underlying CKKS context.
+    pub fn context(&self) -> &CkksContext {
+        &self.context
+    }
+
+    /// The evaluator (shared, thread-safe).
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// Encrypts the program's `Cipher` inputs and collects plaintext inputs,
+    /// returning the initial node-value bindings for execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaError::Execution`] if an input is missing or too long.
+    pub fn encrypt_inputs(
+        &mut self,
+        compiled: &CompiledProgram,
+        inputs: &HashMap<String, Vec<f64>>,
+    ) -> Result<HashMap<NodeId, NodeValue>, EvaError> {
+        let program = &compiled.program;
+        let size = program.vec_size();
+        let top_level = self.context.max_level();
+        let mut bindings = HashMap::new();
+        for (id, node) in program.nodes().iter().enumerate() {
+            let NodeKind::Input { name } = &node.kind else {
+                continue;
+            };
+            let raw = inputs
+                .get(name)
+                .ok_or_else(|| EvaError::Execution(format!("missing input value for {name:?}")))?;
+            if raw.is_empty() || raw.len() > size {
+                return Err(EvaError::Execution(format!(
+                    "input {name:?} has length {}, expected between 1 and {size}",
+                    raw.len()
+                )));
+            }
+            let replicated: Vec<f64> = (0..size).map(|i| raw[i % raw.len()]).collect();
+            let value = match node.ty {
+                ValueType::Cipher => {
+                    let scale = 2f64.powi(node.scale_bits as i32);
+                    let plaintext = self.encoder.encode(&replicated, scale, top_level);
+                    NodeValue::Cipher(self.encryptor.encrypt(&plaintext))
+                }
+                _ => NodeValue::Plain(replicated),
+            };
+            bindings.insert(id, value);
+        }
+        Ok(bindings)
+    }
+
+    /// Executes one instruction given its already-computed argument values.
+    ///
+    /// This is the shared per-node kernel used by both the serial and the
+    /// parallel executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaError::Execution`] if the CKKS backend rejects an
+    /// operation; for a validated compiled program this indicates an internal
+    /// bug, which is exactly the class of error the paper's validation pass is
+    /// meant to preclude.
+    pub fn execute_node(
+        &self,
+        program: &Program,
+        id: NodeId,
+        args: &[&NodeValue],
+    ) -> Result<NodeValue, EvaError> {
+        let size = program.vec_size();
+        let node = program.node(id);
+        let NodeKind::Instruction { op, args: arg_ids } = &node.kind else {
+            return Err(EvaError::Execution(format!(
+                "node {id} is not an instruction"
+            )));
+        };
+        // Pure plaintext computation falls back to reference semantics.
+        if args.iter().all(|a| matches!(a, NodeValue::Plain(_))) {
+            let plain_args: Vec<&Vec<f64>> = args
+                .iter()
+                .map(|a| match a {
+                    NodeValue::Plain(v) => v,
+                    NodeValue::Cipher(_) => unreachable!(),
+                })
+                .collect();
+            return Ok(NodeValue::Plain(plain_apply(*op, &plain_args, size)));
+        }
+
+        let ev = &self.evaluator;
+        let result = match op {
+            Opcode::Negate => {
+                let ct = expect_cipher(args[0])?;
+                ev.negate(ct)
+            }
+            Opcode::Add | Opcode::Sub => {
+                let (ct, other, swapped) = split_cipher_plain(args)?;
+                match other {
+                    NodeValue::Cipher(rhs) => {
+                        if matches!(op, Opcode::Add) {
+                            ev.add(ct, rhs).map_err(to_eva_error)?
+                        } else {
+                            ev.sub(ct, rhs).map_err(to_eva_error)?
+                        }
+                    }
+                    NodeValue::Plain(values) => {
+                        // Encode the plaintext operand at the ciphertext's exact
+                        // scale and level so SEAL-style equality constraints hold.
+                        let pt = self.encoder.encode(values, ct.scale(), ct.level());
+                        let mut out = if matches!(op, Opcode::Add) {
+                            ev.add_plain(ct, &pt).map_err(to_eva_error)?
+                        } else {
+                            ev.sub_plain(ct, &pt).map_err(to_eva_error)?
+                        };
+                        // a SUB with a plaintext left operand computes plain - cipher.
+                        if swapped && matches!(op, Opcode::Sub) {
+                            out = ev.negate(&out);
+                        }
+                        out
+                    }
+                }
+            }
+            Opcode::Multiply => {
+                let (ct, other, _) = split_cipher_plain(args)?;
+                match other {
+                    NodeValue::Cipher(rhs) => ev.multiply(ct, rhs).map_err(to_eva_error)?,
+                    NodeValue::Plain(values) => {
+                        // Plaintext factors are encoded at their annotated scale.
+                        let plain_id = arg_ids
+                            .iter()
+                            .copied()
+                            .find(|&a| !program.node(a).ty.is_cipher())
+                            .expect("one operand is plaintext");
+                        let scale_bits = program.node(plain_id).scale_bits;
+                        let pt =
+                            self.encoder
+                                .encode(values, 2f64.powi(scale_bits as i32), ct.level());
+                        ev.multiply_plain(ct, &pt).map_err(to_eva_error)?
+                    }
+                }
+            }
+            Opcode::RotateLeft(steps) => {
+                let ct = expect_cipher(args[0])?;
+                ev.rotate(ct, *steps as i64, &self.galois_keys)
+                    .map_err(to_eva_error)?
+            }
+            Opcode::RotateRight(steps) => {
+                let ct = expect_cipher(args[0])?;
+                ev.rotate(ct, -(*steps as i64), &self.galois_keys)
+                    .map_err(to_eva_error)?
+            }
+            Opcode::Relinearize => {
+                let ct = expect_cipher(args[0])?;
+                let key = self.relin_key.as_ref().ok_or_else(|| {
+                    EvaError::Execution("program relinearizes but no relinearization key".into())
+                })?;
+                ev.relinearize(ct, key).map_err(to_eva_error)?
+            }
+            Opcode::ModSwitch => {
+                let ct = expect_cipher(args[0])?;
+                ev.mod_switch_to_next(ct).map_err(to_eva_error)?
+            }
+            Opcode::Rescale(_) => {
+                let ct = expect_cipher(args[0])?;
+                ev.rescale_to_next(ct).map_err(to_eva_error)?
+            }
+        };
+        Ok(NodeValue::Cipher(result))
+    }
+
+    /// Decrypts the program outputs into plain vectors of the program's
+    /// vector size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaError::Execution`] if an output value is missing.
+    pub fn decrypt_outputs(
+        &self,
+        compiled: &CompiledProgram,
+        values: &HashMap<NodeId, NodeValue>,
+    ) -> Result<HashMap<String, Vec<f64>>, EvaError> {
+        let size = compiled.program.vec_size();
+        let mut outputs = HashMap::new();
+        for output in compiled.program.outputs() {
+            let value = values.get(&output.node).ok_or_else(|| {
+                EvaError::Execution(format!("output {:?} was not computed", output.name))
+            })?;
+            let decoded = match value {
+                NodeValue::Cipher(ct) => {
+                    let full = self.decryptor.decrypt_to_values(ct, size.max(1));
+                    full[..size].to_vec()
+                }
+                NodeValue::Plain(v) => v.clone(),
+            };
+            outputs.insert(output.name.clone(), decoded);
+        }
+        Ok(outputs)
+    }
+
+    /// Serial execution of the whole program: computes every node in
+    /// topological order and returns the values of the output nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`EncryptedContext::execute_node`].
+    pub fn execute_serial(
+        &self,
+        compiled: &CompiledProgram,
+        mut bindings: HashMap<NodeId, NodeValue>,
+    ) -> Result<HashMap<NodeId, NodeValue>, EvaError> {
+        let program = &compiled.program;
+        let uses = program.uses();
+        let mut remaining_uses: Vec<usize> = uses.iter().map(|u| u.len()).collect();
+        // Output nodes must survive until decryption.
+        for output in program.outputs() {
+            remaining_uses[output.node] += 1;
+        }
+        let mut values: Vec<Option<NodeValue>> = vec![None; program.len()];
+        for (id, value) in bindings.drain() {
+            values[id] = Some(value);
+        }
+        for id in program.topological_order() {
+            let node = program.node(id);
+            match &node.kind {
+                NodeKind::Input { .. } => {
+                    if values[id].is_none() {
+                        return Err(EvaError::Execution(format!(
+                            "input node {id} was not bound before execution"
+                        )));
+                    }
+                }
+                NodeKind::Constant { value } => {
+                    values[id] = Some(NodeValue::Plain(value.to_vector(program.vec_size())));
+                }
+                NodeKind::Instruction { args, .. } => {
+                    let arg_refs: Vec<&NodeValue> = args
+                        .iter()
+                        .map(|&a| values[a].as_ref().expect("parents computed first"))
+                        .collect();
+                    let result = self.execute_node(program, id, &arg_refs)?;
+                    // Release parent values that have no further consumers
+                    // (the executor's memory-reuse rule from Section 6.1).
+                    // Decrement once per distinct parent, matching `Program::uses`.
+                    let mut distinct = args.clone();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    for a in distinct {
+                        remaining_uses[a] = remaining_uses[a].saturating_sub(1);
+                        if remaining_uses[a] == 0 {
+                            values[a] = None;
+                        }
+                    }
+                    values[id] = Some(result);
+                }
+            }
+        }
+        let mut result = HashMap::new();
+        for output in program.outputs() {
+            if let Some(value) = values[output.node].clone() {
+                result.insert(output.node, value);
+            }
+        }
+        Ok(result)
+    }
+}
+
+fn expect_cipher(value: &NodeValue) -> Result<&Ciphertext, EvaError> {
+    match value {
+        NodeValue::Cipher(ct) => Ok(ct),
+        NodeValue::Plain(_) => Err(EvaError::Execution(
+            "expected an encrypted operand but found a plaintext one".into(),
+        )),
+    }
+}
+
+/// Splits a binary argument pair into (cipher operand, other operand, swapped)
+/// where `swapped` indicates that the cipher operand was the right-hand one.
+fn split_cipher_plain<'a>(
+    args: &[&'a NodeValue],
+) -> Result<(&'a Ciphertext, &'a NodeValue, bool), EvaError> {
+    match (args[0], args[1]) {
+        (NodeValue::Cipher(a), other) => Ok((a, other, false)),
+        (other, NodeValue::Cipher(b)) => Ok((b, other, true)),
+        _ => Err(EvaError::Execution(
+            "binary cipher instruction with no encrypted operand".into(),
+        )),
+    }
+}
+
+fn plain_apply(op: Opcode, args: &[&Vec<f64>], size: usize) -> Vec<f64> {
+    match op {
+        Opcode::Negate => args[0].iter().map(|v| -v).collect(),
+        Opcode::Add => args[0].iter().zip(args[1]).map(|(a, b)| a + b).collect(),
+        Opcode::Sub => args[0].iter().zip(args[1]).map(|(a, b)| a - b).collect(),
+        Opcode::Multiply => args[0].iter().zip(args[1]).map(|(a, b)| a * b).collect(),
+        Opcode::RotateLeft(steps) => plain_rotate(args[0], steps as i64, size),
+        Opcode::RotateRight(steps) => plain_rotate(args[0], -(steps as i64), size),
+        Opcode::Relinearize | Opcode::ModSwitch | Opcode::Rescale(_) => args[0].clone(),
+    }
+}
+
+fn plain_rotate(v: &[f64], steps: i64, size: usize) -> Vec<f64> {
+    (0..size)
+        .map(|i| v[(i as i64 + steps).rem_euclid(size as i64) as usize])
+        .collect()
+}
+
+/// Convenience entry point: set up keys, encrypt, execute serially and
+/// decrypt. Mirrors what a user of the original EVA Python package gets from
+/// its `evaluate` helper.
+///
+/// # Errors
+///
+/// Propagates setup and execution errors.
+pub fn run_encrypted(
+    compiled: &CompiledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+) -> Result<HashMap<String, Vec<f64>>, EvaError> {
+    let mut context = EncryptedContext::setup(compiled, None)?;
+    let bindings = context.encrypt_inputs(compiled, inputs)?;
+    let values = context.execute_serial(compiled, bindings)?;
+    context.decrypt_outputs(compiled, &values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_reference;
+    use eva_core::{compile, CompilerOptions, Opcode as Op, Program};
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn x2y3_encrypted_matches_reference() {
+        let mut p = Program::new("x2y3", 8);
+        let x = p.input_cipher("x", 40);
+        let y = p.input_cipher("y", 30);
+        let x2 = p.instruction(Op::Multiply, &[x, x]);
+        let y2 = p.instruction(Op::Multiply, &[y, y]);
+        let y3 = p.instruction(Op::Multiply, &[y2, y]);
+        let out = p.instruction(Op::Multiply, &[x2, y3]);
+        p.output("out", out, 30);
+        let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+
+        let inputs: HashMap<String, Vec<f64>> = [
+            ("x".to_string(), vec![0.5, 1.0, -0.25, 2.0, 0.1, 0.7, -1.0, 0.3]),
+            ("y".to_string(), vec![1.0, 0.5, 2.0, -1.0, 0.9, 1.1, 0.2, -0.4]),
+        ]
+        .into_iter()
+        .collect();
+        let expected = run_reference(&compiled.program, &inputs).unwrap();
+        let actual = run_encrypted(&compiled, &inputs).unwrap();
+        assert!(close(&actual["out"], &expected["out"], 1e-3));
+    }
+
+    #[test]
+    fn mixed_plaintext_and_rotation_program() {
+        let mut p = Program::new("sobel_like", 16);
+        let image = p.input_cipher("image", 30);
+        let weights = p.input_vector("weights", 20);
+        let c = p.constant(eva_core::ConstantValue::Scalar(0.25), 20);
+        let shifted = p.instruction(Op::RotateLeft(3), &[image]);
+        let weighted = p.instruction(Op::Multiply, &[shifted, weights]);
+        let scaled = p.instruction(Op::Multiply, &[weighted, c]);
+        let sum = p.instruction(Op::Add, &[scaled, image]);
+        let diff = p.instruction(Op::Sub, &[sum, image]);
+        p.output("out", diff, 30);
+        let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+
+        let inputs: HashMap<String, Vec<f64>> = [
+            (
+                "image".to_string(),
+                (0..16).map(|i| (i as f64) / 8.0 - 1.0).collect::<Vec<_>>(),
+            ),
+            (
+                "weights".to_string(),
+                (0..16).map(|i| ((i % 3) as f64) - 1.0).collect::<Vec<_>>(),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let expected = run_reference(&compiled.program, &inputs).unwrap();
+        let actual = run_encrypted(&compiled, &inputs).unwrap();
+        assert!(close(&actual["out"], &expected["out"], 1e-3));
+    }
+
+    #[test]
+    fn plain_minus_cipher_is_handled() {
+        let mut p = Program::new("swap", 8);
+        let x = p.input_cipher("x", 30);
+        let v = p.input_vector("v", 30);
+        let diff = p.instruction(Op::Sub, &[v, x]);
+        p.output("out", diff, 30);
+        let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+        let inputs: HashMap<String, Vec<f64>> = [
+            ("x".to_string(), vec![1.0; 8]),
+            ("v".to_string(), vec![3.0; 8]),
+        ]
+        .into_iter()
+        .collect();
+        let actual = run_encrypted(&compiled, &inputs).unwrap();
+        assert!(close(&actual["out"], &vec![2.0; 8], 1e-4));
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let mut p = Program::new("missing", 8);
+        let x = p.input_cipher("x", 30);
+        p.output("out", x, 30);
+        let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+        assert!(run_encrypted(&compiled, &HashMap::new()).is_err());
+    }
+}

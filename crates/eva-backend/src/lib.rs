@@ -1,0 +1,42 @@
+//! # eva-backend — executors for compiled EVA programs
+//!
+//! The compiler in `eva-core` produces a transformed program plus encryption
+//! parameters; this crate runs it:
+//!
+//! * [`reference`] — the paper's `id`-scheme reference semantics on plaintext
+//!   vectors (Section 3), used to define correctness and to measure the
+//!   numeric fidelity of encrypted execution.
+//! * [`encrypted`] — key generation, input encryption, serial execution
+//!   against the `eva-ckks` RNS-CKKS scheme, and output decryption, with the
+//!   phases split out so they can be timed separately (paper Table 7).
+//! * [`parallel`] — the asynchronous DAG executor of Section 6.1: a
+//!   dependence-counting scheduler over a pool of worker threads that also
+//!   retires (frees) ciphertexts as soon as their last consumer has run.
+//!
+//! ```no_run
+//! use std::collections::HashMap;
+//! use eva_core::{compile, CompilerOptions, Opcode, Program};
+//! use eva_backend::run_encrypted;
+//!
+//! let mut program = Program::new("square", 8);
+//! let x = program.input_cipher("x", 30);
+//! let sq = program.instruction(Opcode::Multiply, &[x, x]);
+//! program.output("out", sq, 30);
+//! let compiled = compile(&program, &CompilerOptions::default()).unwrap();
+//!
+//! let inputs: HashMap<String, Vec<f64>> =
+//!     [("x".to_string(), vec![1.5; 8])].into_iter().collect();
+//! let outputs = run_encrypted(&compiled, &inputs).unwrap();
+//! assert!((outputs["out"][0] - 2.25).abs() < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encrypted;
+pub mod parallel;
+pub mod reference;
+
+pub use encrypted::{run_encrypted, EncryptedContext, NodeValue};
+pub use parallel::{execute_parallel, execute_parallel_with_options, ExecutionStats};
+pub use reference::run_reference;

@@ -1,0 +1,374 @@
+//! The parallel executor (paper Section 6.1).
+//!
+//! The EVA executor schedules the DAG of FHE instructions asynchronously: a
+//! node becomes *ready* once all of its parents have been computed, ready
+//! nodes are executed by a pool of worker threads, and a node's value is
+//! *retired* (its memory released) as soon as its last consumer has used it.
+//! The original system uses the Galois parallel runtime; this reproduction
+//! uses a dependence-counting scheduler over crossbeam scoped threads with the
+//! same two properties: cross-kernel parallelism and memory reuse.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::queue::SegQueue;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use eva_core::{CompiledProgram, EvaError, NodeId, NodeKind};
+
+use crate::encrypted::{EncryptedContext, NodeValue};
+
+/// Statistics collected by one parallel execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionStats {
+    /// Number of instruction nodes executed.
+    pub nodes_executed: usize,
+    /// Peak bytes of live node values observed during execution (an
+    /// approximation of the executor's working set; used by the memory-reuse
+    /// ablation).
+    pub peak_live_bytes: usize,
+    /// Total bytes that were freed early thanks to retire-based memory reuse.
+    pub bytes_retired: usize,
+}
+
+struct Shared<'a> {
+    context: &'a EncryptedContext,
+    program: &'a eva_core::Program,
+    values: Vec<RwLock<Option<NodeValue>>>,
+    pending_parents: Vec<AtomicUsize>,
+    remaining_uses: Vec<AtomicUsize>,
+    ready: SegQueue<NodeId>,
+    remaining_nodes: AtomicUsize,
+    live_bytes: AtomicUsize,
+    peak_live_bytes: AtomicUsize,
+    bytes_retired: AtomicUsize,
+    error: Mutex<Option<EvaError>>,
+    reuse_memory: bool,
+    idle: Mutex<usize>,
+    wake: Condvar,
+}
+
+impl<'a> Shared<'a> {
+    fn record_allocation(&self, bytes: usize) {
+        let live = self.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_live_bytes.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn record_release(&self, bytes: usize) {
+        self.live_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.bytes_retired.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn fail(&self, err: EvaError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        // Unblock everyone so the workers can observe the failure and exit.
+        self.remaining_nodes.store(0, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    fn failed(&self) -> bool {
+        self.error.lock().is_some()
+    }
+}
+
+/// Executes a compiled program using `num_threads` worker threads, with
+/// retire-based memory reuse enabled.
+///
+/// # Errors
+///
+/// Propagates node-execution errors from the CKKS backend.
+pub fn execute_parallel(
+    context: &EncryptedContext,
+    compiled: &CompiledProgram,
+    bindings: HashMap<NodeId, NodeValue>,
+    num_threads: usize,
+) -> Result<HashMap<NodeId, NodeValue>, EvaError> {
+    execute_parallel_with_options(context, compiled, bindings, num_threads, true)
+        .map(|(values, _)| values)
+}
+
+/// Like [`execute_parallel`] but with explicit control over memory reuse and
+/// with execution statistics returned alongside the outputs.
+///
+/// # Errors
+///
+/// Propagates node-execution errors from the CKKS backend.
+pub fn execute_parallel_with_options(
+    context: &EncryptedContext,
+    compiled: &CompiledProgram,
+    mut bindings: HashMap<NodeId, NodeValue>,
+    num_threads: usize,
+    reuse_memory: bool,
+) -> Result<(HashMap<NodeId, NodeValue>, ExecutionStats), EvaError> {
+    let program = &compiled.program;
+    let n = program.len();
+    let num_threads = num_threads.max(1);
+    let uses = program.uses();
+
+    let mut values: Vec<RwLock<Option<NodeValue>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(RwLock::new(None));
+    }
+    let mut pending = Vec::with_capacity(n);
+    let mut remaining_uses = Vec::with_capacity(n);
+    for id in 0..n {
+        let distinct_parents = {
+            let mut args: Vec<NodeId> = program.args(id).to_vec();
+            args.sort_unstable();
+            args.dedup();
+            args.len()
+        };
+        pending.push(AtomicUsize::new(distinct_parents));
+        let mut use_count = uses[id].len();
+        if program.outputs().iter().any(|o| o.node == id) {
+            use_count += 1; // outputs must survive until decryption
+        }
+        remaining_uses.push(AtomicUsize::new(use_count));
+    }
+
+    let shared = Shared {
+        context,
+        program,
+        values,
+        pending_parents: pending,
+        remaining_uses,
+        ready: SegQueue::new(),
+        remaining_nodes: AtomicUsize::new(n),
+        live_bytes: AtomicUsize::new(0),
+        peak_live_bytes: AtomicUsize::new(0),
+        bytes_retired: AtomicUsize::new(0),
+        error: Mutex::new(None),
+        reuse_memory,
+        idle: Mutex::new(0),
+        wake: Condvar::new(),
+    };
+
+    // Seed initial values: bound inputs and materialized constants become ready
+    // immediately; their consumers' dependence counters are decremented below.
+    for (id, node) in program.nodes().iter().enumerate() {
+        match &node.kind {
+            NodeKind::Input { name } => {
+                let value = bindings.remove(&id).ok_or_else(|| {
+                    EvaError::Execution(format!("input node {id} ({name:?}) was not bound"))
+                })?;
+                shared.record_allocation(value.memory_bytes());
+                *shared.values[id].write() = Some(value);
+            }
+            NodeKind::Constant { value } => {
+                let materialized = NodeValue::Plain(value.to_vector(program.vec_size()));
+                shared.record_allocation(materialized.memory_bytes());
+                *shared.values[id].write() = Some(materialized);
+            }
+            NodeKind::Instruction { .. } => {}
+        }
+    }
+    // Inputs and constants are already available: retire them from the node
+    // count and notify their consumers. Every instruction has at least one
+    // parent, so all ready instructions are discovered through notification.
+    for (id, node) in program.nodes().iter().enumerate() {
+        if !matches!(node.kind, NodeKind::Instruction { .. }) {
+            shared.remaining_nodes.fetch_sub(1, Ordering::SeqCst);
+            notify_children(&shared, id, &uses);
+        }
+    }
+
+    let executed = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..num_threads {
+            scope.spawn(|_| worker(&shared, &uses, &executed));
+        }
+    })
+    .map_err(|_| EvaError::Execution("a worker thread panicked".into()))?;
+
+    if let Some(err) = shared.error.lock().take() {
+        return Err(err);
+    }
+
+    let mut outputs = HashMap::new();
+    for output in program.outputs() {
+        let value = shared.values[output.node]
+            .read()
+            .clone()
+            .ok_or_else(|| EvaError::Execution(format!("output {:?} not computed", output.name)))?;
+        outputs.insert(output.node, value);
+    }
+    let stats = ExecutionStats {
+        nodes_executed: executed.load(Ordering::Relaxed),
+        peak_live_bytes: shared.peak_live_bytes.load(Ordering::Relaxed),
+        bytes_retired: shared.bytes_retired.load(Ordering::Relaxed),
+    };
+    Ok((outputs, stats))
+}
+
+fn notify_children(shared: &Shared<'_>, id: NodeId, uses: &[Vec<NodeId>]) {
+    for &child in &uses[id] {
+        if shared.pending_parents[child].fetch_sub(1, Ordering::SeqCst) == 1 {
+            shared.ready.push(child);
+            shared.wake.notify_one();
+        }
+    }
+}
+
+fn worker(shared: &Shared<'_>, uses: &[Vec<NodeId>], executed: &AtomicUsize) {
+    loop {
+        if shared.failed() {
+            shared.wake.notify_all();
+            return;
+        }
+        if shared.remaining_nodes.load(Ordering::SeqCst) == 0 {
+            shared.wake.notify_all();
+            return;
+        }
+        let Some(id) = shared.ready.pop() else {
+            // Nothing ready right now: wait until another worker finishes a node.
+            let mut idle = shared.idle.lock();
+            *idle += 1;
+            shared.wake.wait_for(&mut idle, std::time::Duration::from_millis(1));
+            *idle -= 1;
+            continue;
+        };
+
+        // Gather argument values (shared read locks).
+        let program = shared.program;
+        let args: Vec<NodeId> = program.args(id).to_vec();
+        let guards: Vec<_> = args.iter().map(|&a| shared.values[a].read()).collect();
+        let arg_refs: Vec<&NodeValue> = guards
+            .iter()
+            .map(|g| g.as_ref().expect("parent value is live until all uses retire"))
+            .collect();
+        let result = shared.context.execute_node(program, id, &arg_refs);
+        drop(guards);
+
+        match result {
+            Ok(value) => {
+                shared.record_allocation(value.memory_bytes());
+                *shared.values[id].write() = Some(value);
+                executed.fetch_add(1, Ordering::Relaxed);
+                // Retire parents whose last consumer this was.
+                let mut distinct = args.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                for a in distinct {
+                    if shared.remaining_uses[a].fetch_sub(1, Ordering::SeqCst) == 1
+                        && shared.reuse_memory
+                    {
+                        let mut slot = shared.values[a].write();
+                        if let Some(old) = slot.take() {
+                            shared.record_release(old.memory_bytes());
+                        }
+                    }
+                }
+                notify_children(shared, id, uses);
+                shared.remaining_nodes.fetch_sub(1, Ordering::SeqCst);
+                shared.wake.notify_all();
+            }
+            Err(err) => {
+                shared.fail(err);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encrypted::run_encrypted;
+    use crate::reference::run_reference;
+    use eva_core::{compile, CompilerOptions, Opcode as Op, Program};
+
+    fn wide_program() -> Program {
+        // Eight independent chains that rejoin at the end: a good shape for
+        // exercising cross-kernel parallelism.
+        let mut p = Program::new("wide", 8);
+        let x = p.input_cipher("x", 30);
+        let w = p.input_vector("w", 20);
+        let mut partials = Vec::new();
+        for i in 0..8 {
+            let rot = p.instruction(Op::RotateLeft(i as i32 % 4), &[x]);
+            let prod = p.instruction(Op::Multiply, &[rot, w]);
+            partials.push(prod);
+        }
+        let mut acc = partials[0];
+        for &part in &partials[1..] {
+            acc = p.instruction(Op::Add, &[acc, part]);
+        }
+        p.output("out", acc, 30);
+        p
+    }
+
+    #[test]
+    fn parallel_matches_serial_and_reference() {
+        let program = wide_program();
+        let compiled = compile(&program, &CompilerOptions::default()).unwrap();
+        let inputs: HashMap<String, Vec<f64>> = [
+            ("x".to_string(), vec![0.5, -0.25, 1.0, 2.0, 0.125, -1.5, 0.75, 0.0]),
+            ("w".to_string(), vec![1.0, 2.0, -1.0, 0.5, 0.25, -2.0, 1.5, 3.0]),
+        ]
+        .into_iter()
+        .collect();
+        let expected = run_reference(&compiled.program, &inputs).unwrap();
+        let serial = run_encrypted(&compiled, &inputs).unwrap();
+
+        let mut ctx = EncryptedContext::setup(&compiled, Some(7)).unwrap();
+        let bindings = ctx.encrypt_inputs(&compiled, &inputs).unwrap();
+        let (values, stats) =
+            execute_parallel_with_options(&ctx, &compiled, bindings, 2, true).unwrap();
+        let parallel = ctx.decrypt_outputs(&compiled, &values).unwrap();
+
+        for ((a, b), c) in parallel["out"]
+            .iter()
+            .zip(&serial["out"])
+            .zip(&expected["out"])
+        {
+            assert!((a - b).abs() < 1e-3, "parallel vs serial: {a} vs {b}");
+            assert!((a - c).abs() < 1e-2, "parallel vs reference: {a} vs {c}");
+        }
+        assert!(stats.nodes_executed > 0);
+        assert!(stats.peak_live_bytes > 0);
+    }
+
+    #[test]
+    fn memory_reuse_reduces_peak_live_bytes() {
+        let program = {
+            // A long dependent chain: with memory reuse the executor should
+            // only ever hold a couple of ciphertexts.
+            let mut p = Program::new("chain", 8);
+            let x = p.input_cipher("x", 30);
+            let mut acc = x;
+            for i in 0..6 {
+                acc = p.instruction(Op::RotateLeft(1 + (i % 3) as i32), &[acc]);
+            }
+            p.output("out", acc, 30);
+            p
+        };
+        let compiled = compile(&program, &CompilerOptions::default()).unwrap();
+        let inputs: HashMap<String, Vec<f64>> =
+            [("x".to_string(), vec![1.0; 8])].into_iter().collect();
+
+        let mut ctx = EncryptedContext::setup(&compiled, Some(3)).unwrap();
+        let bindings = ctx.encrypt_inputs(&compiled, &inputs).unwrap();
+        let (_, with_reuse) =
+            execute_parallel_with_options(&ctx, &compiled, bindings, 1, true).unwrap();
+
+        let bindings = ctx.encrypt_inputs(&compiled, &inputs).unwrap();
+        let (_, without_reuse) =
+            execute_parallel_with_options(&ctx, &compiled, bindings, 1, false).unwrap();
+
+        assert!(with_reuse.peak_live_bytes < without_reuse.peak_live_bytes);
+        assert!(with_reuse.bytes_retired > 0);
+        assert_eq!(without_reuse.bytes_retired, 0);
+    }
+
+    #[test]
+    fn unbound_input_is_detected() {
+        let program = wide_program();
+        let compiled = compile(&program, &CompilerOptions::default()).unwrap();
+        let ctx = EncryptedContext::setup(&compiled, Some(1)).unwrap();
+        let result = execute_parallel(&ctx, &compiled, HashMap::new(), 2);
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Ablation of the compiler's design choices (DESIGN.md): waterline vs
+//! always rescaling and eager vs lazy mod-switching, measured both as compile
+//! time (Criterion) and as the resulting modulus-chain length / total modulus
+//! size (printed once per strategy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eva_core::{compile, CompilerOptions, ModSwitchStrategy, RescaleStrategy};
+use eva_tensor::{lower_network, networks::lenet5_small, LoweringMode};
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let network = lenet5_small(42);
+    let eva_program = lower_network(&network, LoweringMode::Eva).program;
+    let chet_program = lower_network(&network, LoweringMode::ChetBaseline).program;
+
+    let strategies = [
+        ("waterline_eager", &eva_program, RescaleStrategy::Waterline, ModSwitchStrategy::Eager),
+        ("waterline_lazy", &eva_program, RescaleStrategy::Waterline, ModSwitchStrategy::Lazy),
+        ("always_lazy_chet", &chet_program, RescaleStrategy::Always, ModSwitchStrategy::Lazy),
+    ];
+
+    println!("\n-- ablation: resulting encryption parameters (LeNet-5-small) --");
+    for (name, program, rescale, mod_switch) in &strategies {
+        let options = CompilerOptions {
+            rescale: *rescale,
+            mod_switch: *mod_switch,
+            max_rescale_bits: 60,
+        };
+        match compile(program, &options) {
+            Ok(compiled) => println!(
+                "{name:<20} r={:<3} log2Q={:<5} N={:<6} rescales={} modswitches={}",
+                compiled.parameters.chain_length(),
+                compiled.parameters.total_bits(),
+                compiled.parameters.degree,
+                compiled.stats.rescales_inserted,
+                compiled.stats.mod_switches_inserted,
+            ),
+            Err(err) => println!("{name:<20} failed: {err}"),
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_compile");
+    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    for (name, program, rescale, mod_switch) in &strategies {
+        let options = CompilerOptions {
+            rescale: *rescale,
+            mod_switch: *mod_switch,
+            max_rescale_bits: 60,
+        };
+        group.bench_function(*name, |b| b.iter(|| compile(program, &options).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

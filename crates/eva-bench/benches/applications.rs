@@ -1,0 +1,38 @@
+//! Application benchmarks (the paper's Table 8): encrypted end-to-end
+//! execution of the arithmetic, statistical-ML and image-processing programs.
+//!
+//! The Criterion loops use reduced vector sizes so the full `cargo bench` run
+//! stays laptop-friendly; the `report --table 8` binary measures the
+//! paper-sized variants (2048/4096 slots, 64x64 images).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eva_backend::EncryptedContext;
+use eva_core::{compile, CompilerOptions};
+use std::time::Duration;
+
+fn bench_applications(c: &mut Criterion) {
+    let apps = vec![
+        eva_apps::regression::linear(256, 1),
+        eva_apps::regression::polynomial(256, 2),
+        eva_apps::path_length::application(256, 3),
+        eva_apps::image::sobel(16, 4),
+    ];
+
+    let mut group = c.benchmark_group("applications_encrypted");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    for app in apps {
+        let compiled = compile(&app.program, &CompilerOptions::default()).expect("compile");
+        let mut context = EncryptedContext::setup(&compiled, Some(5)).expect("setup");
+        group.bench_function(app.name.clone(), |b| {
+            b.iter(|| {
+                let bindings = context.encrypt_inputs(&compiled, &app.inputs).unwrap();
+                let values = context.execute_serial(&compiled, bindings).unwrap();
+                context.decrypt_outputs(&compiled, &values).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_applications);
+criterion_main!(benches);

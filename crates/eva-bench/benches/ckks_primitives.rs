@@ -1,0 +1,56 @@
+//! Microbenchmarks of the RNS-CKKS substrate: the per-instruction costs that
+//! every latency number in the paper's evaluation decomposes into.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eva_ckks::{
+    CkksContext, CkksEncoder, CkksParameters, Decryptor, Encryptor, Evaluator, KeyGenerator,
+};
+use std::time::Duration;
+
+fn bench_primitives(c: &mut Criterion) {
+    let params = CkksParameters::new(8192, &[40, 40, 40]).expect("parameters");
+    let context = CkksContext::new(params).expect("context");
+    let mut keygen = KeyGenerator::from_seed(context.clone(), 1);
+    let public_key = keygen.create_public_key();
+    let relin_key = keygen.create_relinearization_key();
+    let galois_keys = keygen.create_galois_keys(&[1]);
+    let encoder = CkksEncoder::new(context.clone());
+    let mut encryptor = Encryptor::from_seed(context.clone(), public_key, 2);
+    let decryptor = Decryptor::new(context.clone(), keygen.secret_key().clone());
+    let evaluator = Evaluator::new(context.clone());
+
+    let values: Vec<f64> = (0..context.slot_count()).map(|i| (i as f64).sin()).collect();
+    let scale = 2f64.powi(40);
+    let plaintext = encoder.encode(&values, scale, 3);
+    let ct_a = encryptor.encrypt(&plaintext);
+    let ct_b = encryptor.encrypt(&plaintext);
+    let product = evaluator.multiply(&ct_a, &ct_b).expect("multiply");
+
+    let mut group = c.benchmark_group("ckks_primitives_n8192");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group.bench_function("encode", |b| b.iter(|| encoder.encode(&values, scale, 3)));
+    group.bench_function("encrypt", |b| b.iter(|| encryptor.encrypt(&plaintext)));
+    group.bench_function("decrypt", |b| {
+        b.iter(|| decryptor.decrypt_to_values(&ct_a, context.slot_count()))
+    });
+    group.bench_function("add", |b| b.iter(|| evaluator.add(&ct_a, &ct_b).unwrap()));
+    group.bench_function("multiply_plain", |b| {
+        b.iter(|| evaluator.multiply_plain(&ct_a, &plaintext).unwrap())
+    });
+    group.bench_function("multiply", |b| {
+        b.iter(|| evaluator.multiply(&ct_a, &ct_b).unwrap())
+    });
+    group.bench_function("relinearize", |b| {
+        b.iter(|| evaluator.relinearize(&product, &relin_key).unwrap())
+    });
+    group.bench_function("rescale", |b| {
+        b.iter(|| evaluator.rescale_to_next(&ct_a).unwrap())
+    });
+    group.bench_function("rotate_by_1", |b| {
+        b.iter(|| evaluator.rotate(&ct_a, 1, &galois_keys).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

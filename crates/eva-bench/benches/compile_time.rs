@@ -1,0 +1,33 @@
+//! Compilation-time benchmarks (the "Compilation" column of the paper's
+//! Table 7): how long the EVA compiler itself takes on each evaluation
+//! program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eva_core::{compile, CompilerOptions};
+use eva_tensor::{all_networks, lower_network, LoweringMode};
+use std::time::Duration;
+
+fn bench_compile_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_time");
+    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+
+    for network in all_networks(42) {
+        let lowered = lower_network(&network, LoweringMode::Eva);
+        group.bench_function(format!("dnn/{}", network.name), |b| {
+            b.iter(|| compile(&lowered.program, &CompilerOptions::default()).unwrap())
+        });
+    }
+    for app in [
+        eva_apps::image::sobel(64, 1),
+        eva_apps::image::harris(64, 2),
+        eva_apps::path_length::application(4096, 3),
+    ] {
+        group.bench_function(format!("app/{}", app.name), |b| {
+            b.iter(|| compile(&app.program, &CompilerOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_time);
+criterion_main!(benches);

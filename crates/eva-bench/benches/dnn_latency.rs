@@ -1,0 +1,37 @@
+//! Encrypted DNN inference latency, CHET baseline vs EVA (the paper's
+//! Table 5).
+//!
+//! A single inference takes on the order of minutes, so this harness does its
+//! own timing (one measured run per configuration) instead of a Criterion
+//! loop. By default only LeNet-5-small is measured; set `EVA_BENCH_FULL=1` to
+//! measure every network of Table 3.
+
+use eva_bench::{measure_inference, prepare_network, random_image};
+use eva_tensor::all_networks;
+
+fn main() {
+    let full = std::env::var("EVA_BENCH_FULL").is_ok();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let networks = all_networks(42);
+    let limit = if full { networks.len() } else { 1 };
+
+    println!("== Table 5: encrypted inference latency, CHET vs EVA ({threads} threads) ==");
+    for network in networks.iter().take(limit) {
+        let prepared = prepare_network(network);
+        let image = random_image(network, 9);
+        let eva = measure_inference(&prepared.eva.0, &prepared.eva.1, network, &image, threads);
+        let chet = measure_inference(&prepared.chet.0, &prepared.chet.1, network, &image, threads);
+        println!(
+            "{:<20} CHET: {:>9.2?}  EVA: {:>9.2?}  speedup {:.2}x  (EVA max logit err {:.2e}, argmax match {})",
+            network.name,
+            chet.execute_time,
+            eva.execute_time,
+            chet.execute_time.as_secs_f64() / eva.execute_time.as_secs_f64(),
+            eva.max_error,
+            eva.argmax_agrees,
+        );
+    }
+    if !full {
+        println!("(set EVA_BENCH_FULL=1 to measure every network of Table 3)");
+    }
+}

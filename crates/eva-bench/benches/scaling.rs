@@ -1,0 +1,58 @@
+//! Strong-scaling measurements (the paper's Figure 7): encrypted execution
+//! latency as a function of worker-thread count.
+//!
+//! The default run sweeps the thread counts on the Sobel application (cheap
+//! enough for CI); set `EVA_BENCH_FULL=1` to sweep the LeNet-5-small network
+//! in both CHET and EVA modes, which is the actual Figure 7 series.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use eva_backend::{execute_parallel, EncryptedContext};
+use eva_bench::{prepare_network, random_image};
+use eva_core::{compile, CompilerOptions};
+use eva_tensor::{networks::lenet5_small, pack_input};
+
+fn main() {
+    let full = std::env::var("EVA_BENCH_FULL").is_ok();
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let thread_counts: Vec<usize> = (1..=max_threads).collect();
+
+    println!("== Figure 7 (scaling): Sobel 32x32, EVA mode ==");
+    let app = eva_apps::image::sobel(32, 3);
+    let compiled = compile(&app.program, &CompilerOptions::default()).expect("compile");
+    let mut context = EncryptedContext::setup(&compiled, Some(7)).expect("setup");
+    for &threads in &thread_counts {
+        let bindings = context.encrypt_inputs(&compiled, &app.inputs).expect("encrypt");
+        let start = Instant::now();
+        execute_parallel(&context, &compiled, bindings, threads).expect("execute");
+        println!("sobel_32x32 threads={threads} latency={:.2?}", start.elapsed());
+    }
+
+    if full {
+        println!("== Figure 7 (scaling): LeNet-5-small, CHET vs EVA ==");
+        let network = lenet5_small(42);
+        let prepared = prepare_network(&network);
+        let image = random_image(&network, 5);
+        for (label, lowered, compiled) in [
+            ("EVA", &prepared.eva.0, &prepared.eva.1),
+            ("CHET", &prepared.chet.0, &prepared.chet.1),
+        ] {
+            let mut context = EncryptedContext::setup(compiled, Some(11)).expect("setup");
+            let packed = pack_input(&image, compiled.program.vec_size());
+            let inputs: HashMap<String, Vec<f64>> =
+                [(lowered.input_name.clone(), packed)].into_iter().collect();
+            for &threads in &thread_counts {
+                let bindings = context.encrypt_inputs(compiled, &inputs).expect("encrypt");
+                let start = Instant::now();
+                execute_parallel(&context, compiled, bindings, threads).expect("execute");
+                println!(
+                    "lenet5_small mode={label} threads={threads} latency={:.2?}",
+                    start.elapsed()
+                );
+            }
+        }
+    } else {
+        println!("(set EVA_BENCH_FULL=1 for the LeNet-5-small CHET-vs-EVA sweep)");
+    }
+}

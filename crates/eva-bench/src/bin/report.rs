@@ -1,0 +1,215 @@
+//! `report` — regenerate the tables and figures of the EVA paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p eva-bench --bin report -- --all            # quick set
+//! cargo run --release -p eva-bench --bin report -- --table 6
+//! cargo run --release -p eva-bench --bin report -- --figure 7 --full
+//! ```
+//!
+//! By default the encrypted-latency measurements (Tables 5, 7 and Figure 7)
+//! only run the smaller networks so the report finishes in minutes on a
+//! laptop; pass `--full` to measure every network of Table 3.
+
+use eva_bench::*;
+use eva_core::{compile, CompilerOptions, ModSwitchStrategy, Opcode, Program, RescaleStrategy};
+use eva_tensor::all_networks;
+
+struct Options {
+    tables: Vec<u32>,
+    figures: Vec<u32>,
+    full: bool,
+    threads: usize,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = Options {
+        tables: Vec::new(),
+        figures: Vec::new(),
+        full: false,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    };
+    let mut iter = args.iter().peekable();
+    let mut all = args.is_empty();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--full" => options.full = true,
+            "--table" => {
+                if let Some(n) = iter.next().and_then(|v| v.parse().ok()) {
+                    options.tables.push(n);
+                }
+            }
+            "--figure" => {
+                if let Some(n) = iter.next().and_then(|v| v.parse().ok()) {
+                    options.figures.push(n);
+                }
+            }
+            "--threads" => {
+                if let Some(n) = iter.next().and_then(|v| v.parse().ok()) {
+                    options.threads = n;
+                }
+            }
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+    if all {
+        options.tables = vec![3, 4, 5, 6, 7, 8];
+        options.figures = vec![2, 3, 5, 7];
+    }
+    options
+}
+
+fn main() {
+    let options = parse_args();
+    let networks = all_networks(42);
+    let heavy_limit = if options.full { networks.len() } else { 1 };
+
+    for &figure in &options.figures {
+        match figure {
+            2 => figure2(),
+            3 => figure3(),
+            5 => figure5(),
+            7 => {
+                println!("\n== Figure 7: strong scaling of encrypted inference (CHET vs EVA) ==");
+                let threads: Vec<usize> = (1..=options.threads).collect();
+                for network in networks.iter().take(heavy_limit) {
+                    let prepared = prepare_network(network);
+                    for line in figure7_scaling(&prepared, &threads, 5) {
+                        println!("{line}");
+                    }
+                }
+                if !options.full {
+                    println!("(pass --full to measure every network of Table 3)");
+                }
+            }
+            other => eprintln!("no such figure: {other}"),
+        }
+    }
+
+    for &table in &options.tables {
+        match table {
+            3 => {
+                println!("\n== Table 3: networks used in the evaluation ==");
+                for network in &networks {
+                    println!("{}", table3_network_inventory(network));
+                }
+            }
+            4 => {
+                println!("\n== Table 4: input/output scales and accuracy proxy ==");
+                for network in &networks {
+                    let prepared = prepare_network(network);
+                    println!("{}", table4_accuracy(&prepared, 7));
+                }
+            }
+            5 => {
+                println!("\n== Table 5: encrypted inference latency (CHET vs EVA, {} threads) ==", options.threads);
+                for network in networks.iter().take(heavy_limit) {
+                    let prepared = prepare_network(network);
+                    println!("{}", table5_latency(&prepared, options.threads, 9));
+                }
+                if !options.full {
+                    println!("(pass --full to measure every network of Table 3)");
+                }
+            }
+            6 => {
+                println!("\n== Table 6: encryption parameters selected (CHET vs EVA) ==");
+                for network in &networks {
+                    let prepared = prepare_network(network);
+                    println!("{}", table6_parameters(&prepared));
+                }
+            }
+            7 => {
+                println!("\n== Table 7: compilation, context, encryption, decryption times ==");
+                for network in networks.iter().take(heavy_limit) {
+                    println!("{}", table7_compile_times(network, options.threads, 11));
+                }
+                if !options.full {
+                    println!("(pass --full to measure every network of Table 3)");
+                }
+            }
+            8 => {
+                println!("\n== Table 8: arithmetic, statistical ML and image applications ==");
+                let apps = eva_apps::all_applications(21);
+                let limit = if options.full { apps.len() } else { 4 };
+                for app in apps.iter().take(limit) {
+                    println!("{}", table8_applications(app));
+                }
+                if !options.full {
+                    println!("(pass --full to also measure the 64x64 Sobel and Harris kernels)");
+                }
+            }
+            other => eprintln!("no such table: {other}"),
+        }
+    }
+}
+
+fn x2y3() -> Program {
+    let mut p = Program::new("x2y3", 8);
+    let x = p.input_cipher("x", 60);
+    let y = p.input_cipher("y", 30);
+    let x2 = p.instruction(Opcode::Multiply, &[x, x]);
+    let y2 = p.instruction(Opcode::Multiply, &[y, y]);
+    let y3 = p.instruction(Opcode::Multiply, &[y2, y]);
+    let out = p.instruction(Opcode::Multiply, &[x2, y3]);
+    p.output("out", out, 30);
+    p
+}
+
+fn report_compilation(name: &str, program: &Program, options: &CompilerOptions) {
+    match compile(program, options) {
+        Ok(compiled) => println!(
+            "{name:<30} rescale={:<2} modswitch={:<2} matchscale={:<2} relin={:<2} -> r={} log2Q={}",
+            compiled.stats.rescales_inserted,
+            compiled.stats.mod_switches_inserted,
+            compiled.stats.scale_fixes_inserted,
+            compiled.stats.relinearizations_inserted,
+            compiled.parameters.chain_length(),
+            compiled.parameters.total_bits()
+        ),
+        Err(err) => println!("{name:<30} does not compile: {err}"),
+    }
+}
+
+fn figure2() {
+    println!("\n== Figure 2: x^2 * y^3 under the rescale insertion strategies ==");
+    report_compilation(
+        "always-rescale + lazy",
+        &x2y3(),
+        &CompilerOptions {
+            rescale: RescaleStrategy::Always,
+            mod_switch: ModSwitchStrategy::Lazy,
+            ..CompilerOptions::default()
+        },
+    );
+    report_compilation("waterline + eager (EVA)", &x2y3(), &CompilerOptions::default());
+}
+
+fn figure3() {
+    println!("\n== Figure 3: x^2 + x — MATCH-SCALE avoids consuming a prime ==");
+    let mut p = Program::new("x2_plus_x", 8);
+    let x = p.input_cipher("x", 30);
+    let x2 = p.instruction(Opcode::Multiply, &[x, x]);
+    let sum = p.instruction(Opcode::Add, &[x2, x]);
+    p.output("out", sum, 30);
+    report_compilation("waterline + eager (EVA)", &p, &CompilerOptions::default());
+}
+
+fn figure5() {
+    println!("\n== Figure 5: x^2 + x + x — eager vs lazy MODSWITCH insertion ==");
+    let mut p = Program::new("x2xx", 8);
+    let x = p.input_cipher("x", 60);
+    let x2 = p.instruction(Opcode::Multiply, &[x, x]);
+    let add1 = p.instruction(Opcode::Add, &[x2, x]);
+    let add2 = p.instruction(Opcode::Add, &[add1, x]);
+    p.output("out", add2, 60);
+    report_compilation(
+        "lazy modswitch",
+        &p,
+        &CompilerOptions {
+            mod_switch: ModSwitchStrategy::Lazy,
+            ..CompilerOptions::default()
+        },
+    );
+    report_compilation("eager modswitch (EVA)", &p, &CompilerOptions::default());
+}

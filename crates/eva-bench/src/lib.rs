@@ -1,0 +1,329 @@
+//! # eva-bench — the benchmark harness for the paper's evaluation
+//!
+//! One function per experiment family, shared by the Criterion benches and the
+//! `report` binary that regenerates the rows of every table and the series of
+//! every figure in Section 8 of the paper:
+//!
+//! | Paper artifact | Harness entry point |
+//! |---|---|
+//! | Table 3 (networks)            | [`table3_network_inventory`] |
+//! | Table 4 (scales & accuracy)   | [`table4_accuracy`] |
+//! | Table 5 (latency)             | [`table5_latency`] |
+//! | Table 6 (encryption params)   | [`table6_parameters`] |
+//! | Table 7 (compile/keygen time) | [`table7_compile_times`] |
+//! | Table 8 (applications)        | [`table8_applications`] |
+//! | Figure 7 (strong scaling)     | [`figure7_scaling`] |
+//!
+//! Figures 2, 3 and 5 are structural (graph rewriting) results; they are
+//! covered by the integration test `tests/figures_2_3_5.rs` and printed by the
+//! `report` binary from the same pass statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use eva_backend::{execute_parallel, run_reference, EncryptedContext};
+use eva_core::CompiledProgram;
+use eva_tensor::{lower_network, pack_input, LoweredNetwork, LoweringMode, Network, Tensor};
+use rand::{Rng, SeedableRng};
+
+/// A compiled network together with both lowering modes, ready to measure.
+#[derive(Debug)]
+pub struct PreparedNetwork {
+    /// The network description.
+    pub network: Network,
+    /// EVA-mode lowering and compilation.
+    pub eva: (LoweredNetwork, CompiledProgram),
+    /// CHET-baseline lowering and compilation.
+    pub chet: (LoweredNetwork, CompiledProgram),
+}
+
+/// Lowers and compiles a network in both modes.
+///
+/// # Panics
+///
+/// Panics if either mode fails to compile (the networks shipped with this
+/// crate always compile).
+pub fn prepare_network(network: &Network) -> PreparedNetwork {
+    let eva_lowered = lower_network(network, LoweringMode::Eva);
+    let eva_compiled = eva_lowered.compile().expect("EVA-mode compilation");
+    let chet_lowered = lower_network(network, LoweringMode::ChetBaseline);
+    let chet_compiled = chet_lowered.compile().expect("CHET-mode compilation");
+    PreparedNetwork {
+        network: network.clone(),
+        eva: (eva_lowered, eva_compiled),
+        chet: (chet_lowered, chet_compiled),
+    }
+}
+
+/// A random input image for a network (the MNIST/CIFAR substitution).
+pub fn random_image(network: &Network, seed: u64) -> Tensor {
+    let (c, h, w) = network.input_shape;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Tensor::from_data(c, h, w, (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+/// Result of one encrypted inference measurement.
+#[derive(Debug, Clone)]
+pub struct InferenceMeasurement {
+    /// Wall-clock time for context and key generation.
+    pub context_time: Duration,
+    /// Wall-clock time for input encryption.
+    pub encrypt_time: Duration,
+    /// Wall-clock time for homomorphic execution.
+    pub execute_time: Duration,
+    /// Wall-clock time for output decryption.
+    pub decrypt_time: Duration,
+    /// Maximum absolute error of the encrypted logits vs plaintext inference.
+    pub max_error: f64,
+    /// Whether the encrypted and plaintext argmax agree (the accuracy proxy).
+    pub argmax_agrees: bool,
+}
+
+/// Runs one encrypted inference of a prepared network/mode and measures every
+/// phase (the Table 5 / Table 7 measurement).
+///
+/// # Panics
+///
+/// Panics on backend errors, which indicate an internal bug for compiled
+/// programs.
+pub fn measure_inference(
+    lowered: &LoweredNetwork,
+    compiled: &CompiledProgram,
+    network: &Network,
+    image: &Tensor,
+    threads: usize,
+) -> InferenceMeasurement {
+    let start = Instant::now();
+    let mut context = EncryptedContext::setup(compiled, Some(42)).expect("context setup");
+    let context_time = start.elapsed();
+
+    let packed = pack_input(image, compiled.program.vec_size());
+    let inputs: HashMap<String, Vec<f64>> =
+        [(lowered.input_name.clone(), packed)].into_iter().collect();
+    let start = Instant::now();
+    let bindings = context.encrypt_inputs(compiled, &inputs).expect("encryption");
+    let encrypt_time = start.elapsed();
+
+    let start = Instant::now();
+    let values = execute_parallel(&context, compiled, bindings, threads).expect("execution");
+    let execute_time = start.elapsed();
+
+    let start = Instant::now();
+    let outputs = context.decrypt_outputs(compiled, &values).expect("decryption");
+    let decrypt_time = start.elapsed();
+
+    let logits = lowered.extract_logits(&outputs[&lowered.output_name]);
+    let expected = network.infer_plain(image);
+    let max_error = logits
+        .iter()
+        .zip(&expected)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    InferenceMeasurement {
+        context_time,
+        encrypt_time,
+        execute_time,
+        decrypt_time,
+        max_error,
+        argmax_agrees: argmax(&logits) == argmax(&expected),
+    }
+}
+
+/// Index of the maximum element.
+pub fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits are finite"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// One row of Table 3: the network inventory.
+pub fn table3_network_inventory(network: &Network) -> String {
+    let counts = network.layer_counts();
+    format!(
+        "{:<20} conv={:<2} fc={:<2} act={:<2} fp_ops={:<9}",
+        network.name,
+        counts.conv,
+        counts.fc,
+        counts.act,
+        network.flop_count()
+    )
+}
+
+/// One row of Table 4: scales used and the accuracy proxy (max logit error and
+/// argmax agreement of EVA-mode encrypted inference vs plaintext inference,
+/// computed by the reference semantics so it stays fast).
+pub fn table4_accuracy(prepared: &PreparedNetwork, seed: u64) -> String {
+    let image = random_image(&prepared.network, seed);
+    let (lowered, compiled) = &prepared.eva;
+    let packed = pack_input(&image, compiled.program.vec_size());
+    let inputs: HashMap<String, Vec<f64>> =
+        [(lowered.input_name.clone(), packed)].into_iter().collect();
+    let outputs = run_reference(&compiled.program, &inputs).expect("reference execution");
+    let logits = lowered.extract_logits(&outputs[&lowered.output_name]);
+    let expected = prepared.network.infer_plain(&image);
+    let max_err = logits
+        .iter()
+        .zip(&expected)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    format!(
+        "{:<20} scales(cipher/vector/scalar/out)={}/{}/{}/{}  max_logit_err={:.2e}  argmax_match={}",
+        prepared.network.name,
+        lowered.scales.cipher,
+        lowered.scales.vector,
+        lowered.scales.scalar,
+        lowered.scales.output,
+        max_err,
+        argmax(&logits) == argmax(&expected),
+    )
+}
+
+/// One row of Table 6: encryption parameters selected for CHET vs EVA.
+pub fn table6_parameters(prepared: &PreparedNetwork) -> String {
+    let eva = &prepared.eva.1.parameters;
+    let chet = &prepared.chet.1.parameters;
+    format!(
+        "{:<20} CHET: log2N={:<2} log2Q={:<5} r={:<3} | EVA: log2N={:<2} log2Q={:<5} r={:<3}",
+        prepared.network.name,
+        (chet.degree as f64).log2() as u32,
+        chet.total_bits(),
+        chet.chain_length(),
+        (eva.degree as f64).log2() as u32,
+        eva.total_bits(),
+        eva.chain_length(),
+    )
+}
+
+/// One row of Table 5: average encrypted-inference latency for CHET vs EVA.
+pub fn table5_latency(prepared: &PreparedNetwork, threads: usize, seed: u64) -> String {
+    let image = random_image(&prepared.network, seed);
+    let eva = measure_inference(
+        &prepared.eva.0,
+        &prepared.eva.1,
+        &prepared.network,
+        &image,
+        threads,
+    );
+    let chet = measure_inference(
+        &prepared.chet.0,
+        &prepared.chet.1,
+        &prepared.network,
+        &image,
+        threads,
+    );
+    format!(
+        "{:<20} CHET: {:>8.2?}  EVA: {:>8.2?}  speedup: {:.2}x",
+        prepared.network.name,
+        chet.execute_time,
+        eva.execute_time,
+        chet.execute_time.as_secs_f64() / eva.execute_time.as_secs_f64()
+    )
+}
+
+/// One row of Table 7: compilation / context / encryption / decryption times
+/// for EVA mode.
+pub fn table7_compile_times(network: &Network, threads: usize, seed: u64) -> String {
+    let start = Instant::now();
+    let lowered = lower_network(network, LoweringMode::Eva);
+    let compiled = lowered.compile().expect("compilation");
+    let compile_time = start.elapsed();
+    let image = random_image(network, seed);
+    let m = measure_inference(&lowered, &compiled, network, &image, threads);
+    format!(
+        "{:<20} compile={:>8.2?} context={:>8.2?} encrypt={:>8.2?} decrypt={:>8.2?}",
+        network.name, compile_time, m.context_time, m.encrypt_time, m.decrypt_time
+    )
+}
+
+/// One row of Table 8: application vector size, program size and 1-thread
+/// encrypted execution time.
+pub fn table8_applications(app: &eva_apps::Application) -> String {
+    let compiled =
+        eva_core::compile(&app.program, &eva_core::CompilerOptions::default()).expect("compile");
+    let mut context = EncryptedContext::setup(&compiled, Some(11)).expect("setup");
+    let bindings = context.encrypt_inputs(&compiled, &app.inputs).expect("encrypt");
+    let start = Instant::now();
+    let values = context.execute_serial(&compiled, bindings).expect("execute");
+    let time = start.elapsed();
+    let outputs = context.decrypt_outputs(&compiled, &values).expect("decrypt");
+    let max_err = app
+        .expected
+        .iter()
+        .map(|(name, expected)| {
+            outputs[name]
+                .iter()
+                .zip(expected)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
+        })
+        .fold(0.0f64, f64::max);
+    format!(
+        "{:<28} vec_size={:<5} nodes={:<5} time={:>8.2?} max_err={:.2e}",
+        app.name,
+        app.program.vec_size(),
+        compiled.program.len(),
+        time,
+        max_err
+    )
+}
+
+/// One series point of Figure 7: execution latency at a given thread count for
+/// both CHET and EVA modes.
+pub fn figure7_scaling(prepared: &PreparedNetwork, threads: &[usize], seed: u64) -> Vec<String> {
+    let image = random_image(&prepared.network, seed);
+    threads
+        .iter()
+        .map(|&t| {
+            let eva = measure_inference(
+                &prepared.eva.0,
+                &prepared.eva.1,
+                &prepared.network,
+                &image,
+                t,
+            );
+            let chet = measure_inference(
+                &prepared.chet.0,
+                &prepared.chet.1,
+                &prepared.network,
+                &image,
+                t,
+            );
+            format!(
+                "{:<20} threads={} CHET={:>8.2?} EVA={:>8.2?}",
+                prepared.network.name, t, chet.execute_time, eva.execute_time
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_tensor::networks::lenet5_small;
+
+    #[test]
+    fn inventory_and_parameter_rows_are_formatted() {
+        let network = lenet5_small(1);
+        let row = table3_network_inventory(&network);
+        assert!(row.contains("LeNet-5-small"));
+        assert!(row.contains("conv=2"));
+
+        let prepared = prepare_network(&network);
+        let params = table6_parameters(&prepared);
+        assert!(params.contains("CHET") && params.contains("EVA"));
+        let accuracy = table4_accuracy(&prepared, 3);
+        assert!(accuracy.contains("argmax_match"));
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 3.0, -2.0]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! The ciphertext type.
+
+use eva_poly::RnsPoly;
+
+/// An RNS-CKKS ciphertext: two (or, right after a multiplication, three)
+/// polynomials in NTT form spanning `level` data primes, plus the fixed-point
+/// scale of the encrypted message.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    pub(crate) polys: Vec<RnsPoly>,
+    pub(crate) scale: f64,
+    pub(crate) level: usize,
+}
+
+impl Ciphertext {
+    /// Creates a ciphertext from raw parts. Exposed for the executor crates;
+    /// most users obtain ciphertexts from the encryptor or evaluator.
+    pub fn from_parts(polys: Vec<RnsPoly>, scale: f64, level: usize) -> Self {
+        assert!(!polys.is_empty(), "a ciphertext needs at least one polynomial");
+        assert!(polys.iter().all(|p| p.level() == level));
+        Self { polys, scale, level }
+    }
+
+    /// Number of polynomials (2 normally, 3 right after a multiplication).
+    pub fn size(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// The fixed-point scale of the encrypted message.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Number of data primes this ciphertext currently spans (its level).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The component polynomials.
+    pub fn polys(&self) -> &[RnsPoly] {
+        &self.polys
+    }
+
+    /// Approximate heap memory held by this ciphertext, in bytes. Used by the
+    /// executor's memory-reuse accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.polys
+            .iter()
+            .map(|p| p.level() * p.degree() * std::mem::size_of::<u64>())
+            .sum()
+    }
+}

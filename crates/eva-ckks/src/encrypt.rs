@@ -1,0 +1,191 @@
+//! Encryption and decryption.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ciphertext::Ciphertext;
+use crate::context::CkksContext;
+use crate::encoder::{CkksEncoder, Plaintext};
+use crate::keys::{PublicKey, SecretKey};
+
+/// Encrypts plaintexts under a public key.
+pub struct Encryptor {
+    context: CkksContext,
+    public_key: PublicKey,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for Encryptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Encryptor")
+            .field("degree", &self.context.degree())
+            .finish()
+    }
+}
+
+impl Encryptor {
+    /// Creates an encryptor with a randomly seeded RNG.
+    pub fn new(context: CkksContext, public_key: PublicKey) -> Self {
+        Self::from_seed(context, public_key, rand::thread_rng().gen())
+    }
+
+    /// Creates an encryptor with deterministic encryption randomness (tests).
+    pub fn from_seed(context: CkksContext, public_key: PublicKey, seed: u64) -> Self {
+        Self {
+            context,
+            public_key,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Encrypts a plaintext. The resulting ciphertext inherits the plaintext's
+    /// scale and level.
+    pub fn encrypt(&mut self, plaintext: &Plaintext) -> Ciphertext {
+        let basis = self.context.key_basis();
+        let level = plaintext.level;
+        let n = self.context.degree();
+
+        // Ephemeral secret u (ternary) and errors e0, e1.
+        let ternary = eva_math::sample_ternary(&mut self.rng, n);
+        let signed: Vec<i64> = ternary.iter().map(|&v| v as i64).collect();
+        let mut u = basis.poly_from_signed(&signed, level);
+        u.to_ntt(basis);
+
+        let make_error = |rng: &mut StdRng| {
+            let cbd = eva_math::sample_cbd(rng, n);
+            let signed: Vec<i64> = cbd.iter().map(|&v| v as i64).collect();
+            let mut e = basis.poly_from_signed(&signed, level);
+            e.to_ntt(basis);
+            e
+        };
+        let e0 = make_error(&mut self.rng);
+        let e1 = make_error(&mut self.rng);
+
+        let pk0 = self.public_key.p0.truncated(level);
+        let pk1 = self.public_key.p1.truncated(level);
+
+        let mut c0 = pk0.dyadic_mul(&u, basis);
+        c0.add_assign(&e0, basis);
+        c0.add_assign(&plaintext.poly, basis);
+
+        let mut c1 = pk1.dyadic_mul(&u, basis);
+        c1.add_assign(&e1, basis);
+
+        Ciphertext::from_parts(vec![c0, c1], plaintext.scale, level)
+    }
+}
+
+/// Decrypts ciphertexts with the secret key and decodes them back to reals.
+#[derive(Debug)]
+pub struct Decryptor {
+    context: CkksContext,
+    secret_key: SecretKey,
+    encoder: CkksEncoder,
+}
+
+impl Decryptor {
+    /// Creates a decryptor.
+    pub fn new(context: CkksContext, secret_key: SecretKey) -> Self {
+        let encoder = CkksEncoder::new(context.clone());
+        Self {
+            context,
+            secret_key,
+            encoder,
+        }
+    }
+
+    /// Decrypts a ciphertext into the underlying (still encoded) polynomial.
+    pub fn decrypt(&self, ciphertext: &Ciphertext) -> Plaintext {
+        let basis = self.context.key_basis();
+        let level = ciphertext.level();
+        let s = self.secret_key.ntt.truncated(level);
+
+        // m = c0 + c1*s + c2*s^2 + ...
+        let mut acc = ciphertext.polys()[0].clone();
+        let mut s_power = s.clone();
+        for poly in &ciphertext.polys()[1..] {
+            let term = poly.dyadic_mul(&s_power, basis);
+            acc.add_assign(&term, basis);
+            s_power.dyadic_mul_assign(&s, basis);
+        }
+        Plaintext {
+            poly: acc,
+            scale: ciphertext.scale(),
+            level,
+        }
+    }
+
+    /// Decrypts and decodes a ciphertext into `slots` real values.
+    pub fn decrypt_to_values(&self, ciphertext: &Ciphertext, slots: usize) -> Vec<f64> {
+        let plaintext = self.decrypt(ciphertext);
+        self.encoder.decode(&plaintext, slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParameters;
+
+    fn setup() -> (CkksContext, CkksEncoder, Encryptor, Decryptor) {
+        let params = CkksParameters::new_insecure(256, &[40, 40, 40], 45).unwrap();
+        let ctx = CkksContext::new(params).unwrap();
+        let mut keygen = KeyGenerator::from_seed(ctx.clone(), 11);
+        let pk = keygen.create_public_key();
+        let encoder = CkksEncoder::new(ctx.clone());
+        let encryptor = Encryptor::from_seed(ctx.clone(), pk, 12);
+        let decryptor = Decryptor::new(ctx.clone(), keygen.secret_key().clone());
+        (ctx, encoder, encryptor, decryptor)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (_ctx, encoder, mut encryptor, decryptor) = setup();
+        let values: Vec<f64> = (0..128).map(|i| (i as f64 / 128.0) - 0.5).collect();
+        let scale = 2f64.powi(40);
+        let pt = encoder.encode(&values, scale, 3);
+        let ct = encryptor.encrypt(&pt);
+        assert_eq!(ct.size(), 2);
+        assert_eq!(ct.level(), 3);
+        let decrypted = decryptor.decrypt_to_values(&ct, 128);
+        for (a, b) in decrypted.iter().zip(&values) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let (_ctx, encoder, mut encryptor, _) = setup();
+        let pt = encoder.encode(&[1.0; 128], 2f64.powi(30), 2);
+        let a = encryptor.encrypt(&pt);
+        let b = encryptor.encrypt(&pt);
+        assert_ne!(a.polys()[1], b.polys()[1], "two encryptions share randomness");
+    }
+
+    #[test]
+    fn decrypting_with_wrong_key_garbles_message() {
+        let (ctx, encoder, mut encryptor, _) = setup();
+        let other = KeyGenerator::from_seed(ctx.clone(), 999);
+        let wrong = Decryptor::new(ctx, other.secret_key().clone());
+        let values = vec![0.25; 128];
+        let pt = encoder.encode(&values, 2f64.powi(40), 1);
+        let ct = encryptor.encrypt(&pt);
+        let garbled = wrong.decrypt_to_values(&ct, 128);
+        let max_err = garbled
+            .iter()
+            .zip(&values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err > 1.0, "wrong key should not decrypt correctly");
+    }
+
+    #[test]
+    fn fresh_ciphertext_memory_accounting() {
+        let (_ctx, encoder, mut encryptor, _) = setup();
+        let pt = encoder.encode(&[0.0; 128], 2f64.powi(30), 3);
+        let ct = encryptor.encrypt(&pt);
+        // 2 polynomials * 3 primes * 256 coefficients * 8 bytes.
+        assert_eq!(ct.memory_bytes(), 2 * 3 * 256 * 8);
+    }
+}

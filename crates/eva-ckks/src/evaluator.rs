@@ -1,0 +1,669 @@
+//! Homomorphic evaluation: the operations the EVA instruction set lowers to.
+//!
+//! Every EVA opcode of the paper's Table 2 maps onto exactly one method here:
+//! NEGATE → [`Evaluator::negate`], ADD/SUB → [`Evaluator::add`] /
+//! [`Evaluator::sub`] (or the `_plain` variants), MULTIPLY →
+//! [`Evaluator::multiply`] / [`Evaluator::multiply_plain`], ROTATELEFT /
+//! ROTATERIGHT → [`Evaluator::rotate`], RELINEARIZE →
+//! [`Evaluator::relinearize`], MODSWITCH → [`Evaluator::mod_switch_to_next`]
+//! and RESCALE → [`Evaluator::rescale_to_next`].
+//!
+//! The methods enforce the same operand constraints SEAL enforces (equal
+//! levels for binary operations, equal scales for addition, at most two
+//! polynomials before a multiplication), returning [`CkksError`] instead of
+//! panicking — these are the runtime exceptions the EVA compiler's validation
+//! pass is designed to rule out ahead of time.
+
+use eva_poly::{PolyForm, RnsPoly};
+
+use crate::ciphertext::Ciphertext;
+use crate::context::CkksContext;
+use crate::encoder::Plaintext;
+use crate::error::CkksError;
+use crate::keys::{GaloisKeys, KeySwitchKey, RelinearizationKey};
+
+/// Relative tolerance used when comparing operand scales.
+const SCALE_TOLERANCE: f64 = 1e-9;
+
+/// Stateless homomorphic evaluator bound to one [`CkksContext`].
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    context: CkksContext,
+}
+
+impl Evaluator {
+    /// Creates an evaluator.
+    pub fn new(context: CkksContext) -> Self {
+        Self { context }
+    }
+
+    /// The context this evaluator operates under.
+    pub fn context(&self) -> &CkksContext {
+        &self.context
+    }
+
+    fn check_binary(&self, a: &Ciphertext, b: &Ciphertext) -> Result<(), CkksError> {
+        if a.level() != b.level() {
+            return Err(CkksError::LevelMismatch {
+                left: a.level(),
+                right: b.level(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_scales(&self, a: f64, b: f64) -> Result<(), CkksError> {
+        if (a - b).abs() > SCALE_TOLERANCE * a.abs().max(b.abs()) {
+            return Err(CkksError::ScaleMismatch { left: a, right: b });
+        }
+        Ok(())
+    }
+
+    fn check_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Result<(), CkksError> {
+        if ct.level() != pt.level {
+            return Err(CkksError::PlaintextLevelMismatch {
+                ciphertext: ct.level(),
+                plaintext: pt.level,
+            });
+        }
+        Ok(())
+    }
+
+    /// Negates every encrypted slot.
+    pub fn negate(&self, ct: &Ciphertext) -> Ciphertext {
+        let basis = self.context.key_basis();
+        let polys = ct
+            .polys()
+            .iter()
+            .map(|p| {
+                let mut p = p.clone();
+                p.negate(basis);
+                p
+            })
+            .collect();
+        Ciphertext::from_parts(polys, ct.scale(), ct.level())
+    }
+
+    /// Adds two ciphertexts element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the operands differ in level (Constraint 1) or scale
+    /// (Constraint 2).
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        self.check_binary(a, b)?;
+        self.check_scales(a.scale(), b.scale())?;
+        let basis = self.context.key_basis();
+        let size = a.size().max(b.size());
+        let level = a.level();
+        let mut polys = Vec::with_capacity(size);
+        for i in 0..size {
+            let poly = match (a.polys().get(i), b.polys().get(i)) {
+                (Some(x), Some(y)) => {
+                    let mut x = x.clone();
+                    x.add_assign(y, basis);
+                    x
+                }
+                (Some(x), None) => x.clone(),
+                (None, Some(y)) => y.clone(),
+                (None, None) => unreachable!(),
+            };
+            polys.push(poly);
+        }
+        Ok(Ciphertext::from_parts(polys, a.scale(), level))
+    }
+
+    /// Subtracts `b` from `a` element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::add`].
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        let negated = self.negate(b);
+        self.add(a, &negated)
+    }
+
+    /// Adds an encoded plaintext to a ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Fails if levels or scales disagree.
+    pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
+        self.check_plain(ct, pt)?;
+        self.check_scales(ct.scale(), pt.scale)?;
+        let basis = self.context.key_basis();
+        let mut polys: Vec<RnsPoly> = ct.polys().to_vec();
+        polys[0].add_assign(&pt.poly, basis);
+        Ok(Ciphertext::from_parts(polys, ct.scale(), ct.level()))
+    }
+
+    /// Subtracts an encoded plaintext from a ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Fails if levels or scales disagree.
+    pub fn sub_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
+        self.check_plain(ct, pt)?;
+        self.check_scales(ct.scale(), pt.scale)?;
+        let basis = self.context.key_basis();
+        let mut polys: Vec<RnsPoly> = ct.polys().to_vec();
+        polys[0].sub_assign(&pt.poly, basis);
+        Ok(Ciphertext::from_parts(polys, ct.scale(), ct.level()))
+    }
+
+    /// Multiplies two ciphertexts element-wise. The result has three
+    /// polynomials and the product of the operand scales; relinearize to bring
+    /// it back to two polynomials.
+    ///
+    /// # Errors
+    ///
+    /// Fails if levels disagree (Constraint 1) or either operand has more than
+    /// two polynomials (Constraint 3).
+    pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        self.check_binary(a, b)?;
+        if a.size() != 2 {
+            return Err(CkksError::TooManyPolynomials { size: a.size() });
+        }
+        if b.size() != 2 {
+            return Err(CkksError::TooManyPolynomials { size: b.size() });
+        }
+        let basis = self.context.key_basis();
+        let (a0, a1) = (&a.polys()[0], &a.polys()[1]);
+        let (b0, b1) = (&b.polys()[0], &b.polys()[1]);
+        let c0 = a0.dyadic_mul(b0, basis);
+        let mut c1 = a0.dyadic_mul(b1, basis);
+        let c1b = a1.dyadic_mul(b0, basis);
+        c1.add_assign(&c1b, basis);
+        let c2 = a1.dyadic_mul(b1, basis);
+        Ok(Ciphertext::from_parts(
+            vec![c0, c1, c2],
+            a.scale() * b.scale(),
+            a.level(),
+        ))
+    }
+
+    /// Multiplies a ciphertext by an encoded plaintext element-wise. The
+    /// result scale is the product of the two scales.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the plaintext level does not match the ciphertext level.
+    pub fn multiply_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
+        self.check_plain(ct, pt)?;
+        let basis = self.context.key_basis();
+        let polys = ct
+            .polys()
+            .iter()
+            .map(|p| p.dyadic_mul(&pt.poly, basis))
+            .collect();
+        Ok(Ciphertext::from_parts(
+            polys,
+            ct.scale() * pt.scale,
+            ct.level(),
+        ))
+    }
+
+    /// Squares a ciphertext (shorthand for multiplying it by itself).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::multiply`].
+    pub fn square(&self, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        self.multiply(ct, ct)
+    }
+
+    /// Reduces a three-polynomial ciphertext back to two polynomials using the
+    /// relinearization key (the paper's RELINEARIZE instruction).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ciphertext does not have exactly three polynomials.
+    pub fn relinearize(
+        &self,
+        ct: &Ciphertext,
+        key: &RelinearizationKey,
+    ) -> Result<Ciphertext, CkksError> {
+        if ct.size() != 3 {
+            return Err(CkksError::InvalidCiphertextSize {
+                found: ct.size(),
+                expected: 3,
+            });
+        }
+        let basis = self.context.key_basis();
+        let (d0, d1) = self.switch_key(&ct.polys()[2], &key.key, ct.level());
+        let mut c0 = ct.polys()[0].clone();
+        c0.add_assign(&d0, basis);
+        let mut c1 = ct.polys()[1].clone();
+        c1.add_assign(&d1, basis);
+        Ok(Ciphertext::from_parts(
+            vec![c0, c1],
+            ct.scale(),
+            ct.level(),
+        ))
+    }
+
+    /// Divides the message by the last prime of the ciphertext's chain and
+    /// drops that prime (the paper's RESCALE instruction). The scale is
+    /// divided by the actual prime value, which is how the EVA executor
+    /// resolves the paper's power-of-two-versus-prime footnote.
+    ///
+    /// # Errors
+    ///
+    /// Fails if only one prime remains in the chain.
+    pub fn rescale_to_next(&self, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        if ct.level() <= 1 {
+            return Err(CkksError::ModulusChainExhausted);
+        }
+        let basis = self.context.key_basis();
+        let divisor = self.context.data_prime(ct.level() - 1) as f64;
+        let polys = ct
+            .polys()
+            .iter()
+            .map(|p| {
+                let mut p = p.clone();
+                p.rescale_by_last(basis);
+                p
+            })
+            .collect();
+        Ok(Ciphertext::from_parts(
+            polys,
+            ct.scale() / divisor,
+            ct.level() - 1,
+        ))
+    }
+
+    /// Drops the last prime of the chain without scaling the message (the
+    /// paper's MODSWITCH instruction).
+    ///
+    /// # Errors
+    ///
+    /// Fails if only one prime remains in the chain.
+    pub fn mod_switch_to_next(&self, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        if ct.level() <= 1 {
+            return Err(CkksError::ModulusChainExhausted);
+        }
+        let polys = ct
+            .polys()
+            .iter()
+            .map(|p| {
+                let mut p = p.clone();
+                p.drop_last();
+                p
+            })
+            .collect();
+        Ok(Ciphertext::from_parts(polys, ct.scale(), ct.level() - 1))
+    }
+
+    /// Rotates the encrypted slot vector left by `steps` positions (negative
+    /// steps rotate right), using the corresponding Galois key.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no Galois key for `steps` exists or the ciphertext has more
+    /// than two polynomials.
+    pub fn rotate(
+        &self,
+        ct: &Ciphertext,
+        steps: i64,
+        keys: &GaloisKeys,
+    ) -> Result<Ciphertext, CkksError> {
+        if ct.size() != 2 {
+            return Err(CkksError::InvalidCiphertextSize {
+                found: ct.size(),
+                expected: 2,
+            });
+        }
+        if steps == 0 {
+            return Ok(ct.clone());
+        }
+        let (galois_elt, key) = keys.key_for_step(steps)?;
+        let basis = self.context.key_basis();
+
+        let rotate_poly = |poly: &RnsPoly| -> RnsPoly {
+            let mut coeff = poly.clone();
+            coeff.to_coeff(basis);
+            coeff.apply_galois(galois_elt, basis)
+        };
+
+        let mut c0_rot = rotate_poly(&ct.polys()[0]);
+        c0_rot.to_ntt(basis);
+        let mut c1_rot = rotate_poly(&ct.polys()[1]);
+        c1_rot.to_ntt(basis);
+
+        let (d0, d1) = self.switch_key(&c1_rot, key, ct.level());
+        c0_rot.add_assign(&d0, basis);
+        Ok(Ciphertext::from_parts(
+            vec![c0_rot, d1],
+            ct.scale(),
+            ct.level(),
+        ))
+    }
+
+    /// Key switching: given a polynomial `target` (NTT form, spanning `level`
+    /// data primes) that multiplies some source key `s_src` in a decryption
+    /// equation, produce `(d0, d1)` such that `d0 + d1·s ≈ target · s_src`.
+    fn switch_key(
+        &self,
+        target: &RnsPoly,
+        key: &KeySwitchKey,
+        level: usize,
+    ) -> (RnsPoly, RnsPoly) {
+        let basis = self.context.key_basis();
+        let n = self.context.degree();
+        let special = self.context.special_index();
+        let p_value = self.context.params().special_prime();
+
+        let mut target_coeff = target.clone();
+        target_coeff.to_coeff(basis);
+
+        // Extended accumulator rows: one per data prime in use plus the special prime.
+        let ext_indices: Vec<usize> = (0..level).chain(std::iter::once(special)).collect();
+        let mut acc0: Vec<Vec<u64>> = vec![vec![0u64; n]; ext_indices.len()];
+        let mut acc1: Vec<Vec<u64>> = vec![vec![0u64; n]; ext_indices.len()];
+
+        for j in 0..level {
+            let digit = target_coeff.residue(j);
+            let (k0, k1) = &key.digits[j];
+            for (pos, &m_idx) in ext_indices.iter().enumerate() {
+                let modulus = &basis.moduli()[m_idx];
+                let tables = &basis.ntt_tables()[m_idx];
+                let mut t: Vec<u64> = digit.iter().map(|&c| modulus.reduce(c)).collect();
+                tables.forward(&mut t);
+                let k0_row = k0.residue(m_idx);
+                let k1_row = k1.residue(m_idx);
+                let acc0_row = &mut acc0[pos];
+                let acc1_row = &mut acc1[pos];
+                for idx in 0..n {
+                    acc0_row[idx] =
+                        modulus.add(acc0_row[idx], modulus.mul(t[idx], k0_row[idx]));
+                    acc1_row[idx] =
+                        modulus.add(acc1_row[idx], modulus.mul(t[idx], k1_row[idx]));
+                }
+            }
+        }
+
+        let mod_down = |rows: Vec<Vec<u64>>| -> RnsPoly {
+            let special_tables = &basis.ntt_tables()[special];
+            let mut special_coeff = rows[level].clone();
+            special_tables.inverse(&mut special_coeff);
+            let half_p = p_value / 2;
+            let mut out_rows = Vec::with_capacity(level);
+            for i in 0..level {
+                let q_i = &basis.moduli()[i];
+                let tables_i = &basis.ntt_tables()[i];
+                let inv_p = q_i
+                    .inv(q_i.reduce(p_value))
+                    .expect("special prime is invertible modulo data primes");
+                let pre = q_i.shoup(inv_p);
+                let mut delta: Vec<u64> = special_coeff
+                    .iter()
+                    .map(|&c| {
+                        if c > half_p {
+                            q_i.sub(q_i.reduce(c), q_i.reduce(p_value))
+                        } else {
+                            q_i.reduce(c)
+                        }
+                    })
+                    .collect();
+                tables_i.forward(&mut delta);
+                let mut row = rows[i].clone();
+                for (a, &d) in row.iter_mut().zip(&delta) {
+                    *a = q_i.mul_shoup(q_i.sub(*a, d), &pre);
+                }
+                out_rows.push(row);
+            }
+            RnsPoly::from_residues(out_rows, PolyForm::Ntt)
+        };
+
+        (mod_down(acc0), mod_down(acc1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::CkksEncoder;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParameters;
+
+    struct Fixture {
+        encoder: CkksEncoder,
+        encryptor: Encryptor,
+        decryptor: Decryptor,
+        evaluator: Evaluator,
+        keygen: KeyGenerator,
+        slots: usize,
+    }
+
+    fn fixture() -> Fixture {
+        let params = CkksParameters::new_insecure(256, &[40, 40, 40, 40], 45).unwrap();
+        let ctx = CkksContext::new(params).unwrap();
+        let mut keygen = KeyGenerator::from_seed(ctx.clone(), 21);
+        let pk = keygen.create_public_key();
+        Fixture {
+            encoder: CkksEncoder::new(ctx.clone()),
+            encryptor: Encryptor::from_seed(ctx.clone(), pk, 22),
+            decryptor: Decryptor::new(ctx.clone(), keygen.secret_key().clone()),
+            evaluator: Evaluator::new(ctx),
+            keygen,
+            slots: 128,
+        }
+    }
+
+    fn assert_close(actual: &[f64], expected: &[f64], tolerance: f64) {
+        for (i, (a, b)) in actual.iter().zip(expected).enumerate() {
+            assert!(
+                (a - b).abs() < tolerance,
+                "slot {i}: {a} vs expected {b} (tolerance {tolerance})"
+            );
+        }
+    }
+
+    #[test]
+    fn add_sub_negate() {
+        let mut f = fixture();
+        let scale = 2f64.powi(40);
+        let xs: Vec<f64> = (0..f.slots).map(|i| i as f64 / 100.0).collect();
+        let ys: Vec<f64> = (0..f.slots).map(|i| (i as f64).cos()).collect();
+        let ct_x = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
+        let ct_y = f.encryptor.encrypt(&f.encoder.encode(&ys, scale, 4));
+
+        let sum = f.evaluator.add(&ct_x, &ct_y).unwrap();
+        let expected: Vec<f64> = xs.iter().zip(&ys).map(|(a, b)| a + b).collect();
+        assert_close(&f.decryptor.decrypt_to_values(&sum, f.slots), &expected, 1e-4);
+
+        let diff = f.evaluator.sub(&ct_x, &ct_y).unwrap();
+        let expected: Vec<f64> = xs.iter().zip(&ys).map(|(a, b)| a - b).collect();
+        assert_close(&f.decryptor.decrypt_to_values(&diff, f.slots), &expected, 1e-4);
+
+        let neg = f.evaluator.negate(&ct_x);
+        let expected: Vec<f64> = xs.iter().map(|a| -a).collect();
+        assert_close(&f.decryptor.decrypt_to_values(&neg, f.slots), &expected, 1e-4);
+    }
+
+    #[test]
+    fn plaintext_operations() {
+        let mut f = fixture();
+        let scale = 2f64.powi(40);
+        let xs: Vec<f64> = (0..f.slots).map(|i| (i as f64 + 1.0) / 64.0).collect();
+        let ps: Vec<f64> = (0..f.slots).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let ct = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
+        let pt = f.encoder.encode(&ps, scale, 4);
+
+        let sum = f.evaluator.add_plain(&ct, &pt).unwrap();
+        let expected: Vec<f64> = xs.iter().zip(&ps).map(|(a, b)| a + b).collect();
+        assert_close(&f.decryptor.decrypt_to_values(&sum, f.slots), &expected, 1e-4);
+
+        let diff = f.evaluator.sub_plain(&ct, &pt).unwrap();
+        let expected: Vec<f64> = xs.iter().zip(&ps).map(|(a, b)| a - b).collect();
+        assert_close(&f.decryptor.decrypt_to_values(&diff, f.slots), &expected, 1e-4);
+
+        let prod = f.evaluator.multiply_plain(&ct, &pt).unwrap();
+        let expected: Vec<f64> = xs.iter().zip(&ps).map(|(a, b)| a * b).collect();
+        assert!((prod.scale() - scale * scale).abs() < 1.0);
+        assert_close(&f.decryptor.decrypt_to_values(&prod, f.slots), &expected, 1e-3);
+    }
+
+    #[test]
+    fn multiply_relinearize_rescale() {
+        let mut f = fixture();
+        let scale = 2f64.powi(40);
+        let xs: Vec<f64> = (0..f.slots).map(|i| (i as f64 / f.slots as f64) - 0.5).collect();
+        let ys: Vec<f64> = (0..f.slots).map(|i| ((i * 3) % 11) as f64 / 11.0).collect();
+        let ct_x = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
+        let ct_y = f.encryptor.encrypt(&f.encoder.encode(&ys, scale, 4));
+        let rk = f.keygen.create_relinearization_key();
+
+        let raw = f.evaluator.multiply(&ct_x, &ct_y).unwrap();
+        assert_eq!(raw.size(), 3);
+        let expected: Vec<f64> = xs.iter().zip(&ys).map(|(a, b)| a * b).collect();
+        // Decrypting the 3-polynomial ciphertext directly must already work.
+        assert_close(&f.decryptor.decrypt_to_values(&raw, f.slots), &expected, 1e-3);
+
+        let relin = f.evaluator.relinearize(&raw, &rk).unwrap();
+        assert_eq!(relin.size(), 2);
+        assert_close(&f.decryptor.decrypt_to_values(&relin, f.slots), &expected, 1e-3);
+
+        let rescaled = f.evaluator.rescale_to_next(&relin).unwrap();
+        assert_eq!(rescaled.level(), 3);
+        assert!((rescaled.scale().log2() - 40.0).abs() < 0.1);
+        assert_close(&f.decryptor.decrypt_to_values(&rescaled, f.slots), &expected, 1e-3);
+    }
+
+    #[test]
+    fn mod_switch_preserves_message_and_scale() {
+        let mut f = fixture();
+        let scale = 2f64.powi(40);
+        let xs: Vec<f64> = (0..f.slots).map(|i| (i % 5) as f64 * 0.2).collect();
+        let ct = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
+        let switched = f.evaluator.mod_switch_to_next(&ct).unwrap();
+        assert_eq!(switched.level(), 3);
+        assert_eq!(switched.scale(), scale);
+        assert_close(&f.decryptor.decrypt_to_values(&switched, f.slots), &xs, 1e-4);
+    }
+
+    #[test]
+    fn rotation_left_and_right() {
+        let mut f = fixture();
+        let scale = 2f64.powi(40);
+        let xs: Vec<f64> = (0..f.slots).map(|i| i as f64 / 10.0).collect();
+        let ct = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
+        let gk = f.keygen.create_galois_keys(&[1, 3, -2]);
+
+        for &step in &[1i64, 3, -2] {
+            let rotated = f.evaluator.rotate(&ct, step, &gk).unwrap();
+            let expected: Vec<f64> = (0..f.slots)
+                .map(|i| {
+                    let src = (i as i64 + step).rem_euclid(f.slots as i64) as usize;
+                    xs[src]
+                })
+                .collect();
+            assert_close(
+                &f.decryptor.decrypt_to_values(&rotated, f.slots),
+                &expected,
+                1e-3,
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_by_zero_is_identity() {
+        let mut f = fixture();
+        let xs = vec![1.25; 128];
+        let ct = f.encryptor.encrypt(&f.encoder.encode(&xs, 2f64.powi(40), 2));
+        let gk = f.keygen.create_galois_keys(&[]);
+        let out = f.evaluator.rotate(&ct, 0, &gk).unwrap();
+        assert_close(&f.decryptor.decrypt_to_values(&out, 128), &xs, 1e-4);
+    }
+
+    #[test]
+    fn constraint_violations_are_reported() {
+        let mut f = fixture();
+        let scale = 2f64.powi(40);
+        let xs = vec![0.5; 128];
+        let ct_high = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
+        let ct_low = f.evaluator.mod_switch_to_next(&ct_high).unwrap();
+
+        // Level mismatch (Constraint 1).
+        assert!(matches!(
+            f.evaluator.add(&ct_high, &ct_low),
+            Err(CkksError::LevelMismatch { .. })
+        ));
+
+        // Scale mismatch (Constraint 2).
+        let other_scale = f.encryptor.encrypt(&f.encoder.encode(&xs, 2f64.powi(30), 4));
+        assert!(matches!(
+            f.evaluator.add(&ct_high, &other_scale),
+            Err(CkksError::ScaleMismatch { .. })
+        ));
+
+        // Too many polynomials (Constraint 3).
+        let product = f.evaluator.multiply(&ct_high, &ct_high).unwrap();
+        assert!(matches!(
+            f.evaluator.multiply(&product, &ct_high),
+            Err(CkksError::TooManyPolynomials { .. })
+        ));
+
+        // Missing rotation key.
+        let gk = f.keygen.create_galois_keys(&[1]);
+        assert!(matches!(
+            f.evaluator.rotate(&ct_high, 7, &gk),
+            Err(CkksError::MissingGaloisKey { step: 7 })
+        ));
+
+        // Exhausted modulus chain.
+        let mut ct = ct_high.clone();
+        for _ in 0..3 {
+            ct = f.evaluator.mod_switch_to_next(&ct).unwrap();
+        }
+        assert!(matches!(
+            f.evaluator.mod_switch_to_next(&ct),
+            Err(CkksError::ModulusChainExhausted)
+        ));
+    }
+
+    #[test]
+    fn deep_polynomial_evaluation_x2y3() {
+        // The paper's running example (Figure 2): x^2 * y^3 with rescaling.
+        let mut f = fixture();
+        let xs: Vec<f64> = (0..f.slots).map(|i| 0.3 + (i % 4) as f64 * 0.1).collect();
+        let ys: Vec<f64> = (0..f.slots).map(|i| 0.5 + (i % 3) as f64 * 0.05).collect();
+        let rk = f.keygen.create_relinearization_key();
+        let scale = 2f64.powi(40);
+
+        let ct_x = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
+        let ct_y = f.encryptor.encrypt(&f.encoder.encode(&ys, scale, 4));
+
+        // x^2, rescale once.
+        let x2 = f.evaluator.relinearize(&f.evaluator.square(&ct_x).unwrap(), &rk).unwrap();
+        let x2 = f.evaluator.rescale_to_next(&x2).unwrap();
+        // y^2, rescale once; y^3 = y^2 * (y at the lower level), rescale again.
+        let y2 = f.evaluator.relinearize(&f.evaluator.square(&ct_y).unwrap(), &rk).unwrap();
+        let y2 = f.evaluator.rescale_to_next(&y2).unwrap();
+        let y_low = f.evaluator.mod_switch_to_next(&ct_y).unwrap();
+        let y3 = f
+            .evaluator
+            .relinearize(&f.evaluator.multiply(&y2, &y_low).unwrap(), &rk)
+            .unwrap();
+        let y3 = f.evaluator.rescale_to_next(&y3).unwrap();
+        // x^2 down to y^3's level, then multiply.
+        let x2_low = f.evaluator.mod_switch_to_next(&x2).unwrap();
+        let result = f
+            .evaluator
+            .relinearize(&f.evaluator.multiply(&x2_low, &y3).unwrap(), &rk)
+            .unwrap();
+        let result = f.evaluator.rescale_to_next(&result).unwrap();
+
+        let expected: Vec<f64> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| x * x * y * y * y)
+            .collect();
+        assert_close(
+            &f.decryptor.decrypt_to_values(&result, f.slots),
+            &expected,
+            1e-2,
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Key material and key generation: secret, public, relinearization and
+//! Galois keys.
+//!
+//! Key switching follows the RNS "one digit per data prime, one special prime"
+//! construction used by SEAL: the key for digit `j` hides `(P mod q_j) · s_src`
+//! in its `q_j` residue, so that accumulating `d_j ·` key over all digits and
+//! flooring away the special prime `P` yields an encryption of
+//! `target · s_src` under the target secret `s`.
+
+use std::collections::HashMap;
+
+use eva_poly::{PolyForm, RnsPoly};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::context::CkksContext;
+use crate::error::CkksError;
+
+/// The secret key: a uniformly random ternary polynomial.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    /// `s` in NTT form over the full key basis (data primes + special prime).
+    pub(crate) ntt: RnsPoly,
+    /// `s` in coefficient form, needed to derive Galois-rotated keys.
+    pub(crate) coeff: RnsPoly,
+}
+
+/// The public encryption key `(-(a·s + e), a)` over the full key basis.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    pub(crate) p0: RnsPoly,
+    pub(crate) p1: RnsPoly,
+}
+
+/// A generic key-switching key: one `(k0_j, k1_j)` pair per data prime digit.
+#[derive(Debug, Clone)]
+pub struct KeySwitchKey {
+    pub(crate) digits: Vec<(RnsPoly, RnsPoly)>,
+}
+
+/// Relinearization key: switches the `s²` component of a freshly multiplied
+/// ciphertext back to the secret `s` (the paper's RELINEARIZE target).
+#[derive(Debug, Clone)]
+pub struct RelinearizationKey {
+    pub(crate) key: KeySwitchKey,
+}
+
+/// Rotation (Galois) keys for a chosen set of rotation steps.
+///
+/// As the paper notes (Section 2.1), *each rotation step count needs a
+/// distinct public key*; the EVA compiler's rotation-selection pass determines
+/// which steps to generate keys for.
+#[derive(Debug, Clone, Default)]
+pub struct GaloisKeys {
+    /// Galois element → switching key (from the rotated secret to `s`).
+    pub(crate) keys: HashMap<u64, KeySwitchKey>,
+    /// Rotation step → Galois element, for convenient lookup.
+    pub(crate) steps: HashMap<i64, u64>,
+}
+
+impl GaloisKeys {
+    /// The rotation steps for which keys are present.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether a key for the given rotation step exists.
+    pub fn supports_step(&self, step: i64) -> bool {
+        self.steps.contains_key(&step)
+    }
+
+    pub(crate) fn key_for_step(&self, step: i64) -> Result<(u64, &KeySwitchKey), CkksError> {
+        let elt = *self
+            .steps
+            .get(&step)
+            .ok_or(CkksError::MissingGaloisKey { step })?;
+        let key = self
+            .keys
+            .get(&elt)
+            .ok_or(CkksError::MissingGaloisKey { step })?;
+        Ok((elt, key))
+    }
+}
+
+/// Generates all key material for one [`CkksContext`].
+///
+/// The generator owns its RNG; use [`KeyGenerator::from_seed`] for
+/// reproducible keys in tests and benchmarks.
+pub struct KeyGenerator {
+    context: CkksContext,
+    secret: SecretKey,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for KeyGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyGenerator")
+            .field("degree", &self.context.degree())
+            .finish()
+    }
+}
+
+impl KeyGenerator {
+    /// Creates a key generator with a fresh random secret key.
+    pub fn new(context: CkksContext) -> Self {
+        Self::from_seed(context, rand::thread_rng().gen())
+    }
+
+    /// Creates a key generator whose secret key and all subsequently generated
+    /// keys are derived deterministically from `seed`.
+    pub fn from_seed(context: CkksContext, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = Self::generate_secret(&context, &mut rng);
+        Self {
+            context,
+            secret,
+            rng,
+        }
+    }
+
+    fn generate_secret(context: &CkksContext, rng: &mut StdRng) -> SecretKey {
+        let basis = context.key_basis();
+        let n = context.degree();
+        let ternary = eva_math::sample_ternary(rng, n);
+        let signed: Vec<i64> = ternary.iter().map(|&v| v as i64).collect();
+        let coeff = basis.poly_from_signed(&signed, basis.len());
+        let mut ntt = coeff.clone();
+        ntt.to_ntt(basis);
+        SecretKey { ntt, coeff }
+    }
+
+    /// The secret key.
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.secret
+    }
+
+    /// Samples a uniformly random polynomial directly in NTT form over the
+    /// first `level` primes of the key basis.
+    fn sample_uniform_ntt(&mut self, level: usize) -> RnsPoly {
+        let basis = self.context.key_basis();
+        let residues: Vec<Vec<u64>> = (0..level)
+            .map(|i| eva_math::sample_uniform_poly(&mut self.rng, basis.degree(), &basis.moduli()[i]))
+            .collect();
+        RnsPoly::from_residues(residues, PolyForm::Ntt)
+    }
+
+    /// Samples a small error polynomial over the first `level` primes, NTT form.
+    fn sample_error_ntt(&mut self, level: usize) -> RnsPoly {
+        let basis = self.context.key_basis();
+        let cbd = eva_math::sample_cbd(&mut self.rng, basis.degree());
+        let signed: Vec<i64> = cbd.iter().map(|&v| v as i64).collect();
+        let mut poly = basis.poly_from_signed(&signed, level);
+        poly.to_ntt(basis);
+        poly
+    }
+
+    /// Generates a public key.
+    pub fn create_public_key(&mut self) -> PublicKey {
+        let context = self.context.clone();
+        let basis = context.key_basis();
+        let full = basis.len();
+        let a = self.sample_uniform_ntt(full);
+        let e = self.sample_error_ntt(full);
+        // p0 = -(a*s + e)
+        let mut p0 = a.dyadic_mul(&self.secret.ntt, basis);
+        p0.add_assign(&e, basis);
+        p0.negate(basis);
+        PublicKey { p0, p1: a }
+    }
+
+    /// Generates a relinearization key (switching from `s²` to `s`).
+    pub fn create_relinearization_key(&mut self) -> RelinearizationKey {
+        let basis = self.context.key_basis();
+        let s_squared = self.secret.ntt.dyadic_mul(&self.secret.ntt, basis);
+        RelinearizationKey {
+            key: self.create_key_switch_key(&s_squared),
+        }
+    }
+
+    /// Generates Galois keys for the given rotation steps.
+    ///
+    /// Duplicate steps are collapsed; step 0 is accepted and ignored at use
+    /// time (a rotation by zero is the identity).
+    pub fn create_galois_keys(&mut self, steps: &[i64]) -> GaloisKeys {
+        let context = self.context.clone();
+        let basis = context.key_basis();
+        let mut galois_keys = GaloisKeys::default();
+        for &step in steps {
+            let elt = self.context.galois().galois_elt_from_step(step);
+            galois_keys.steps.insert(step, elt);
+            if galois_keys.keys.contains_key(&elt) {
+                continue;
+            }
+            // Source key: s composed with the automorphism.
+            let mut rotated = self.secret.coeff.apply_galois(elt, basis);
+            rotated.to_ntt(basis);
+            let key = self.create_key_switch_key(&rotated);
+            galois_keys.keys.insert(elt, key);
+        }
+        galois_keys
+    }
+
+    /// Builds a key-switching key from `source` (an NTT-form polynomial over
+    /// the full key basis, e.g. `s²` or a rotated `s`) to the secret key.
+    fn create_key_switch_key(&mut self, source: &RnsPoly) -> KeySwitchKey {
+        let context = self.context.clone();
+        let basis = context.key_basis();
+        let full = basis.len();
+        let special = context.special_index();
+        let p_value = context.params().special_prime();
+        let digit_count = context.max_level();
+        let mut digits = Vec::with_capacity(digit_count);
+        for j in 0..digit_count {
+            let a = self.sample_uniform_ntt(full);
+            let e = self.sample_error_ntt(full);
+            // k0 = -(a*s + e) with (P mod q_j) * source added into residue j.
+            let mut k0 = a.dyadic_mul(&self.secret.ntt, basis);
+            k0.add_assign(&e, basis);
+            k0.negate(basis);
+            let q_j = &basis.moduli()[j];
+            let p_mod_qj = q_j.reduce(p_value);
+            let pre = q_j.shoup(p_mod_qj);
+            let src_row = source.residue(j).to_vec();
+            let row = k0.residue_mut(j);
+            for (dst, &src) in row.iter_mut().zip(&src_row) {
+                *dst = q_j.add(*dst, q_j.mul_shoup(src, &pre));
+            }
+            debug_assert!(special == full - 1);
+            digits.push((k0, a));
+        }
+        KeySwitchKey { digits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParameters;
+
+    fn context() -> CkksContext {
+        let params = CkksParameters::new_insecure(64, &[40, 40], 45).unwrap();
+        CkksContext::new(params).unwrap()
+    }
+
+    #[test]
+    fn secret_key_is_ternary() {
+        let ctx = context();
+        let keygen = KeyGenerator::from_seed(ctx.clone(), 1);
+        let coeff = &keygen.secret_key().coeff;
+        let q0 = ctx.key_basis().moduli()[0].value();
+        for &c in coeff.residue(0) {
+            assert!(c == 0 || c == 1 || c == q0 - 1, "non-ternary coefficient {c}");
+        }
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let ctx = context();
+        let a = KeyGenerator::from_seed(ctx.clone(), 42);
+        let b = KeyGenerator::from_seed(ctx, 42);
+        assert_eq!(a.secret_key().coeff, b.secret_key().coeff);
+    }
+
+    #[test]
+    fn public_key_decrypts_to_small_error() {
+        // p0 + p1*s = -e must decode to near-zero under the secret key.
+        let ctx = context();
+        let mut keygen = KeyGenerator::from_seed(ctx.clone(), 3);
+        let pk = keygen.create_public_key();
+        let basis = ctx.key_basis();
+        let mut check = pk.p1.dyadic_mul(&keygen.secret_key().ntt, basis);
+        check.add_assign(&pk.p0, basis);
+        check.to_coeff(basis);
+        // Interpret each coefficient modulo the first prime, centered: must be tiny.
+        let q0 = basis.moduli()[0];
+        for &c in check.residue(0) {
+            let centered = if c > q0.value() / 2 {
+                c as i64 - q0.value() as i64
+            } else {
+                c as i64
+            };
+            assert!(centered.abs() < 64, "error coefficient too large: {centered}");
+        }
+    }
+
+    #[test]
+    fn galois_keys_track_requested_steps() {
+        let ctx = context();
+        let mut keygen = KeyGenerator::from_seed(ctx, 4);
+        let gk = keygen.create_galois_keys(&[1, 2, -1, 2]);
+        assert!(gk.supports_step(1));
+        assert!(gk.supports_step(-1));
+        assert!(gk.supports_step(2));
+        assert!(!gk.supports_step(5));
+        assert_eq!(gk.step_count(), 3);
+        assert!(gk.key_for_step(5).is_err());
+    }
+
+    #[test]
+    fn relin_key_has_one_digit_per_data_prime() {
+        let ctx = context();
+        let mut keygen = KeyGenerator::from_seed(ctx.clone(), 5);
+        let rk = keygen.create_relinearization_key();
+        assert_eq!(rk.key.digits.len(), ctx.max_level());
+        for (k0, k1) in &rk.key.digits {
+            assert_eq!(k0.level(), ctx.key_basis().len());
+            assert_eq!(k1.level(), ctx.key_basis().len());
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Encryption parameters and the security-standard validation table.
+//!
+//! The EVA compiler emits a vector of prime bit sizes (Section 6.2 of the
+//! paper); [`CkksParameters`] turns that into an actual prime chain and checks
+//! it against the homomorphic encryption security standard's bound on
+//! `log2 Q` for each ring degree at 128-bit security, exactly as SEAL does
+//! when it validates parameters.
+
+use eva_math::primes::{generate_ntt_primes, PrimeGenError};
+
+/// Maximum total bits of the coefficient modulus (including the special prime)
+/// admissible at 128-bit security for a given ring degree, following the
+/// HomomorphicEncryption.org security standard (and extrapolating one doubling
+/// for degree 65536, which the standard tables stop short of).
+pub fn max_coeff_modulus_bits(degree: usize) -> Option<u32> {
+    match degree {
+        1024 => Some(27),
+        2048 => Some(54),
+        4096 => Some(109),
+        8192 => Some(218),
+        16384 => Some(438),
+        32768 => Some(881),
+        65536 => Some(1762),
+        _ => None,
+    }
+}
+
+/// Returns the smallest supported ring degree whose 128-bit-security budget can
+/// accommodate `total_bits` bits of coefficient modulus.
+pub fn minimal_degree_for_bits(total_bits: u32) -> Option<usize> {
+    for degree in [1024usize, 2048, 4096, 8192, 16384, 32768, 65536] {
+        if let Some(max) = max_coeff_modulus_bits(degree) {
+            if total_bits <= max {
+                return Some(degree);
+            }
+        }
+    }
+    None
+}
+
+/// The standard security level targeted by every context in this crate.
+pub const SECURITY_BITS: u32 = 128;
+
+/// Maximum bit size of any single prime (SEAL's limit; the paper's `log2 s_f`).
+pub const MAX_PRIME_BITS: u32 = 60;
+
+/// CKKS encryption parameters: a ring degree, a chain of data primes and one
+/// special key-switching prime.
+///
+/// The data primes are ordered such that RESCALE consumes them **from the
+/// back** (the last data prime is divided away first), which matches the
+/// "rescale chain" orientation the EVA compiler reasons about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkksParameters {
+    degree: usize,
+    data_primes: Vec<u64>,
+    special_prime: u64,
+    data_prime_bits: Vec<u32>,
+    special_prime_bits: u32,
+}
+
+/// Errors from building or validating [`CkksParameters`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParameterError {
+    /// The ring degree is not one of the supported powers of two.
+    UnsupportedDegree(usize),
+    /// A prime bit size exceeds [`MAX_PRIME_BITS`] or is smaller than 2.
+    InvalidPrimeBits(u32),
+    /// The total modulus is too large for the degree at 128-bit security.
+    InsecureModulus {
+        /// Ring degree requested.
+        degree: usize,
+        /// Total modulus bits requested (including the special prime).
+        requested_bits: u32,
+        /// Maximum bits allowed at 128-bit security.
+        allowed_bits: u32,
+    },
+    /// At least one data prime is required.
+    EmptyChain,
+    /// Prime generation failed.
+    PrimeGeneration(String),
+}
+
+impl std::fmt::Display for ParameterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParameterError::UnsupportedDegree(n) => write!(f, "unsupported ring degree {n}"),
+            ParameterError::InvalidPrimeBits(b) => write!(f, "invalid prime bit size {b}"),
+            ParameterError::InsecureModulus {
+                degree,
+                requested_bits,
+                allowed_bits,
+            } => write!(
+                f,
+                "coefficient modulus of {requested_bits} bits exceeds the {allowed_bits}-bit \
+                 budget of degree {degree} at 128-bit security"
+            ),
+            ParameterError::EmptyChain => write!(f, "at least one data prime is required"),
+            ParameterError::PrimeGeneration(msg) => write!(f, "prime generation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParameterError {}
+
+impl From<PrimeGenError> for ParameterError {
+    fn from(err: PrimeGenError) -> Self {
+        ParameterError::PrimeGeneration(err.to_string())
+    }
+}
+
+impl CkksParameters {
+    /// Builds parameters from a ring degree and the bit sizes of the data
+    /// primes (rescale order: the **last** entry is consumed by the first
+    /// RESCALE). A 60-bit special prime is appended automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParameterError`] if the degree is unsupported, a bit size is
+    /// out of range, or the resulting modulus violates 128-bit security.
+    pub fn new(degree: usize, data_prime_bits: &[u32]) -> Result<Self, ParameterError> {
+        Self::with_special_prime_bits(degree, data_prime_bits, MAX_PRIME_BITS)
+    }
+
+    /// Like [`CkksParameters::new`] but with an explicit special-prime size.
+    ///
+    /// # Errors
+    ///
+    /// See [`CkksParameters::new`].
+    pub fn with_special_prime_bits(
+        degree: usize,
+        data_prime_bits: &[u32],
+        special_prime_bits: u32,
+    ) -> Result<Self, ParameterError> {
+        let allowed = max_coeff_modulus_bits(degree)
+            .ok_or(ParameterError::UnsupportedDegree(degree))?;
+        let requested: u32 = data_prime_bits.iter().sum::<u32>() + special_prime_bits;
+        if requested > allowed {
+            return Err(ParameterError::InsecureModulus {
+                degree,
+                requested_bits: requested,
+                allowed_bits: allowed,
+            });
+        }
+        Self::build(degree, data_prime_bits, special_prime_bits)
+    }
+
+    /// Builds parameters **without** enforcing the 128-bit-security bound on
+    /// `log2 Q`. Intended for unit tests and micro-benchmarks that use small
+    /// ring degrees; production callers should use [`CkksParameters::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParameterError`] if the degree is not a power of two of at
+    /// least 8, a bit size is out of range, or prime generation fails.
+    pub fn new_insecure(
+        degree: usize,
+        data_prime_bits: &[u32],
+        special_prime_bits: u32,
+    ) -> Result<Self, ParameterError> {
+        if degree < 8 || !degree.is_power_of_two() {
+            return Err(ParameterError::UnsupportedDegree(degree));
+        }
+        Self::build(degree, data_prime_bits, special_prime_bits)
+    }
+
+    fn build(
+        degree: usize,
+        data_prime_bits: &[u32],
+        special_prime_bits: u32,
+    ) -> Result<Self, ParameterError> {
+        if data_prime_bits.is_empty() {
+            return Err(ParameterError::EmptyChain);
+        }
+        for &bits in data_prime_bits.iter().chain(std::iter::once(&special_prime_bits)) {
+            if bits < 2 || bits > MAX_PRIME_BITS {
+                return Err(ParameterError::InvalidPrimeBits(bits));
+            }
+        }
+        let mut all_bits: Vec<u32> = data_prime_bits.to_vec();
+        all_bits.push(special_prime_bits);
+        let primes = generate_ntt_primes(degree, &all_bits)?;
+        let special_prime = *primes.last().expect("chain is non-empty");
+        let data_primes = primes[..primes.len() - 1].to_vec();
+        Ok(Self {
+            degree,
+            data_primes,
+            special_prime,
+            data_prime_bits: data_prime_bits.to_vec(),
+            special_prime_bits,
+        })
+    }
+
+    /// The ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of slots in a ciphertext (`N / 2`).
+    pub fn slot_count(&self) -> usize {
+        self.degree / 2
+    }
+
+    /// The data primes, in chain order (rescale consumes from the back).
+    pub fn data_primes(&self) -> &[u64] {
+        &self.data_primes
+    }
+
+    /// The special key-switching prime.
+    pub fn special_prime(&self) -> u64 {
+        self.special_prime
+    }
+
+    /// Bit sizes of the data primes as requested.
+    pub fn data_prime_bits(&self) -> &[u32] {
+        &self.data_prime_bits
+    }
+
+    /// Bit size of the special prime as requested.
+    pub fn special_prime_bits(&self) -> u32 {
+        self.special_prime_bits
+    }
+
+    /// Number of data primes (the paper's modulus-chain length `r` counts these
+    /// plus the special prime; see [`CkksParameters::chain_length`]).
+    pub fn level_count(&self) -> usize {
+        self.data_primes.len()
+    }
+
+    /// Total chain length `r` including the special prime, as reported in the
+    /// paper's Table 6.
+    pub fn chain_length(&self) -> usize {
+        self.data_primes.len() + 1
+    }
+
+    /// Exact total `log2 Q` of the full modulus (data primes + special prime).
+    pub fn total_modulus_bits(&self) -> f64 {
+        self.data_primes
+            .iter()
+            .chain(std::iter::once(&self.special_prime))
+            .map(|&q| (q as f64).log2())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn security_table_matches_standard() {
+        assert_eq!(max_coeff_modulus_bits(4096), Some(109));
+        assert_eq!(max_coeff_modulus_bits(32768), Some(881));
+        assert_eq!(max_coeff_modulus_bits(1000), None);
+        assert_eq!(minimal_degree_for_bits(100), Some(4096));
+        assert_eq!(minimal_degree_for_bits(360), Some(16384));
+        assert_eq!(minimal_degree_for_bits(5000), None);
+    }
+
+    #[test]
+    fn parameters_build_and_report_sizes() {
+        let params = CkksParameters::new(8192, &[40, 30, 30]).unwrap();
+        assert_eq!(params.degree(), 8192);
+        assert_eq!(params.level_count(), 3);
+        assert_eq!(params.chain_length(), 4);
+        assert_eq!(params.data_primes().len(), 3);
+        assert!((params.total_modulus_bits() - 160.0).abs() < 1.0);
+        for (&p, &bits) in params.data_primes().iter().zip(params.data_prime_bits()) {
+            assert_eq!(64 - p.leading_zeros(), bits);
+            assert_eq!(p % (2 * 8192), 1);
+        }
+    }
+
+    #[test]
+    fn oversized_modulus_is_rejected() {
+        let err = CkksParameters::new(4096, &[60, 60]).unwrap_err();
+        assert!(matches!(err, ParameterError::InsecureModulus { .. }));
+        // 60 + 60 data bits + 60 special = 180 > 109.
+    }
+
+    #[test]
+    fn degenerate_requests_are_rejected() {
+        assert!(matches!(
+            CkksParameters::new(1234, &[30]),
+            Err(ParameterError::UnsupportedDegree(1234))
+        ));
+        assert!(matches!(
+            CkksParameters::new(8192, &[]),
+            Err(ParameterError::EmptyChain)
+        ));
+        assert!(matches!(
+            CkksParameters::new(8192, &[61]),
+            Err(ParameterError::InvalidPrimeBits(61))
+        ));
+    }
+}

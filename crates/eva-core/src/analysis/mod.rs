@@ -1,0 +1,12 @@
+//! Analysis passes: graph traversals that compute per-node facts without
+//! modifying the graph (paper Section 6).
+
+pub mod parameters;
+pub mod rotations;
+pub mod scale;
+pub mod validation;
+
+pub use parameters::{select_parameters, ParameterSpec};
+pub use rotations::select_rotation_steps;
+pub use scale::{analyze_levels, analyze_num_polys, analyze_scales, ChainEntry};
+pub use validation::validate_transformed;

@@ -1,0 +1,57 @@
+//! Rotation-key selection (paper Section 6.2): collect the set of distinct
+//! rotation step counts used by the program, because each step count needs its
+//! own Galois key.
+
+use std::collections::BTreeSet;
+
+use crate::program::{NodeKind, Program};
+use crate::types::Opcode;
+
+/// Returns the sorted set of signed rotation steps used by the program.
+/// Positive values are left rotations, negative values right rotations, and
+/// zero-step rotations are omitted (they are the identity and need no key).
+pub fn select_rotation_steps(program: &Program) -> Vec<i64> {
+    let mut steps = BTreeSet::new();
+    for node in program.nodes() {
+        if let NodeKind::Instruction { op, .. } = &node.kind {
+            match op {
+                Opcode::RotateLeft(s) if *s != 0 => {
+                    steps.insert(*s as i64);
+                }
+                Opcode::RotateRight(s) if *s != 0 => {
+                    steps.insert(-(*s as i64));
+                }
+                _ => {}
+            }
+        }
+    }
+    steps.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::types::Opcode;
+
+    #[test]
+    fn collects_unique_signed_steps() {
+        let mut p = Program::new("rot", 16);
+        let x = p.input_cipher("x", 30);
+        let a = p.instruction(Opcode::RotateLeft(3), &[x]);
+        let b = p.instruction(Opcode::RotateRight(2), &[a]);
+        let c = p.instruction(Opcode::RotateLeft(3), &[b]);
+        let d = p.instruction(Opcode::RotateLeft(0), &[c]);
+        p.output("out", d, 30);
+        assert_eq!(select_rotation_steps(&p), vec![-2, 3]);
+    }
+
+    #[test]
+    fn empty_for_programs_without_rotations() {
+        let mut p = Program::new("none", 16);
+        let x = p.input_cipher("x", 30);
+        let y = p.instruction(Opcode::Add, &[x, x]);
+        p.output("out", y, 30);
+        assert!(select_rotation_steps(&p).is_empty());
+    }
+}

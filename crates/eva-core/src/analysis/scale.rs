@@ -1,0 +1,251 @@
+//! Forward data-flow analyses: fixed-point scales, rescale chains (levels) and
+//! polynomial counts.
+
+use crate::error::EvaError;
+use crate::program::{NodeId, NodeKind, Program};
+use crate::types::Opcode;
+
+/// One entry of a node's rescale chain (paper Definition 3): either a RESCALE
+/// by a known number of bits, or a MODSWITCH (the paper's `∞`, which matches
+/// any rescale value when chains are compared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainEntry {
+    /// RESCALE by `2^bits`.
+    Rescale(u32),
+    /// MODSWITCH (matches any value during conformity comparison).
+    ModSwitch,
+}
+
+impl ChainEntry {
+    fn merge(a: ChainEntry, b: ChainEntry) -> Option<ChainEntry> {
+        match (a, b) {
+            (ChainEntry::ModSwitch, other) | (other, ChainEntry::ModSwitch) => Some(other),
+            (ChainEntry::Rescale(x), ChainEntry::Rescale(y)) if x == y => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Computes the fixed-point scale (in bits) of every node and stores it on the
+/// program. Returns the vector of scales indexed by node id.
+///
+/// Scales combine exactly as the paper describes: inputs and constants carry
+/// their annotations, MULTIPLY adds scales, RESCALE subtracts its divisor, and
+/// every other instruction preserves its (first cipher) parent's scale.
+///
+/// # Errors
+///
+/// Returns [`EvaError::Validation`] if a RESCALE divides by more bits than its
+/// operand's scale has.
+pub fn analyze_scales(program: &mut Program) -> Result<Vec<u32>, EvaError> {
+    let order = program.topological_order();
+    let mut scales = vec![0u32; program.len()];
+    for id in order {
+        let scale = match &program.node(id).kind {
+            NodeKind::Input { .. } | NodeKind::Constant { .. } => program.node(id).scale_bits,
+            NodeKind::Instruction { op, args } => {
+                let arg_scales: Vec<u32> = args.iter().map(|&a| scales[a]).collect();
+                match op {
+                    Opcode::Multiply => arg_scales.iter().sum(),
+                    Opcode::Add | Opcode::Sub => *arg_scales.iter().max().unwrap_or(&0),
+                    Opcode::Rescale(bits) => {
+                        let input = arg_scales[0];
+                        if input < *bits {
+                            return Err(EvaError::Validation(format!(
+                                "node {id}: rescale by 2^{bits} underflows operand scale 2^{input}"
+                            )));
+                        }
+                        input - bits
+                    }
+                    Opcode::Negate
+                    | Opcode::RotateLeft(_)
+                    | Opcode::RotateRight(_)
+                    | Opcode::Relinearize
+                    | Opcode::ModSwitch => arg_scales[0],
+                }
+            }
+        };
+        scales[id] = scale;
+        program.set_scale_bits(id, scale);
+    }
+    Ok(scales)
+}
+
+/// Computes the conforming rescale chain of every *cipher* node.
+///
+/// Non-cipher nodes get an empty chain. The chain of a cipher node is the
+/// sequence of RESCALE/MODSWITCH operations on any root-to-node path; the
+/// analysis fails if two paths disagree (the chains are not conforming), which
+/// is exactly the paper's Constraint 1 precondition.
+///
+/// # Errors
+///
+/// Returns [`EvaError::Validation`] if any node has non-conforming chains.
+pub fn analyze_levels(program: &Program) -> Result<Vec<Vec<ChainEntry>>, EvaError> {
+    let order = program.topological_order();
+    let mut chains: Vec<Vec<ChainEntry>> = vec![Vec::new(); program.len()];
+    for id in order {
+        let node = program.node(id);
+        if !node.ty.is_cipher() {
+            continue;
+        }
+        let chain = match &node.kind {
+            NodeKind::Input { .. } => Vec::new(),
+            NodeKind::Constant { .. } => Vec::new(),
+            NodeKind::Instruction { op, args } => {
+                // Merge the chains of all cipher parents.
+                let cipher_args: Vec<NodeId> = args
+                    .iter()
+                    .copied()
+                    .filter(|&a| program.node(a).ty.is_cipher())
+                    .collect();
+                let mut merged: Option<Vec<ChainEntry>> = None;
+                for &arg in &cipher_args {
+                    let arg_chain = &chains[arg];
+                    merged = Some(match merged {
+                        None => arg_chain.clone(),
+                        Some(current) => {
+                            if current.len() != arg_chain.len() {
+                                return Err(EvaError::Validation(format!(
+                                    "node {id}: operands have rescale chains of different \
+                                     length ({} vs {})",
+                                    current.len(),
+                                    arg_chain.len()
+                                )));
+                            }
+                            let mut out = Vec::with_capacity(current.len());
+                            for (&a, &b) in current.iter().zip(arg_chain) {
+                                match ChainEntry::merge(a, b) {
+                                    Some(entry) => out.push(entry),
+                                    None => {
+                                        return Err(EvaError::Validation(format!(
+                                            "node {id}: operands have non-conforming rescale \
+                                             chains ({a:?} vs {b:?})"
+                                        )))
+                                    }
+                                }
+                            }
+                            out
+                        }
+                    });
+                }
+                let mut chain = merged.unwrap_or_default();
+                match op {
+                    Opcode::Rescale(bits) => chain.push(ChainEntry::Rescale(*bits)),
+                    Opcode::ModSwitch => chain.push(ChainEntry::ModSwitch),
+                    _ => {}
+                }
+                chain
+            }
+        };
+        chains[id] = chain;
+    }
+    Ok(chains)
+}
+
+/// Computes the number of polynomials of every cipher node's ciphertext
+/// (paper Constraint 3): fresh ciphertexts have 2, a cipher-cipher MULTIPLY
+/// produces 3, RELINEARIZE brings it back to 2.
+pub fn analyze_num_polys(program: &Program) -> Vec<usize> {
+    let order = program.topological_order();
+    let mut polys = vec![2usize; program.len()];
+    for id in order {
+        let node = program.node(id);
+        if !node.ty.is_cipher() {
+            continue;
+        }
+        if let NodeKind::Instruction { op, args } = &node.kind {
+            let cipher_args: Vec<NodeId> = args
+                .iter()
+                .copied()
+                .filter(|&a| program.node(a).ty.is_cipher())
+                .collect();
+            polys[id] = match op {
+                Opcode::Multiply if cipher_args.len() == 2 => {
+                    polys[cipher_args[0]] + polys[cipher_args[1]] - 1
+                }
+                Opcode::Relinearize => 2,
+                _ => cipher_args.iter().map(|&a| polys[a]).max().unwrap_or(2),
+            };
+        }
+    }
+    polys
+}
+
+/// Convenience: the length of each node's rescale chain (the paper's `level`).
+pub fn chain_lengths(chains: &[Vec<ChainEntry>]) -> Vec<usize> {
+    chains.iter().map(|c| c.len()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::types::{Opcode, ValueType};
+
+    #[test]
+    fn scales_follow_multiply_and_rescale() {
+        let mut p = Program::new("scales", 8);
+        let x = p.input_cipher("x", 30);
+        let y = p.input_cipher("y", 25);
+        let prod = p.instruction(Opcode::Multiply, &[x, y]);
+        let rescaled = p.push_instruction(Opcode::Rescale(40), vec![prod], ValueType::Cipher);
+        p.output("out", rescaled, 25);
+        let scales = analyze_scales(&mut p).unwrap();
+        assert_eq!(scales[prod], 55);
+        assert_eq!(scales[rescaled], 15);
+        assert_eq!(p.node(rescaled).scale_bits, 15);
+    }
+
+    #[test]
+    fn rescale_underflow_is_rejected() {
+        let mut p = Program::new("underflow", 8);
+        let x = p.input_cipher("x", 30);
+        let r = p.push_instruction(Opcode::Rescale(60), vec![x], ValueType::Cipher);
+        p.output("out", r, 30);
+        assert!(analyze_scales(&mut p).is_err());
+    }
+
+    #[test]
+    fn chains_merge_modswitch_with_rescale() {
+        // x --rescale(60)--> a --+
+        //                        +--> add
+        // x --modswitch-------> b --+
+        let mut p = Program::new("chains", 8);
+        let x = p.input_cipher("x", 30);
+        let a = p.push_instruction(Opcode::Rescale(60), vec![x], ValueType::Cipher);
+        let b = p.push_instruction(Opcode::ModSwitch, vec![x], ValueType::Cipher);
+        let add = p.instruction(Opcode::Add, &[a, b]);
+        p.output("out", add, 30);
+        let chains = analyze_levels(&p).unwrap();
+        assert_eq!(chains[add], vec![ChainEntry::Rescale(60)]);
+    }
+
+    #[test]
+    fn non_conforming_chains_are_detected() {
+        // One operand rescaled, the other not: lengths differ.
+        let mut p = Program::new("bad_chains", 8);
+        let x = p.input_cipher("x", 30);
+        let a = p.push_instruction(Opcode::Rescale(60), vec![x], ValueType::Cipher);
+        let add = p.instruction(Opcode::Add, &[a, x]);
+        p.output("out", add, 30);
+        assert!(analyze_levels(&p).is_err());
+    }
+
+    #[test]
+    fn num_polys_tracks_multiplication_and_relinearization() {
+        let mut p = Program::new("polys", 8);
+        let x = p.input_cipher("x", 30);
+        let y = p.input_cipher("y", 30);
+        let prod = p.instruction(Opcode::Multiply, &[x, y]);
+        let relin = p.push_instruction(Opcode::Relinearize, vec![prod], ValueType::Cipher);
+        let plain = p.input_vector("v", 20);
+        let mixed = p.instruction(Opcode::Multiply, &[relin, plain]);
+        p.output("out", mixed, 30);
+        let polys = analyze_num_polys(&p);
+        assert_eq!(polys[x], 2);
+        assert_eq!(polys[prod], 3);
+        assert_eq!(polys[relin], 2);
+        assert_eq!(polys[mixed], 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Validation passes: assert that a transformed program satisfies the
+//! cryptographic constraints of Section 4.2, so that the generated code can
+//! never trigger a runtime exception in the FHE library (paper Section 6.2,
+//! "Validation Passes").
+
+use crate::analysis::scale::{analyze_levels, analyze_num_polys, analyze_scales};
+use crate::error::EvaError;
+use crate::program::{NodeKind, Program};
+use crate::types::Opcode;
+
+/// Validates the transformed program against Constraints 1–4.
+///
+/// * **Constraint 1** — operands of ADD/SUB/MULTIPLY have equal coefficient
+///   moduli, i.e. conforming and equal rescale chains.
+/// * **Constraint 2** — operands of ADD/SUB have equal scales.
+/// * **Constraint 3** — operands of MULTIPLY consist of exactly two
+///   polynomials (relinearization was inserted where needed).
+/// * **Constraint 4** — every RESCALE divides by at most `2^max_rescale_bits`.
+///
+/// # Errors
+///
+/// Returns [`EvaError::Validation`] describing the first violated constraint.
+pub fn validate_transformed(program: &mut Program, max_rescale_bits: u32) -> Result<(), EvaError> {
+    let scales = analyze_scales(program)?;
+    let chains = analyze_levels(program)?; // also checks chain conformity
+    let polys = analyze_num_polys(program);
+
+    for id in 0..program.len() {
+        let node = program.node(id).clone();
+        let NodeKind::Instruction { op, args } = &node.kind else {
+            continue;
+        };
+        let cipher_args: Vec<usize> = args
+            .iter()
+            .copied()
+            .filter(|&a| program.node(a).ty.is_cipher())
+            .collect();
+
+        match op {
+            Opcode::Add | Opcode::Sub | Opcode::Multiply => {
+                // Constraint 1: equal moduli for the cipher operands.
+                if cipher_args.len() == 2 {
+                    let (a, b) = (cipher_args[0], cipher_args[1]);
+                    if chains[a].len() != chains[b].len() {
+                        return Err(EvaError::Validation(format!(
+                            "node {id} ({op}): operand moduli differ \
+                             (chain lengths {} vs {})",
+                            chains[a].len(),
+                            chains[b].len()
+                        )));
+                    }
+                }
+                // Constraint 2: equal scales for addition and subtraction.
+                if matches!(op, Opcode::Add | Opcode::Sub) && args.len() == 2 {
+                    let (a, b) = (args[0], args[1]);
+                    if scales[a] != scales[b] {
+                        return Err(EvaError::Validation(format!(
+                            "node {id} ({op}): operand scales differ (2^{} vs 2^{})",
+                            scales[a], scales[b]
+                        )));
+                    }
+                }
+                // Constraint 3: multiply operands must have exactly 2 polynomials.
+                if matches!(op, Opcode::Multiply) {
+                    for &a in &cipher_args {
+                        if polys[a] != 2 {
+                            return Err(EvaError::Validation(format!(
+                                "node {id} (multiply): operand {a} has {} polynomials; \
+                                 relinearization missing",
+                                polys[a]
+                            )));
+                        }
+                    }
+                }
+            }
+            Opcode::Rescale(bits) => {
+                // Constraint 4: rescale divisor bounded by the maximum prime size.
+                if *bits > max_rescale_bits {
+                    return Err(EvaError::Validation(format!(
+                        "node {id}: rescale by 2^{bits} exceeds the maximum of 2^{max_rescale_bits}"
+                    )));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::types::{Opcode, ValueType};
+
+    #[test]
+    fn valid_program_passes() {
+        // x^2 (relinearized) added to the raw product: equal scales and chains.
+        let mut p = Program::new("valid", 8);
+        let x = p.input_cipher("x", 30);
+        let prod = p.instruction(Opcode::Multiply, &[x, x]);
+        let relin = p.push_instruction(Opcode::Relinearize, vec![prod], ValueType::Cipher);
+        let sum = p.instruction(Opcode::Add, &[relin, prod]);
+        p.output("out", sum, 30);
+        assert!(validate_transformed(&mut p, 60).is_ok());
+    }
+
+    #[test]
+    fn scale_mismatch_is_reported() {
+        let mut p = Program::new("scale_mismatch", 8);
+        let x = p.input_cipher("x", 30);
+        let x2 = p.instruction(Opcode::Multiply, &[x, x]);
+        let sum = p.instruction(Opcode::Add, &[x2, x]); // 60 vs 30 bits
+        p.output("out", sum, 30);
+        let err = validate_transformed(&mut p, 60).unwrap_err();
+        assert!(err.to_string().contains("scales differ"));
+    }
+
+    #[test]
+    fn modulus_mismatch_is_reported() {
+        let mut p = Program::new("modulus_mismatch", 8);
+        let x = p.input_cipher("x", 30);
+        let y = p.input_cipher("y", 30);
+        let rescaled = p.push_instruction(Opcode::Rescale(30), vec![x], ValueType::Cipher);
+        let sum = p.instruction(Opcode::Add, &[rescaled, y]);
+        p.output("out", sum, 30);
+        let err = validate_transformed(&mut p, 60).unwrap_err();
+        assert!(err.to_string().contains("chain"), "{err}");
+    }
+
+    #[test]
+    fn missing_relinearization_is_reported() {
+        let mut p = Program::new("missing_relin", 8);
+        let x = p.input_cipher("x", 30);
+        let prod = p.instruction(Opcode::Multiply, &[x, x]);
+        let deeper = p.instruction(Opcode::Multiply, &[prod, x]);
+        p.output("out", deeper, 30);
+        let err = validate_transformed(&mut p, 60).unwrap_err();
+        assert!(err.to_string().contains("polynomials"));
+    }
+
+    #[test]
+    fn oversized_rescale_is_reported() {
+        let mut p = Program::new("big_rescale", 8);
+        let x = p.input_cipher("x", 65);
+        let r = p.push_instruction(Opcode::Rescale(65), vec![x], ValueType::Cipher);
+        p.output("out", r, 30);
+        let err = validate_transformed(&mut p, 60).unwrap_err();
+        assert!(err.to_string().contains("exceeds the maximum"));
+    }
+}

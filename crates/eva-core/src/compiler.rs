@@ -1,0 +1,246 @@
+//! The compiler driver (paper Algorithm 1): transform, validate, select
+//! encryption parameters, select rotation keys.
+
+use crate::analysis::{
+    select_parameters, select_rotation_steps, validate_transformed, ParameterSpec,
+};
+use crate::error::EvaError;
+use crate::passes::{
+    insert_always_rescale, insert_eager_modswitch, insert_lazy_modswitch, insert_match_scale,
+    insert_relinearize, insert_waterline_rescale,
+};
+use crate::program::Program;
+
+/// Which RESCALE insertion strategy to use (paper Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RescaleStrategy {
+    /// EVA's waterline strategy: rescale by the maximum prime size only while
+    /// the scale stays above the waterline (default, optimal chain length).
+    #[default]
+    Waterline,
+    /// The naive baseline: rescale after every ciphertext multiplication.
+    Always,
+}
+
+/// Which MODSWITCH insertion strategy to use (paper Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModSwitchStrategy {
+    /// Insert MODSWITCH at the earliest feasible edge, shared among consumers
+    /// (default; Figure 5(c)).
+    #[default]
+    Eager,
+    /// Insert MODSWITCH immediately below the mismatching instruction
+    /// (Figure 5(b)).
+    Lazy,
+}
+
+/// Options controlling compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilerOptions {
+    /// RESCALE insertion strategy.
+    pub rescale: RescaleStrategy,
+    /// MODSWITCH insertion strategy.
+    pub mod_switch: ModSwitchStrategy,
+    /// Maximum rescale value / prime size in bits (the paper's `log2 s_f`,
+    /// 60 in SEAL).
+    pub max_rescale_bits: u32,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        Self {
+            rescale: RescaleStrategy::Waterline,
+            mod_switch: ModSwitchStrategy::Eager,
+            max_rescale_bits: 60,
+        }
+    }
+}
+
+/// Statistics about what the compiler did, useful for reports and ablations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompilationStats {
+    /// Number of RESCALE instructions inserted.
+    pub rescales_inserted: usize,
+    /// Number of MODSWITCH instructions inserted.
+    pub mod_switches_inserted: usize,
+    /// Number of MATCH-SCALE fixes (constant multiplications) inserted.
+    pub scale_fixes_inserted: usize,
+    /// Number of RELINEARIZE instructions inserted.
+    pub relinearizations_inserted: usize,
+    /// Total node count of the transformed program.
+    pub node_count: usize,
+}
+
+/// The result of compilation: the transformed executable program plus the
+/// encryption parameters and rotation steps needed to run it (the three
+/// outputs of the paper's Algorithm 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    /// The transformed program (contains RESCALE/MODSWITCH/RELINEARIZE).
+    pub program: Program,
+    /// Prime bit sizes and ring degree for key generation.
+    pub parameters: ParameterSpec,
+    /// Rotation steps that need Galois keys.
+    pub rotation_steps: Vec<i64>,
+    /// Transformation statistics.
+    pub stats: CompilationStats,
+}
+
+impl CompiledProgram {
+    /// The vector size of the program.
+    pub fn vec_size(&self) -> usize {
+        self.program.vec_size()
+    }
+
+    /// The program name.
+    pub fn name(&self) -> &str {
+        self.program.name()
+    }
+}
+
+/// Compiles an input EVA program (paper Algorithm 1).
+///
+/// The transformation step applies, in order: RESCALE insertion, MODSWITCH
+/// insertion, MATCH-SCALE and RELINEARIZE. The transformed program is then
+/// validated against Constraints 1–4 — if validation fails the compiler
+/// returns an error instead of producing a program that would throw inside
+/// the FHE library. Finally encryption parameters and rotation steps are
+/// selected.
+///
+/// # Errors
+///
+/// Returns [`EvaError`] if the input program is malformed, a constraint is
+/// violated after transformation, or no supported ring degree can hold the
+/// required coefficient modulus.
+pub fn compile(input: &Program, options: &CompilerOptions) -> Result<CompiledProgram, EvaError> {
+    input.validate_as_input()?;
+    let mut program = input.clone();
+
+    let rescales_inserted = match options.rescale {
+        RescaleStrategy::Waterline => {
+            insert_waterline_rescale(&mut program, options.max_rescale_bits)
+        }
+        RescaleStrategy::Always => insert_always_rescale(&mut program),
+    };
+    let mod_switches_inserted = match options.mod_switch {
+        ModSwitchStrategy::Eager => insert_eager_modswitch(&mut program),
+        ModSwitchStrategy::Lazy => insert_lazy_modswitch(&mut program),
+    };
+    let scale_fixes_inserted = insert_match_scale(&mut program);
+    let relinearizations_inserted = insert_relinearize(&mut program);
+
+    validate_transformed(&mut program, options.max_rescale_bits)?;
+    let parameters = select_parameters(&mut program, options.max_rescale_bits)?;
+    let rotation_steps = select_rotation_steps(&program);
+
+    let stats = CompilationStats {
+        rescales_inserted,
+        mod_switches_inserted,
+        scale_fixes_inserted,
+        relinearizations_inserted,
+        node_count: program.len(),
+    };
+    Ok(CompiledProgram {
+        program,
+        parameters,
+        rotation_steps,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::types::Opcode;
+
+    /// The paper's Figure 2 running example.
+    fn x2y3() -> Program {
+        let mut p = Program::new("x2y3", 8);
+        let x = p.input_cipher("x", 60);
+        let y = p.input_cipher("y", 30);
+        let x2 = p.instruction(Opcode::Multiply, &[x, x]);
+        let y2 = p.instruction(Opcode::Multiply, &[y, y]);
+        let y3 = p.instruction(Opcode::Multiply, &[y2, y]);
+        let out = p.instruction(Opcode::Multiply, &[x2, y3]);
+        p.output("out", out, 30);
+        p
+    }
+
+    #[test]
+    fn compile_x2y3_with_default_options() {
+        let compiled = compile(&x2y3(), &CompilerOptions::default()).unwrap();
+        // Figure 2(d)/(e): two rescales, four relinearizations, no scale fixes.
+        assert_eq!(compiled.stats.rescales_inserted, 2);
+        assert_eq!(compiled.stats.relinearizations_inserted, 4);
+        assert_eq!(compiled.stats.scale_fixes_inserted, 0);
+        assert!(compiled.rotation_steps.is_empty());
+        // Chain: 2 rescale primes + 2 tail primes covering the output scale
+        // (2^90) times the desired scale (2^30) + the special prime.
+        assert_eq!(compiled.parameters.chain_length(), 5);
+        assert_eq!(compiled.parameters.total_bits(), 300);
+    }
+
+    #[test]
+    fn compile_rejects_invalid_input() {
+        let mut p = Program::new("empty", 8);
+        p.input_cipher("x", 30);
+        assert!(matches!(
+            compile(&p, &CompilerOptions::default()),
+            Err(EvaError::InvalidProgram(_))
+        ));
+    }
+
+    #[test]
+    fn compiled_program_never_fails_validation_for_random_options() {
+        let program = x2y3();
+        for rescale in [RescaleStrategy::Waterline] {
+            for mod_switch in [ModSwitchStrategy::Eager, ModSwitchStrategy::Lazy] {
+                let options = CompilerOptions {
+                    rescale,
+                    mod_switch,
+                    max_rescale_bits: 60,
+                };
+                let compiled = compile(&program, &options).unwrap();
+                assert!(compiled.parameters.total_bits() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_steps_are_collected() {
+        let mut p = Program::new("rot", 64);
+        let x = p.input_cipher("x", 30);
+        let a = p.instruction(Opcode::RotateLeft(1), &[x]);
+        let b = p.instruction(Opcode::RotateRight(4), &[x]);
+        let sum = p.instruction(Opcode::Add, &[a, b]);
+        p.output("out", sum, 30);
+        let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+        assert_eq!(compiled.rotation_steps, vec![-4, 1]);
+        assert_eq!(compiled.vec_size(), 64);
+        assert_eq!(compiled.name(), "rot");
+    }
+
+    #[test]
+    fn eager_produces_no_longer_chain_than_lazy() {
+        // The paper argues eager insertion is at least as efficient as lazy.
+        let program = x2y3();
+        let eager = compile(
+            &program,
+            &CompilerOptions {
+                mod_switch: ModSwitchStrategy::Eager,
+                ..CompilerOptions::default()
+            },
+        )
+        .unwrap();
+        let lazy = compile(
+            &program,
+            &CompilerOptions {
+                mod_switch: ModSwitchStrategy::Lazy,
+                ..CompilerOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(eager.parameters.chain_length() <= lazy.parameters.chain_length());
+    }
+}

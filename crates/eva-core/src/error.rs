@@ -1,0 +1,40 @@
+//! Error type shared by the EVA compiler and executors.
+
+use std::fmt;
+
+/// Errors produced while building, compiling, serializing or executing EVA
+/// programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvaError {
+    /// The input program is malformed (unknown nodes, compiler-only opcodes,
+    /// missing outputs, …).
+    InvalidProgram(String),
+    /// A validation pass found a violated constraint in the transformed
+    /// program. The compiler throws instead of letting the FHE library fail at
+    /// run time (paper Algorithm 1, line 3).
+    Validation(String),
+    /// Encryption-parameter selection failed (e.g. the program needs a larger
+    /// coefficient modulus than any supported ring degree provides at 128-bit
+    /// security).
+    ParameterSelection(String),
+    /// Serialization or deserialization of a program failed.
+    Serialization(String),
+    /// Execution of a compiled program failed (missing input, backend error).
+    Execution(String),
+}
+
+impl fmt::Display for EvaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvaError::InvalidProgram(msg) => write!(f, "invalid input program: {msg}"),
+            EvaError::Validation(msg) => write!(f, "validation failed: {msg}"),
+            EvaError::ParameterSelection(msg) => {
+                write!(f, "encryption parameter selection failed: {msg}")
+            }
+            EvaError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            EvaError::Execution(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvaError {}

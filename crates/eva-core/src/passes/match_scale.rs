@@ -1,0 +1,138 @@
+//! MATCH-SCALE insertion pass (paper Section 5.3, "Matching Scales").
+//!
+//! Addition and subtraction require both operands to carry the same
+//! fixed-point scale (Constraint 2). Instead of spending a RESCALE/MODSWITCH
+//! (which would consume a modulus prime, as in Figure 3(b)), EVA multiplies
+//! the smaller-scale operand by the constant `1` encoded at the missing scale
+//! (Figure 3(c)) — the product then has the larger scale and no prime is
+//! consumed.
+
+use crate::passes::GraphEditor;
+use crate::program::{NodeKind, Program};
+use crate::types::{ConstantValue, Opcode};
+
+fn compute_scale(editor: &GraphEditor<'_>, scales: &[u32], id: usize) -> u32 {
+    let node = editor.program().node(id);
+    match &node.kind {
+        NodeKind::Input { .. } | NodeKind::Constant { .. } => node.scale_bits,
+        NodeKind::Instruction { op, .. } => {
+            let args: Vec<u32> = editor
+                .program()
+                .args(id)
+                .iter()
+                .map(|&a| scales[a])
+                .collect();
+            match op {
+                Opcode::Multiply => args.iter().sum(),
+                Opcode::Add | Opcode::Sub => *args.iter().max().unwrap_or(&0),
+                Opcode::Rescale(bits) => args[0].saturating_sub(*bits),
+                _ => args[0],
+            }
+        }
+    }
+}
+
+/// Inserts MATCH-SCALE fixes (Figure 4): for every ADD/SUB whose operand
+/// scales differ, multiply the smaller-scale operand by a constant `1` encoded
+/// at the scale difference. Returns the number of fixes inserted.
+pub fn insert_match_scale(program: &mut Program) -> usize {
+    let order = program.topological_order();
+    let mut editor = GraphEditor::new(program);
+    let mut scales = vec![0u32; editor.len()];
+    let mut inserted = 0;
+
+    for id in order {
+        scales.resize(editor.len(), 0);
+        let op = editor.program().opcode(id);
+        if matches!(op, Some(Opcode::Add) | Some(Opcode::Sub)) {
+            let args: Vec<usize> = editor.program().args(id).to_vec();
+            if args.len() == 2 {
+                let (a, b) = (args[0], args[1]);
+                if scales[a] != scales[b] {
+                    let (low_idx, low_node, diff) = if scales[a] < scales[b] {
+                        (0usize, a, scales[b] - scales[a])
+                    } else {
+                        (1usize, b, scales[a] - scales[b])
+                    };
+                    let one = editor.add_constant(ConstantValue::Scalar(1.0), diff);
+                    scales.resize(editor.len(), 0);
+                    scales[one] = diff;
+                    let ty = editor.program().node(low_node).ty;
+                    let fixed = editor.add_instruction(Opcode::Multiply, vec![low_node, one], ty);
+                    scales.resize(editor.len(), 0);
+                    scales[fixed] = scales[low_node] + diff;
+                    editor.replace_arg_at(id, low_idx, fixed);
+                    inserted += 1;
+                }
+            }
+        }
+        scales.resize(editor.len(), 0);
+        scales[id] = compute_scale(&editor, &scales, id);
+    }
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::scale::analyze_scales;
+    use crate::analysis::validation::validate_transformed;
+    use crate::passes::relinearize::insert_relinearize;
+    use crate::program::Program;
+    use crate::types::Opcode;
+
+    /// The paper's Figure 3 input: x^2 + x with x at 2^30.
+    fn x2_plus_x() -> Program {
+        let mut p = Program::new("x2_plus_x", 8);
+        let x = p.input_cipher("x", 30);
+        let x2 = p.instruction(Opcode::Multiply, &[x, x]);
+        let sum = p.instruction(Opcode::Add, &[x2, x]);
+        p.output("out", sum, 30);
+        p
+    }
+
+    #[test]
+    fn figure_3c_multiplies_by_constant_one() {
+        let mut p = x2_plus_x();
+        let inserted = insert_match_scale(&mut p);
+        assert_eq!(inserted, 1);
+        // No RESCALE or MODSWITCH was added (that is the whole point of the rule).
+        let histogram = p.opcode_histogram();
+        assert_eq!(histogram.get("rescale"), None);
+        assert_eq!(histogram.get("mod_switch"), None);
+        assert_eq!(histogram.get("multiply"), Some(&2));
+        // Both ADD operands now carry 2^60.
+        let scales = analyze_scales(&mut p).unwrap();
+        let out = p.outputs()[0].node;
+        assert_eq!(scales[out], 60);
+        insert_relinearize(&mut p);
+        assert!(validate_transformed(&mut p, 60).is_ok());
+    }
+
+    #[test]
+    fn no_fix_for_matching_scales() {
+        let mut p = Program::new("same", 8);
+        let x = p.input_cipher("x", 30);
+        let y = p.input_cipher("y", 30);
+        let sum = p.instruction(Opcode::Add, &[x, y]);
+        p.output("out", sum, 30);
+        assert_eq!(insert_match_scale(&mut p), 0);
+    }
+
+    #[test]
+    fn cascading_mismatches_are_fixed_in_one_pass() {
+        // (x*y) + x + x : the first add mismatches (55 vs 30), and the second
+        // add then sees 55 vs 30 again.
+        let mut p = Program::new("cascade", 8);
+        let x = p.input_cipher("x", 30);
+        let y = p.input_cipher("y", 25);
+        let prod = p.instruction(Opcode::Multiply, &[x, y]);
+        let add1 = p.instruction(Opcode::Add, &[prod, x]);
+        let add2 = p.instruction(Opcode::Add, &[add1, x]);
+        p.output("out", add2, 30);
+        let inserted = insert_match_scale(&mut p);
+        assert_eq!(inserted, 2);
+        insert_relinearize(&mut p);
+        assert!(validate_transformed(&mut p, 60).is_ok());
+    }
+}

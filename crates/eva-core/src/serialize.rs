@@ -1,0 +1,361 @@
+//! Serialization of EVA programs.
+//!
+//! The paper defines a Protocol Buffers schema (Figure 1) as the wire format
+//! of the EVA language. This reproduction uses a self-contained binary format
+//! with the same information content (program name, vector size, constants,
+//! inputs, outputs and instructions with their scales), plus the textual dump
+//! available through `Program`'s `Display` implementation.
+
+use crate::error::EvaError;
+use crate::program::{NodeKind, Program};
+use crate::types::{ConstantValue, Opcode, ValueType};
+
+const MAGIC: &[u8; 4] = b"EVAP";
+const VERSION: u32 = 1;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], EvaError> {
+        if self.pos + n > self.buf.len() {
+            return Err(EvaError::Serialization("unexpected end of input".into()));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, EvaError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, EvaError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, EvaError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i32(&mut self) -> Result<i32, EvaError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, EvaError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, EvaError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| EvaError::Serialization("invalid UTF-8 in string".into()))
+    }
+}
+
+fn type_tag(ty: ValueType) -> u8 {
+    match ty {
+        ValueType::Cipher => 0,
+        ValueType::Vector => 1,
+        ValueType::Scalar => 2,
+        ValueType::Integer => 3,
+    }
+}
+
+fn type_from_tag(tag: u8) -> Result<ValueType, EvaError> {
+    Ok(match tag {
+        0 => ValueType::Cipher,
+        1 => ValueType::Vector,
+        2 => ValueType::Scalar,
+        3 => ValueType::Integer,
+        other => {
+            return Err(EvaError::Serialization(format!(
+                "unknown value type tag {other}"
+            )))
+        }
+    })
+}
+
+fn opcode_tag(op: Opcode) -> (u8, i64) {
+    match op {
+        Opcode::Negate => (1, 0),
+        Opcode::Add => (2, 0),
+        Opcode::Sub => (3, 0),
+        Opcode::Multiply => (4, 0),
+        Opcode::RotateLeft(s) => (7, s as i64),
+        Opcode::RotateRight(s) => (8, s as i64),
+        Opcode::Relinearize => (9, 0),
+        Opcode::ModSwitch => (10, 0),
+        Opcode::Rescale(bits) => (11, bits as i64),
+    }
+}
+
+fn opcode_from_tag(tag: u8, operand: i64) -> Result<Opcode, EvaError> {
+    Ok(match tag {
+        1 => Opcode::Negate,
+        2 => Opcode::Add,
+        3 => Opcode::Sub,
+        4 => Opcode::Multiply,
+        7 => Opcode::RotateLeft(operand as i32),
+        8 => Opcode::RotateRight(operand as i32),
+        9 => Opcode::Relinearize,
+        10 => Opcode::ModSwitch,
+        11 => Opcode::Rescale(operand as u32),
+        other => {
+            return Err(EvaError::Serialization(format!(
+                "unknown opcode tag {other}"
+            )))
+        }
+    })
+}
+
+/// Serializes a program into the EVA binary format.
+pub fn to_bytes(program: &Program) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(VERSION);
+    w.str(program.name());
+    w.u64(program.vec_size() as u64);
+    w.u64(program.len() as u64);
+    for id in 0..program.len() {
+        let node = program.node(id);
+        w.u8(type_tag(node.ty));
+        w.u32(node.scale_bits);
+        match &node.kind {
+            NodeKind::Input { name } => {
+                w.u8(0);
+                w.str(name);
+            }
+            NodeKind::Constant { value } => {
+                w.u8(1);
+                match value {
+                    ConstantValue::Vector(v) => {
+                        w.u8(0);
+                        w.u64(v.len() as u64);
+                        for &x in v {
+                            w.f64(x);
+                        }
+                    }
+                    ConstantValue::Scalar(s) => {
+                        w.u8(1);
+                        w.f64(*s);
+                    }
+                    ConstantValue::Integer(i) => {
+                        w.u8(2);
+                        w.i32(*i);
+                    }
+                }
+            }
+            NodeKind::Instruction { op, args } => {
+                w.u8(2);
+                let (tag, operand) = opcode_tag(*op);
+                w.u8(tag);
+                w.buf.extend_from_slice(&operand.to_le_bytes());
+                w.u32(args.len() as u32);
+                for &arg in args {
+                    w.u64(arg as u64);
+                }
+            }
+        }
+    }
+    w.u64(program.outputs().len() as u64);
+    for output in program.outputs() {
+        w.str(&output.name);
+        w.u64(output.node as u64);
+        w.u32(output.scale_bits);
+    }
+    w.buf
+}
+
+/// Deserializes a program from the EVA binary format.
+///
+/// # Errors
+///
+/// Returns [`EvaError::Serialization`] if the input is truncated, has an
+/// unknown version, or contains invalid tags or node references.
+pub fn from_bytes(bytes: &[u8]) -> Result<Program, EvaError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != MAGIC {
+        return Err(EvaError::Serialization("bad magic bytes".into()));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(EvaError::Serialization(format!(
+            "unsupported format version {version}"
+        )));
+    }
+    let name = r.str()?;
+    let vec_size = r.u64()? as usize;
+    if vec_size == 0 || !vec_size.is_power_of_two() {
+        return Err(EvaError::Serialization(format!(
+            "vector size {vec_size} is not a power of two"
+        )));
+    }
+    let node_count = r.u64()? as usize;
+    let mut program = Program::new(name, vec_size);
+    for id in 0..node_count {
+        let ty = type_from_tag(r.u8()?)?;
+        let scale_bits = r.u32()?;
+        let kind_tag = r.u8()?;
+        match kind_tag {
+            0 => {
+                let input_name = r.str()?;
+                let node = match ty {
+                    ValueType::Cipher => program.input_cipher(input_name, scale_bits),
+                    ValueType::Vector => program.input_vector(input_name, scale_bits),
+                    ValueType::Scalar | ValueType::Integer => {
+                        program.input_scalar(input_name, scale_bits)
+                    }
+                };
+                debug_assert_eq!(node, id);
+            }
+            1 => {
+                let const_tag = r.u8()?;
+                let value = match const_tag {
+                    0 => {
+                        let len = r.u64()? as usize;
+                        let mut v = Vec::with_capacity(len);
+                        for _ in 0..len {
+                            v.push(r.f64()?);
+                        }
+                        ConstantValue::Vector(v)
+                    }
+                    1 => ConstantValue::Scalar(r.f64()?),
+                    2 => ConstantValue::Integer(r.i32()?),
+                    other => {
+                        return Err(EvaError::Serialization(format!(
+                            "unknown constant tag {other}"
+                        )))
+                    }
+                };
+                let node = program.constant(value, scale_bits);
+                debug_assert_eq!(node, id);
+            }
+            2 => {
+                let op_tag = r.u8()?;
+                let operand = i64::from_le_bytes(r.take(8)?.try_into().unwrap());
+                let op = opcode_from_tag(op_tag, operand)?;
+                let arg_count = r.u32()? as usize;
+                let mut args = Vec::with_capacity(arg_count);
+                for _ in 0..arg_count {
+                    let arg = r.u64()? as usize;
+                    // Compiler passes may leave forward references (a rewritten
+                    // node can point at a maintenance node appended later), so
+                    // only require the id to be within the node table.
+                    if arg >= node_count {
+                        return Err(EvaError::Serialization(format!(
+                            "instruction {id} references missing node {arg}"
+                        )));
+                    }
+                    args.push(arg);
+                }
+                let ty_expected = ty;
+                let node = program.push_instruction(op, args, ty_expected);
+                program.set_scale_bits(node, scale_bits);
+                debug_assert_eq!(node, id);
+            }
+            other => {
+                return Err(EvaError::Serialization(format!(
+                    "unknown node kind tag {other}"
+                )))
+            }
+        }
+    }
+    let output_count = r.u64()? as usize;
+    for _ in 0..output_count {
+        let output_name = r.str()?;
+        let node = r.u64()? as usize;
+        let scale_bits = r.u32()?;
+        if node >= program.len() {
+            return Err(EvaError::Serialization(format!(
+                "output {output_name} references missing node {node}"
+            )));
+        }
+        program.output(output_name, node, scale_bits);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::types::{ConstantValue, Opcode};
+
+    fn sample_program() -> Program {
+        let mut p = Program::new("sample", 16);
+        let x = p.input_cipher("x", 30);
+        let w = p.input_vector("weights", 20);
+        let c = p.constant(ConstantValue::Vector(vec![1.0, 2.0, 3.0]), 15);
+        let s = p.constant(ConstantValue::Scalar(0.5), 10);
+        let prod = p.instruction(Opcode::Multiply, &[x, w]);
+        let rot = p.instruction(Opcode::RotateLeft(3), &[prod]);
+        let sum = p.instruction(Opcode::Add, &[rot, x]);
+        let scaled = p.instruction(Opcode::Multiply, &[sum, c]);
+        let shifted = p.instruction(Opcode::Sub, &[scaled, s]);
+        p.output("result", shifted, 30);
+        p.output("partial", rot, 25);
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_program() {
+        let original = sample_program();
+        let bytes = to_bytes(&original);
+        let restored = from_bytes(&bytes).unwrap();
+        assert_eq!(original, restored);
+    }
+
+    #[test]
+    fn roundtrip_preserves_transformed_programs() {
+        let mut p = sample_program();
+        crate::passes::insert_waterline_rescale(&mut p, 60);
+        crate::passes::insert_eager_modswitch(&mut p);
+        crate::passes::insert_match_scale(&mut p);
+        crate::passes::insert_relinearize(&mut p);
+        let restored = from_bytes(&to_bytes(&p)).unwrap();
+        assert_eq!(p, restored);
+    }
+
+    #[test]
+    fn corrupted_input_is_rejected() {
+        let bytes = to_bytes(&sample_program());
+        assert!(matches!(
+            from_bytes(&bytes[..10]),
+            Err(EvaError::Serialization(_))
+        ));
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(from_bytes(&bad_magic).is_err());
+        assert!(from_bytes(&[]).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! # eva-frontend — a builder DSL for authoring EVA programs
+//!
+//! The paper's PyEVA frontend embeds EVA into Python with operator
+//! overloading (Figure 6). This crate is the Rust equivalent: a
+//! [`ProgramBuilder`] hands out [`Expr`] handles that overload `+`, `-`, `*`,
+//! `<<` (rotate left) and `>>` (rotate right), so programs read like the
+//! arithmetic they compute while building the EVA term graph underneath.
+//!
+//! ```
+//! use eva_frontend::ProgramBuilder;
+//!
+//! // 3rd-degree polynomial approximation of sqrt, as in the paper's Sobel example.
+//! let mut b = ProgramBuilder::new("sqrt_poly", 64);
+//! let x = b.input_cipher("x", 30);
+//! let y = &x * 2.214 + &(&x * &x) * -1.098 + &(&(&x * &x) * &x) * 0.173;
+//! b.output("y", y, 30);
+//! let program = b.build();
+//! assert_eq!(program.vec_size(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod expr;
+
+pub use builder::ProgramBuilder;
+pub use expr::Expr;

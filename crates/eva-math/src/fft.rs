@@ -1,0 +1,287 @@
+//! Complex arithmetic and the CKKS canonical-embedding FFT.
+//!
+//! CKKS encodes a vector of `N/2` complex (here: real) numbers into an
+//! integer polynomial by evaluating/interpolating at the primitive `2N`-th
+//! roots of unity indexed by the powers-of-five orbit. [`SpecialFft`]
+//! implements that pair of transforms: [`SpecialFft::embed_inverse`] is used by
+//! the encoder and [`SpecialFft::embed`] by the decoder, following the
+//! formulation used by HEAAN and SEAL.
+
+/// A complex number with `f64` components.
+///
+/// A tiny purpose-built type (rather than an external dependency) because the
+/// encoder only needs add/sub/mul/scale.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The complex number `re + 0i`.
+    #[inline]
+    pub fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Absolute value (modulus).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl std::ops::Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+fn bit_reverse_permute(values: &mut [Complex]) {
+    let n = values.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = {
+            let mut v = i;
+            let mut r = 0usize;
+            for _ in 0..bits {
+                r = (r << 1) | (v & 1);
+                v >>= 1;
+            }
+            r
+        };
+        if j > i {
+            values.swap(i, j);
+        }
+    }
+}
+
+/// Precomputed tables for the CKKS canonical-embedding transform with ring
+/// degree `N` (so `M = 2N` roots and up to `N/2` slots).
+#[derive(Debug, Clone)]
+pub struct SpecialFft {
+    m: usize,
+    /// 5^j mod M, j in 0..N/2 — the index orbit that enumerates slot positions.
+    rot_group: Vec<usize>,
+    /// exp(2πi·j/M) for j in 0..M.
+    ksi_pows: Vec<Complex>,
+}
+
+impl SpecialFft {
+    /// Creates transform tables for polynomial degree `degree` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is not a power of two or is smaller than 4.
+    pub fn new(degree: usize) -> Self {
+        assert!(
+            degree >= 4 && degree.is_power_of_two(),
+            "degree must be a power of two >= 4, got {degree}"
+        );
+        let m = 2 * degree;
+        let slots = degree / 2;
+        let mut rot_group = Vec::with_capacity(slots);
+        let mut five_pow = 1usize;
+        for _ in 0..slots {
+            rot_group.push(five_pow);
+            five_pow = five_pow * 5 % m;
+        }
+        let mut ksi_pows = Vec::with_capacity(m + 1);
+        for j in 0..=m {
+            let angle = 2.0 * std::f64::consts::PI * j as f64 / m as f64;
+            ksi_pows.push(Complex::new(angle.cos(), angle.sin()));
+        }
+        Self {
+            m,
+            rot_group,
+            ksi_pows,
+        }
+    }
+
+    /// The number of roots `M = 2N`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The powers-of-five rotation orbit `5^j mod M`.
+    #[inline]
+    pub fn rot_group(&self) -> &[usize] {
+        &self.rot_group
+    }
+
+    /// Forward embedding (decode direction): interprets `values` as polynomial
+    /// "slot coefficients" and evaluates them at the canonical roots, in place.
+    ///
+    /// `values.len()` must be a power of two no larger than `N/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a supported power of two.
+    pub fn embed(&self, values: &mut [Complex]) {
+        let size = values.len();
+        self.check_size(size);
+        bit_reverse_permute(values);
+        let mut len = 2usize;
+        while len <= size {
+            let lenh = len >> 1;
+            let lenq = len << 2;
+            for i in (0..size).step_by(len) {
+                for j in 0..lenh {
+                    let idx = (self.rot_group[j] % lenq) * self.m / lenq;
+                    let u = values[i + j];
+                    let v = values[i + j + lenh] * self.ksi_pows[idx];
+                    values[i + j] = u + v;
+                    values[i + j + lenh] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Inverse embedding (encode direction): interpolates slot values back into
+    /// "slot coefficients", in place. The inverse of [`SpecialFft::embed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a supported power of two.
+    pub fn embed_inverse(&self, values: &mut [Complex]) {
+        let size = values.len();
+        self.check_size(size);
+        let mut len = size;
+        while len >= 2 {
+            let lenh = len >> 1;
+            let lenq = len << 2;
+            for i in (0..size).step_by(len) {
+                for j in 0..lenh {
+                    let idx = (lenq - (self.rot_group[j] % lenq)) * self.m / lenq;
+                    let u = values[i + j] + values[i + j + lenh];
+                    let v = (values[i + j] - values[i + j + lenh]) * self.ksi_pows[idx];
+                    values[i + j] = u;
+                    values[i + j + lenh] = v;
+                }
+            }
+            len >>= 1;
+        }
+        bit_reverse_permute(values);
+        for value in values.iter_mut() {
+            *value = *value / size as f64;
+        }
+    }
+
+    fn check_size(&self, size: usize) {
+        assert!(
+            size.is_power_of_two() && size >= 1 && size <= self.m / 4,
+            "slot count {size} must be a power of two at most {}",
+            self.m / 4
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn complex_arithmetic_basics() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let sum = a + b;
+        assert_eq!(sum, Complex::new(4.0, 1.0));
+        let prod = a * b;
+        assert_eq!(prod, Complex::new(5.0, 5.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embed_roundtrip_is_identity() {
+        let fft = SpecialFft::new(64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let original: Vec<Complex> = (0..16)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut values = original.clone();
+        fft.embed_inverse(&mut values);
+        fft.embed(&mut values);
+        for (a, b) in values.iter().zip(&original) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn embed_of_constant_slot_vector() {
+        // Interpolating a constant vector must give a "polynomial" whose only
+        // nonzero slot coefficient is the constant term.
+        let fft = SpecialFft::new(32);
+        let mut values = vec![Complex::from_real(2.5); 8];
+        fft.embed_inverse(&mut values);
+        assert!((values[0].re - 2.5).abs() < 1e-9);
+        for v in &values[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn embed_rejects_oversized_input() {
+        let fft = SpecialFft::new(16);
+        let mut values = vec![Complex::default(); 16];
+        fft.embed(&mut values);
+    }
+}

@@ -1,0 +1,148 @@
+//! Galois automorphism bookkeeping for CKKS slot rotations.
+//!
+//! Rotating the encrypted slot vector left by `r` positions corresponds to the
+//! ring automorphism `X ↦ X^{5^r mod 2N}`; complex conjugation of the slots
+//! corresponds to `X ↦ X^{2N-1}`. [`GaloisTool`] computes the Galois elements
+//! and applies the automorphism to coefficient-domain polynomials.
+
+use crate::modulus::Modulus;
+
+/// Computes Galois elements and applies automorphisms for a fixed ring degree.
+#[derive(Debug, Clone)]
+pub struct GaloisTool {
+    degree: usize,
+    m: usize,
+}
+
+impl GaloisTool {
+    /// Creates a tool for ring degree `degree` (must be a power of two ≥ 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is not a power of two or is smaller than 4.
+    pub fn new(degree: usize) -> Self {
+        assert!(
+            degree >= 4 && degree.is_power_of_two(),
+            "degree must be a power of two >= 4, got {degree}"
+        );
+        Self {
+            degree,
+            m: 2 * degree,
+        }
+    }
+
+    /// The ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The Galois element `5^steps mod 2N` implementing a left rotation of the
+    /// slot vector by `steps` positions. Negative steps rotate right.
+    pub fn galois_elt_from_step(&self, steps: i64) -> u64 {
+        let slots = (self.degree / 2) as i64;
+        let steps = steps.rem_euclid(slots) as u64;
+        let mut elt = 1u64;
+        for _ in 0..steps {
+            elt = elt * 5 % self.m as u64;
+        }
+        elt
+    }
+
+    /// The Galois element `2N - 1` implementing complex conjugation of slots.
+    #[inline]
+    pub fn galois_elt_conjugate(&self) -> u64 {
+        (self.m - 1) as u64
+    }
+
+    /// Applies the automorphism `X ↦ X^galois_elt` to a coefficient-domain
+    /// polynomial, writing the result into `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ from the ring degree or if
+    /// `galois_elt` is even (not a unit modulo `2N`).
+    pub fn apply(
+        &self,
+        input: &[u64],
+        galois_elt: u64,
+        modulus: &Modulus,
+        output: &mut [u64],
+    ) {
+        assert_eq!(input.len(), self.degree);
+        assert_eq!(output.len(), self.degree);
+        assert!(
+            galois_elt % 2 == 1 && (galois_elt as usize) < self.m,
+            "galois element {galois_elt} must be an odd unit modulo {}",
+            self.m
+        );
+        for (i, &coeff) in input.iter().enumerate() {
+            let index = i * galois_elt as usize % self.m;
+            if index < self.degree {
+                output[index] = coeff;
+            } else {
+                output[index - self.degree] = modulus.neg(coeff);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn galois_elements_are_units() {
+        let tool = GaloisTool::new(64);
+        for steps in -5i64..=5 {
+            let elt = tool.galois_elt_from_step(steps);
+            assert_eq!(elt % 2, 1);
+            assert!(elt < 128);
+        }
+        assert_eq!(tool.galois_elt_from_step(0), 1);
+        assert_eq!(tool.galois_elt_conjugate(), 127);
+    }
+
+    #[test]
+    fn rotation_steps_compose() {
+        let tool = GaloisTool::new(256);
+        let a = tool.galois_elt_from_step(3);
+        let b = tool.galois_elt_from_step(4);
+        let c = tool.galois_elt_from_step(7);
+        assert_eq!(a * b % 512, c);
+    }
+
+    #[test]
+    fn apply_identity_automorphism() {
+        let tool = GaloisTool::new(8);
+        let q = Modulus::new(97).unwrap();
+        let input: Vec<u64> = (0..8).collect();
+        let mut output = vec![0u64; 8];
+        tool.apply(&input, 1, &q, &mut output);
+        assert_eq!(output, input);
+    }
+
+    #[test]
+    fn apply_wraps_and_negates_correctly() {
+        let tool = GaloisTool::new(8);
+        let q = Modulus::new(97).unwrap();
+        // X^7 under X -> X^3 becomes X^21 = (X^8)^2 * X^5 = X^5 (no sign flip).
+        let mut input = vec![0u64; 8];
+        input[7] = 2;
+        let mut output = vec![0u64; 8];
+        tool.apply(&input, 3, &q, &mut output);
+        let mut expected = vec![0u64; 8];
+        expected[5] = 2;
+        assert_eq!(output, expected);
+
+        // X^3 under X -> X^3 becomes X^9 = -X^1 (one wrap past X^8 flips the sign).
+        let mut input = vec![0u64; 8];
+        input[3] = 2;
+        tool.apply(&input, 3, &q, &mut output.clone());
+        let mut output2 = vec![0u64; 8];
+        tool.apply(&input, 3, &q, &mut output2);
+        let mut expected2 = vec![0u64; 8];
+        expected2[1] = 97 - 2;
+        assert_eq!(output2, expected2);
+    }
+}

@@ -1,0 +1,51 @@
+//! Number-theoretic and transform substrate for the EVA reproduction.
+//!
+//! This crate contains everything below the polynomial-ring layer of an
+//! RNS-CKKS implementation (the role Microsoft SEAL's `util` layer plays for
+//! the paper):
+//!
+//! * [`modulus`] — word-sized prime moduli with Barrett and Shoup modular
+//!   multiplication, modular exponentiation and inversion.
+//! * [`primes`] — deterministic Miller–Rabin primality testing and generation
+//!   of NTT-friendly primes (`q ≡ 1 mod 2N`) of requested bit sizes.
+//! * [`ntt`] — the negacyclic number-theoretic transform over `Z_q[X]/(X^N+1)`.
+//! * [`fft`] — a complex FFT over the canonical-embedding root ordering used by
+//!   the CKKS encoder (powers-of-five orbit).
+//! * [`sampling`] — samplers for uniform, ternary and centered-binomial noise.
+//! * [`galois`] — Galois element bookkeeping for slot rotations.
+//!
+//! All of it is pure Rust with no unsafe code and no external arithmetic
+//! dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use eva_math::{generate_ntt_primes, Modulus, NttTables};
+//!
+//! // A 40-bit NTT-friendly prime for ring degree 1024, and a transform over it.
+//! let primes = generate_ntt_primes(1024, &[40]).unwrap();
+//! let q = Modulus::new(primes[0]).unwrap();
+//! let ntt = NttTables::new(1024, q).unwrap();
+//! let mut a = vec![0u64; 1024];
+//! a[1] = 1; // the polynomial X
+//! ntt.forward(&mut a);
+//! ntt.inverse(&mut a);
+//! assert_eq!(a[1], 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod galois;
+pub mod modulus;
+pub mod ntt;
+pub mod primes;
+pub mod sampling;
+
+pub use fft::{Complex, SpecialFft};
+pub use galois::GaloisTool;
+pub use modulus::Modulus;
+pub use ntt::NttTables;
+pub use primes::{generate_ntt_primes, is_prime};
+pub use sampling::{sample_cbd, sample_ternary, sample_uniform_poly};

@@ -1,0 +1,288 @@
+//! Negacyclic number-theoretic transform over `Z_q[X]/(X^N + 1)`.
+//!
+//! The forward transform maps coefficient vectors into the evaluation domain in
+//! which polynomial multiplication is element-wise; the inverse transform maps
+//! back. Twiddle factors are powers of a primitive `2N`-th root of unity `ψ`
+//! stored in bit-reversed order and promoted to Shoup form, following the
+//! Longa–Naehrig formulation also used by SEAL.
+
+use crate::modulus::{Modulus, ShoupPrecomputed};
+use crate::primes::primitive_root_of_unity;
+
+/// Precomputed tables for the negacyclic NTT of a fixed degree and modulus.
+#[derive(Debug, Clone)]
+pub struct NttTables {
+    degree: usize,
+    modulus: Modulus,
+    /// ψ^bitrev(i) in Shoup form, i in 0..N.
+    root_powers: Vec<ShoupPrecomputed>,
+    /// ψ^{-bitrev(i)} in Shoup form, i in 0..N.
+    inv_root_powers: Vec<ShoupPrecomputed>,
+    /// N^{-1} mod q in Shoup form.
+    inv_degree: ShoupPrecomputed,
+}
+
+/// Error returned when NTT tables cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NttError {
+    /// Degree must be a power of two and at least 2.
+    InvalidDegree(usize),
+    /// The modulus does not support a `2N`-th root of unity.
+    IncompatibleModulus {
+        /// The offending modulus value.
+        modulus: u64,
+        /// The requested degree.
+        degree: usize,
+    },
+}
+
+impl std::fmt::Display for NttError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NttError::InvalidDegree(n) => write!(f, "invalid NTT degree {n}"),
+            NttError::IncompatibleModulus { modulus, degree } => write!(
+                f,
+                "modulus {modulus} does not admit a primitive {}-th root of unity",
+                2 * degree
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NttError {}
+
+fn bit_reverse(mut value: usize, bits: u32) -> usize {
+    let mut result = 0usize;
+    for _ in 0..bits {
+        result = (result << 1) | (value & 1);
+        value >>= 1;
+    }
+    result
+}
+
+impl NttTables {
+    /// Builds NTT tables for ring degree `degree` over `modulus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError`] if the degree is not a power of two or if the
+    /// modulus is not congruent to 1 modulo `2 * degree`.
+    pub fn new(degree: usize, modulus: Modulus) -> Result<Self, NttError> {
+        if degree < 2 || !degree.is_power_of_two() {
+            return Err(NttError::InvalidDegree(degree));
+        }
+        let q = modulus.value();
+        if (q - 1) % (2 * degree as u64) != 0 {
+            return Err(NttError::IncompatibleModulus {
+                modulus: q,
+                degree,
+            });
+        }
+        let log_n = degree.trailing_zeros();
+        let psi = primitive_root_of_unity(&modulus, 2 * degree as u64);
+        let psi_inv = modulus
+            .inv(psi)
+            .expect("primitive root is invertible modulo a prime");
+
+        let mut root_powers = vec![modulus.shoup(1); degree];
+        let mut inv_root_powers = vec![modulus.shoup(1); degree];
+        let mut power = 1u64;
+        let mut inv_power = 1u64;
+        // powers[bitrev(i)] = psi^i
+        let mut plain = vec![0u64; degree];
+        let mut plain_inv = vec![0u64; degree];
+        for i in 0..degree {
+            plain[i] = power;
+            plain_inv[i] = inv_power;
+            power = modulus.mul(power, psi);
+            inv_power = modulus.mul(inv_power, psi_inv);
+        }
+        for i in 0..degree {
+            root_powers[i] = modulus.shoup(plain[bit_reverse(i, log_n)]);
+            inv_root_powers[i] = modulus.shoup(plain_inv[bit_reverse(i, log_n)]);
+        }
+        let inv_degree = modulus.shoup(
+            modulus
+                .inv(degree as u64)
+                .expect("degree is invertible modulo an odd prime"),
+        );
+        Ok(Self {
+            degree,
+            modulus,
+            root_powers,
+            inv_root_powers,
+            inv_degree,
+        })
+    }
+
+    /// The ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The coefficient modulus these tables were built for.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// In-place forward negacyclic NTT (coefficient → evaluation domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the table degree.
+    pub fn forward(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "NTT input length mismatch");
+        let q = &self.modulus;
+        let n = self.degree;
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = &self.root_powers[m + i];
+                for j in j1..j1 + t {
+                    let u = values[j];
+                    let v = q.mul_shoup(values[j + t], s);
+                    values[j] = q.add(u, v);
+                    values[j + t] = q.sub(u, v);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the table degree.
+    pub fn inverse(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "NTT input length mismatch");
+        let q = &self.modulus;
+        let n = self.degree;
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let s = &self.inv_root_powers[h + i];
+                for j in j1..j1 + t {
+                    let u = values[j];
+                    let v = values[j + t];
+                    values[j] = q.add(u, v);
+                    values[j + t] = q.mul_shoup(q.sub(u, v), s);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for value in values.iter_mut() {
+            *value = q.mul_shoup(*value, &self.inv_degree);
+        }
+    }
+}
+
+/// Multiplies two polynomials of `Z_q[X]/(X^N+1)` given in coefficient form,
+/// returning the coefficient-form product. Intended for tests and small sizes;
+/// the executor works in the evaluation domain instead.
+pub fn negacyclic_multiply_naive(a: &[u64], b: &[u64], modulus: &Modulus) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(n, b.len());
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = modulus.mul(a[i], b[j]);
+            let k = i + j;
+            if k < n {
+                out[k] = modulus.add(out[k], prod);
+            } else {
+                out[k - n] = modulus.sub(out[k - n], prod);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::generate_ntt_primes;
+    use rand::{Rng, SeedableRng};
+
+    fn tables(degree: usize, bits: u32) -> NttTables {
+        let q = generate_ntt_primes(degree, &[bits]).unwrap()[0];
+        NttTables::new(degree, Modulus::new(q).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let q = Modulus::new(97).unwrap();
+        assert!(matches!(
+            NttTables::new(100, q),
+            Err(NttError::InvalidDegree(100))
+        ));
+        // 97 - 1 = 96 is not divisible by 2*64 = 128.
+        assert!(matches!(
+            NttTables::new(64, q),
+            Err(NttError::IncompatibleModulus { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let degree = 256;
+        let ntt = tables(degree, 50);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let original: Vec<u64> = (0..degree)
+            .map(|_| rng.gen_range(0..ntt.modulus().value()))
+            .collect();
+        let mut values = original.clone();
+        ntt.forward(&mut values);
+        assert_ne!(values, original, "transform should not be the identity");
+        ntt.inverse(&mut values);
+        assert_eq!(values, original);
+    }
+
+    #[test]
+    fn pointwise_product_matches_naive_negacyclic() {
+        let degree = 64;
+        let ntt = tables(degree, 40);
+        let q = *ntt.modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a: Vec<u64> = (0..degree).map(|_| rng.gen_range(0..q.value())).collect();
+        let b: Vec<u64> = (0..degree).map(|_| rng.gen_range(0..q.value())).collect();
+        let expected = negacyclic_multiply_naive(&a, &b, &q);
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        ntt.forward(&mut fa);
+        ntt.forward(&mut fb);
+        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+        ntt.inverse(&mut fc);
+        assert_eq!(fc, expected);
+    }
+
+    #[test]
+    fn multiplying_by_x_rotates_negacyclically() {
+        let degree = 32;
+        let ntt = tables(degree, 30);
+        let q = *ntt.modulus();
+        // a = X^(N-1), b = X  =>  a*b = X^N = -1.
+        let mut a = vec![0u64; degree];
+        a[degree - 1] = 1;
+        let mut b = vec![0u64; degree];
+        b[1] = 1;
+        let product = negacyclic_multiply_naive(&a, &b, &q);
+        let mut expected = vec![0u64; degree];
+        expected[0] = q.value() - 1;
+        assert_eq!(product, expected);
+    }
+}

@@ -1,0 +1,288 @@
+//! Primality testing and NTT-friendly prime generation.
+//!
+//! The RNS-CKKS coefficient modulus is a product of word-sized primes, each of
+//! which must satisfy `q ≡ 1 (mod 2N)` so that the negacyclic NTT of degree `N`
+//! exists modulo `q`. [`generate_ntt_primes`] produces distinct primes with the
+//! requested bit sizes, mirroring SEAL's `CoeffModulus::Create`.
+
+use crate::modulus::Modulus;
+
+/// Deterministic Miller–Rabin primality test, valid for all `u64` inputs.
+///
+/// Uses the fixed witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`
+/// which is known to be sufficient for 64-bit integers.
+///
+/// # Examples
+///
+/// ```
+/// use eva_math::is_prime;
+/// assert!(is_prime((1u64 << 61) - 1)); // Mersenne prime
+/// assert!(!is_prime(1_000_000_000));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    let modulus = match Modulus::new(n) {
+        Ok(m) => m,
+        // Values >= 2^62 fall back to plain u128 arithmetic.
+        Err(_) => return is_prime_u128(n, d, s),
+    };
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = modulus.pow(a % n, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = modulus.mul(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn is_prime_u128(n: u64, d: u64, s: u32) -> bool {
+    let n128 = n as u128;
+    let pow = |mut base: u128, mut e: u64| -> u128 {
+        let mut acc = 1u128;
+        base %= n128;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base % n128;
+            }
+            base = base * base % n128;
+            e >>= 1;
+        }
+        acc
+    };
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow(a as u128, d);
+        if x == 1 || x == n128 - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x * x % n128;
+            if x == n128 - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Error returned by [`generate_ntt_primes`] when a request cannot be satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrimeGenError {
+    /// The polynomial degree must be a power of two and at least 2.
+    InvalidDegree(usize),
+    /// A requested bit size was outside the supported range `[2, 61]`.
+    InvalidBitSize(u32),
+    /// No more primes of the requested size exist for this degree.
+    Exhausted {
+        /// Bit size that could not be satisfied.
+        bit_size: u32,
+        /// Ring degree for which the prime was requested.
+        degree: usize,
+    },
+}
+
+impl std::fmt::Display for PrimeGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrimeGenError::InvalidDegree(n) => write!(f, "invalid polynomial degree {n}"),
+            PrimeGenError::InvalidBitSize(b) => write!(f, "invalid prime bit size {b}"),
+            PrimeGenError::Exhausted { bit_size, degree } => write!(
+                f,
+                "no more {bit_size}-bit NTT primes available for degree {degree}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrimeGenError {}
+
+/// Generates distinct primes `q_i ≡ 1 (mod 2N)` with the requested bit sizes.
+///
+/// Primes of equal bit size are distinct; the search walks downwards from the
+/// largest candidate of each size, exactly like SEAL's `CoeffModulus::Create`,
+/// so results are deterministic.
+///
+/// # Errors
+///
+/// Returns an error if `degree` is not a power of two, a bit size is outside
+/// `[2, 61]`, or the supply of suitable primes is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use eva_math::generate_ntt_primes;
+/// let primes = generate_ntt_primes(4096, &[40, 40, 60]).unwrap();
+/// assert_eq!(primes.len(), 3);
+/// assert!(primes.iter().all(|&q| q % (2 * 4096) == 1));
+/// ```
+pub fn generate_ntt_primes(degree: usize, bit_sizes: &[u32]) -> Result<Vec<u64>, PrimeGenError> {
+    if degree < 2 || !degree.is_power_of_two() {
+        return Err(PrimeGenError::InvalidDegree(degree));
+    }
+    let factor = 2 * degree as u64;
+    let mut result = Vec::with_capacity(bit_sizes.len());
+    for &bits in bit_sizes {
+        if !(2..=61).contains(&bits) {
+            return Err(PrimeGenError::InvalidBitSize(bits));
+        }
+        // Start from the largest multiple of `factor` strictly below 2^bits, +1.
+        let upper = 1u64 << bits;
+        let mut candidate = (upper - 1) / factor * factor + 1;
+        loop {
+            if candidate <= (1u64 << (bits - 1)) {
+                return Err(PrimeGenError::Exhausted {
+                    bit_size: bits,
+                    degree,
+                });
+            }
+            if is_prime(candidate) && !result.contains(&candidate) {
+                result.push(candidate);
+                break;
+            }
+            candidate -= factor;
+        }
+    }
+    Ok(result)
+}
+
+/// Returns the minimal primitive root modulo the prime `q`, i.e. a generator of
+/// the multiplicative group `Z_q^*`.
+///
+/// # Panics
+///
+/// Panics if `q` is not prime (the factorization loop would not terminate
+/// meaningfully); this is an internal helper exposed for the NTT tables.
+pub fn primitive_root(modulus: &Modulus) -> u64 {
+    let q = modulus.value();
+    let group_order = q - 1;
+    // Factor the group order (word-sized trial division is fine here; this runs
+    // once per prime at context-creation time).
+    let mut factors = Vec::new();
+    let mut m = group_order;
+    let mut p = 2u64;
+    while p * p <= m {
+        if m % p == 0 {
+            factors.push(p);
+            while m % p == 0 {
+                m /= p;
+            }
+        }
+        p += 1;
+    }
+    if m > 1 {
+        factors.push(m);
+    }
+    'candidate: for g in 2..q {
+        for &f in &factors {
+            if modulus.pow(g, group_order / f) == 1 {
+                continue 'candidate;
+            }
+        }
+        return g;
+    }
+    unreachable!("every prime field has a primitive root")
+}
+
+/// Returns a primitive `order`-th root of unity modulo the prime `q`.
+///
+/// # Panics
+///
+/// Panics if `order` does not divide `q - 1`.
+pub fn primitive_root_of_unity(modulus: &Modulus, order: u64) -> u64 {
+    let q = modulus.value();
+    assert!(
+        (q - 1) % order == 0,
+        "order {order} does not divide q-1 for q={q}"
+    );
+    let g = primitive_root(modulus);
+    modulus.pow(g, (q - 1) / order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_recognized() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 97, 65537];
+        for &p in &primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        let composites = [0u64, 1, 4, 6, 9, 15, 21, 91, 561, 1_000_000, 6_700_417 * 3];
+        for &c in &composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(is_prime((1u64 << 61) - 1));
+        assert!(is_prime(0xffff_ffff_0000_0001)); // Goldilocks, 2^64 - 2^32 + 1
+        assert!(!is_prime((1u64 << 61) - 3));
+    }
+
+    #[test]
+    fn generated_primes_are_ntt_friendly() {
+        let degree = 2048;
+        let primes = generate_ntt_primes(degree, &[30, 30, 40, 60]).unwrap();
+        assert_eq!(primes.len(), 4);
+        for (i, &q) in primes.iter().enumerate() {
+            assert!(is_prime(q));
+            assert_eq!(q % (2 * degree as u64), 1);
+            let requested = [30u32, 30, 40, 60][i];
+            assert_eq!(64 - q.leading_zeros(), requested);
+        }
+        // Equal bit sizes must still give distinct primes.
+        assert_ne!(primes[0], primes[1]);
+    }
+
+    #[test]
+    fn generation_rejects_bad_input() {
+        assert!(matches!(
+            generate_ntt_primes(1000, &[30]),
+            Err(PrimeGenError::InvalidDegree(1000))
+        ));
+        assert!(matches!(
+            generate_ntt_primes(1024, &[62]),
+            Err(PrimeGenError::InvalidBitSize(62))
+        ));
+        assert!(matches!(
+            generate_ntt_primes(1024, &[1]),
+            Err(PrimeGenError::InvalidBitSize(1))
+        ));
+    }
+
+    #[test]
+    fn primitive_root_of_unity_has_exact_order() {
+        let degree = 1024u64;
+        let primes = generate_ntt_primes(degree as usize, &[40]).unwrap();
+        let q = Modulus::new(primes[0]).unwrap();
+        let w = primitive_root_of_unity(&q, 2 * degree);
+        assert_eq!(q.pow(w, 2 * degree), 1);
+        assert_ne!(q.pow(w, degree), 1, "root must be primitive");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the arithmetic substrate.
+
+use eva_math::modulus::Modulus;
+use eva_math::ntt::{negacyclic_multiply_naive, NttTables};
+use eva_math::primes::generate_ntt_primes;
+use eva_math::{Complex, SpecialFft};
+use proptest::prelude::*;
+
+fn arb_modulus() -> impl Strategy<Value = Modulus> {
+    // A spread of interesting prime moduli between 2 and 61 bits.
+    prop::sample::select(vec![
+        3u64,
+        257,
+        65537,
+        (1 << 30) - 35,
+        (1 << 40) - 87,
+        (1 << 50) - 27,
+        2_305_843_009_213_693_951, // 2^61 - 1
+    ])
+    .prop_map(|q| Modulus::new(q).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn barrett_reduction_matches_u128_remainder(q in arb_modulus(), z in any::<u128>()) {
+        prop_assert_eq!(q.reduce_u128(z) as u128, z % q.value() as u128);
+    }
+
+    #[test]
+    fn modular_mul_is_commutative_and_associative(
+        q in arb_modulus(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+    ) {
+        let (a, b, c) = (q.reduce(a), q.reduce(b), q.reduce(c));
+        prop_assert_eq!(q.mul(a, b), q.mul(b, a));
+        prop_assert_eq!(q.mul(q.mul(a, b), c), q.mul(a, q.mul(b, c)));
+        // Distributivity over addition.
+        prop_assert_eq!(q.mul(a, q.add(b, c)), q.add(q.mul(a, b), q.mul(a, c)));
+    }
+
+    #[test]
+    fn modular_inverse_is_two_sided(q in arb_modulus(), a in 1u64..u64::MAX) {
+        let a = q.reduce(a);
+        if a != 0 {
+            if let Some(inv) = q.inv(a) {
+                prop_assert_eq!(q.mul(a, inv), 1);
+                prop_assert_eq!(q.mul(inv, a), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shoup_multiplication_matches_barrett(q in arb_modulus(), a in any::<u64>(), c in any::<u64>()) {
+        let a = q.reduce(a);
+        let c = q.reduce(c);
+        let pre = q.shoup(c);
+        prop_assert_eq!(q.mul_shoup(a, &pre), q.mul(a, c));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ntt_roundtrip_and_convolution(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let degree = 128usize;
+        let q_val = generate_ntt_primes(degree, &[45]).unwrap()[0];
+        let q = Modulus::new(q_val).unwrap();
+        let ntt = NttTables::new(degree, q).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<u64> = (0..degree).map(|_| rng.gen_range(0..q_val)).collect();
+        let b: Vec<u64> = (0..degree).map(|_| rng.gen_range(0..q_val)).collect();
+
+        // Round trip.
+        let mut fa = a.clone();
+        ntt.forward(&mut fa);
+        let mut back = fa.clone();
+        ntt.inverse(&mut back);
+        prop_assert_eq!(&back, &a);
+
+        // Convolution theorem against the naive negacyclic product.
+        let mut fb = b.clone();
+        ntt.forward(&mut fb);
+        let mut prod: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+        ntt.inverse(&mut prod);
+        prop_assert_eq!(prod, negacyclic_multiply_naive(&a, &b, &q));
+    }
+
+    #[test]
+    fn canonical_embedding_roundtrip(values in prop::collection::vec(-1000.0f64..1000.0, 32)) {
+        let fft = SpecialFft::new(128);
+        let original: Vec<Complex> = values.iter().map(|&v| Complex::from_real(v)).collect();
+        let mut work = original.clone();
+        fft.embed_inverse(&mut work);
+        fft.embed(&mut work);
+        for (a, b) in work.iter().zip(&original) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!((a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn embedding_is_linear(values in prop::collection::vec(-100.0f64..100.0, 16), scale in 1.0f64..8.0) {
+        // embed_inverse(scale * v) == scale * embed_inverse(v)
+        let fft = SpecialFft::new(64);
+        let mut a: Vec<Complex> = values.iter().map(|&v| Complex::from_real(v)).collect();
+        let mut b: Vec<Complex> = values.iter().map(|&v| Complex::from_real(v * scale)).collect();
+        fft.embed_inverse(&mut a);
+        fft.embed_inverse(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.re * scale - y.re).abs() < 1e-6);
+            prop_assert!((x.im * scale - y.im).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Exact CRT composition of RNS residues.
+//!
+//! Decryption needs to turn the residues `(x mod q_0, …, x mod q_{k-1})` back
+//! into the centered integer `x ∈ (-Q/2, Q/2]` so the CKKS decoder can divide
+//! by the scale. The ciphertext modulus `Q` routinely exceeds 128 bits, so a
+//! small arbitrary-precision unsigned integer type [`UBig`] is provided here —
+//! just enough functionality for CRT reconstruction (addition, word
+//! multiplication, comparison, subtraction, halving, conversion to `f64`).
+
+use eva_math::modulus::Modulus;
+
+/// A little-endian arbitrary-precision unsigned integer.
+///
+/// Only the operations needed by CRT composition are implemented; the type is
+/// not meant as a general big-integer library.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UBig {
+    /// Little-endian 64-bit limbs; no trailing zero limbs except for zero itself.
+    limbs: Vec<u64>,
+}
+
+impl UBig {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { limbs: vec![] }
+    }
+
+    /// Creates a big integer from a single word.
+    pub fn from_u64(value: u64) -> Self {
+        if value == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![value] }
+        }
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &UBig) {
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.limbs[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub_assign(&mut self, other: &UBig) {
+        assert!(
+            self.cmp_big(other) != std::cmp::Ordering::Less,
+            "UBig subtraction would underflow"
+        );
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            self.limbs[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        self.trim();
+    }
+
+    /// Returns `self * factor` for a word-sized factor.
+    pub fn mul_u64(&self, factor: u64) -> UBig {
+        if factor == 0 || self.is_zero() {
+            return UBig::zero();
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &limb in &self.limbs {
+            let prod = limb as u128 * factor as u128 + carry;
+            limbs.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry > 0 {
+            limbs.push(carry as u64);
+        }
+        let mut out = UBig { limbs };
+        out.trim();
+        out
+    }
+
+    /// Compares two big integers.
+    pub fn cmp_big(&self, other: &UBig) -> std::cmp::Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Returns `floor(self / 2)`.
+    pub fn half(&self) -> UBig {
+        let mut limbs = vec![0u64; self.limbs.len()];
+        let mut carry = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            limbs[i] = (self.limbs[i] >> 1) | (carry << 63);
+            carry = self.limbs[i] & 1;
+        }
+        let mut out = UBig { limbs };
+        out.trim();
+        out
+    }
+
+    /// Approximate conversion to `f64` (round-to-nearest on the top bits).
+    pub fn to_f64(&self) -> f64 {
+        let mut value = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            value = value * 18446744073709551616.0 + limb as f64;
+        }
+        value
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// Reduces `self` modulo a word-sized modulus.
+    pub fn rem_u64(&self, modulus: &Modulus) -> u64 {
+        let mut rem = 0u64;
+        for &limb in self.limbs.iter().rev() {
+            // rem = (rem * 2^64 + limb) mod q
+            let wide = ((rem as u128) << 64) | limb as u128;
+            rem = modulus.reduce_u128(wide);
+        }
+        rem
+    }
+}
+
+/// Precomputed data for composing RNS residues into centered big integers and
+/// then into `f64` values.
+#[derive(Debug, Clone)]
+pub struct CrtComposer {
+    moduli: Vec<Modulus>,
+    /// Q = product of all moduli.
+    product: UBig,
+    /// Q / 2 for centering.
+    half_product: UBig,
+    /// Punctured products Q / q_i.
+    punctured: Vec<UBig>,
+    /// (Q / q_i)^{-1} mod q_i.
+    inverses: Vec<u64>,
+}
+
+impl CrtComposer {
+    /// Builds a composer for the given prime chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is empty or if a punctured product is not invertible
+    /// (which cannot happen for distinct primes).
+    pub fn new(moduli: &[Modulus]) -> Self {
+        assert!(!moduli.is_empty(), "CRT composer needs at least one modulus");
+        let mut product = UBig::from_u64(1);
+        for m in moduli {
+            product = product.mul_u64(m.value());
+        }
+        let mut punctured = Vec::with_capacity(moduli.len());
+        let mut inverses = Vec::with_capacity(moduli.len());
+        for (i, m) in moduli.iter().enumerate() {
+            let mut p = UBig::from_u64(1);
+            for (j, other) in moduli.iter().enumerate() {
+                if i != j {
+                    p = p.mul_u64(other.value());
+                }
+            }
+            let p_mod = p.rem_u64(m);
+            let inv = m
+                .inv(p_mod)
+                .expect("punctured product must be invertible modulo a distinct prime");
+            punctured.push(p);
+            inverses.push(inv);
+        }
+        let half_product = product.half();
+        Self {
+            moduli: moduli.to_vec(),
+            product,
+            half_product,
+            punctured,
+            inverses,
+        }
+    }
+
+    /// The number of moduli in the basis.
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// Whether the composer is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// The full product `Q` of the basis.
+    pub fn product(&self) -> &UBig {
+        &self.product
+    }
+
+    /// Composes one coefficient's residues into the centered value, returned as
+    /// an `f64` (sign and magnitude). The input must supply one residue per
+    /// modulus of the basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len()` differs from the basis size.
+    pub fn compose_centered_f64(&self, residues: &[u64]) -> f64 {
+        assert_eq!(residues.len(), self.moduli.len());
+        // x = sum_i [r_i * inv_i mod q_i] * (Q / q_i), reduced mod Q.
+        let mut acc = UBig::zero();
+        for (i, (&r, m)) in residues.iter().zip(&self.moduli).enumerate() {
+            let t = m.mul(m.reduce(r), self.inverses[i]);
+            acc.add_assign(&self.punctured[i].mul_u64(t));
+        }
+        // acc < len * Q, so a few subtractions bring it into [0, Q).
+        while acc.cmp_big(&self.product) != std::cmp::Ordering::Less {
+            acc.sub_assign(&self.product);
+        }
+        if acc.cmp_big(&self.half_product) == std::cmp::Ordering::Greater {
+            let mut neg = self.product.clone();
+            neg.sub_assign(&acc);
+            -neg.to_f64()
+        } else {
+            acc.to_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ubig_add_mul_roundtrip() {
+        let a = UBig::from_u64(u64::MAX);
+        let b = a.mul_u64(u64::MAX);
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let expected = (u64::MAX as u128) * (u64::MAX as u128);
+        assert!((b.to_f64() - expected as f64).abs() / (expected as f64) < 1e-15);
+        let mut c = b.clone();
+        c.add_assign(&UBig::from_u64(1));
+        assert_eq!(c.bits(), 128);
+    }
+
+    #[test]
+    fn ubig_sub_and_cmp() {
+        let mut a = UBig::from_u64(100).mul_u64(u64::MAX);
+        let b = UBig::from_u64(99).mul_u64(u64::MAX);
+        assert_eq!(a.cmp_big(&b), std::cmp::Ordering::Greater);
+        a.sub_assign(&b);
+        assert_eq!(a, UBig::from_u64(u64::MAX));
+    }
+
+    #[test]
+    fn ubig_half_and_rem() {
+        let a = UBig::from_u64(12345).mul_u64(1 << 40);
+        let h = a.half();
+        assert!((h.to_f64() * 2.0 - a.to_f64()).abs() < 1.0);
+        let q = Modulus::new(97).unwrap();
+        let direct = (12345u128 << 40) % 97;
+        assert_eq!(a.rem_u64(&q) as u128, direct);
+    }
+
+    #[test]
+    fn crt_composition_recovers_small_values() {
+        let moduli: Vec<Modulus> = eva_math::generate_ntt_primes(64, &[50, 50, 59])
+            .unwrap()
+            .iter()
+            .map(|&q| Modulus::new(q).unwrap())
+            .collect();
+        let composer = CrtComposer::new(&moduli);
+        for &value in &[0i64, 1, -1, 123456789, -987654321, i64::MAX / 4, i64::MIN / 4] {
+            let residues: Vec<u64> = moduli
+                .iter()
+                .map(|m| {
+                    let q = m.value() as i128;
+                    (value as i128).rem_euclid(q) as u64
+                })
+                .collect();
+            let recovered = composer.compose_centered_f64(&residues);
+            let err = (recovered - value as f64).abs();
+            assert!(err < 2.0, "value {value} recovered as {recovered}");
+        }
+    }
+
+    #[test]
+    fn crt_composition_single_modulus() {
+        let moduli = vec![Modulus::new(65537).unwrap()];
+        let composer = CrtComposer::new(&moduli);
+        assert_eq!(composer.compose_centered_f64(&[3]), 3.0);
+        assert_eq!(composer.compose_centered_f64(&[65536]), -1.0);
+    }
+}

@@ -1,0 +1,501 @@
+//! RNS polynomials and their ring operations.
+
+use eva_math::galois::GaloisTool;
+
+use crate::basis::RnsBasis;
+
+/// Representation domain of an [`RnsPoly`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolyForm {
+    /// Coefficient domain: residue `i` holds the polynomial coefficients mod `q_i`.
+    Coeff,
+    /// Evaluation (NTT) domain: residue `i` holds the NTT of the coefficients mod `q_i`.
+    Ntt,
+}
+
+/// A polynomial of `Z_Q[X]/(X^N+1)` stored residue-wise over a prefix of an
+/// [`RnsBasis`] prime chain.
+///
+/// The number of stored residues is the polynomial's *level* (the paper's
+/// `r` for that ciphertext); RESCALE and MODSWITCH shrink it from the back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RnsPoly {
+    degree: usize,
+    residues: Vec<Vec<u64>>,
+    form: PolyForm,
+}
+
+impl RnsPoly {
+    /// A zero polynomial with `level` residues of the given degree and form.
+    pub fn zero(degree: usize, level: usize, form: PolyForm) -> Self {
+        Self {
+            degree,
+            residues: vec![vec![0u64; degree]; level],
+            form,
+        }
+    }
+
+    /// Builds a polynomial directly from residue rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are empty or have inconsistent lengths.
+    pub fn from_residues(residues: Vec<Vec<u64>>, form: PolyForm) -> Self {
+        assert!(!residues.is_empty(), "polynomial must have at least one residue");
+        let degree = residues[0].len();
+        assert!(
+            residues.iter().all(|r| r.len() == degree),
+            "residue rows must all have the same length"
+        );
+        Self {
+            degree,
+            residues,
+            form,
+        }
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of residues (primes) this polynomial currently spans.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// The representation domain.
+    #[inline]
+    pub fn form(&self) -> PolyForm {
+        self.form
+    }
+
+    /// Residue row `i` (the polynomial modulo `q_i`).
+    #[inline]
+    pub fn residue(&self, i: usize) -> &[u64] {
+        &self.residues[i]
+    }
+
+    /// Mutable residue row `i`.
+    #[inline]
+    pub fn residue_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.residues[i]
+    }
+
+    fn check_compatible(&self, other: &RnsPoly) {
+        assert_eq!(self.degree, other.degree, "degree mismatch");
+        assert_eq!(self.level(), other.level(), "level mismatch");
+        assert_eq!(self.form, other.form, "form mismatch");
+    }
+
+    fn check_basis(&self, basis: &RnsBasis) {
+        assert_eq!(self.degree, basis.degree(), "basis degree mismatch");
+        assert!(
+            self.level() <= basis.len(),
+            "polynomial level {} exceeds basis length {}",
+            self.level(),
+            basis.len()
+        );
+    }
+
+    /// Converts the polynomial to NTT form in place (no-op if already NTT).
+    pub fn to_ntt(&mut self, basis: &RnsBasis) {
+        self.check_basis(basis);
+        if self.form == PolyForm::Ntt {
+            return;
+        }
+        for (i, row) in self.residues.iter_mut().enumerate() {
+            basis.ntt_tables()[i].forward(row);
+        }
+        self.form = PolyForm::Ntt;
+    }
+
+    /// Converts the polynomial to coefficient form in place (no-op if already
+    /// in coefficient form).
+    pub fn to_coeff(&mut self, basis: &RnsBasis) {
+        self.check_basis(basis);
+        if self.form == PolyForm::Coeff {
+            return;
+        }
+        for (i, row) in self.residues.iter_mut().enumerate() {
+            basis.ntt_tables()[i].inverse(row);
+        }
+        self.form = PolyForm::Coeff;
+    }
+
+    /// `self += other` (element-wise per residue). Operands must agree in
+    /// degree, level and form.
+    pub fn add_assign(&mut self, other: &RnsPoly, basis: &RnsBasis) {
+        self.check_compatible(other);
+        self.check_basis(basis);
+        for (i, (row, other_row)) in self.residues.iter_mut().zip(&other.residues).enumerate() {
+            let q = &basis.moduli()[i];
+            for (a, &b) in row.iter_mut().zip(other_row) {
+                *a = q.add(*a, b);
+            }
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, other: &RnsPoly, basis: &RnsBasis) {
+        self.check_compatible(other);
+        self.check_basis(basis);
+        for (i, (row, other_row)) in self.residues.iter_mut().zip(&other.residues).enumerate() {
+            let q = &basis.moduli()[i];
+            for (a, &b) in row.iter_mut().zip(other_row) {
+                *a = q.sub(*a, b);
+            }
+        }
+    }
+
+    /// `self = -self`.
+    pub fn negate(&mut self, basis: &RnsBasis) {
+        self.check_basis(basis);
+        for (i, row) in self.residues.iter_mut().enumerate() {
+            let q = &basis.moduli()[i];
+            for a in row.iter_mut() {
+                *a = q.neg(*a);
+            }
+        }
+    }
+
+    /// `self *= other` element-wise in the evaluation domain (dyadic product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not in NTT form.
+    pub fn dyadic_mul_assign(&mut self, other: &RnsPoly, basis: &RnsBasis) {
+        self.check_compatible(other);
+        self.check_basis(basis);
+        assert_eq!(self.form, PolyForm::Ntt, "dyadic product requires NTT form");
+        for (i, (row, other_row)) in self.residues.iter_mut().zip(&other.residues).enumerate() {
+            let q = &basis.moduli()[i];
+            for (a, &b) in row.iter_mut().zip(other_row) {
+                *a = q.mul(*a, b);
+            }
+        }
+    }
+
+    /// Returns the dyadic product `self * other` without modifying the operands.
+    pub fn dyadic_mul(&self, other: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
+        let mut result = self.clone();
+        result.dyadic_mul_assign(other, basis);
+        result
+    }
+
+    /// `acc += self * other` element-wise in the evaluation domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not in NTT form or have mismatched shapes.
+    pub fn dyadic_mul_acc(&self, other: &RnsPoly, acc: &mut RnsPoly, basis: &RnsBasis) {
+        self.check_compatible(other);
+        self.check_compatible(acc);
+        assert_eq!(self.form, PolyForm::Ntt, "dyadic product requires NTT form");
+        for i in 0..self.level() {
+            let q = &basis.moduli()[i];
+            let acc_row = &mut acc.residues[i];
+            for j in 0..self.degree {
+                let prod = q.mul(self.residues[i][j], other.residues[i][j]);
+                acc_row[j] = q.add(acc_row[j], prod);
+            }
+        }
+    }
+
+    /// Multiplies every residue by a scalar (given as an unreduced `u64`).
+    pub fn mul_scalar(&mut self, scalar: u64, basis: &RnsBasis) {
+        self.check_basis(basis);
+        for (i, row) in self.residues.iter_mut().enumerate() {
+            let q = &basis.moduli()[i];
+            let s = q.reduce(scalar);
+            let pre = q.shoup(s);
+            for a in row.iter_mut() {
+                *a = q.mul_shoup(*a, &pre);
+            }
+        }
+    }
+
+    /// Drops the last residue (the paper's MODSWITCH on the polynomial layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one residue remains.
+    pub fn drop_last(&mut self) {
+        assert!(
+            self.level() > 1,
+            "cannot drop the last remaining RNS residue"
+        );
+        self.residues.pop();
+    }
+
+    /// Divides the polynomial by the last prime of its chain (with rounding
+    /// towards the RNS floor), dropping that prime — the polynomial layer of
+    /// the paper's RESCALE. Works in either representation form and preserves
+    /// the form of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one residue remains.
+    pub fn rescale_by_last(&mut self, basis: &RnsBasis) {
+        self.check_basis(basis);
+        assert!(self.level() > 1, "cannot rescale a single-prime polynomial");
+        let last_idx = self.level() - 1;
+        let q_last = basis.moduli()[last_idx];
+
+        // Bring the last residue into coefficient form so its integer
+        // representative can be reduced modulo every remaining prime.
+        let mut last_coeff = self.residues[last_idx].clone();
+        if self.form == PolyForm::Ntt {
+            basis.ntt_tables()[last_idx].inverse(&mut last_coeff);
+        }
+        let half_q_last = q_last.value() / 2;
+
+        for i in 0..last_idx {
+            let q_i = &basis.moduli()[i];
+            let inv_q_last = q_i
+                .inv(q_i.reduce(q_last.value()))
+                .expect("chain primes are distinct, so q_last is invertible");
+            let inv_pre = q_i.shoup(inv_q_last);
+            // delta = centered representative of the last residue, reduced mod q_i.
+            let mut delta: Vec<u64> = last_coeff
+                .iter()
+                .map(|&c| {
+                    if c > half_q_last {
+                        // negative representative: c - q_last
+                        q_i.sub(q_i.reduce(c), q_i.reduce(q_last.value()))
+                    } else {
+                        q_i.reduce(c)
+                    }
+                })
+                .collect();
+            if self.form == PolyForm::Ntt {
+                basis.ntt_tables()[i].forward(&mut delta);
+            }
+            let row = &mut self.residues[i];
+            for (a, &d) in row.iter_mut().zip(&delta) {
+                *a = q_i.mul_shoup(q_i.sub(*a, d), &inv_pre);
+            }
+        }
+        self.residues.pop();
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^galois_elt` and returns the
+    /// transformed polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial is not in coefficient form.
+    pub fn apply_galois(&self, galois_elt: u64, basis: &RnsBasis) -> RnsPoly {
+        self.check_basis(basis);
+        assert_eq!(
+            self.form,
+            PolyForm::Coeff,
+            "Galois automorphisms are applied in coefficient form"
+        );
+        let tool = GaloisTool::new(self.degree);
+        let mut residues = Vec::with_capacity(self.level());
+        for (i, row) in self.residues.iter().enumerate() {
+            let mut out = vec![0u64; self.degree];
+            tool.apply(row, galois_elt, &basis.moduli()[i], &mut out);
+            residues.push(out);
+        }
+        RnsPoly::from_residues(residues, PolyForm::Coeff)
+    }
+
+    /// Returns a copy of this polynomial restricted to its first `level`
+    /// residues (the same polynomial under a smaller prefix of the chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero or exceeds the current level.
+    pub fn truncated(&self, level: usize) -> RnsPoly {
+        assert!(
+            level >= 1 && level <= self.level(),
+            "cannot truncate level {} polynomial to level {level}",
+            self.level()
+        );
+        RnsPoly {
+            degree: self.degree,
+            residues: self.residues[..level].to_vec(),
+            form: self.form,
+        }
+    }
+
+    /// True if every residue of the polynomial is zero.
+    pub fn is_zero(&self) -> bool {
+        self.residues
+            .iter()
+            .all(|row| row.iter().all(|&c| c == 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::RnsBasis;
+    use eva_math::generate_ntt_primes;
+    use rand::{Rng, SeedableRng};
+
+    fn basis(degree: usize, bits: &[u32]) -> RnsBasis {
+        let primes = generate_ntt_primes(degree, bits).unwrap();
+        RnsBasis::new(degree, &primes).unwrap()
+    }
+
+    fn random_poly(basis: &RnsBasis, level: usize, seed: u64) -> RnsPoly {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let residues: Vec<Vec<u64>> = (0..level)
+            .map(|i| {
+                (0..basis.degree())
+                    .map(|_| rng.gen_range(0..basis.moduli()[i].value()))
+                    .collect()
+            })
+            .collect();
+        RnsPoly::from_residues(residues, PolyForm::Coeff)
+    }
+
+    #[test]
+    fn add_sub_are_inverses() {
+        let b = basis(32, &[30, 30, 40]);
+        let mut a = random_poly(&b, 3, 1);
+        let original = a.clone();
+        let c = random_poly(&b, 3, 2);
+        a.add_assign(&c, &b);
+        a.sub_assign(&c, &b);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn negate_twice_is_identity() {
+        let b = basis(32, &[30, 30]);
+        let mut a = random_poly(&b, 2, 3);
+        let original = a.clone();
+        a.negate(&b);
+        assert_ne!(a, original);
+        a.negate(&b);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn ntt_roundtrip_preserves_polynomial() {
+        let b = basis(64, &[40, 50]);
+        let mut a = random_poly(&b, 2, 4);
+        let original = a.clone();
+        a.to_ntt(&b);
+        assert_eq!(a.form(), PolyForm::Ntt);
+        a.to_coeff(&b);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn dyadic_mul_matches_naive_multiplication() {
+        let b = basis(32, &[40]);
+        let q = &b.moduli()[0];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let ac: Vec<u64> = (0..32).map(|_| rng.gen_range(0..q.value())).collect();
+        let bc: Vec<u64> = (0..32).map(|_| rng.gen_range(0..q.value())).collect();
+        let expected = eva_math::ntt::negacyclic_multiply_naive(&ac, &bc, q);
+
+        let mut pa = RnsPoly::from_residues(vec![ac], PolyForm::Coeff);
+        let mut pb = RnsPoly::from_residues(vec![bc], PolyForm::Coeff);
+        pa.to_ntt(&b);
+        pb.to_ntt(&b);
+        let mut prod = pa.dyadic_mul(&pb, &b);
+        prod.to_coeff(&b);
+        assert_eq!(prod.residue(0), expected.as_slice());
+    }
+
+    #[test]
+    fn mul_scalar_matches_elementwise() {
+        let b = basis(16, &[30, 31]);
+        let coeffs: Vec<i64> = (0..16).collect();
+        let mut a = b.poly_from_signed(&coeffs, 2);
+        a.mul_scalar(7, &b);
+        for (i, &c) in coeffs.iter().enumerate() {
+            assert_eq!(a.residue(0)[i], (c * 7) as u64 % b.moduli()[0].value());
+        }
+    }
+
+    #[test]
+    fn rescale_divides_scaled_constant() {
+        // Encode the constant polynomial v * q_last (exactly divisible), rescale,
+        // and expect the constant polynomial v at one level lower.
+        let b = basis(16, &[30, 30, 40]);
+        let q_last = b.moduli()[2].value();
+        let v = 12345i128;
+        let mut coeffs = vec![0i128; 16];
+        coeffs[0] = v * q_last as i128;
+        coeffs[3] = -v * q_last as i128;
+        let mut a = b.poly_from_i128(&coeffs, 3);
+        a.rescale_by_last(&b);
+        assert_eq!(a.level(), 2);
+        assert_eq!(a.residue(0)[0], v as u64);
+        assert_eq!(a.residue(1)[0], v as u64);
+        assert_eq!(a.residue(0)[3], b.moduli()[0].value() - v as u64);
+    }
+
+    #[test]
+    fn rescale_in_ntt_form_matches_coeff_form() {
+        let b = basis(32, &[30, 30, 40]);
+        let mut coeff_version = random_poly(&b, 3, 5);
+        let mut ntt_version = coeff_version.clone();
+        coeff_version.rescale_by_last(&b);
+        ntt_version.to_ntt(&b);
+        ntt_version.rescale_by_last(&b);
+        ntt_version.to_coeff(&b);
+        assert_eq!(coeff_version, ntt_version);
+    }
+
+    #[test]
+    fn drop_last_reduces_level() {
+        let b = basis(16, &[20, 21, 22]);
+        let mut a = random_poly(&b, 3, 6);
+        a.drop_last();
+        assert_eq!(a.level(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drop")]
+    fn drop_last_panics_at_level_one() {
+        let b = basis(16, &[20]);
+        let mut a = random_poly(&b, 1, 7);
+        a.drop_last();
+    }
+
+    #[test]
+    fn galois_composition_matches_single_application() {
+        let b = basis(32, &[40]);
+        let a = random_poly(&b, 1, 8);
+        // Applying g twice equals applying g^2 mod 2N.
+        let g = 5u64;
+        let twice = a.apply_galois(g, &b).apply_galois(g, &b);
+        let composed = a.apply_galois(g * g % 64, &b);
+        assert_eq!(twice, composed);
+    }
+
+    #[test]
+    fn apply_galois_is_ring_homomorphism_for_multiplication() {
+        // galois(a*b) == galois(a) * galois(b)
+        let b = basis(32, &[40]);
+        let pa = random_poly(&b, 1, 10);
+        let pb = random_poly(&b, 1, 11);
+        let g = 9u64; // 5^2 mod 64 = 25? any odd unit works; use 9 = 3^2.
+
+        let mut na = pa.clone();
+        let mut nb = pb.clone();
+        na.to_ntt(&b);
+        nb.to_ntt(&b);
+        let mut prod = na.dyadic_mul(&nb, &b);
+        prod.to_coeff(&b);
+        let lhs = prod.apply_galois(g, &b);
+
+        let mut ga = pa.apply_galois(g, &b);
+        let mut gb = pb.apply_galois(g, &b);
+        ga.to_ntt(&b);
+        gb.to_ntt(&b);
+        let mut rhs = ga.dyadic_mul(&gb, &b);
+        rhs.to_coeff(&b);
+        assert_eq!(lhs, rhs);
+    }
+}

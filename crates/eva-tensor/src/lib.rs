@@ -1,0 +1,39 @@
+//! # eva-tensor — a CHET-like neural-network compiler targeting EVA
+//!
+//! The paper re-targets CHET, a domain-specific compiler for homomorphic
+//! neural-network inference, onto EVA (Section 7.2): tensor kernels emit EVA
+//! instructions instead of calling SEAL directly, and EVA's global passes
+//! replace CHET's per-kernel insertion of FHE-specific instructions.
+//!
+//! This crate provides the pieces that comparison needs:
+//!
+//! * [`tensor`] — plaintext tensors and reference (unencrypted) inference;
+//! * [`networks`] — the five evaluation networks of Table 3, rebuilt at
+//!   laptop scale with seeded random weights (see DESIGN.md substitutions);
+//! * [`lower`] — the kernel library that lowers a network onto an EVA
+//!   program, in either EVA mode (mixed scales, global compiler passes) or
+//!   CHET-baseline mode (uniform scaling factor, rescale after every multiply,
+//!   lazy mod-switching).
+//!
+//! ```
+//! use eva_tensor::{lower_network, LoweringMode, networks::lenet5_small};
+//!
+//! let network = lenet5_small(42);
+//! let lowered = lower_network(&network, LoweringMode::Eva);
+//! let compiled = lowered.compile().unwrap();
+//! assert!(compiled.parameters.chain_length() >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lower;
+pub mod networks;
+pub mod tensor;
+
+pub use lower::{
+    lower_network, lower_network_with_scales, pack_input, vector_size_for, LayoutView,
+    LoweredNetwork, LoweringMode, ScaleConfig,
+};
+pub use networks::{all_networks, Layer, LayerCounts, Network};
+pub use tensor::{ConvWeights, FcWeights, Tensor};

@@ -1,0 +1,221 @@
+//! Plaintext tensors and reference (unencrypted) neural-network inference.
+//!
+//! The encrypted pipeline is validated against this module: a network's
+//! encrypted inference is correct when its decrypted logits match the
+//! plaintext logits computed here.
+
+/// A dense tensor in channel-height-width (CHW) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Channels.
+    pub channels: usize,
+    /// Height.
+    pub height: usize,
+    /// Width.
+    pub width: usize,
+    /// Row-major CHW data of length `channels * height * width`.
+    pub data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        Self {
+            channels,
+            height,
+            width,
+            data: vec![0.0; channels * height * width],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not match the shape.
+    pub fn from_data(channels: usize, height: usize, width: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), channels * height * width, "shape mismatch");
+        Self {
+            channels,
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    pub fn get(&self, c: usize, i: usize, j: usize) -> f64 {
+        self.data[c * self.height * self.width + i * self.width + j]
+    }
+
+    /// Mutable element accessor.
+    pub fn set(&mut self, c: usize, i: usize, j: usize, value: f64) {
+        self.data[c * self.height * self.width + i * self.width + j] = value;
+    }
+}
+
+/// Convolution weights: `[out_channels][in_channels][k][k]` flattened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvWeights {
+    /// Output channels.
+    pub out_channels: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Kernel size (square kernels).
+    pub kernel: usize,
+    /// Weights, indexed `[f][c][di][dj]` row-major.
+    pub weights: Vec<f64>,
+    /// Per-output-channel bias.
+    pub bias: Vec<f64>,
+}
+
+impl ConvWeights {
+    /// Weight accessor.
+    pub fn weight(&self, f: usize, c: usize, di: usize, dj: usize) -> f64 {
+        let k = self.kernel;
+        self.weights[((f * self.in_channels + c) * k + di) * k + dj]
+    }
+}
+
+/// Fully-connected weights: `[out_dim][in_dim]` row-major plus bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FcWeights {
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Weights, row-major `[o][t]`.
+    pub weights: Vec<f64>,
+    /// Per-output bias.
+    pub bias: Vec<f64>,
+}
+
+/// Plaintext valid (no padding, stride 1) convolution.
+pub fn conv2d(input: &Tensor, w: &ConvWeights) -> Tensor {
+    assert_eq!(input.channels, w.in_channels);
+    let out_h = input.height - w.kernel + 1;
+    let out_w = input.width - w.kernel + 1;
+    let mut out = Tensor::zeros(w.out_channels, out_h, out_w);
+    for f in 0..w.out_channels {
+        for i in 0..out_h {
+            for j in 0..out_w {
+                let mut acc = w.bias[f];
+                for c in 0..w.in_channels {
+                    for di in 0..w.kernel {
+                        for dj in 0..w.kernel {
+                            acc += input.get(c, i + di, j + dj) * w.weight(f, c, di, dj);
+                        }
+                    }
+                }
+                out.set(f, i, j, acc);
+            }
+        }
+    }
+    out
+}
+
+/// Plaintext average pooling with a square window and matching stride.
+pub fn avg_pool(input: &Tensor, window: usize) -> Tensor {
+    let out_h = input.height / window;
+    let out_w = input.width / window;
+    let mut out = Tensor::zeros(input.channels, out_h, out_w);
+    let norm = 1.0 / (window * window) as f64;
+    for c in 0..input.channels {
+        for i in 0..out_h {
+            for j in 0..out_w {
+                let mut acc = 0.0;
+                for di in 0..window {
+                    for dj in 0..window {
+                        acc += input.get(c, i * window + di, j * window + dj);
+                    }
+                }
+                out.set(c, i, j, acc * norm);
+            }
+        }
+    }
+    out
+}
+
+/// Plaintext polynomial activation `a*x^2 + b*x + c` applied element-wise.
+pub fn poly_activation(input: &Tensor, a: f64, b: f64, c: f64) -> Tensor {
+    let data = input.data.iter().map(|&x| a * x * x + b * x + c).collect();
+    Tensor::from_data(input.channels, input.height, input.width, data)
+}
+
+/// Plaintext fully-connected layer over the flattened CHW input.
+pub fn fully_connected(input: &Tensor, w: &FcWeights) -> Vec<f64> {
+    assert_eq!(input.len(), w.in_dim, "flattened input size mismatch");
+    (0..w.out_dim)
+        .map(|o| {
+            let mut acc = w.bias[o];
+            for (t, &x) in input.data.iter().enumerate() {
+                acc += x * w.weights[o * w.in_dim + t];
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel_copies_input() {
+        let input = Tensor::from_data(1, 3, 3, (1..=9).map(|v| v as f64).collect());
+        let w = ConvWeights {
+            out_channels: 1,
+            in_channels: 1,
+            kernel: 1,
+            weights: vec![1.0],
+            bias: vec![0.0],
+        };
+        let out = conv2d(&input, &w);
+        assert_eq!(out.data, input.data);
+    }
+
+    #[test]
+    fn conv_sums_window() {
+        let input = Tensor::from_data(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let w = ConvWeights {
+            out_channels: 1,
+            in_channels: 1,
+            kernel: 2,
+            weights: vec![1.0; 4],
+            bias: vec![0.5],
+        };
+        let out = conv2d(&input, &w);
+        assert_eq!(out.data, vec![10.5]);
+    }
+
+    #[test]
+    fn pooling_and_activation() {
+        let input = Tensor::from_data(1, 2, 2, vec![1.0, 3.0, 5.0, 7.0]);
+        let pooled = avg_pool(&input, 2);
+        assert_eq!(pooled.data, vec![4.0]);
+        let activated = poly_activation(&pooled, 1.0, 2.0, 0.5);
+        assert_eq!(activated.data, vec![16.0 + 8.0 + 0.5]);
+    }
+
+    #[test]
+    fn fully_connected_matches_manual_dot_product() {
+        let input = Tensor::from_data(1, 1, 3, vec![1.0, 2.0, 3.0]);
+        let w = FcWeights {
+            out_dim: 2,
+            in_dim: 3,
+            weights: vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5],
+            bias: vec![0.0, 1.0],
+        };
+        assert_eq!(fully_connected(&input, &w), vec![-2.0, 4.0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Encrypted neural-network inference with the CHET-like frontend re-targeted
+//! onto EVA (paper Section 7.2 / Table 5).
+//!
+//! Run with `cargo run --release --example dnn_inference`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use eva::backend::{execute_parallel, EncryptedContext};
+use eva::tensor::{lower_network, networks::lenet5_small, pack_input, LoweringMode, Tensor};
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = lenet5_small(42);
+    let counts = network.layer_counts();
+    println!(
+        "{}: {} conv, {} fc, {} activations, ~{} FP ops per inference",
+        network.name,
+        counts.conv,
+        counts.fc,
+        counts.act,
+        network.flop_count()
+    );
+
+    // A random "image" plays the role of an MNIST digit (see DESIGN.md on the
+    // dataset substitution).
+    let (c, h, w) = network.input_shape;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let image = Tensor::from_data(c, h, w, (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect());
+    let plain_logits = network.infer_plain(&image);
+
+    // Lower onto EVA, compile, and run encrypted inference.
+    let lowered = lower_network(&network, LoweringMode::Eva);
+    let compiled = lowered.compile()?;
+    println!(
+        "EVA program: {} nodes; parameters: N = {}, log2 Q = {}, r = {}",
+        compiled.program.len(),
+        compiled.parameters.degree,
+        compiled.parameters.total_bits(),
+        compiled.parameters.chain_length()
+    );
+
+    let start = Instant::now();
+    let mut context = EncryptedContext::setup(&compiled, Some(7))?;
+    println!("context + key generation: {:.2?}", start.elapsed());
+
+    let packed = pack_input(&image, compiled.program.vec_size());
+    let inputs: HashMap<String, Vec<f64>> =
+        [(lowered.input_name.clone(), packed)].into_iter().collect();
+    let start = Instant::now();
+    let bindings = context.encrypt_inputs(&compiled, &inputs)?;
+    println!("input encryption: {:.2?}", start.elapsed());
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let start = Instant::now();
+    let values = execute_parallel(&context, &compiled, bindings, threads)?;
+    println!("encrypted inference ({threads} threads): {:.2?}", start.elapsed());
+
+    let outputs = context.decrypt_outputs(&compiled, &values)?;
+    let logits = lowered.extract_logits(&outputs[&lowered.output_name]);
+
+    println!("plaintext logits: {plain_logits:.4?}");
+    println!("encrypted logits: {logits:.4?}");
+    let plain_argmax = argmax(&plain_logits);
+    let enc_argmax = argmax(&logits);
+    println!("predicted class: plaintext {plain_argmax}, encrypted {enc_argmax}");
+    assert_eq!(plain_argmax, enc_argmax, "encrypted inference changed the prediction");
+    Ok(())
+}
+
+fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}

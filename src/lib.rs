@@ -1,0 +1,65 @@
+//! # EVA: Encrypted Vector Arithmetic — umbrella crate
+//!
+//! This crate re-exports the public API of the EVA reproduction workspace so a
+//! downstream user can depend on a single crate:
+//!
+//! * [`ir`] — the EVA language / intermediate representation and the optimizing
+//!   compiler ([`eva_core`]).
+//! * [`ckks`] — the RNS-CKKS fully-homomorphic encryption scheme used as the
+//!   execution target (stand-in for Microsoft SEAL).
+//! * [`backend`] — reference, CKKS and parallel executors for compiled programs.
+//! * [`frontend`] — an embedded builder DSL equivalent to the paper's PyEVA.
+//! * [`tensor`] — the CHET-like deep-neural-network-to-EVA compiler.
+//! * [`apps`] — the arithmetic, statistical-ML and image-processing applications
+//!   evaluated in the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eva::frontend::ProgramBuilder;
+//! use eva::compile_and_run;
+//!
+//! // Compute x^2 + x on an encrypted vector of 8 slots.
+//! let mut b = ProgramBuilder::new("quickstart", 8);
+//! let x = b.input_cipher("x", 30);
+//! let y = &x * &x + &x;
+//! b.output("y", y, 30);
+//! let program = b.build();
+//!
+//! let inputs = vec![("x".to_string(), vec![0.5; 8])];
+//! let outputs = compile_and_run(&program, &inputs).unwrap();
+//! let y = &outputs["y"];
+//! assert!((y[0] - 0.75).abs() < 1e-3);
+//! ```
+
+pub use eva_apps as apps;
+pub use eva_backend as backend;
+pub use eva_ckks as ckks;
+pub use eva_core as ir;
+pub use eva_frontend as frontend;
+pub use eva_math as math;
+pub use eva_poly as poly;
+pub use eva_tensor as tensor;
+
+use std::collections::HashMap;
+
+/// Compiles a frontend-built program with default options, generates CKKS keys,
+/// encrypts the named inputs, executes homomorphically and decrypts the outputs.
+///
+/// This is the "do everything" convenience entry point used by the examples; the
+/// individual steps are available through [`ir`], [`ckks`] and [`backend`] when a
+/// caller needs to keep keys or ciphertexts around.
+///
+/// # Errors
+///
+/// Returns an error if compilation fails validation or if execution encounters a
+/// mismatch between the program and the supplied inputs.
+pub fn compile_and_run(
+    program: &eva_core::Program,
+    inputs: &[(String, Vec<f64>)],
+) -> Result<HashMap<String, Vec<f64>>, eva_core::EvaError> {
+    let options = eva_core::CompilerOptions::default();
+    let compiled = eva_core::compile(program, &options)?;
+    let input_map: HashMap<String, Vec<f64>> = inputs.iter().cloned().collect();
+    eva_backend::run_encrypted(&compiled, &input_map)
+}

@@ -1,0 +1,92 @@
+//! End-to-end integration tests: author → compile → encrypt → execute →
+//! decrypt, compared against the reference semantics.
+
+use std::collections::HashMap;
+
+use eva::backend::{execute_parallel, run_encrypted, run_reference, EncryptedContext};
+use eva::frontend::ProgramBuilder;
+use eva::ir::{compile, CompilerOptions};
+
+fn close(a: &[f64], b: &[f64], tolerance: f64) {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!((x - y).abs() < tolerance, "slot {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn umbrella_compile_and_run_helper_works() {
+    let mut builder = ProgramBuilder::new("helper", 16);
+    let x = builder.input_cipher("x", 30);
+    let y = &x * &x - &x + 0.5;
+    builder.output("y", y, 30);
+    let program = builder.build();
+
+    let inputs = vec![("x".to_string(), vec![0.25; 16])];
+    let outputs = eva::compile_and_run(&program, &inputs).unwrap();
+    assert!((outputs["y"][0] - (0.0625 - 0.25 + 0.5)).abs() < 1e-3);
+}
+
+#[test]
+fn statistics_kernel_with_rotations_end_to_end() {
+    // Mean of 16 encrypted values via rotate-and-add reduction, a pattern the
+    // fully-connected DNN kernels rely on.
+    let size = 16;
+    let mut builder = ProgramBuilder::new("mean", size);
+    let x = builder.input_cipher("x", 30);
+    let mut acc = x.clone();
+    let mut shift = 1;
+    while shift < size {
+        acc = &acc + &acc.rotate_left(shift as i32);
+        shift <<= 1;
+    }
+    let mean = &acc * (1.0 / size as f64);
+    builder.output("mean", mean, 30);
+    let program = builder.build();
+    let compiled = compile(&program, &CompilerOptions::default()).unwrap();
+
+    let values: Vec<f64> = (0..size).map(|i| i as f64 / 10.0).collect();
+    let expected_mean = values.iter().sum::<f64>() / size as f64;
+    let inputs: HashMap<String, Vec<f64>> =
+        [("x".to_string(), values)].into_iter().collect();
+
+    let reference = run_reference(&compiled.program, &inputs).unwrap();
+    close(&reference["mean"], &vec![expected_mean; size], 1e-9);
+
+    let encrypted = run_encrypted(&compiled, &inputs).unwrap();
+    close(&encrypted["mean"], &reference["mean"], 1e-3);
+}
+
+#[test]
+fn serial_and_parallel_executors_agree_on_an_application() {
+    // Sobel on a small image, executed with both executors.
+    let app = eva::apps::image::sobel(16, 9);
+    let compiled = compile(&app.program, &CompilerOptions::default()).unwrap();
+
+    let mut context = EncryptedContext::setup(&compiled, Some(123)).unwrap();
+    let bindings = context.encrypt_inputs(&compiled, &app.inputs).unwrap();
+    let serial_values = context.execute_serial(&compiled, bindings).unwrap();
+    let serial = context.decrypt_outputs(&compiled, &serial_values).unwrap();
+
+    let bindings = context.encrypt_inputs(&compiled, &app.inputs).unwrap();
+    let parallel_values = execute_parallel(&context, &compiled, bindings, 2).unwrap();
+    let parallel = context.decrypt_outputs(&compiled, &parallel_values).unwrap();
+
+    // The two runs encrypt the inputs with fresh randomness, so they agree up
+    // to CKKS noise rather than exactly.
+    close(&serial["edges"], &parallel["edges"], 1e-3);
+    close(&serial["edges"], &app.expected["edges"], 1e-2);
+}
+
+#[test]
+fn regression_applications_run_encrypted() {
+    for app in [
+        eva::apps::regression::linear(64, 5),
+        eva::apps::regression::polynomial(64, 6),
+    ] {
+        let compiled = compile(&app.program, &CompilerOptions::default()).unwrap();
+        let outputs = run_encrypted(&compiled, &app.inputs).unwrap();
+        for (name, expected) in &app.expected {
+            close(&outputs[name], expected, app.tolerance);
+        }
+    }
+}
