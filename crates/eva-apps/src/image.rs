@@ -44,7 +44,10 @@ pub fn sobel_program(n: usize) -> eva_core::Program {
             });
         }
     }
-    let (ix, iy) = (ix.expect("kernel is non-empty"), iy.expect("kernel is non-empty"));
+    let (ix, iy) = (
+        ix.expect("kernel is non-empty"),
+        iy.expect("kernel is non-empty"),
+    );
     let energy = &(&ix * &ix) + &(&iy * &iy);
     let magnitude = sqrt_poly(&energy);
     builder.output("edges", magnitude, IMAGE_SCALE);
@@ -83,7 +86,10 @@ pub fn harris_program(n: usize) -> eva_core::Program {
             }
         }
     }
-    let (ix, iy) = (ix.expect("kernel is non-empty"), iy.expect("kernel is non-empty"));
+    let (ix, iy) = (
+        ix.expect("kernel is non-empty"),
+        iy.expect("kernel is non-empty"),
+    );
     let ixx = &ix * &ix;
     let iyy = &iy * &iy;
     let ixy = &ix * &iy;

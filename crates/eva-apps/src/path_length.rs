@@ -42,9 +42,8 @@ fn sqrt_poly(x: &Expr) -> Expr {
 /// Builds the packaged application with random sample inputs.
 pub fn application(vec_size: usize, seed: u64) -> Application {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut coord = |_: &str| -> Vec<f64> {
-        (0..vec_size).map(|_| rng.gen_range(-0.5..0.5)).collect()
-    };
+    let mut coord =
+        |_: &str| -> Vec<f64> { (0..vec_size).map(|_| rng.gen_range(-0.5..0.5)).collect() };
     let inputs: HashMap<String, Vec<f64>> = ["x1", "y1", "z1", "x2", "y2", "z2"]
         .iter()
         .map(|&name| (name.to_string(), coord(name)))

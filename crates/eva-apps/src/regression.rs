@@ -15,7 +15,8 @@ const COEFF_SCALE: u32 = 20;
 
 /// Linear regression `pred = w * x + b`, plus residuals against labels `y`.
 pub fn linear_program(vec_size: usize, w: f64, b: f64) -> eva_core::Program {
-    let mut builder = ProgramBuilder::with_default_scale("linear_regression", vec_size, COEFF_SCALE);
+    let mut builder =
+        ProgramBuilder::with_default_scale("linear_regression", vec_size, COEFF_SCALE);
     let x = builder.input_cipher("x", DATA_SCALE);
     let y = builder.input_cipher("y", DATA_SCALE);
     let pred = &x * w + b;
@@ -69,7 +70,9 @@ pub fn linear(vec_size: usize, seed: u64) -> Application {
     Application {
         name: "Linear Regression".into(),
         program: linear_program(vec_size, w, b),
-        inputs: [("x".to_string(), x), ("y".to_string(), y)].into_iter().collect(),
+        inputs: [("x".to_string(), x), ("y".to_string(), y)]
+            .into_iter()
+            .collect(),
         expected: [
             ("prediction".to_string(), pred),
             ("residual".to_string(), residual),
@@ -147,7 +150,10 @@ mod tests {
     fn multivariate_prediction_matches_dot_product() {
         let app = multivariate(16, 3);
         let outputs = run_reference(&app.program, &app.inputs).unwrap();
-        for (a, b) in outputs["prediction"].iter().zip(&app.expected["prediction"]) {
+        for (a, b) in outputs["prediction"]
+            .iter()
+            .zip(&app.expected["prediction"])
+        {
             assert!((a - b).abs() < 1e-12);
         }
     }

@@ -92,11 +92,15 @@ impl EncryptedContext {
             None => KeyGenerator::new(context.clone()),
         };
         let public_key = keygen.create_public_key();
-        let needs_relin = compiled
-            .program
-            .nodes()
-            .iter()
-            .any(|n| matches!(n.kind, NodeKind::Instruction { op: Opcode::Relinearize, .. }));
+        let needs_relin = compiled.program.nodes().iter().any(|n| {
+            matches!(
+                n.kind,
+                NodeKind::Instruction {
+                    op: Opcode::Relinearize,
+                    ..
+                }
+            )
+        });
         let relin_key = needs_relin.then(|| keygen.create_relinearization_key());
         let galois_keys = keygen.create_galois_keys(&compiled.rotation_steps);
 
@@ -464,8 +468,14 @@ mod tests {
         let compiled = compile(&p, &CompilerOptions::default()).unwrap();
 
         let inputs: HashMap<String, Vec<f64>> = [
-            ("x".to_string(), vec![0.5, 1.0, -0.25, 2.0, 0.1, 0.7, -1.0, 0.3]),
-            ("y".to_string(), vec![1.0, 0.5, 2.0, -1.0, 0.9, 1.1, 0.2, -0.4]),
+            (
+                "x".to_string(),
+                vec![0.5, 1.0, -0.25, 2.0, 0.1, 0.7, -1.0, 0.3],
+            ),
+            (
+                "y".to_string(),
+                vec![1.0, 0.5, 2.0, -1.0, 0.9, 1.1, 0.2, -0.4],
+            ),
         ]
         .into_iter()
         .collect();
@@ -520,7 +530,7 @@ mod tests {
         .into_iter()
         .collect();
         let actual = run_encrypted(&compiled, &inputs).unwrap();
-        assert!(close(&actual["out"], &vec![2.0; 8], 1e-4));
+        assert!(close(&actual["out"], &[2.0; 8], 1e-4));
     }
 
     #[test]

@@ -226,7 +226,9 @@ fn worker(shared: &Shared<'_>, uses: &[Vec<NodeId>], executed: &AtomicUsize) {
             // Nothing ready right now: wait until another worker finishes a node.
             let mut idle = shared.idle.lock();
             *idle += 1;
-            shared.wake.wait_for(&mut idle, std::time::Duration::from_millis(1));
+            shared
+                .wake
+                .wait_for(&mut idle, std::time::Duration::from_millis(1));
             *idle -= 1;
             continue;
         };
@@ -237,7 +239,10 @@ fn worker(shared: &Shared<'_>, uses: &[Vec<NodeId>], executed: &AtomicUsize) {
         let guards: Vec<_> = args.iter().map(|&a| shared.values[a].read()).collect();
         let arg_refs: Vec<&NodeValue> = guards
             .iter()
-            .map(|g| g.as_ref().expect("parent value is live until all uses retire"))
+            .map(|g| {
+                g.as_ref()
+                    .expect("parent value is live until all uses retire")
+            })
             .collect();
         let result = shared.context.execute_node(program, id, &arg_refs);
         drop(guards);
@@ -288,7 +293,7 @@ mod tests {
         let w = p.input_vector("w", 20);
         let mut partials = Vec::new();
         for i in 0..8 {
-            let rot = p.instruction(Op::RotateLeft(i as i32 % 4), &[x]);
+            let rot = p.instruction(Op::RotateLeft(i % 4), &[x]);
             let prod = p.instruction(Op::Multiply, &[rot, w]);
             partials.push(prod);
         }
@@ -305,8 +310,14 @@ mod tests {
         let program = wide_program();
         let compiled = compile(&program, &CompilerOptions::default()).unwrap();
         let inputs: HashMap<String, Vec<f64>> = [
-            ("x".to_string(), vec![0.5, -0.25, 1.0, 2.0, 0.125, -1.5, 0.75, 0.0]),
-            ("w".to_string(), vec![1.0, 2.0, -1.0, 0.5, 0.25, -2.0, 1.5, 3.0]),
+            (
+                "x".to_string(),
+                vec![0.5, -0.25, 1.0, 2.0, 0.125, -1.5, 0.75, 0.0],
+            ),
+            (
+                "w".to_string(),
+                vec![1.0, 2.0, -1.0, 0.5, 0.25, -2.0, 1.5, 3.0],
+            ),
         ]
         .into_iter()
         .collect();
@@ -340,7 +351,7 @@ mod tests {
             let x = p.input_cipher("x", 30);
             let mut acc = x;
             for i in 0..6 {
-                acc = p.instruction(Op::RotateLeft(1 + (i % 3) as i32), &[acc]);
+                acc = p.instruction(Op::RotateLeft(1 + (i % 3)), &[acc]);
             }
             p.output("out", acc, 30);
             p

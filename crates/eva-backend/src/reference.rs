@@ -122,7 +122,10 @@ mod tests {
 
         let result = run_reference(
             &p,
-            &inputs(&[("x", vec![1.0, 2.0, 3.0, 4.0]), ("y", vec![10.0, 20.0, 30.0, 40.0])]),
+            &inputs(&[
+                ("x", vec![1.0, 2.0, 3.0, 4.0]),
+                ("y", vec![10.0, 20.0, 30.0, 40.0]),
+            ]),
         )
         .unwrap();
         // sum = [11,22,33,44]; rot left 1 = [22,33,44,11]; neg; rot right 2 =

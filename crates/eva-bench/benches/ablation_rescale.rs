@@ -14,9 +14,24 @@ fn bench_ablation(c: &mut Criterion) {
     let chet_program = lower_network(&network, LoweringMode::ChetBaseline).program;
 
     let strategies = [
-        ("waterline_eager", &eva_program, RescaleStrategy::Waterline, ModSwitchStrategy::Eager),
-        ("waterline_lazy", &eva_program, RescaleStrategy::Waterline, ModSwitchStrategy::Lazy),
-        ("always_lazy_chet", &chet_program, RescaleStrategy::Always, ModSwitchStrategy::Lazy),
+        (
+            "waterline_eager",
+            &eva_program,
+            RescaleStrategy::Waterline,
+            ModSwitchStrategy::Eager,
+        ),
+        (
+            "waterline_lazy",
+            &eva_program,
+            RescaleStrategy::Waterline,
+            ModSwitchStrategy::Lazy,
+        ),
+        (
+            "always_lazy_chet",
+            &chet_program,
+            RescaleStrategy::Always,
+            ModSwitchStrategy::Lazy,
+        ),
     ];
 
     println!("\n-- ablation: resulting encryption parameters (LeNet-5-small) --");
@@ -40,7 +55,9 @@ fn bench_ablation(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("ablation_compile");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     for (name, program, rescale, mod_switch) in &strategies {
         let options = CompilerOptions {
             rescale: *rescale,

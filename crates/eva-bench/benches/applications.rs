@@ -19,7 +19,9 @@ fn bench_applications(c: &mut Criterion) {
     ];
 
     let mut group = c.benchmark_group("applications_encrypted");
-    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
     for app in apps {
         let compiled = compile(&app.program, &CompilerOptions::default()).expect("compile");
         let mut context = EncryptedContext::setup(&compiled, Some(5)).expect("setup");

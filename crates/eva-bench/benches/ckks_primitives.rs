@@ -19,7 +19,9 @@ fn bench_primitives(c: &mut Criterion) {
     let decryptor = Decryptor::new(context.clone(), keygen.secret_key().clone());
     let evaluator = Evaluator::new(context.clone());
 
-    let values: Vec<f64> = (0..context.slot_count()).map(|i| (i as f64).sin()).collect();
+    let values: Vec<f64> = (0..context.slot_count())
+        .map(|i| (i as f64).sin())
+        .collect();
     let scale = 2f64.powi(40);
     let plaintext = encoder.encode(&values, scale, 3);
     let ct_a = encryptor.encrypt(&plaintext);
@@ -27,7 +29,9 @@ fn bench_primitives(c: &mut Criterion) {
     let product = evaluator.multiply(&ct_a, &ct_b).expect("multiply");
 
     let mut group = c.benchmark_group("ckks_primitives_n8192");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     group.bench_function("encode", |b| b.iter(|| encoder.encode(&values, scale, 3)));
     group.bench_function("encrypt", |b| b.iter(|| encryptor.encrypt(&plaintext)));
     group.bench_function("decrypt", |b| {

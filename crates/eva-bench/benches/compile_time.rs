@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_compile_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_time");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
 
     for network in all_networks(42) {
         let lowered = lower_network(&network, LoweringMode::Eva);

@@ -11,7 +11,9 @@ use eva_tensor::all_networks;
 
 fn main() {
     let full = std::env::var("EVA_BENCH_FULL").is_ok();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let networks = all_networks(42);
     let limit = if full { networks.len() } else { 1 };
 

@@ -15,7 +15,9 @@ use eva_tensor::{networks::lenet5_small, pack_input};
 
 fn main() {
     let full = std::env::var("EVA_BENCH_FULL").is_ok();
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let thread_counts: Vec<usize> = (1..=max_threads).collect();
 
     println!("== Figure 7 (scaling): Sobel 32x32, EVA mode ==");
@@ -23,10 +25,15 @@ fn main() {
     let compiled = compile(&app.program, &CompilerOptions::default()).expect("compile");
     let mut context = EncryptedContext::setup(&compiled, Some(7)).expect("setup");
     for &threads in &thread_counts {
-        let bindings = context.encrypt_inputs(&compiled, &app.inputs).expect("encrypt");
+        let bindings = context
+            .encrypt_inputs(&compiled, &app.inputs)
+            .expect("encrypt");
         let start = Instant::now();
         execute_parallel(&context, &compiled, bindings, threads).expect("execute");
-        println!("sobel_32x32 threads={threads} latency={:.2?}", start.elapsed());
+        println!(
+            "sobel_32x32 threads={threads} latency={:.2?}",
+            start.elapsed()
+        );
     }
 
     if full {

@@ -27,7 +27,9 @@ fn parse_args() -> Options {
         tables: Vec::new(),
         figures: Vec::new(),
         full: false,
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     };
     let mut iter = args.iter().peekable();
     let mut all = args.is_empty();
@@ -103,7 +105,10 @@ fn main() {
                 }
             }
             5 => {
-                println!("\n== Table 5: encrypted inference latency (CHET vs EVA, {} threads) ==", options.threads);
+                println!(
+                    "\n== Table 5: encrypted inference latency (CHET vs EVA, {} threads) ==",
+                    options.threads
+                );
                 for network in networks.iter().take(heavy_limit) {
                     let prepared = prepare_network(network);
                     println!("{}", table5_latency(&prepared, options.threads, 9));
@@ -182,7 +187,11 @@ fn figure2() {
             ..CompilerOptions::default()
         },
     );
-    report_compilation("waterline + eager (EVA)", &x2y3(), &CompilerOptions::default());
+    report_compilation(
+        "waterline + eager (EVA)",
+        &x2y3(),
+        &CompilerOptions::default(),
+    );
 }
 
 fn figure3() {

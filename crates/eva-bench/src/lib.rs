@@ -62,7 +62,12 @@ pub fn prepare_network(network: &Network) -> PreparedNetwork {
 pub fn random_image(network: &Network, seed: u64) -> Tensor {
     let (c, h, w) = network.input_shape;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    Tensor::from_data(c, h, w, (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    Tensor::from_data(
+        c,
+        h,
+        w,
+        (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
 }
 
 /// Result of one encrypted inference measurement.
@@ -104,7 +109,9 @@ pub fn measure_inference(
     let inputs: HashMap<String, Vec<f64>> =
         [(lowered.input_name.clone(), packed)].into_iter().collect();
     let start = Instant::now();
-    let bindings = context.encrypt_inputs(compiled, &inputs).expect("encryption");
+    let bindings = context
+        .encrypt_inputs(compiled, &inputs)
+        .expect("encryption");
     let encrypt_time = start.elapsed();
 
     let start = Instant::now();
@@ -112,7 +119,9 @@ pub fn measure_inference(
     let execute_time = start.elapsed();
 
     let start = Instant::now();
-    let outputs = context.decrypt_outputs(compiled, &values).expect("decryption");
+    let outputs = context
+        .decrypt_outputs(compiled, &values)
+        .expect("decryption");
     let decrypt_time = start.elapsed();
 
     let logits = lowered.extract_logits(&outputs[&lowered.output_name]);
@@ -247,11 +256,17 @@ pub fn table8_applications(app: &eva_apps::Application) -> String {
     let compiled =
         eva_core::compile(&app.program, &eva_core::CompilerOptions::default()).expect("compile");
     let mut context = EncryptedContext::setup(&compiled, Some(11)).expect("setup");
-    let bindings = context.encrypt_inputs(&compiled, &app.inputs).expect("encrypt");
+    let bindings = context
+        .encrypt_inputs(&compiled, &app.inputs)
+        .expect("encrypt");
     let start = Instant::now();
-    let values = context.execute_serial(&compiled, bindings).expect("execute");
+    let values = context
+        .execute_serial(&compiled, bindings)
+        .expect("execute");
     let time = start.elapsed();
-    let outputs = context.decrypt_outputs(&compiled, &values).expect("decrypt");
+    let outputs = context
+        .decrypt_outputs(&compiled, &values)
+        .expect("decrypt");
     let max_err = app
         .expected
         .iter()

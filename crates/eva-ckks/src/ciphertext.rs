@@ -16,9 +16,16 @@ impl Ciphertext {
     /// Creates a ciphertext from raw parts. Exposed for the executor crates;
     /// most users obtain ciphertexts from the encryptor or evaluator.
     pub fn from_parts(polys: Vec<RnsPoly>, scale: f64, level: usize) -> Self {
-        assert!(!polys.is_empty(), "a ciphertext needs at least one polynomial");
+        assert!(
+            !polys.is_empty(),
+            "a ciphertext needs at least one polynomial"
+        );
         assert!(polys.iter().all(|p| p.level() == level));
-        Self { polys, scale, level }
+        Self {
+            polys,
+            scale,
+            level,
+        }
     }
 
     /// Number of polynomials (2 normally, 3 right after a multiplication).

@@ -160,7 +160,11 @@ mod tests {
         let pt = encoder.encode(&[1.0; 128], 2f64.powi(30), 2);
         let a = encryptor.encrypt(&pt);
         let b = encryptor.encrypt(&pt);
-        assert_ne!(a.polys()[1], b.polys()[1], "two encryptions share randomness");
+        assert_ne!(
+            a.polys()[1],
+            b.polys()[1],
+            "two encryptions share randomness"
+        );
     }
 
     #[test]

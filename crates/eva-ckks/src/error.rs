@@ -65,7 +65,10 @@ impl fmt::Display for CkksError {
                 write!(f, "operand scales differ: {left} vs {right}")
             }
             CkksError::TooManyPolynomials { size } => {
-                write!(f, "ciphertext has {size} polynomials; relinearize before multiplying")
+                write!(
+                    f,
+                    "ciphertext has {size} polynomials; relinearize before multiplying"
+                )
             }
             CkksError::ModulusChainExhausted => {
                 write!(f, "no primes left in the modulus chain")
@@ -76,7 +79,10 @@ impl fmt::Display for CkksError {
             CkksError::InvalidCiphertextSize { found, expected } => {
                 write!(f, "ciphertext has {found} polynomials, expected {expected}")
             }
-            CkksError::PlaintextLevelMismatch { ciphertext, plaintext } => {
+            CkksError::PlaintextLevelMismatch {
+                ciphertext,
+                plaintext,
+            } => {
                 write!(
                     f,
                     "plaintext level {plaintext} does not match ciphertext level {ciphertext}"

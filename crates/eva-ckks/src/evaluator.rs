@@ -235,11 +235,7 @@ impl Evaluator {
         c0.add_assign(&d0, basis);
         let mut c1 = ct.polys()[1].clone();
         c1.add_assign(&d1, basis);
-        Ok(Ciphertext::from_parts(
-            vec![c0, c1],
-            ct.scale(),
-            ct.level(),
-        ))
+        Ok(Ciphertext::from_parts(vec![c0, c1], ct.scale(), ct.level()))
     }
 
     /// Divides the message by the last prime of the ciphertext's chain and
@@ -342,12 +338,7 @@ impl Evaluator {
     /// Key switching: given a polynomial `target` (NTT form, spanning `level`
     /// data primes) that multiplies some source key `s_src` in a decryption
     /// equation, produce `(d0, d1)` such that `d0 + d1·s ≈ target · s_src`.
-    fn switch_key(
-        &self,
-        target: &RnsPoly,
-        key: &KeySwitchKey,
-        level: usize,
-    ) -> (RnsPoly, RnsPoly) {
+    fn switch_key(&self, target: &RnsPoly, key: &KeySwitchKey, level: usize) -> (RnsPoly, RnsPoly) {
         let basis = self.context.key_basis();
         let n = self.context.degree();
         let special = self.context.special_index();
@@ -374,10 +365,8 @@ impl Evaluator {
                 let acc0_row = &mut acc0[pos];
                 let acc1_row = &mut acc1[pos];
                 for idx in 0..n {
-                    acc0_row[idx] =
-                        modulus.add(acc0_row[idx], modulus.mul(t[idx], k0_row[idx]));
-                    acc1_row[idx] =
-                        modulus.add(acc1_row[idx], modulus.mul(t[idx], k1_row[idx]));
+                    acc0_row[idx] = modulus.add(acc0_row[idx], modulus.mul(t[idx], k0_row[idx]));
+                    acc1_row[idx] = modulus.add(acc1_row[idx], modulus.mul(t[idx], k1_row[idx]));
                 }
             }
         }
@@ -471,15 +460,27 @@ mod tests {
 
         let sum = f.evaluator.add(&ct_x, &ct_y).unwrap();
         let expected: Vec<f64> = xs.iter().zip(&ys).map(|(a, b)| a + b).collect();
-        assert_close(&f.decryptor.decrypt_to_values(&sum, f.slots), &expected, 1e-4);
+        assert_close(
+            &f.decryptor.decrypt_to_values(&sum, f.slots),
+            &expected,
+            1e-4,
+        );
 
         let diff = f.evaluator.sub(&ct_x, &ct_y).unwrap();
         let expected: Vec<f64> = xs.iter().zip(&ys).map(|(a, b)| a - b).collect();
-        assert_close(&f.decryptor.decrypt_to_values(&diff, f.slots), &expected, 1e-4);
+        assert_close(
+            &f.decryptor.decrypt_to_values(&diff, f.slots),
+            &expected,
+            1e-4,
+        );
 
         let neg = f.evaluator.negate(&ct_x);
         let expected: Vec<f64> = xs.iter().map(|a| -a).collect();
-        assert_close(&f.decryptor.decrypt_to_values(&neg, f.slots), &expected, 1e-4);
+        assert_close(
+            &f.decryptor.decrypt_to_values(&neg, f.slots),
+            &expected,
+            1e-4,
+        );
     }
 
     #[test]
@@ -493,23 +494,37 @@ mod tests {
 
         let sum = f.evaluator.add_plain(&ct, &pt).unwrap();
         let expected: Vec<f64> = xs.iter().zip(&ps).map(|(a, b)| a + b).collect();
-        assert_close(&f.decryptor.decrypt_to_values(&sum, f.slots), &expected, 1e-4);
+        assert_close(
+            &f.decryptor.decrypt_to_values(&sum, f.slots),
+            &expected,
+            1e-4,
+        );
 
         let diff = f.evaluator.sub_plain(&ct, &pt).unwrap();
         let expected: Vec<f64> = xs.iter().zip(&ps).map(|(a, b)| a - b).collect();
-        assert_close(&f.decryptor.decrypt_to_values(&diff, f.slots), &expected, 1e-4);
+        assert_close(
+            &f.decryptor.decrypt_to_values(&diff, f.slots),
+            &expected,
+            1e-4,
+        );
 
         let prod = f.evaluator.multiply_plain(&ct, &pt).unwrap();
         let expected: Vec<f64> = xs.iter().zip(&ps).map(|(a, b)| a * b).collect();
         assert!((prod.scale() - scale * scale).abs() < 1.0);
-        assert_close(&f.decryptor.decrypt_to_values(&prod, f.slots), &expected, 1e-3);
+        assert_close(
+            &f.decryptor.decrypt_to_values(&prod, f.slots),
+            &expected,
+            1e-3,
+        );
     }
 
     #[test]
     fn multiply_relinearize_rescale() {
         let mut f = fixture();
         let scale = 2f64.powi(40);
-        let xs: Vec<f64> = (0..f.slots).map(|i| (i as f64 / f.slots as f64) - 0.5).collect();
+        let xs: Vec<f64> = (0..f.slots)
+            .map(|i| (i as f64 / f.slots as f64) - 0.5)
+            .collect();
         let ys: Vec<f64> = (0..f.slots).map(|i| ((i * 3) % 11) as f64 / 11.0).collect();
         let ct_x = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
         let ct_y = f.encryptor.encrypt(&f.encoder.encode(&ys, scale, 4));
@@ -519,16 +534,28 @@ mod tests {
         assert_eq!(raw.size(), 3);
         let expected: Vec<f64> = xs.iter().zip(&ys).map(|(a, b)| a * b).collect();
         // Decrypting the 3-polynomial ciphertext directly must already work.
-        assert_close(&f.decryptor.decrypt_to_values(&raw, f.slots), &expected, 1e-3);
+        assert_close(
+            &f.decryptor.decrypt_to_values(&raw, f.slots),
+            &expected,
+            1e-3,
+        );
 
         let relin = f.evaluator.relinearize(&raw, &rk).unwrap();
         assert_eq!(relin.size(), 2);
-        assert_close(&f.decryptor.decrypt_to_values(&relin, f.slots), &expected, 1e-3);
+        assert_close(
+            &f.decryptor.decrypt_to_values(&relin, f.slots),
+            &expected,
+            1e-3,
+        );
 
         let rescaled = f.evaluator.rescale_to_next(&relin).unwrap();
         assert_eq!(rescaled.level(), 3);
         assert!((rescaled.scale().log2() - 40.0).abs() < 0.1);
-        assert_close(&f.decryptor.decrypt_to_values(&rescaled, f.slots), &expected, 1e-3);
+        assert_close(
+            &f.decryptor.decrypt_to_values(&rescaled, f.slots),
+            &expected,
+            1e-3,
+        );
     }
 
     #[test]
@@ -540,7 +567,11 @@ mod tests {
         let switched = f.evaluator.mod_switch_to_next(&ct).unwrap();
         assert_eq!(switched.level(), 3);
         assert_eq!(switched.scale(), scale);
-        assert_close(&f.decryptor.decrypt_to_values(&switched, f.slots), &xs, 1e-4);
+        assert_close(
+            &f.decryptor.decrypt_to_values(&switched, f.slots),
+            &xs,
+            1e-4,
+        );
     }
 
     #[test]
@@ -571,7 +602,9 @@ mod tests {
     fn rotation_by_zero_is_identity() {
         let mut f = fixture();
         let xs = vec![1.25; 128];
-        let ct = f.encryptor.encrypt(&f.encoder.encode(&xs, 2f64.powi(40), 2));
+        let ct = f
+            .encryptor
+            .encrypt(&f.encoder.encode(&xs, 2f64.powi(40), 2));
         let gk = f.keygen.create_galois_keys(&[]);
         let out = f.evaluator.rotate(&ct, 0, &gk).unwrap();
         assert_close(&f.decryptor.decrypt_to_values(&out, 128), &xs, 1e-4);
@@ -592,7 +625,9 @@ mod tests {
         ));
 
         // Scale mismatch (Constraint 2).
-        let other_scale = f.encryptor.encrypt(&f.encoder.encode(&xs, 2f64.powi(30), 4));
+        let other_scale = f
+            .encryptor
+            .encrypt(&f.encoder.encode(&xs, 2f64.powi(30), 4));
         assert!(matches!(
             f.evaluator.add(&ct_high, &other_scale),
             Err(CkksError::ScaleMismatch { .. })
@@ -636,10 +671,16 @@ mod tests {
         let ct_y = f.encryptor.encrypt(&f.encoder.encode(&ys, scale, 4));
 
         // x^2, rescale once.
-        let x2 = f.evaluator.relinearize(&f.evaluator.square(&ct_x).unwrap(), &rk).unwrap();
+        let x2 = f
+            .evaluator
+            .relinearize(&f.evaluator.square(&ct_x).unwrap(), &rk)
+            .unwrap();
         let x2 = f.evaluator.rescale_to_next(&x2).unwrap();
         // y^2, rescale once; y^3 = y^2 * (y at the lower level), rescale again.
-        let y2 = f.evaluator.relinearize(&f.evaluator.square(&ct_y).unwrap(), &rk).unwrap();
+        let y2 = f
+            .evaluator
+            .relinearize(&f.evaluator.square(&ct_y).unwrap(), &rk)
+            .unwrap();
         let y2 = f.evaluator.rescale_to_next(&y2).unwrap();
         let y_low = f.evaluator.mod_switch_to_next(&ct_y).unwrap();
         let y3 = f
@@ -655,11 +696,7 @@ mod tests {
             .unwrap();
         let result = f.evaluator.rescale_to_next(&result).unwrap();
 
-        let expected: Vec<f64> = xs
-            .iter()
-            .zip(&ys)
-            .map(|(x, y)| x * x * y * y * y)
-            .collect();
+        let expected: Vec<f64> = xs.iter().zip(&ys).map(|(x, y)| x * x * y * y * y).collect();
         assert_close(
             &f.decryptor.decrypt_to_values(&result, f.slots),
             &expected,

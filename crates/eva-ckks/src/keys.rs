@@ -139,7 +139,9 @@ impl KeyGenerator {
     fn sample_uniform_ntt(&mut self, level: usize) -> RnsPoly {
         let basis = self.context.key_basis();
         let residues: Vec<Vec<u64>> = (0..level)
-            .map(|i| eva_math::sample_uniform_poly(&mut self.rng, basis.degree(), &basis.moduli()[i]))
+            .map(|i| {
+                eva_math::sample_uniform_poly(&mut self.rng, basis.degree(), &basis.moduli()[i])
+            })
             .collect();
         RnsPoly::from_residues(residues, PolyForm::Ntt)
     }
@@ -249,7 +251,10 @@ mod tests {
         let coeff = &keygen.secret_key().coeff;
         let q0 = ctx.key_basis().moduli()[0].value();
         for &c in coeff.residue(0) {
-            assert!(c == 0 || c == 1 || c == q0 - 1, "non-ternary coefficient {c}");
+            assert!(
+                c == 0 || c == 1 || c == q0 - 1,
+                "non-ternary coefficient {c}"
+            );
         }
     }
 
@@ -279,7 +284,10 @@ mod tests {
             } else {
                 c as i64
             };
-            assert!(centered.abs() < 64, "error coefficient too large: {centered}");
+            assert!(
+                centered.abs() < 64,
+                "error coefficient too large: {centered}"
+            );
         }
     }
 

@@ -132,8 +132,8 @@ impl CkksParameters {
         data_prime_bits: &[u32],
         special_prime_bits: u32,
     ) -> Result<Self, ParameterError> {
-        let allowed = max_coeff_modulus_bits(degree)
-            .ok_or(ParameterError::UnsupportedDegree(degree))?;
+        let allowed =
+            max_coeff_modulus_bits(degree).ok_or(ParameterError::UnsupportedDegree(degree))?;
         let requested: u32 = data_prime_bits.iter().sum::<u32>() + special_prime_bits;
         if requested > allowed {
             return Err(ParameterError::InsecureModulus {
@@ -172,8 +172,11 @@ impl CkksParameters {
         if data_prime_bits.is_empty() {
             return Err(ParameterError::EmptyChain);
         }
-        for &bits in data_prime_bits.iter().chain(std::iter::once(&special_prime_bits)) {
-            if bits < 2 || bits > MAX_PRIME_BITS {
+        for &bits in data_prime_bits
+            .iter()
+            .chain(std::iter::once(&special_prime_bits))
+        {
+            if !(2..=MAX_PRIME_BITS).contains(&bits) {
                 return Err(ParameterError::InvalidPrimeBits(bits));
             }
         }

@@ -123,9 +123,8 @@ pub fn select_parameters(
             best = Some((length, rescale_bits, tail_bits));
         }
     }
-    let (_, rescale_bits, tail_bits) = best.ok_or_else(|| {
-        EvaError::ParameterSelection("program has no Cipher-typed output".into())
-    })?;
+    let (_, rescale_bits, tail_bits) = best
+        .ok_or_else(|| EvaError::ParameterSelection("program has no Cipher-typed output".into()))?;
 
     // Bottom of the chain first: the leftover primes, then the rescale chain in
     // reverse application order (the first rescale consumes the last prime).

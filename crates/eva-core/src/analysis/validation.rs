@@ -73,14 +73,13 @@ pub fn validate_transformed(program: &mut Program, max_rescale_bits: u32) -> Res
                     }
                 }
             }
-            Opcode::Rescale(bits) => {
+            Opcode::Rescale(bits)
                 // Constraint 4: rescale divisor bounded by the maximum prime size.
-                if *bits > max_rescale_bits {
+                if *bits > max_rescale_bits => {
                     return Err(EvaError::Validation(format!(
                         "node {id}: rescale by 2^{bits} exceeds the maximum of 2^{max_rescale_bits}"
                     )));
                 }
-            }
             _ => {}
         }
     }

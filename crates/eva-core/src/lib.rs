@@ -52,10 +52,9 @@ pub mod program;
 pub mod serialize;
 pub mod types;
 
-pub use analysis::{ParameterSpec, select_rotation_steps};
+pub use analysis::{select_rotation_steps, ParameterSpec};
 pub use compiler::{
-    compile, CompilationStats, CompiledProgram, CompilerOptions, ModSwitchStrategy,
-    RescaleStrategy,
+    compile, CompilationStats, CompiledProgram, CompilerOptions, ModSwitchStrategy, RescaleStrategy,
 };
 pub use error::EvaError;
 pub use program::{Node, NodeId, NodeKind, OutputInfo, Program};

@@ -106,7 +106,10 @@ pub fn insert_lazy_modswitch(program: &mut Program) -> usize {
         if args.is_empty() {
             continue;
         }
-        let op = editor.program().opcode(id).expect("non-root node is an instruction");
+        let op = editor
+            .program()
+            .opcode(id)
+            .expect("non-root node is an instruction");
         // Equalize ciphertext operand levels for binary instructions.
         if matches!(op, Opcode::Add | Opcode::Sub | Opcode::Multiply) && args.len() == 2 {
             let cipher_args: Vec<(usize, NodeId)> = args
@@ -147,7 +150,8 @@ pub fn insert_lazy_modswitch(program: &mut Program) -> usize {
             .map(|&a| level[a])
             .max()
             .unwrap_or(0);
-        level[id] = parent_max + usize::from(consumes_modulus(editor.program(), id)) * usize::from(node_is_cipher);
+        level[id] = parent_max
+            + usize::from(consumes_modulus(editor.program(), id)) * usize::from(node_is_cipher);
     }
     inserted
 }
@@ -191,12 +195,15 @@ mod tests {
     }
 
     #[test]
-    fn lazy_inserts_one_modswitch_per_add(){
+    fn lazy_inserts_one_modswitch_per_add() {
         // Figure 5(b): lazy insertion patches each ADD separately.
         let mut p = x2_plus_x_plus_x();
         insert_waterline_rescale(&mut p, 60);
         let inserted = insert_lazy_modswitch(&mut p);
-        assert_eq!(inserted, 2, "one MODSWITCH per mismatching ADD, as in Figure 5(b)");
+        assert_eq!(
+            inserted, 2,
+            "one MODSWITCH per mismatching ADD, as in Figure 5(b)"
+        );
         assert!(analyze_levels(&p).is_ok());
     }
 
@@ -214,7 +221,10 @@ mod tests {
         p.output("sum", sum, 60);
         insert_waterline_rescale(&mut p, 60);
         insert_eager_modswitch(&mut p);
-        assert!(analyze_levels(&p).is_ok(), "chains conform after eager insertion");
+        assert!(
+            analyze_levels(&p).is_ok(),
+            "chains conform after eager insertion"
+        );
         // Constraint 1 holds for the add as well.
         assert!(validate_transformed(&mut p, 60).is_ok());
     }

@@ -52,7 +52,10 @@ mod tests {
         assert_eq!(inserted, 1);
         let polys = analyze_num_polys(&p);
         let out = p.outputs()[0].node;
-        assert_eq!(polys[out], 2, "the plaintext multiply sees a relinearized operand");
+        assert_eq!(
+            polys[out], 2,
+            "the plaintext multiply sees a relinearized operand"
+        );
     }
 
     #[test]

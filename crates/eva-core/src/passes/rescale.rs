@@ -62,8 +62,8 @@ pub fn insert_waterline_rescale(program: &mut Program, max_rescale_bits: u32) ->
         scales.resize(editor.len(), 0);
         scales[id] = compute_scale(&editor, &scales, id);
         let node = editor.program().node(id);
-        let is_cipher_multiply = node.ty.is_cipher()
-            && matches!(editor.program().opcode(id), Some(Opcode::Multiply));
+        let is_cipher_multiply =
+            node.ty.is_cipher() && matches!(editor.program().opcode(id), Some(Opcode::Multiply));
         if !is_cipher_multiply {
             continue;
         }
@@ -96,8 +96,8 @@ pub fn insert_always_rescale(program: &mut Program) -> usize {
         scales.resize(editor.len(), 0);
         scales[id] = compute_scale(&editor, &scales, id);
         let node = editor.program().node(id);
-        let is_cipher_multiply = node.ty.is_cipher()
-            && matches!(editor.program().opcode(id), Some(Opcode::Multiply));
+        let is_cipher_multiply =
+            node.ty.is_cipher() && matches!(editor.program().opcode(id), Some(Opcode::Multiply));
         if !is_cipher_multiply {
             continue;
         }

@@ -309,12 +309,7 @@ impl Program {
         let mut max_depth = 0;
         for id in order {
             let is_multiply = matches!(self.opcode(id), Some(Opcode::Multiply));
-            let parent_max = self
-                .args(id)
-                .iter()
-                .map(|&a| depth[a])
-                .max()
-                .unwrap_or(0);
+            let parent_max = self.args(id).iter().map(|&a| depth[a]).max().unwrap_or(0);
             depth[id] = parent_max + usize::from(is_multiply);
             max_depth = max_depth.max(depth[id]);
         }
@@ -400,7 +395,12 @@ impl Program {
 
     /// Appends a new instruction node without arity checking of its argument
     /// types (the rewriting framework constructs maintenance instructions).
-    pub(crate) fn push_instruction(&mut self, op: Opcode, args: Vec<NodeId>, ty: ValueType) -> NodeId {
+    pub(crate) fn push_instruction(
+        &mut self,
+        op: Opcode,
+        args: Vec<NodeId>,
+        ty: ValueType,
+    ) -> NodeId {
         self.push(Node {
             kind: NodeKind::Instruction { op, args },
             ty,

@@ -62,13 +62,7 @@ impl GaloisTool {
     ///
     /// Panics if the slice lengths differ from the ring degree or if
     /// `galois_elt` is even (not a unit modulo `2N`).
-    pub fn apply(
-        &self,
-        input: &[u64],
-        galois_elt: u64,
-        modulus: &Modulus,
-        output: &mut [u64],
-    ) {
+    pub fn apply(&self, input: &[u64], galois_elt: u64, modulus: &Modulus, output: &mut [u64]) {
         assert_eq!(input.len(), self.degree);
         assert_eq!(output.len(), self.degree);
         assert!(

@@ -70,12 +70,16 @@ impl Modulus {
         }
         // const_ratio = floor(2^128 / value) computed by long division of
         // the 192-bit value 2^128 by `value` using u128 steps.
-        let high = u128::MAX / value as u128; // floor((2^128 - 1)/q)
-        // 2^128 = (u128::MAX) + 1, so floor(2^128/q) = high unless q divides 2^128
-        // exactly after the +1 carry; q is odd (or >2), so for odd q the two agree
-        // unless (u128::MAX % q) == q-1, in which case add one.
+        // high = floor((2^128 - 1)/q). Since 2^128 = u128::MAX + 1,
+        // floor(2^128/q) equals `high` unless the +1 carries across a multiple
+        // of q, i.e. unless (u128::MAX % q) == q - 1, in which case add one.
+        let high = u128::MAX / value as u128;
         let rem = u128::MAX % value as u128;
-        let ratio = if rem == value as u128 - 1 { high + 1 } else { high };
+        let ratio = if rem == value as u128 - 1 {
+            high + 1
+        } else {
+            high
+        };
         let const_ratio = (ratio as u64, (ratio >> 64) as u64);
         let bit_count = 64 - value.leading_zeros();
         Ok(Self {

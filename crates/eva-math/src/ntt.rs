@@ -72,11 +72,8 @@ impl NttTables {
             return Err(NttError::InvalidDegree(degree));
         }
         let q = modulus.value();
-        if (q - 1) % (2 * degree as u64) != 0 {
-            return Err(NttError::IncompatibleModulus {
-                modulus: q,
-                degree,
-            });
+        if !(q - 1).is_multiple_of(2 * degree as u64) {
+            return Err(NttError::IncompatibleModulus { modulus: q, degree });
         }
         let log_n = degree.trailing_zeros();
         let psi = primitive_root_of_unity(&modulus, 2 * degree as u64);

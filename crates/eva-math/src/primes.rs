@@ -27,14 +27,14 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     // Write n-1 = d * 2^s with d odd.
     let mut d = n - 1;
     let mut s = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }
@@ -185,9 +185,9 @@ pub fn primitive_root(modulus: &Modulus) -> u64 {
     let mut m = group_order;
     let mut p = 2u64;
     while p * p <= m {
-        if m % p == 0 {
+        if m.is_multiple_of(p) {
             factors.push(p);
-            while m % p == 0 {
+            while m.is_multiple_of(p) {
                 m /= p;
             }
         }
@@ -215,7 +215,7 @@ pub fn primitive_root(modulus: &Modulus) -> u64 {
 pub fn primitive_root_of_unity(modulus: &Modulus, order: u64) -> u64 {
     let q = modulus.value();
     assert!(
-        (q - 1) % order == 0,
+        (q - 1).is_multiple_of(order),
         "order {order} does not divide q-1 for q={q}"
     );
     let g = primitive_root(modulus);

@@ -11,8 +11,14 @@ use crate::modulus::Modulus;
 use rand::Rng;
 
 /// Samples a polynomial with coefficients uniform in `[0, q)`.
-pub fn sample_uniform_poly<R: Rng + ?Sized>(rng: &mut R, degree: usize, modulus: &Modulus) -> Vec<u64> {
-    (0..degree).map(|_| rng.gen_range(0..modulus.value())).collect()
+pub fn sample_uniform_poly<R: Rng + ?Sized>(
+    rng: &mut R,
+    degree: usize,
+    modulus: &Modulus,
+) -> Vec<u64> {
+    (0..degree)
+        .map(|_| rng.gen_range(0..modulus.value()))
+        .collect()
 }
 
 /// Samples a uniformly random ternary polynomial with entries in `{-1, 0, 1}`.

@@ -184,7 +184,10 @@ mod tests {
             RnsBasis::new(100, &[97]),
             Err(BasisError::InvalidDegree(100))
         ));
-        assert!(matches!(RnsBasis::new(16, &[]), Err(BasisError::EmptyChain)));
+        assert!(matches!(
+            RnsBasis::new(16, &[]),
+            Err(BasisError::EmptyChain)
+        ));
         // 91 is composite.
         assert!(matches!(
             RnsBasis::new(16, &[91]),

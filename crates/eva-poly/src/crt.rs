@@ -183,7 +183,10 @@ impl CrtComposer {
     /// Panics if the chain is empty or if a punctured product is not invertible
     /// (which cannot happen for distinct primes).
     pub fn new(moduli: &[Modulus]) -> Self {
-        assert!(!moduli.is_empty(), "CRT composer needs at least one modulus");
+        assert!(
+            !moduli.is_empty(),
+            "CRT composer needs at least one modulus"
+        );
         let mut product = UBig::from_u64(1);
         for m in moduli {
             product = product.mul_u64(m.value());
@@ -301,7 +304,15 @@ mod tests {
             .map(|&q| Modulus::new(q).unwrap())
             .collect();
         let composer = CrtComposer::new(&moduli);
-        for &value in &[0i64, 1, -1, 123456789, -987654321, i64::MAX / 4, i64::MIN / 4] {
+        for &value in &[
+            0i64,
+            1,
+            -1,
+            123456789,
+            -987654321,
+            i64::MAX / 4,
+            i64::MIN / 4,
+        ] {
             let residues: Vec<u64> = moduli
                 .iter()
                 .map(|m| {

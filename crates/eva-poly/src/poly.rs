@@ -41,7 +41,10 @@ impl RnsPoly {
     ///
     /// Panics if the rows are empty or have inconsistent lengths.
     pub fn from_residues(residues: Vec<Vec<u64>>, form: PolyForm) -> Self {
-        assert!(!residues.is_empty(), "polynomial must have at least one residue");
+        assert!(
+            !residues.is_empty(),
+            "polynomial must have at least one residue"
+        );
         let degree = residues[0].len();
         assert!(
             residues.iter().all(|r| r.len() == degree),
@@ -325,9 +328,7 @@ impl RnsPoly {
 
     /// True if every residue of the polynomial is zero.
     pub fn is_zero(&self) -> bool {
-        self.residues
-            .iter()
-            .all(|row| row.iter().all(|&c| c == 0))
+        self.residues.iter().all(|row| row.iter().all(|&c| c == 0))
     }
 }
 

@@ -17,7 +17,10 @@
 //!   LAZY-MODSWITCH strategies, i.e. one rescale after every multiplication
 //!   exactly as CHET's per-kernel expert implementations do.
 
-use eva_core::{compile, CompiledProgram, CompilerOptions, EvaError, ModSwitchStrategy, Program, RescaleStrategy};
+use eva_core::{
+    compile, CompiledProgram, CompilerOptions, EvaError, ModSwitchStrategy, Program,
+    RescaleStrategy,
+};
 use eva_frontend::{Expr, ProgramBuilder};
 
 use crate::networks::{Layer, Network};
@@ -197,14 +200,26 @@ pub fn lower_network_with_scales(
     for layer in &network.layers {
         match layer {
             Layer::Conv(conv) => {
-                let (expr, new_layout) =
-                    lower_conv(&mut builder, &current, layout, conv, vec_size, scales.vector);
+                let (expr, new_layout) = lower_conv(
+                    &mut builder,
+                    &current,
+                    layout,
+                    conv,
+                    vec_size,
+                    scales.vector,
+                );
                 current = expr;
                 layout = new_layout;
             }
             Layer::AvgPool { window } => {
-                let (expr, new_layout) =
-                    lower_pool(&mut builder, &current, layout, *window, vec_size, scales.vector);
+                let (expr, new_layout) = lower_pool(
+                    &mut builder,
+                    &current,
+                    layout,
+                    *window,
+                    vec_size,
+                    scales.vector,
+                );
                 current = expr;
                 layout = new_layout;
             }
@@ -446,7 +461,10 @@ fn lower_fc(
         row_stride: 1,
         col_stride: 1,
     };
-    (result.expect("fully-connected layer has outputs"), new_layout)
+    (
+        result.expect("fully-connected layer has outputs"),
+        new_layout,
+    )
 }
 
 #[cfg(test)]
@@ -481,7 +499,12 @@ mod tests {
     fn random_input(shape: (usize, usize, usize), seed: u64) -> Tensor {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let (c, h, w) = shape;
-        Tensor::from_data(c, h, w, (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        Tensor::from_data(
+            c,
+            h,
+            w,
+            (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
     }
 
     #[test]
@@ -523,7 +546,11 @@ mod tests {
             input_shape: (1, 8, 8),
             layers: vec![
                 Layer::Conv(conv),
-                Layer::Activation { a: 1.0, b: 1.0, c: 0.0 },
+                Layer::Activation {
+                    a: 1.0,
+                    b: 1.0,
+                    c: 0.0,
+                },
                 Layer::AvgPool { window: 2 },
                 Layer::FullyConnected(fc),
             ],
@@ -552,7 +579,9 @@ mod tests {
         // The headline of the paper's Table 6: EVA's global placement yields a
         // shorter modulus chain and smaller Q than CHET's per-kernel policy.
         let network = lenet5_small(17);
-        let eva = lower_network(&network, LoweringMode::Eva).compile().unwrap();
+        let eva = lower_network(&network, LoweringMode::Eva)
+            .compile()
+            .unwrap();
         let chet = lower_network(&network, LoweringMode::ChetBaseline)
             .compile()
             .unwrap();

@@ -12,7 +12,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::tensor::{avg_pool, conv2d, fully_connected, poly_activation, ConvWeights, FcWeights, Tensor};
+use crate::tensor::{
+    avg_pool, conv2d, fully_connected, poly_activation, ConvWeights, FcWeights, Tensor,
+};
 
 /// One layer of a network.
 #[derive(Debug, Clone)]
@@ -115,7 +117,11 @@ impl Network {
                 Layer::Conv(conv) => {
                     let out_h = h - conv.kernel + 1;
                     let out_w = w - conv.kernel + 1;
-                    flops += 2 * conv.out_channels * conv.in_channels * conv.kernel * conv.kernel
+                    flops += 2
+                        * conv.out_channels
+                        * conv.in_channels
+                        * conv.kernel
+                        * conv.kernel
                         * out_h
                         * out_w;
                     c = conv.out_channels;
@@ -167,7 +173,12 @@ impl Network {
     }
 }
 
-fn random_conv(rng: &mut StdRng, in_channels: usize, out_channels: usize, kernel: usize) -> ConvWeights {
+fn random_conv(
+    rng: &mut StdRng,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+) -> ConvWeights {
     // Weights are L1-normalized per output so activations stay in [-1, 1]
     // throughout the network: with random (untrained) weights the paper's
     // deeper networks would otherwise overflow after a few squaring
@@ -180,7 +191,9 @@ fn random_conv(rng: &mut StdRng, in_channels: usize, out_channels: usize, kernel
         weights: (0..out_channels * in_channels * kernel * kernel)
             .map(|_| rng.gen_range(-1.0..1.0) / fan_in)
             .collect(),
-        bias: (0..out_channels).map(|_| rng.gen_range(-0.05..0.05)).collect(),
+        bias: (0..out_channels)
+            .map(|_| rng.gen_range(-0.05..0.05))
+            .collect(),
     }
 }
 
@@ -352,23 +365,43 @@ mod tests {
     fn layer_counts_match_table_3_structure() {
         assert_eq!(
             lenet5_small(0).layer_counts(),
-            LayerCounts { conv: 2, fc: 2, act: 4 }
+            LayerCounts {
+                conv: 2,
+                fc: 2,
+                act: 4
+            }
         );
         assert_eq!(
             lenet5_medium(0).layer_counts(),
-            LayerCounts { conv: 2, fc: 2, act: 4 }
+            LayerCounts {
+                conv: 2,
+                fc: 2,
+                act: 4
+            }
         );
         assert_eq!(
             lenet5_large(0).layer_counts(),
-            LayerCounts { conv: 2, fc: 2, act: 4 }
+            LayerCounts {
+                conv: 2,
+                fc: 2,
+                act: 4
+            }
         );
         assert_eq!(
             industrial(0).layer_counts(),
-            LayerCounts { conv: 5, fc: 2, act: 6 }
+            LayerCounts {
+                conv: 5,
+                fc: 2,
+                act: 6
+            }
         );
         assert_eq!(
             squeezenet_cifar(0).layer_counts(),
-            LayerCounts { conv: 10, fc: 0, act: 9 }
+            LayerCounts {
+                conv: 10,
+                fc: 0,
+                act: 9
+            }
         );
     }
 

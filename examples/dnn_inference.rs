@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // dataset substitution).
     let (c, h, w) = network.input_shape;
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let image = Tensor::from_data(c, h, w, (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect());
+    let image = Tensor::from_data(
+        c,
+        h,
+        w,
+        (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
     let plain_logits = network.infer_plain(&image);
 
     // Lower onto EVA, compile, and run encrypted inference.
@@ -51,10 +56,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bindings = context.encrypt_inputs(&compiled, &inputs)?;
     println!("input encryption: {:.2?}", start.elapsed());
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let start = Instant::now();
     let values = execute_parallel(&context, &compiled, bindings, threads)?;
-    println!("encrypted inference ({threads} threads): {:.2?}", start.elapsed());
+    println!(
+        "encrypted inference ({threads} threads): {:.2?}",
+        start.elapsed()
+    );
 
     let outputs = context.decrypt_outputs(&compiled, &values)?;
     let logits = lowered.extract_logits(&outputs[&lowered.output_name]);
@@ -64,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plain_argmax = argmax(&plain_logits);
     let enc_argmax = argmax(&logits);
     println!("predicted class: plaintext {plain_argmax}, encrypted {enc_argmax}");
-    assert_eq!(plain_argmax, enc_argmax, "encrypted inference changed the prediction");
+    assert_eq!(
+        plain_argmax, enc_argmax,
+        "encrypted inference changed the prediction"
+    );
     Ok(())
 }
 

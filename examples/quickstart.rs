@@ -6,9 +6,9 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use eva::backend::{run_encrypted, run_reference};
 use eva::frontend::ProgramBuilder;
 use eva::ir::{compile, CompilerOptions};
-use eva::backend::{run_encrypted, run_reference};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Author the program with the builder DSL (the PyEVA equivalent).
@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let y = &(&x * &x) + &(&x * 3.0) + 1.0;
     builder.output("y", y, 30);
     let program = builder.build();
-    println!("program: {} nodes, depth {}", program.len(), program.multiplicative_depth());
+    println!(
+        "program: {} nodes, depth {}",
+        program.len(),
+        program.multiplicative_depth()
+    );
 
     // 2. Compile: the EVA compiler inserts RESCALE/MODSWITCH/RELINEARIZE and
     //    selects encryption parameters and rotation keys.
@@ -33,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Execute homomorphically and compare against the reference semantics.
     let inputs: HashMap<String, Vec<f64>> = [(
         "x".to_string(),
-        (0..vec_size).map(|i| (i as f64 / vec_size as f64) - 0.5).collect(),
+        (0..vec_size)
+            .map(|i| (i as f64 / vec_size as f64) - 0.5)
+            .collect(),
     )]
     .into_iter()
     .collect();
@@ -48,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
     println!("maximum error vs plaintext reference: {max_err:.2e}");
-    assert!(max_err < 1e-2, "encrypted result drifted from the reference");
+    assert!(
+        max_err < 1e-2,
+        "encrypted result drifted from the reference"
+    );
     println!("ok: encrypted result matches the plaintext reference");
     Ok(())
 }

@@ -46,8 +46,7 @@ fn statistics_kernel_with_rotations_end_to_end() {
 
     let values: Vec<f64> = (0..size).map(|i| i as f64 / 10.0).collect();
     let expected_mean = values.iter().sum::<f64>() / size as f64;
-    let inputs: HashMap<String, Vec<f64>> =
-        [("x".to_string(), values)].into_iter().collect();
+    let inputs: HashMap<String, Vec<f64>> = [("x".to_string(), values)].into_iter().collect();
 
     let reference = run_reference(&compiled.program, &inputs).unwrap();
     close(&reference["mean"], &vec![expected_mean; size], 1e-9);
@@ -69,7 +68,9 @@ fn serial_and_parallel_executors_agree_on_an_application() {
 
     let bindings = context.encrypt_inputs(&compiled, &app.inputs).unwrap();
     let parallel_values = execute_parallel(&context, &compiled, bindings, 2).unwrap();
-    let parallel = context.decrypt_outputs(&compiled, &parallel_values).unwrap();
+    let parallel = context
+        .decrypt_outputs(&compiled, &parallel_values)
+        .unwrap();
 
     // The two runs encrypt the inputs with fresh randomness, so they agree up
     // to CKKS noise rather than exactly.

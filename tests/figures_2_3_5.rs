@@ -77,7 +77,10 @@ fn figure_3_match_scale_avoids_extra_primes() {
             .get("mod_switch")
             .copied()
             .unwrap_or(0);
-    assert_eq!(rescale_like, 0, "MATCH-SCALE must not consume modulus primes");
+    assert_eq!(
+        rescale_like, 0,
+        "MATCH-SCALE must not consume modulus primes"
+    );
     assert_eq!(compiled.stats.scale_fixes_inserted, 1);
 }
 

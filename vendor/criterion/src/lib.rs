@@ -1,0 +1,186 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the `eva-bench` crate uses —
+//! `Criterion`, `benchmark_group` with `measurement_time`/`sample_size`,
+//! `bench_function`, `Bencher::iter`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — as a simple wall-clock
+//! harness: each benchmark is warmed up once, then timed over enough
+//! iterations to fill the measurement window, and the mean, min and max
+//! per-iteration times are printed. No statistics, plots or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimizer from deleting a computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Timing state handed to the closure of `bench_function`.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    name: String,
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, printing a one-line summary.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One untimed warm-up call (fills caches, faults in code pages).
+        black_box(routine());
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.config.sample_size);
+        let deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{:<48} time: [{:>12?} {:>12?} {:>12?}]  ({} samples)",
+            self.name,
+            min,
+            mean,
+            max,
+            samples.len()
+        );
+    }
+}
+
+/// A named collection of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the time window each benchmark may spend measuring.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.config.measurement_time = time;
+        self
+    }
+
+    /// Sets the number of timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, size: usize) -> &mut Self {
+        self.config.sample_size = size.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<String>,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut bencher = Bencher {
+            config: &self.config,
+            name: format!("{}/{}", self.name, id.into()),
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<String>,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut bencher = Bencher {
+            config: &self.config,
+            name: id.into(),
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Opens a named group of benchmarks with its own measurement settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup {
+            name: name.to_string(),
+            config,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group function that runs each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u32;
+        Criterion::default().bench_function("noop", |b| b.iter(|| calls += 1));
+        // 1 warm-up + at least 1 timed sample.
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn group_settings_chain() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("noop", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!((2..=4).contains(&calls));
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! * [`queue::SegQueue`] — an unbounded MPMC queue. The real crate is
+//!   lock-free; this version wraps a `Mutex<VecDeque>`, which has the same
+//!   semantics and is more than fast enough for a work-stealing scheduler
+//!   whose items are multi-millisecond FHE kernels.
+//! * [`thread::scope`] — scoped threads with crossbeam's `Result`-returning
+//!   signature, layered over `std::thread::scope` (the scope closure receives
+//!   a scope handle, and a panic in any spawned thread surfaces as `Err`).
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::Mutex;
+
+    /// An unbounded multi-producer multi-consumer FIFO queue.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Self {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends an element to the back of the queue.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push_back(value);
+        }
+
+        /// Removes the element at the front of the queue, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pop_front()
+        }
+
+        /// Returns the number of elements currently queued.
+        pub fn len(&self) -> usize {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SegQueue { .. }")
+        }
+    }
+}
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A handle for spawning threads inside a [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope handle so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned in the scope are
+    /// joined before this returns. Returns `Err` if any spawned thread (or
+    /// the closure itself) panicked, mirroring crossbeam's signature.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn queue_fifo() {
+        let q = SegQueue::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn scope_joins_workers() {
+        let counter = AtomicUsize::new(0);
+        let q = SegQueue::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    while q.pop().is_some() {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn scope_reports_panic_as_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+}

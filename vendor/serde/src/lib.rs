@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates IR types with `#[derive(Serialize, Deserialize)]`
+//! so they are ready for the real `serde` once the build environment has
+//! crates.io access, but the actual wire format used today is the hand-rolled
+//! EVA binary codec in `eva-core::serialize`. These derive macros therefore
+//! expand to nothing: the attribute stays valid, no trait impls are emitted,
+//! and nothing in the workspace calls serde trait methods.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
