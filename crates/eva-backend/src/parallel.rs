@@ -44,7 +44,11 @@ struct Shared<'a> {
     bytes_retired: AtomicUsize,
     error: Mutex<Option<EvaError>>,
     reuse_memory: bool,
-    idle: Mutex<usize>,
+    /// Guards the sleep/wake handshake: a worker only blocks on [`Shared::wake`]
+    /// while holding this lock *after* re-checking the ready queue and the
+    /// termination conditions, and every producer notifies while holding the
+    /// same lock, so a wakeup can never slip between the check and the wait.
+    wake_lock: Mutex<()>,
     wake: Condvar,
 }
 
@@ -64,8 +68,10 @@ impl<'a> Shared<'a> {
         if slot.is_none() {
             *slot = Some(err);
         }
+        drop(slot);
         // Unblock everyone so the workers can observe the failure and exit.
         self.remaining_nodes.store(0, Ordering::SeqCst);
+        let _guard = self.wake_lock.lock();
         self.wake.notify_all();
     }
 
@@ -142,7 +148,7 @@ pub fn execute_parallel_with_options(
         bytes_retired: AtomicUsize::new(0),
         error: Mutex::new(None),
         reuse_memory,
-        idle: Mutex::new(0),
+        wake_lock: Mutex::new(()),
         wake: Condvar::new(),
     };
 
@@ -207,30 +213,47 @@ fn notify_children(shared: &Shared<'_>, id: NodeId, uses: &[Vec<NodeId>]) {
     for &child in &uses[id] {
         if shared.pending_parents[child].fetch_sub(1, Ordering::SeqCst) == 1 {
             shared.ready.push(child);
+            // Taking the wake lock orders this notification after any worker
+            // that found the queue empty but has not yet gone to sleep.
+            let _guard = shared.wake_lock.lock();
             shared.wake.notify_one();
         }
     }
 }
 
+/// Pops the next ready node, blocking on the condvar (no timeout polling)
+/// until one appears or the execution terminates. Returns `None` on shutdown
+/// (all nodes done or a failure was recorded).
+fn next_ready(shared: &Shared<'_>) -> Option<NodeId> {
+    // Fast path: check for shutdown and grab work without touching the lock.
+    if shared.failed() || shared.remaining_nodes.load(Ordering::SeqCst) == 0 {
+        let _guard = shared.wake_lock.lock();
+        shared.wake.notify_all();
+        return None;
+    }
+    if let Some(id) = shared.ready.pop() {
+        return Some(id);
+    }
+    let mut guard = shared.wake_lock.lock();
+    loop {
+        if shared.failed() || shared.remaining_nodes.load(Ordering::SeqCst) == 0 {
+            shared.wake.notify_all();
+            return None;
+        }
+        // Re-check under the lock: a producer pushes and then notifies while
+        // holding the lock, so either the pop below sees the node or the wait
+        // below observes the notification.
+        if let Some(id) = shared.ready.pop() {
+            return Some(id);
+        }
+        shared.wake.wait(&mut guard);
+    }
+}
+
 fn worker(shared: &Shared<'_>, uses: &[Vec<NodeId>], executed: &AtomicUsize) {
     loop {
-        if shared.failed() {
-            shared.wake.notify_all();
+        let Some(id) = next_ready(shared) else {
             return;
-        }
-        if shared.remaining_nodes.load(Ordering::SeqCst) == 0 {
-            shared.wake.notify_all();
-            return;
-        }
-        let Some(id) = shared.ready.pop() else {
-            // Nothing ready right now: wait until another worker finishes a node.
-            let mut idle = shared.idle.lock();
-            *idle += 1;
-            shared
-                .wake
-                .wait_for(&mut idle, std::time::Duration::from_millis(1));
-            *idle -= 1;
-            continue;
         };
 
         // Gather argument values (shared read locks).
@@ -267,8 +290,11 @@ fn worker(shared: &Shared<'_>, uses: &[Vec<NodeId>], executed: &AtomicUsize) {
                     }
                 }
                 notify_children(shared, id, uses);
-                shared.remaining_nodes.fetch_sub(1, Ordering::SeqCst);
-                shared.wake.notify_all();
+                if shared.remaining_nodes.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    // Last node: rouse every sleeping worker so they can exit.
+                    let _guard = shared.wake_lock.lock();
+                    shared.wake.notify_all();
+                }
             }
             Err(err) => {
                 shared.fail(err);

@@ -1,0 +1,89 @@
+//! Microbenchmarks of the arithmetic substrate's hottest kernels: the
+//! negacyclic NTT (forward and inverse) and the fused dyadic RNS kernels that
+//! every ciphertext multiply/relinearize decomposes into.
+//!
+//! Set `EVA_BENCH_QUICK=1` to run a fast smoke configuration (used by CI to
+//! catch kernel regressions without burning minutes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eva_bench::{dyadic_bench_config, ntt_bench_degrees, random_ntt_poly};
+use eva_math::{generate_ntt_primes, Modulus, NttTables};
+use eva_poly::RnsBasis;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn quick_mode() -> bool {
+    std::env::var("EVA_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn random_values(degree: usize, q: u64, seed: u64) -> Vec<u64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..degree).map(|_| rng.gen_range(0..q)).collect()
+}
+
+fn bench_ntt(c: &mut Criterion) {
+    let quick = quick_mode();
+    let degrees = ntt_bench_degrees(quick);
+    let mut group = c.benchmark_group("ntt");
+    group
+        .measurement_time(Duration::from_secs(if quick { 1 } else { 3 }))
+        .sample_size(if quick { 10 } else { 50 });
+    for &degree in degrees {
+        let q_val = generate_ntt_primes(degree, &[50]).expect("50-bit NTT prime")[0];
+        let modulus = Modulus::new(q_val).expect("valid modulus");
+        let tables = NttTables::new(degree, modulus).expect("NTT tables");
+        let input = random_values(degree, q_val, degree as u64);
+
+        let mut buf = input.clone();
+        group.bench_function(format!("forward_n{degree}_q50"), |b| {
+            b.iter(|| {
+                buf.copy_from_slice(&input);
+                tables.forward(black_box(&mut buf));
+            })
+        });
+        let mut eval = input.clone();
+        tables.forward(&mut eval);
+        let mut buf = eval.clone();
+        group.bench_function(format!("inverse_n{degree}_q50"), |b| {
+            b.iter(|| {
+                buf.copy_from_slice(&eval);
+                tables.inverse(black_box(&mut buf));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dyadic(c: &mut Criterion) {
+    let quick = quick_mode();
+    let (degree, level) = dyadic_bench_config(quick);
+    let primes = generate_ntt_primes(degree, &vec![50; level]).expect("primes");
+    let basis = RnsBasis::new(degree, &primes).expect("basis");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let a = random_ntt_poly(&basis, level, &mut rng);
+    let b_poly = random_ntt_poly(&basis, level, &mut rng);
+
+    let mut group = c.benchmark_group(&format!("dyadic_n{degree}_l{level}"));
+    group
+        .measurement_time(Duration::from_secs(if quick { 1 } else { 3 }))
+        .sample_size(if quick { 10 } else { 50 });
+    let mut acc = a.clone();
+    group.bench_function("add_assign", |bench| {
+        bench.iter(|| acc.add_assign(black_box(&b_poly), &basis))
+    });
+    let mut acc = a.clone();
+    group.bench_function("sub_assign", |bench| {
+        bench.iter(|| acc.sub_assign(black_box(&b_poly), &basis))
+    });
+    group.bench_function("dyadic_mul", |bench| {
+        bench.iter(|| a.dyadic_mul(black_box(&b_poly), &basis))
+    });
+    let mut acc = a.clone();
+    group.bench_function("dyadic_mul_acc", |bench| {
+        bench.iter(|| a.dyadic_mul_acc(black_box(&b_poly), &mut acc, &basis))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt, bench_dyadic);
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! cargo run --release -p eva-bench --bin report -- --all            # quick set
 //! cargo run --release -p eva-bench --bin report -- --table 6
 //! cargo run --release -p eva-bench --bin report -- --figure 7 --full
+//! cargo run --release -p eva-bench --bin report -- --primitives     # BENCH_primitives.json
 //! ```
 //!
 //! By default the encrypted-latency measurements (Tables 5, 7 and Figure 7)
@@ -19,6 +20,9 @@ struct Options {
     figures: Vec<u32>,
     full: bool,
     threads: usize,
+    /// `Some(path)` when `--primitives [path]` was passed: time the arithmetic
+    /// substrate kernels and write the JSON baseline to `path`.
+    primitives: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -30,6 +34,7 @@ fn parse_args() -> Options {
         threads: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        primitives: None,
     };
     let mut iter = args.iter().peekable();
     let mut all = args.is_empty();
@@ -52,6 +57,14 @@ fn parse_args() -> Options {
                     options.threads = n;
                 }
             }
+            "--primitives" => {
+                // Optional path operand; defaults to the repo-root baseline file.
+                let path = match iter.peek() {
+                    Some(p) if !p.starts_with("--") => iter.next().unwrap().clone(),
+                    _ => "BENCH_primitives.json".to_string(),
+                };
+                options.primitives = Some(path);
+            }
             other => eprintln!("ignoring unknown argument {other}"),
         }
     }
@@ -64,6 +77,34 @@ fn parse_args() -> Options {
 
 fn main() {
     let options = parse_args();
+
+    if let Some(path) = &options.primitives {
+        println!("== Arithmetic-substrate primitives (writing {path}) ==");
+        let timings = measure_primitives(false);
+        for t in &timings {
+            println!(
+                "{:<36} mean={:>10.3}µs min={:>10.3}µs ({} samples)",
+                t.name, t.mean_us, t.min_us, t.samples
+            );
+        }
+        // Carry historical reference sections over from the existing baseline
+        // so re-baselining never silently deletes them.
+        let preserved: Vec<String> = std::fs::read_to_string(path)
+            .ok()
+            .iter()
+            .flat_map(|old| {
+                ["pre_lazy_reference_us"]
+                    .iter()
+                    .filter_map(|key| extract_json_section(old, key))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let json = primitives_json(&timings, &preserved);
+        if let Err(err) = std::fs::write(path, &json) {
+            eprintln!("failed to write {path}: {err}");
+        }
+    }
+
     let networks = all_networks(42);
     let heavy_limit = if options.full { networks.len() } else { 1 };
 

@@ -141,6 +141,241 @@ pub fn measure_inference(
     }
 }
 
+/// One timed kernel: mean/min per-iteration wall-clock over `samples` runs.
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Kernel identifier, e.g. `ntt_forward_n8192_q50`.
+    pub name: String,
+    /// Mean per-iteration time in microseconds.
+    pub mean_us: f64,
+    /// Minimum per-iteration time in microseconds.
+    pub min_us: f64,
+    /// Number of timed iterations.
+    pub samples: usize,
+}
+
+fn time_kernel<F: FnMut()>(name: &str, samples: usize, mut routine: F) -> KernelTiming {
+    routine(); // warm-up
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        routine();
+        let elapsed = start.elapsed();
+        total += elapsed;
+        min = min.min(elapsed);
+    }
+    KernelTiming {
+        name: name.to_string(),
+        mean_us: total.as_secs_f64() * 1e6 / samples as f64,
+        min_us: min.as_secs_f64() * 1e6,
+        samples,
+    }
+}
+
+/// Ring degrees the NTT kernel baseline covers (shared by the `ntt_kernels`
+/// criterion bench and [`measure_primitives`] so both always measure the same
+/// suite).
+pub const NTT_BENCH_DEGREES: &[usize] = &[4096, 8192, 16384];
+
+/// Quick-mode (CI smoke) subset of [`NTT_BENCH_DEGREES`].
+pub const NTT_BENCH_DEGREES_QUICK: &[usize] = &[4096];
+
+/// The NTT degrees to measure for the given mode.
+pub fn ntt_bench_degrees(quick: bool) -> &'static [usize] {
+    if quick {
+        NTT_BENCH_DEGREES_QUICK
+    } else {
+        NTT_BENCH_DEGREES
+    }
+}
+
+/// The `(degree, level)` configuration of the fused dyadic-kernel baseline
+/// for the given mode (shared by the criterion bench and
+/// [`measure_primitives`]).
+pub fn dyadic_bench_config(quick: bool) -> (usize, usize) {
+    if quick {
+        (2048, 3)
+    } else {
+        (8192, 3)
+    }
+}
+
+/// A uniformly random NTT-form polynomial over the first `level` primes of
+/// `basis`, for benchmark inputs.
+pub fn random_ntt_poly(
+    basis: &eva_poly::RnsBasis,
+    level: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> eva_poly::RnsPoly {
+    let mut poly = eva_poly::RnsPoly::zero(basis.degree(), level, eva_poly::PolyForm::Ntt);
+    for (row, modulus) in poly.rows_mut().zip(basis.moduli()) {
+        eva_math::sample_uniform_into(rng, row, modulus);
+    }
+    poly
+}
+
+/// Times the arithmetic-substrate primitives every latency table decomposes
+/// into: the negacyclic NTT at the evaluation degrees, the fused dyadic RNS
+/// kernels, and the CKKS ciphertext operations at N = 8192.
+///
+/// `quick` shrinks sizes and sample counts for CI smoke runs.
+///
+/// # Panics
+///
+/// Panics if prime generation or context setup fails (fixed, known-good
+/// parameters).
+pub fn measure_primitives(quick: bool) -> Vec<KernelTiming> {
+    use eva_ckks::{CkksContext, CkksEncoder, CkksParameters, Encryptor, Evaluator, KeyGenerator};
+    use eva_math::{generate_ntt_primes, Modulus, NttTables};
+    use eva_poly::RnsBasis;
+    use rand::Rng;
+
+    let samples = if quick { 5 } else { 30 };
+    let mut out = Vec::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+
+    for &degree in ntt_bench_degrees(quick) {
+        let q_val = generate_ntt_primes(degree, &[50]).expect("50-bit NTT prime")[0];
+        let tables =
+            NttTables::new(degree, Modulus::new(q_val).expect("modulus")).expect("NTT tables");
+        let input: Vec<u64> = (0..degree).map(|_| rng.gen_range(0..q_val)).collect();
+        let mut buf = input.clone();
+        out.push(time_kernel(
+            &format!("ntt_forward_n{degree}_q50"),
+            samples,
+            || {
+                buf.copy_from_slice(&input);
+                tables.forward(&mut buf);
+            },
+        ));
+        let mut eval = input.clone();
+        tables.forward(&mut eval);
+        let mut buf = eval.clone();
+        out.push(time_kernel(
+            &format!("ntt_inverse_n{degree}_q50"),
+            samples,
+            || {
+                buf.copy_from_slice(&eval);
+                tables.inverse(&mut buf);
+            },
+        ));
+    }
+
+    let (degree, level) = dyadic_bench_config(quick);
+    let primes = generate_ntt_primes(degree, &vec![50; level]).expect("primes");
+    let basis = RnsBasis::new(degree, &primes).expect("basis");
+    let a = random_ntt_poly(&basis, level, &mut rng);
+    let b = random_ntt_poly(&basis, level, &mut rng);
+    let mut acc = a.clone();
+    out.push(time_kernel(
+        &format!("dyadic_add_assign_n{degree}_l{level}"),
+        samples,
+        || acc.add_assign(&b, &basis),
+    ));
+    let mut acc = a.clone();
+    out.push(time_kernel(
+        &format!("dyadic_sub_assign_n{degree}_l{level}"),
+        samples,
+        || acc.sub_assign(&b, &basis),
+    ));
+    out.push(time_kernel(
+        &format!("dyadic_mul_n{degree}_l{level}"),
+        samples,
+        || {
+            let _ = a.dyadic_mul(&b, &basis);
+        },
+    ));
+    let mut acc = a.clone();
+    out.push(time_kernel(
+        &format!("dyadic_mul_acc_n{degree}_l{level}"),
+        samples,
+        || a.dyadic_mul_acc(&b, &mut acc, &basis),
+    ));
+
+    if !quick {
+        let params = CkksParameters::new(8192, &[40, 40, 40]).expect("parameters");
+        let context = CkksContext::new(params).expect("context");
+        let mut keygen = KeyGenerator::from_seed(context.clone(), 1);
+        let public_key = keygen.create_public_key();
+        let relin_key = keygen.create_relinearization_key();
+        let encoder = CkksEncoder::new(context.clone());
+        let mut encryptor = Encryptor::from_seed(context.clone(), public_key, 2);
+        let evaluator = Evaluator::new(context.clone());
+        let values: Vec<f64> = (0..context.slot_count())
+            .map(|i| (i as f64).sin())
+            .collect();
+        let plaintext = encoder.encode(&values, 2f64.powi(40), 3);
+        let ct_a = encryptor.encrypt(&plaintext);
+        let ct_b = encryptor.encrypt(&plaintext);
+        let product = evaluator.multiply(&ct_a, &ct_b).expect("multiply");
+        out.push(time_kernel("ckks_multiply_n8192_l3", samples, || {
+            let _ = evaluator.multiply(&ct_a, &ct_b).unwrap();
+        }));
+        out.push(time_kernel("ckks_relinearize_n8192_l3", samples, || {
+            let _ = evaluator.relinearize(&product, &relin_key).unwrap();
+        }));
+        out.push(time_kernel("ckks_rescale_n8192_l3", samples, || {
+            let _ = evaluator.rescale_to_next(&ct_a).unwrap();
+        }));
+    }
+    out
+}
+
+/// Renders kernel timings as the `BENCH_primitives.json` document (hand-rolled
+/// JSON; the vendored serde is a stand-in, so no derive machinery is used).
+///
+/// `preserved` carries verbatim top-level sections rescued from a previous
+/// baseline file (see [`extract_json_section`]) so re-baselining does not
+/// silently delete the hand-recorded historical reference numbers.
+pub fn primitives_json(timings: &[KernelTiming], preserved: &[String]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"eva-bench-primitives-v1\",\n");
+    s.push_str(
+        "  \"note\": \"Regenerate the 'kernels' section with: cargo run --release -p eva-bench \
+         --bin report -- --primitives BENCH_primitives.json. Other sections are preserved \
+         verbatim across regeneration.\",\n",
+    );
+    s.push_str("  \"kernels\": {\n");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 == timings.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"{}\": {{ \"mean_us\": {:.3}, \"min_us\": {:.3}, \"samples\": {} }}{comma}\n",
+            t.name, t.mean_us, t.min_us, t.samples
+        ));
+    }
+    s.push_str("  }");
+    for section in preserved {
+        s.push_str(",\n  ");
+        s.push_str(section);
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// Extracts a top-level `"key": { ... }` object from a JSON document as the
+/// verbatim `"key": {...}` fragment (brace matching; no string-escape
+/// handling, which the baseline file does not use). Returns `None` if the key
+/// is absent or malformed.
+pub fn extract_json_section(doc: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let start = doc.find(&needle)?;
+    let open = start + doc[start..].find('{')?;
+    let mut depth = 0usize;
+    for (offset, ch) in doc[open..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(doc[start..=open + offset].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 /// Index of the maximum element.
 pub fn argmax(values: &[f64]) -> usize {
     values
@@ -334,6 +569,40 @@ mod tests {
         assert!(params.contains("CHET") && params.contains("EVA"));
         let accuracy = table4_accuracy(&prepared, 3);
         assert!(accuracy.contains("argmax_match"));
+    }
+
+    #[test]
+    fn primitives_report_has_expected_kernels_and_valid_json_shape() {
+        let timings = measure_primitives(true);
+        let names: Vec<&str> = timings.iter().map(|t| t.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("ntt_forward_")));
+        assert!(names.iter().any(|n| n.starts_with("ntt_inverse_")));
+        assert!(names.iter().any(|n| n.starts_with("dyadic_mul_acc_")));
+        assert!(timings.iter().all(|t| t.mean_us > 0.0 && t.min_us > 0.0));
+        let json = primitives_json(&timings, &[]);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("mean_us").count(), timings.len());
+    }
+
+    #[test]
+    fn rebaselining_preserves_historical_sections() {
+        let timings = vec![KernelTiming {
+            name: "k".into(),
+            mean_us: 1.0,
+            min_us: 0.5,
+            samples: 3,
+        }];
+        let old = primitives_json(
+            &timings,
+            &["\"pre_lazy_reference_us\": {\n    \"k\": { \"mean_us\": 9.0 }\n  }".to_string()],
+        );
+        // Re-extracting from the emitted document must round-trip the section.
+        let section = extract_json_section(&old, "pre_lazy_reference_us").unwrap();
+        assert!(section.contains("\"mean_us\": 9.0"));
+        let regenerated = primitives_json(&timings, &[section]);
+        assert!(regenerated.contains("pre_lazy_reference_us"));
+        assert!(regenerated.contains("\"mean_us\": 9.0"));
+        assert_eq!(extract_json_section(&old, "missing_key"), None);
     }
 
     #[test]

@@ -23,7 +23,16 @@ use crate::error::CkksError;
 use crate::keys::{GaloisKeys, KeySwitchKey, RelinearizationKey};
 
 /// Relative tolerance used when comparing operand scales.
-const SCALE_TOLERANCE: f64 = 1e-9;
+///
+/// The compiler guarantees operand scales match in *bits*, but the executor
+/// divides by the *actual* rescale primes (`q ≈ 2^s`, never exactly), so two
+/// operands that reached the same level through different RESCALE/MODSWITCH
+/// structures drift apart by roughly `|q - 2^s| / 2^s` per rescale — about
+/// `2^-15` for the prime sizes used here, accumulating over deep circuits.
+/// Genuinely mismatched scales differ by at least a factor of two (scale bits
+/// are integers), so a `2^-10` relative tolerance cleanly separates inherent
+/// prime drift from real constraint violations.
+const SCALE_TOLERANCE: f64 = 1e-3;
 
 /// Stateless homomorphic evaluator bound to one [`CkksContext`].
 #[derive(Debug, Clone)]
@@ -170,10 +179,12 @@ impl Evaluator {
         let basis = self.context.key_basis();
         let (a0, a1) = (&a.polys()[0], &a.polys()[1]);
         let (b0, b1) = (&b.polys()[0], &b.polys()[1]);
+        // The three output polynomials are the only allocations: the cross
+        // term accumulates into c1 via the fused dyadic kernel instead of
+        // materializing `a1 * b0` separately.
         let c0 = a0.dyadic_mul(b0, basis);
         let mut c1 = a0.dyadic_mul(b1, basis);
-        let c1b = a1.dyadic_mul(b0, basis);
-        c1.add_assign(&c1b, basis);
+        a1.dyadic_mul_acc(b0, &mut c1, basis);
         let c2 = a1.dyadic_mul(b1, basis);
         Ok(Ciphertext::from_parts(
             vec![c0, c1, c2],
@@ -230,12 +241,12 @@ impl Evaluator {
             });
         }
         let basis = self.context.key_basis();
-        let (d0, d1) = self.switch_key(&ct.polys()[2], &key.key, ct.level());
-        let mut c0 = ct.polys()[0].clone();
-        c0.add_assign(&d0, basis);
-        let mut c1 = ct.polys()[1].clone();
-        c1.add_assign(&d1, basis);
-        Ok(Ciphertext::from_parts(vec![c0, c1], ct.scale(), ct.level()))
+        // The switch-key outputs are owned, so the ciphertext components are
+        // accumulated into them directly — no cloned temporaries.
+        let (mut d0, mut d1) = self.switch_key(&ct.polys()[2], &key.key, ct.level());
+        d0.add_assign(&ct.polys()[0], basis);
+        d1.add_assign(&ct.polys()[1], basis);
+        Ok(Ciphertext::from_parts(vec![d0, d1], ct.scale(), ct.level()))
     }
 
     /// Divides the message by the last prime of the ciphertext's chain and
@@ -338,73 +349,99 @@ impl Evaluator {
     /// Key switching: given a polynomial `target` (NTT form, spanning `level`
     /// data primes) that multiplies some source key `s_src` in a decryption
     /// equation, produce `(d0, d1)` such that `d0 + d1·s ≈ target · s_src`.
+    ///
+    /// The extended accumulators are two contiguous [`RnsPoly`] buffers whose
+    /// data rows are rewritten in place by the final mod-down, so they
+    /// *become* the outputs; the per-(digit, prime) lifted-digit row and the
+    /// mod-down delta row are reused scratch buffers rather than fresh
+    /// allocations inside the loops.
     fn switch_key(&self, target: &RnsPoly, key: &KeySwitchKey, level: usize) -> (RnsPoly, RnsPoly) {
         let basis = self.context.key_basis();
         let n = self.context.degree();
         let special = self.context.special_index();
-        let p_value = self.context.params().special_prime();
 
         let mut target_coeff = target.clone();
         target_coeff.to_coeff(basis);
 
-        // Extended accumulator rows: one per data prime in use plus the special prime.
-        let ext_indices: Vec<usize> = (0..level).chain(std::iter::once(special)).collect();
-        let mut acc0: Vec<Vec<u64>> = vec![vec![0u64; n]; ext_indices.len()];
-        let mut acc1: Vec<Vec<u64>> = vec![vec![0u64; n]; ext_indices.len()];
+        // Extended accumulators: rows 0..level are the data primes, row
+        // `level` is the special prime (basis index `special`).
+        let ext = level + 1;
+        let mut acc0 = RnsPoly::zero(n, ext, PolyForm::Ntt);
+        let mut acc1 = RnsPoly::zero(n, ext, PolyForm::Ntt);
+        let mut lifted = vec![0u64; n];
 
         for j in 0..level {
             let digit = target_coeff.residue(j);
             let (k0, k1) = &key.digits[j];
-            for (pos, &m_idx) in ext_indices.iter().enumerate() {
+            for pos in 0..ext {
+                let m_idx = if pos == level { special } else { pos };
                 let modulus = &basis.moduli()[m_idx];
-                let tables = &basis.ntt_tables()[m_idx];
-                let mut t: Vec<u64> = digit.iter().map(|&c| modulus.reduce(c)).collect();
-                tables.forward(&mut t);
+                for (dst, &c) in lifted.iter_mut().zip(digit) {
+                    *dst = modulus.reduce(c);
+                }
+                basis.ntt_tables()[m_idx].forward(&mut lifted);
                 let k0_row = k0.residue(m_idx);
                 let k1_row = k1.residue(m_idx);
-                let acc0_row = &mut acc0[pos];
-                let acc1_row = &mut acc1[pos];
-                for idx in 0..n {
-                    acc0_row[idx] = modulus.add(acc0_row[idx], modulus.mul(t[idx], k0_row[idx]));
-                    acc1_row[idx] = modulus.add(acc1_row[idx], modulus.mul(t[idx], k1_row[idx]));
+                let acc0_row = acc0.residue_mut(pos);
+                for ((a, &t), &k) in acc0_row.iter_mut().zip(&lifted).zip(k0_row) {
+                    *a = modulus.add(*a, modulus.mul(t, k));
+                }
+                let acc1_row = acc1.residue_mut(pos);
+                for ((a, &t), &k) in acc1_row.iter_mut().zip(&lifted).zip(k1_row) {
+                    *a = modulus.add(*a, modulus.mul(t, k));
                 }
             }
         }
 
-        let mod_down = |rows: Vec<Vec<u64>>| -> RnsPoly {
-            let special_tables = &basis.ntt_tables()[special];
-            let mut special_coeff = rows[level].clone();
-            special_tables.inverse(&mut special_coeff);
-            let half_p = p_value / 2;
-            let mut out_rows = Vec::with_capacity(level);
-            for i in 0..level {
-                let q_i = &basis.moduli()[i];
-                let tables_i = &basis.ntt_tables()[i];
-                let inv_p = q_i
-                    .inv(q_i.reduce(p_value))
-                    .expect("special prime is invertible modulo data primes");
-                let pre = q_i.shoup(inv_p);
-                let mut delta: Vec<u64> = special_coeff
-                    .iter()
-                    .map(|&c| {
-                        if c > half_p {
-                            q_i.sub(q_i.reduce(c), q_i.reduce(p_value))
-                        } else {
-                            q_i.reduce(c)
-                        }
-                    })
-                    .collect();
-                tables_i.forward(&mut delta);
-                let mut row = rows[i].clone();
-                for (a, &d) in row.iter_mut().zip(&delta) {
-                    *a = q_i.mul_shoup(q_i.sub(*a, d), &pre);
-                }
-                out_rows.push(row);
-            }
-            RnsPoly::from_residues(out_rows, PolyForm::Ntt)
-        };
+        let mut special_coeff = lifted; // reuse as the mod-down scratch
+        let mut delta = vec![0u64; n];
+        self.mod_down_special(&mut acc0, level, &mut special_coeff, &mut delta);
+        self.mod_down_special(&mut acc1, level, &mut special_coeff, &mut delta);
+        (acc0, acc1)
+    }
 
-        (mod_down(acc0), mod_down(acc1))
+    /// Floors away the special-prime row of an extended accumulator (rows
+    /// 0..level = data primes in NTT form, row `level` = special prime),
+    /// dividing the data rows by `P` in place and dropping the special row.
+    ///
+    /// `special_coeff` and `delta` are caller-provided row-sized scratch
+    /// buffers, reused across invocations.
+    fn mod_down_special(
+        &self,
+        acc: &mut RnsPoly,
+        level: usize,
+        special_coeff: &mut [u64],
+        delta: &mut [u64],
+    ) {
+        let basis = self.context.key_basis();
+        let special = self.context.special_index();
+        let p_value = self.context.params().special_prime();
+        let half_p = p_value / 2;
+
+        special_coeff.copy_from_slice(acc.residue(level));
+        basis.ntt_tables()[special].inverse(special_coeff);
+
+        for i in 0..level {
+            let q_i = &basis.moduli()[i];
+            let inv_p = q_i
+                .inv(q_i.reduce(p_value))
+                .expect("special prime is invertible modulo data primes");
+            let pre = q_i.shoup(inv_p);
+            let p_mod_qi = q_i.reduce(p_value);
+            for (d, &c) in delta.iter_mut().zip(special_coeff.iter()) {
+                *d = if c > half_p {
+                    q_i.sub(q_i.reduce(c), p_mod_qi)
+                } else {
+                    q_i.reduce(c)
+                };
+            }
+            basis.ntt_tables()[i].forward(delta);
+            let row = acc.residue_mut(i);
+            for (a, &d) in row.iter_mut().zip(delta.iter()) {
+                *a = q_i.mul_shoup(q_i.sub(*a, d), &pre);
+            }
+        }
+        acc.drop_last();
     }
 }
 

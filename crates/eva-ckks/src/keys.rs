@@ -138,12 +138,11 @@ impl KeyGenerator {
     /// first `level` primes of the key basis.
     fn sample_uniform_ntt(&mut self, level: usize) -> RnsPoly {
         let basis = self.context.key_basis();
-        let residues: Vec<Vec<u64>> = (0..level)
-            .map(|i| {
-                eva_math::sample_uniform_poly(&mut self.rng, basis.degree(), &basis.moduli()[i])
-            })
-            .collect();
-        RnsPoly::from_residues(residues, PolyForm::Ntt)
+        let mut poly = RnsPoly::zero(basis.degree(), level, PolyForm::Ntt);
+        for (row, modulus) in poly.rows_mut().zip(basis.moduli()) {
+            eva_math::sample_uniform_into(&mut self.rng, row, modulus);
+        }
+        poly
     }
 
     /// Samples a small error polynomial over the first `level` primes, NTT form.
@@ -222,9 +221,9 @@ impl KeyGenerator {
             let q_j = &basis.moduli()[j];
             let p_mod_qj = q_j.reduce(p_value);
             let pre = q_j.shoup(p_mod_qj);
-            let src_row = source.residue(j).to_vec();
+            let src_row = source.residue(j);
             let row = k0.residue_mut(j);
-            for (dst, &src) in row.iter_mut().zip(&src_row) {
+            for (dst, &src) in row.iter_mut().zip(src_row) {
                 *dst = q_j.add(*dst, q_j.mul_shoup(src, &pre));
             }
             debug_assert!(special == full - 1);

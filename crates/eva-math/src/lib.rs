@@ -5,10 +5,14 @@
 //! the paper):
 //!
 //! * [`modulus`] — word-sized prime moduli with Barrett and Shoup modular
-//!   multiplication, modular exponentiation and inversion.
+//!   multiplication, modular exponentiation and inversion, plus the
+//!   lazy-reduction primitives (`add_lazy`/`sub_lazy`/`mul_shoup_lazy`,
+//!   outputs in `[0, 2q)`) that the hot kernels build on; see the module docs
+//!   for the range-invariant table.
 //! * [`primes`] — deterministic Miller–Rabin primality testing and generation
 //!   of NTT-friendly primes (`q ≡ 1 mod 2N`) of requested bit sizes.
-//! * [`ntt`] — the negacyclic number-theoretic transform over `Z_q[X]/(X^N+1)`.
+//! * [`ntt`] — the negacyclic number-theoretic transform over `Z_q[X]/(X^N+1)`,
+//!   with Harvey lazy-reduction butterflies and SoA twiddle tables.
 //! * [`fft`] — a complex FFT over the canonical-embedding root ordering used by
 //!   the CKKS encoder (powers-of-five orbit).
 //! * [`sampling`] — samplers for uniform, ternary and centered-binomial noise.
@@ -48,4 +52,4 @@ pub use galois::GaloisTool;
 pub use modulus::Modulus;
 pub use ntt::NttTables;
 pub use primes::{generate_ntt_primes, is_prime};
-pub use sampling::{sample_cbd, sample_ternary, sample_uniform_poly};
+pub use sampling::{sample_cbd, sample_ternary, sample_uniform_into, sample_uniform_poly};

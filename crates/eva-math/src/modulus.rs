@@ -5,6 +5,24 @@
 //! residues can be reduced without a hardware division. Constant operands can
 //! additionally be promoted to a [`ShoupPrecomputed`] form, which the NTT uses
 //! for its twiddle factors.
+//!
+//! # Lazy-reduction ranges
+//!
+//! The hot kernels (NTT butterflies, fused dyadic products) defer the final
+//! reduction to canonical `[0, q)` and instead track *lazy* representatives.
+//! The invariants, all safe because `q < 2^62` keeps `4q < 2^64`:
+//!
+//! | operation | input range | output range |
+//! |---|---|---|
+//! | [`Modulus::add_lazy`]       | `[0, q)` each   | `[0, 2q)` |
+//! | [`Modulus::sub_lazy`]       | `[0, q)` each   | `[0, 2q)` |
+//! | [`Modulus::mul_shoup_lazy`] | any `u64`       | `[0, 2q)` |
+//! | [`Modulus::reduce_once`]    | `[0, 2q)`       | `[0, q)`  |
+//! | [`Modulus::reduce_twice`]   | `[0, 4q)`       | `[0, q)`  |
+//!
+//! The canonical operations ([`Modulus::add`], [`Modulus::sub`],
+//! [`Modulus::mul`], [`Modulus::mul_shoup`]) keep both inputs and outputs in
+//! `[0, q)`.
 
 use std::fmt;
 
@@ -137,26 +155,65 @@ impl Modulus {
     }
 
     /// Modular addition of two residues already in `[0, q)`.
+    ///
+    /// Branch-free (mask-select correction) so throughput does not depend on
+    /// the data distribution.
     #[inline]
     pub fn add(&self, a: u64, b: u64) -> u64 {
         debug_assert!(a < self.value && b < self.value);
         let s = a + b;
-        if s >= self.value {
-            s - self.value
-        } else {
-            s
-        }
+        s - (self.value & ((s >= self.value) as u64).wrapping_neg())
     }
 
     /// Modular subtraction of two residues already in `[0, q)`.
+    ///
+    /// Branch-free: adds back `q` under a borrow mask instead of branching on
+    /// `a >= b`, which mispredicts on random residues.
     #[inline]
     pub fn sub(&self, a: u64, b: u64) -> u64 {
         debug_assert!(a < self.value && b < self.value);
-        if a >= b {
-            a - b
-        } else {
-            a + self.value - b
-        }
+        let (d, borrow) = a.overflowing_sub(b);
+        d.wrapping_add(self.value & (borrow as u64).wrapping_neg())
+    }
+
+    /// Lazy modular addition: inputs in `[0, q)`, output in `[0, 2q)`.
+    ///
+    /// Branch-free: the sum is returned unreduced. Feed the result to
+    /// [`Modulus::reduce_once`] (or a subsequent lazy operation) when a
+    /// canonical representative is needed.
+    #[inline]
+    pub fn add_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        a + b
+    }
+
+    /// Lazy modular subtraction: inputs in `[0, q)`, output in `[0, 2q)`.
+    ///
+    /// Branch-free: returns `a + q - b`, which is congruent to `a - b` and
+    /// never underflows.
+    #[inline]
+    pub fn sub_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        a + self.value - b
+    }
+
+    /// Reduces a lazy representative in `[0, 2q)` to canonical `[0, q)` with a
+    /// single mask-selected subtraction.
+    #[inline]
+    pub fn reduce_once(&self, a: u64) -> u64 {
+        debug_assert!(a < 2 * self.value);
+        a - (self.value & ((a >= self.value) as u64).wrapping_neg())
+    }
+
+    /// Reduces a lazy representative in `[0, 4q)` to canonical `[0, q)` with
+    /// two mask-selected subtractions (the correction pass the lazy NTT runs
+    /// once at the end instead of inside every butterfly).
+    #[inline]
+    pub fn reduce_twice(&self, a: u64) -> u64 {
+        debug_assert!(a < 4 * self.value);
+        let two_q = self.value << 1;
+        let a = a - (two_q & ((a >= two_q) as u64).wrapping_neg());
+        a - (self.value & ((a >= self.value) as u64).wrapping_neg())
     }
 
     /// Modular negation of a residue in `[0, q)`.
@@ -193,9 +250,9 @@ impl Modulus {
 
     /// Modular inverse of `a`, if it exists.
     ///
-    /// Uses Fermat's little theorem when the modulus is prime is not assumed;
-    /// instead the extended Euclidean algorithm is used so the method works for
-    /// any modulus.
+    /// Primality of the modulus is not assumed (so Fermat's little theorem is
+    /// not applicable); the extended Euclidean algorithm is used instead, which
+    /// works for any modulus and returns `None` when `gcd(a, q) != 1`.
     pub fn inv(&self, a: u64) -> Option<u64> {
         let a = self.reduce(a);
         if a == 0 {
@@ -236,16 +293,21 @@ impl Modulus {
     /// Multiplies `a` by a Shoup-precomputed constant modulo `q`.
     #[inline]
     pub fn mul_shoup(&self, a: u64, c: &ShoupPrecomputed) -> u64 {
-        // r = a*c.operand - floor(a*c.quotient / 2^64) * q, then one correction.
+        self.reduce_once(self.mul_shoup_lazy(a, c))
+    }
+
+    /// Lazy Shoup multiplication: `a * c mod q` as a representative in
+    /// `[0, 2q)`, skipping the final conditional subtraction.
+    ///
+    /// Correct for *any* `a < 2^64` (the Harvey butterflies exploit this by
+    /// feeding in values up to `4q`): the quotient estimate
+    /// `floor(a * c.quotient / 2^64)` undershoots the true quotient by less
+    /// than `1 + a/2^64 < 2`, so `a*c.operand - estimate*q` lands in `[0, 2q)`.
+    #[inline]
+    pub fn mul_shoup_lazy(&self, a: u64, c: &ShoupPrecomputed) -> u64 {
         let hi = ((a as u128 * c.quotient as u128) >> 64) as u64;
-        let r = a
-            .wrapping_mul(c.operand)
-            .wrapping_sub(hi.wrapping_mul(self.value));
-        if r >= self.value {
-            r - self.value
-        } else {
-            r
-        }
+        a.wrapping_mul(c.operand)
+            .wrapping_sub(hi.wrapping_mul(self.value))
     }
 }
 
@@ -338,6 +400,59 @@ mod tests {
         let q = Modulus::new(15).unwrap();
         assert_eq!(q.inv(3), None);
         assert_eq!(q.inv(2), Some(8));
+    }
+
+    #[test]
+    fn lazy_ops_stay_in_declared_ranges() {
+        // Exhaustive over a small modulus: outputs in [0, 2q), congruent mod q.
+        let q = Modulus::new(97).unwrap();
+        for a in 0..97u64 {
+            for b in 0..97u64 {
+                let s = q.add_lazy(a, b);
+                assert!(s < 2 * 97, "add_lazy({a},{b}) = {s} escapes [0, 2q)");
+                assert_eq!(s % 97, (a + b) % 97);
+                assert_eq!(q.reduce_once(s), q.add(a, b));
+                let d = q.sub_lazy(a, b);
+                assert!(d < 2 * 97, "sub_lazy({a},{b}) = {d} escapes [0, 2q)");
+                assert_eq!(q.reduce_once(d), q.sub(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_shoup_lazy_bounded_for_arbitrary_inputs() {
+        // mul_shoup_lazy must stay below 2q for ANY u64 input, including
+        // values far above q (the lazy NTT feeds in representatives up to 4q).
+        let q = Modulus::new((1u64 << 61) - 1).unwrap();
+        let qv = q.value();
+        let consts = [1u64, 2, qv - 1, qv / 3, 0x0123_4567_89ab_cdef % qv];
+        let inputs = [
+            0u64,
+            1,
+            qv - 1,
+            qv,
+            2 * qv - 1,
+            4 * qv - 1,
+            u64::MAX,
+            0xdead_beef_dead_beef,
+        ];
+        for &c in &consts {
+            let pre = q.shoup(c);
+            for &a in &inputs {
+                let r = q.mul_shoup_lazy(a, &pre);
+                assert!(r < 2 * qv, "mul_shoup_lazy({a}, {c}) = {r} >= 2q");
+                assert_eq!(q.reduce_once(r) as u128, a as u128 * c as u128 % qv as u128);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_twice_covers_full_4q_range() {
+        let q = Modulus::new((1u64 << 50) - 27).unwrap();
+        let qv = q.value();
+        for &a in &[0, 1, qv - 1, qv, 2 * qv - 1, 2 * qv, 3 * qv + 5, 4 * qv - 1] {
+            assert_eq!(q.reduce_twice(a), a % qv);
+        }
     }
 
     #[test]

@@ -5,19 +5,48 @@
 //! back. Twiddle factors are powers of a primitive `2N`-th root of unity `ψ`
 //! stored in bit-reversed order and promoted to Shoup form, following the
 //! Longa–Naehrig formulation also used by SEAL.
+//!
+//! # Lazy reduction
+//!
+//! The butterflies are Harvey-style: instead of reducing to canonical `[0, q)`
+//! after every addition and multiplication, values travel as *lazy*
+//! representatives and a single correction pass runs at the end. The range
+//! invariants (safe for every `q < 2^62`, i.e. `4q < 2^64`):
+//!
+//! * [`NttTables::forward_lazy`] — accepts values in `[0, 4q)`, leaves values
+//!   in `[0, 4q)`. Each butterfly conditionally subtracts `2q` from the upper
+//!   input (to `[0, 2q)`), computes the Shoup product lazily (to `[0, 2q)`),
+//!   and emits `u + v` and `u + 2q - v`, both `< 4q`.
+//! * [`NttTables::inverse_lazy`] — accepts values in `[0, 2q)`, leaves values
+//!   in `[0, 2q)` (including the final `N^{-1}` scaling, applied lazily).
+//! * [`NttTables::forward`] / [`NttTables::inverse`] — canonical wrappers:
+//!   same transform followed by the correction pass back to `[0, q)`.
+//!
+//! Twiddle factors are stored as flat structure-of-arrays (`operand[]` and
+//! `quotient[]` side by side) rather than an array of
+//! [`ShoupPrecomputed`](crate::modulus::ShoupPrecomputed) structs, so the
+//! strided butterfly loops stream two dense `u64` arrays instead of
+//! interleaved pairs.
 
 use crate::modulus::{Modulus, ShoupPrecomputed};
 use crate::primes::primitive_root_of_unity;
 
 /// Precomputed tables for the negacyclic NTT of a fixed degree and modulus.
+///
+/// Twiddles are kept in flat SoA arrays: index `i` of the operand array pairs
+/// with index `i` of the quotient array.
 #[derive(Debug, Clone)]
 pub struct NttTables {
     degree: usize,
     modulus: Modulus,
-    /// ψ^bitrev(i) in Shoup form, i in 0..N.
-    root_powers: Vec<ShoupPrecomputed>,
-    /// ψ^{-bitrev(i)} in Shoup form, i in 0..N.
-    inv_root_powers: Vec<ShoupPrecomputed>,
+    /// ψ^bitrev(i), i in 0..N.
+    root_operands: Vec<u64>,
+    /// `floor(ψ^bitrev(i) · 2^64 / q)`.
+    root_quotients: Vec<u64>,
+    /// ψ^{-bitrev(i)}, i in 0..N.
+    inv_root_operands: Vec<u64>,
+    /// `floor(ψ^{-bitrev(i)} · 2^64 / q)`.
+    inv_root_quotients: Vec<u64>,
     /// N^{-1} mod q in Shoup form.
     inv_degree: ShoupPrecomputed,
 }
@@ -81,8 +110,6 @@ impl NttTables {
             .inv(psi)
             .expect("primitive root is invertible modulo a prime");
 
-        let mut root_powers = vec![modulus.shoup(1); degree];
-        let mut inv_root_powers = vec![modulus.shoup(1); degree];
         let mut power = 1u64;
         let mut inv_power = 1u64;
         // powers[bitrev(i)] = psi^i
@@ -94,9 +121,17 @@ impl NttTables {
             power = modulus.mul(power, psi);
             inv_power = modulus.mul(inv_power, psi_inv);
         }
+        let mut root_operands = vec![0u64; degree];
+        let mut root_quotients = vec![0u64; degree];
+        let mut inv_root_operands = vec![0u64; degree];
+        let mut inv_root_quotients = vec![0u64; degree];
         for i in 0..degree {
-            root_powers[i] = modulus.shoup(plain[bit_reverse(i, log_n)]);
-            inv_root_powers[i] = modulus.shoup(plain_inv[bit_reverse(i, log_n)]);
+            let fwd = modulus.shoup(plain[bit_reverse(i, log_n)]);
+            root_operands[i] = fwd.operand;
+            root_quotients[i] = fwd.quotient;
+            let inv = modulus.shoup(plain_inv[bit_reverse(i, log_n)]);
+            inv_root_operands[i] = inv.operand;
+            inv_root_quotients[i] = inv.quotient;
         }
         let inv_degree = modulus.shoup(
             modulus
@@ -106,8 +141,10 @@ impl NttTables {
         Ok(Self {
             degree,
             modulus,
-            root_powers,
-            inv_root_powers,
+            root_operands,
+            root_quotients,
+            inv_root_operands,
+            inv_root_quotients,
             inv_degree,
         })
     }
@@ -124,14 +161,40 @@ impl NttTables {
         &self.modulus
     }
 
-    /// In-place forward negacyclic NTT (coefficient → evaluation domain).
+    /// In-place forward negacyclic NTT (coefficient → evaluation domain),
+    /// producing canonical `[0, q)` outputs.
     ///
     /// # Panics
     ///
     /// Panics if `values.len()` differs from the table degree.
     pub fn forward(&self, values: &mut [u64]) {
-        assert_eq!(values.len(), self.degree, "NTT input length mismatch");
+        self.forward_lazy(values);
         let q = &self.modulus;
+        for value in values.iter_mut() {
+            *value = q.reduce_twice(*value);
+        }
+    }
+
+    /// In-place forward negacyclic NTT with deferred reduction: accepts inputs
+    /// in `[0, 4q)` and leaves outputs in `[0, 4q)`.
+    ///
+    /// The Harvey butterfly keeps every intermediate below `4q < 2^64`; run
+    /// [`Modulus::reduce_twice`] over the values (or call
+    /// [`NttTables::forward`]) for canonical outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the table degree.
+    pub fn forward_lazy(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "NTT input length mismatch");
+        debug_assert!(
+            values
+                .iter()
+                .all(|&v| (v as u128) < 4 * self.modulus.value() as u128),
+            "forward_lazy input escapes [0, 4q)"
+        );
+        let q = self.modulus.value();
+        let two_q = q << 1;
         let n = self.degree;
         let mut t = n;
         let mut m = 1usize;
@@ -139,26 +202,56 @@ impl NttTables {
             t >>= 1;
             for i in 0..m {
                 let j1 = 2 * i * t;
-                let s = &self.root_powers[m + i];
-                for j in j1..j1 + t {
-                    let u = values[j];
-                    let v = q.mul_shoup(values[j + t], s);
-                    values[j] = q.add(u, v);
-                    values[j + t] = q.sub(u, v);
+                let w = self.root_operands[m + i];
+                let w_quot = self.root_quotients[m + i];
+                let (lower, upper) = values[j1..j1 + 2 * t].split_at_mut(t);
+                for (x, y) in lower.iter_mut().zip(upper.iter_mut()) {
+                    // u in [0, 2q); v = y·w mod q as a [0, 2q) representative.
+                    let u = if *x >= two_q { *x - two_q } else { *x };
+                    let hi = ((*y as u128 * w_quot as u128) >> 64) as u64;
+                    let v = y.wrapping_mul(w).wrapping_sub(hi.wrapping_mul(q));
+                    *x = u + v;
+                    *y = u + two_q - v;
                 }
             }
             m <<= 1;
         }
     }
 
-    /// In-place inverse negacyclic NTT (evaluation → coefficient domain).
+    /// In-place inverse negacyclic NTT (evaluation → coefficient domain),
+    /// producing canonical `[0, q)` outputs.
     ///
     /// # Panics
     ///
     /// Panics if `values.len()` differs from the table degree.
     pub fn inverse(&self, values: &mut [u64]) {
-        assert_eq!(values.len(), self.degree, "NTT input length mismatch");
+        self.inverse_lazy(values);
         let q = &self.modulus;
+        for value in values.iter_mut() {
+            *value = q.reduce_once(*value);
+        }
+    }
+
+    /// In-place inverse negacyclic NTT with deferred reduction: accepts inputs
+    /// in `[0, 2q)` and leaves outputs in `[0, 2q)`, including the final
+    /// `N^{-1}` scaling (applied as a lazy Shoup product).
+    ///
+    /// Run [`Modulus::reduce_once`] over the values (or call
+    /// [`NttTables::inverse`]) for canonical outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the table degree.
+    pub fn inverse_lazy(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "NTT input length mismatch");
+        debug_assert!(
+            values
+                .iter()
+                .all(|&v| (v as u128) < 2 * self.modulus.value() as u128),
+            "inverse_lazy input escapes [0, 2q): reduce forward_lazy output first"
+        );
+        let q = self.modulus.value();
+        let two_q = q << 1;
         let n = self.degree;
         let mut t = 1usize;
         let mut m = n;
@@ -166,20 +259,28 @@ impl NttTables {
             let h = m >> 1;
             let mut j1 = 0usize;
             for i in 0..h {
-                let s = &self.inv_root_powers[h + i];
-                for j in j1..j1 + t {
-                    let u = values[j];
-                    let v = values[j + t];
-                    values[j] = q.add(u, v);
-                    values[j + t] = q.mul_shoup(q.sub(u, v), s);
+                let w = self.inv_root_operands[h + i];
+                let w_quot = self.inv_root_quotients[h + i];
+                let (lower, upper) = values[j1..j1 + 2 * t].split_at_mut(t);
+                for (x, y) in lower.iter_mut().zip(upper.iter_mut()) {
+                    // u, v in [0, 2q); sums stay below 4q < 2^64.
+                    let u = *x;
+                    let v = *y;
+                    let s = u + v;
+                    *x = if s >= two_q { s - two_q } else { s };
+                    let d = u + two_q - v;
+                    let hi = ((d as u128 * w_quot as u128) >> 64) as u64;
+                    *y = d.wrapping_mul(w).wrapping_sub(hi.wrapping_mul(q));
                 }
                 j1 += 2 * t;
             }
             t <<= 1;
             m = h;
         }
+        let inv_n = &self.inv_degree;
+        let q = &self.modulus;
         for value in values.iter_mut() {
-            *value = q.mul_shoup(*value, &self.inv_degree);
+            *value = q.mul_shoup_lazy(*value, inv_n);
         }
     }
 }
@@ -246,6 +347,54 @@ mod tests {
         assert_ne!(values, original, "transform should not be the identity");
         ntt.inverse(&mut values);
         assert_eq!(values, original);
+    }
+
+    #[test]
+    fn lazy_forward_respects_4q_bound_and_matches_canonical() {
+        let degree = 512;
+        let ntt = tables(degree, 60);
+        let q = ntt.modulus().value();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let original: Vec<u64> = (0..degree).map(|_| rng.gen_range(0..q)).collect();
+
+        let mut lazy = original.clone();
+        ntt.forward_lazy(&mut lazy);
+        assert!(
+            lazy.iter().all(|&v| (v as u128) < 4 * q as u128),
+            "forward_lazy output escapes [0, 4q)"
+        );
+
+        let mut canonical = original.clone();
+        ntt.forward(&mut canonical);
+        assert!(canonical.iter().all(|&v| v < q));
+        let corrected: Vec<u64> = lazy
+            .iter()
+            .map(|&v| ntt.modulus().reduce_twice(v))
+            .collect();
+        assert_eq!(corrected, canonical);
+    }
+
+    #[test]
+    fn lazy_inverse_respects_2q_bound_and_matches_canonical() {
+        let degree = 512;
+        let ntt = tables(degree, 60);
+        let q = ntt.modulus().value();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let mut eval: Vec<u64> = (0..degree).map(|_| rng.gen_range(0..q)).collect();
+        ntt.forward(&mut eval);
+
+        let mut lazy = eval.clone();
+        ntt.inverse_lazy(&mut lazy);
+        assert!(
+            lazy.iter().all(|&v| (v as u128) < 2 * q as u128),
+            "inverse_lazy output escapes [0, 2q)"
+        );
+
+        let mut canonical = eval.clone();
+        ntt.inverse(&mut canonical);
+        assert!(canonical.iter().all(|&v| v < q));
+        let corrected: Vec<u64> = lazy.iter().map(|&v| ntt.modulus().reduce_once(v)).collect();
+        assert_eq!(corrected, canonical);
     }
 
     #[test]

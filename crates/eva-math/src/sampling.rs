@@ -16,9 +16,19 @@ pub fn sample_uniform_poly<R: Rng + ?Sized>(
     degree: usize,
     modulus: &Modulus,
 ) -> Vec<u64> {
-    (0..degree)
-        .map(|_| rng.gen_range(0..modulus.value()))
-        .collect()
+    let mut out = vec![0u64; degree];
+    sample_uniform_into(rng, &mut out, modulus);
+    out
+}
+
+/// Fills an existing slice with coefficients uniform in `[0, q)`.
+///
+/// Allocation-free variant of [`sample_uniform_poly`] for callers that sample
+/// directly into a residue row of a preallocated polynomial.
+pub fn sample_uniform_into<R: Rng + ?Sized>(rng: &mut R, out: &mut [u64], modulus: &Modulus) {
+    for v in out.iter_mut() {
+        *v = rng.gen_range(0..modulus.value());
+    }
 }
 
 /// Samples a uniformly random ternary polynomial with entries in `{-1, 0, 1}`.

@@ -152,19 +152,14 @@ impl RnsBasis {
     pub fn poly_from_i128(&self, coeffs: &[i128], level: usize) -> RnsPoly {
         assert_eq!(coeffs.len(), self.degree);
         assert!(level >= 1 && level <= self.len(), "invalid level {level}");
-        let mut residues = Vec::with_capacity(level);
-        for modulus in &self.moduli[..level] {
+        let mut poly = RnsPoly::zero(self.degree, level, PolyForm::Coeff);
+        for (modulus, row) in self.moduli[..level].iter().zip(poly.rows_mut()) {
             let q = modulus.value() as i128;
-            let row: Vec<u64> = coeffs
-                .iter()
-                .map(|&c| {
-                    let r = c.rem_euclid(q);
-                    r as u64
-                })
-                .collect();
-            residues.push(row);
+            for (dst, &c) in row.iter_mut().zip(coeffs) {
+                *dst = c.rem_euclid(q) as u64;
+            }
         }
-        RnsPoly::from_residues(residues, PolyForm::Coeff)
+        poly
     }
 }
 

@@ -5,11 +5,14 @@
 //! product is the ciphertext modulus `Q`. This crate provides:
 //!
 //! * [`RnsBasis`] — an ordered prime chain with the NTT tables for each prime.
-//! * [`RnsPoly`] — a polynomial stored residue-wise, in either coefficient or
-//!   evaluation (NTT) form, with the ring operations the CKKS evaluator needs:
-//!   addition, subtraction, negation, dyadic multiplication, scalar
+//! * [`RnsPoly`] — a polynomial stored residue-wise in **one contiguous
+//!   buffer** (stride `N`, see the [`poly`] module docs for the layout and
+//!   reduction invariants), in either coefficient or evaluation (NTT) form,
+//!   with the ring operations the CKKS evaluator needs: addition,
+//!   subtraction, negation, fused dyadic multiply/multiply-accumulate, scalar
 //!   multiplication, Galois automorphisms, rescaling by the last prime and
-//!   modulus dropping.
+//!   modulus dropping. Stored coefficients are always canonical (`[0, q_i)`);
+//!   lazy representatives never escape a kernel.
 //! * [`crt`] — exact CRT composition of residues into big integers, used by
 //!   decryption to recover centered coefficients.
 //!

@@ -1,4 +1,19 @@
 //! RNS polynomials and their ring operations.
+//!
+//! # Storage layout and reduction invariants
+//!
+//! An [`RnsPoly`] stores all residue rows in **one contiguous `Vec<u64>`**
+//! with stride `degree` (row `i` occupies `data[i*degree .. (i+1)*degree]`),
+//! so level-`r` kernels stream a single dense allocation instead of chasing
+//! `r` separate heap vectors. Rows are accessed through [`RnsPoly::residue`] /
+//! [`RnsPoly::residue_mut`] / [`RnsPoly::rows`]; the flat buffer itself can be
+//! taken with [`RnsPoly::into_flat`].
+//!
+//! Every stored coefficient is always a **canonical** residue in `[0, q_i)`.
+//! The kernels may use the lazy-reduction primitives of
+//! [`eva_math::modulus`](eva_math::Modulus) internally (outputs in `[0, 2q)` /
+//! `[0, 4q)`), but they restore the canonical invariant before returning, so
+//! callers never observe a lazy representative.
 
 use eva_math::galois::GaloisTool;
 
@@ -14,47 +29,62 @@ pub enum PolyForm {
 }
 
 /// A polynomial of `Z_Q[X]/(X^N+1)` stored residue-wise over a prefix of an
-/// [`RnsBasis`] prime chain.
+/// [`RnsBasis`] prime chain, in one contiguous buffer of stride `N`.
 ///
 /// The number of stored residues is the polynomial's *level* (the paper's
 /// `r` for that ciphertext); RESCALE and MODSWITCH shrink it from the back.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RnsPoly {
     degree: usize,
-    residues: Vec<Vec<u64>>,
+    level: usize,
+    /// Residue rows, row-major: `data[i*degree + j]` is coefficient `j` mod `q_i`.
+    data: Vec<u64>,
     form: PolyForm,
 }
 
 impl RnsPoly {
     /// A zero polynomial with `level` residues of the given degree and form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` or `level` is zero.
     pub fn zero(degree: usize, level: usize, form: PolyForm) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        assert!(level > 0, "polynomial must have at least one residue");
         Self {
             degree,
-            residues: vec![vec![0u64; degree]; level],
+            level,
+            data: vec![0u64; degree * level],
             form,
         }
     }
 
-    /// Builds a polynomial directly from residue rows.
+    /// Builds a polynomial from a flat row-major residue buffer
+    /// (`data[i*degree + j]` = coefficient `j` mod `q_i`).
     ///
     /// # Panics
     ///
-    /// Panics if the rows are empty or have inconsistent lengths.
-    pub fn from_residues(residues: Vec<Vec<u64>>, form: PolyForm) -> Self {
+    /// Panics if `degree` is zero or `data.len()` is not a positive multiple
+    /// of `degree`.
+    pub fn from_flat(degree: usize, data: Vec<u64>, form: PolyForm) -> Self {
+        assert!(degree > 0, "degree must be positive");
         assert!(
-            !residues.is_empty(),
-            "polynomial must have at least one residue"
+            !data.is_empty() && data.len().is_multiple_of(degree),
+            "flat buffer length {} is not a positive multiple of degree {degree}",
+            data.len()
         );
-        let degree = residues[0].len();
-        assert!(
-            residues.iter().all(|r| r.len() == degree),
-            "residue rows must all have the same length"
-        );
+        let level = data.len() / degree;
         Self {
             degree,
-            residues,
+            level,
+            data,
             form,
         }
+    }
+
+    /// Consumes the polynomial, returning its flat row-major residue buffer.
+    pub fn into_flat(self) -> Vec<u64> {
+        self.data
     }
 
     /// Ring degree `N`.
@@ -66,7 +96,7 @@ impl RnsPoly {
     /// Number of residues (primes) this polynomial currently spans.
     #[inline]
     pub fn level(&self) -> usize {
-        self.residues.len()
+        self.level
     }
 
     /// The representation domain.
@@ -78,27 +108,39 @@ impl RnsPoly {
     /// Residue row `i` (the polynomial modulo `q_i`).
     #[inline]
     pub fn residue(&self, i: usize) -> &[u64] {
-        &self.residues[i]
+        &self.data[i * self.degree..(i + 1) * self.degree]
     }
 
     /// Mutable residue row `i`.
     #[inline]
     pub fn residue_mut(&mut self, i: usize) -> &mut [u64] {
-        &mut self.residues[i]
+        &mut self.data[i * self.degree..(i + 1) * self.degree]
+    }
+
+    /// Iterator over the residue rows, in chain order.
+    #[inline]
+    pub fn rows(&self) -> impl Iterator<Item = &[u64]> {
+        self.data.chunks_exact(self.degree)
+    }
+
+    /// Mutable iterator over the residue rows, in chain order.
+    #[inline]
+    pub fn rows_mut(&mut self) -> impl Iterator<Item = &mut [u64]> {
+        self.data.chunks_exact_mut(self.degree)
     }
 
     fn check_compatible(&self, other: &RnsPoly) {
         assert_eq!(self.degree, other.degree, "degree mismatch");
-        assert_eq!(self.level(), other.level(), "level mismatch");
+        assert_eq!(self.level, other.level, "level mismatch");
         assert_eq!(self.form, other.form, "form mismatch");
     }
 
     fn check_basis(&self, basis: &RnsBasis) {
         assert_eq!(self.degree, basis.degree(), "basis degree mismatch");
         assert!(
-            self.level() <= basis.len(),
+            self.level <= basis.len(),
             "polynomial level {} exceeds basis length {}",
-            self.level(),
+            self.level,
             basis.len()
         );
     }
@@ -109,8 +151,12 @@ impl RnsPoly {
         if self.form == PolyForm::Ntt {
             return;
         }
-        for (i, row) in self.residues.iter_mut().enumerate() {
-            basis.ntt_tables()[i].forward(row);
+        for (row, tables) in self
+            .data
+            .chunks_exact_mut(self.degree)
+            .zip(basis.ntt_tables())
+        {
+            tables.forward(row);
         }
         self.form = PolyForm::Ntt;
     }
@@ -122,18 +168,22 @@ impl RnsPoly {
         if self.form == PolyForm::Coeff {
             return;
         }
-        for (i, row) in self.residues.iter_mut().enumerate() {
-            basis.ntt_tables()[i].inverse(row);
+        for (row, tables) in self
+            .data
+            .chunks_exact_mut(self.degree)
+            .zip(basis.ntt_tables())
+        {
+            tables.inverse(row);
         }
         self.form = PolyForm::Coeff;
     }
 
-    /// `self += other` (element-wise per residue). Operands must agree in
-    /// degree, level and form.
+    /// `self += other` (element-wise per residue), in place and without
+    /// allocating. Operands must agree in degree, level and form.
     pub fn add_assign(&mut self, other: &RnsPoly, basis: &RnsBasis) {
         self.check_compatible(other);
         self.check_basis(basis);
-        for (i, (row, other_row)) in self.residues.iter_mut().zip(&other.residues).enumerate() {
+        for (i, (row, other_row)) in self.rows_mut_with(other) {
             let q = &basis.moduli()[i];
             for (a, &b) in row.iter_mut().zip(other_row) {
                 *a = q.add(*a, b);
@@ -141,11 +191,11 @@ impl RnsPoly {
         }
     }
 
-    /// `self -= other`.
+    /// `self -= other`, in place and without allocating.
     pub fn sub_assign(&mut self, other: &RnsPoly, basis: &RnsBasis) {
         self.check_compatible(other);
         self.check_basis(basis);
-        for (i, (row, other_row)) in self.residues.iter_mut().zip(&other.residues).enumerate() {
+        for (i, (row, other_row)) in self.rows_mut_with(other) {
             let q = &basis.moduli()[i];
             for (a, &b) in row.iter_mut().zip(other_row) {
                 *a = q.sub(*a, b);
@@ -156,7 +206,7 @@ impl RnsPoly {
     /// `self = -self`.
     pub fn negate(&mut self, basis: &RnsBasis) {
         self.check_basis(basis);
-        for (i, row) in self.residues.iter_mut().enumerate() {
+        for (i, row) in self.data.chunks_exact_mut(self.degree).enumerate() {
             let q = &basis.moduli()[i];
             for a in row.iter_mut() {
                 *a = q.neg(*a);
@@ -164,7 +214,8 @@ impl RnsPoly {
         }
     }
 
-    /// `self *= other` element-wise in the evaluation domain (dyadic product).
+    /// `self *= other` element-wise in the evaluation domain (dyadic product),
+    /// in place and without allocating.
     ///
     /// # Panics
     ///
@@ -173,7 +224,7 @@ impl RnsPoly {
         self.check_compatible(other);
         self.check_basis(basis);
         assert_eq!(self.form, PolyForm::Ntt, "dyadic product requires NTT form");
-        for (i, (row, other_row)) in self.residues.iter_mut().zip(&other.residues).enumerate() {
+        for (i, (row, other_row)) in self.rows_mut_with(other) {
             let q = &basis.moduli()[i];
             for (a, &b) in row.iter_mut().zip(other_row) {
                 *a = q.mul(*a, b);
@@ -181,14 +232,16 @@ impl RnsPoly {
         }
     }
 
-    /// Returns the dyadic product `self * other` without modifying the operands.
+    /// Returns the dyadic product `self * other` without modifying the
+    /// operands. The returned polynomial is the only allocation.
     pub fn dyadic_mul(&self, other: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
         let mut result = self.clone();
         result.dyadic_mul_assign(other, basis);
         result
     }
 
-    /// `acc += self * other` element-wise in the evaluation domain.
+    /// `acc += self * other` element-wise in the evaluation domain, fused so
+    /// no product temporary is materialized.
     ///
     /// # Panics
     ///
@@ -197,12 +250,14 @@ impl RnsPoly {
         self.check_compatible(other);
         self.check_compatible(acc);
         assert_eq!(self.form, PolyForm::Ntt, "dyadic product requires NTT form");
-        for i in 0..self.level() {
+        let degree = self.degree;
+        for i in 0..self.level {
             let q = &basis.moduli()[i];
-            let acc_row = &mut acc.residues[i];
-            for j in 0..self.degree {
-                let prod = q.mul(self.residues[i][j], other.residues[i][j]);
-                acc_row[j] = q.add(acc_row[j], prod);
+            let a_row = &self.data[i * degree..(i + 1) * degree];
+            let b_row = &other.data[i * degree..(i + 1) * degree];
+            let acc_row = &mut acc.data[i * degree..(i + 1) * degree];
+            for ((acc_v, &a), &b) in acc_row.iter_mut().zip(a_row).zip(b_row) {
+                *acc_v = q.add(*acc_v, q.mul(a, b));
             }
         }
     }
@@ -210,7 +265,7 @@ impl RnsPoly {
     /// Multiplies every residue by a scalar (given as an unreduced `u64`).
     pub fn mul_scalar(&mut self, scalar: u64, basis: &RnsBasis) {
         self.check_basis(basis);
-        for (i, row) in self.residues.iter_mut().enumerate() {
+        for (i, row) in self.data.chunks_exact_mut(self.degree).enumerate() {
             let q = &basis.moduli()[i];
             let s = q.reduce(scalar);
             let pre = q.shoup(s);
@@ -226,11 +281,9 @@ impl RnsPoly {
     ///
     /// Panics if only one residue remains.
     pub fn drop_last(&mut self) {
-        assert!(
-            self.level() > 1,
-            "cannot drop the last remaining RNS residue"
-        );
-        self.residues.pop();
+        assert!(self.level > 1, "cannot drop the last remaining RNS residue");
+        self.level -= 1;
+        self.data.truncate(self.level * self.degree);
     }
 
     /// Divides the polynomial by the last prime of its chain (with rounding
@@ -238,54 +291,60 @@ impl RnsPoly {
     /// the paper's RESCALE. Works in either representation form and preserves
     /// the form of `self`.
     ///
+    /// Uses two reusable row-sized scratch buffers (the inverse-transformed
+    /// last residue and one delta row shared across all remaining primes); no
+    /// per-prime allocation.
+    ///
     /// # Panics
     ///
     /// Panics if only one residue remains.
     pub fn rescale_by_last(&mut self, basis: &RnsBasis) {
         self.check_basis(basis);
-        assert!(self.level() > 1, "cannot rescale a single-prime polynomial");
-        let last_idx = self.level() - 1;
+        assert!(self.level > 1, "cannot rescale a single-prime polynomial");
+        let degree = self.degree;
+        let last_idx = self.level - 1;
         let q_last = basis.moduli()[last_idx];
 
         // Bring the last residue into coefficient form so its integer
         // representative can be reduced modulo every remaining prime.
-        let mut last_coeff = self.residues[last_idx].clone();
+        let mut last_coeff = self.residue(last_idx).to_vec();
         if self.form == PolyForm::Ntt {
             basis.ntt_tables()[last_idx].inverse(&mut last_coeff);
         }
         let half_q_last = q_last.value() / 2;
 
+        let mut delta = vec![0u64; degree];
         for i in 0..last_idx {
             let q_i = &basis.moduli()[i];
             let inv_q_last = q_i
                 .inv(q_i.reduce(q_last.value()))
                 .expect("chain primes are distinct, so q_last is invertible");
             let inv_pre = q_i.shoup(inv_q_last);
+            let q_last_mod_qi = q_i.reduce(q_last.value());
             // delta = centered representative of the last residue, reduced mod q_i.
-            let mut delta: Vec<u64> = last_coeff
-                .iter()
-                .map(|&c| {
-                    if c > half_q_last {
-                        // negative representative: c - q_last
-                        q_i.sub(q_i.reduce(c), q_i.reduce(q_last.value()))
-                    } else {
-                        q_i.reduce(c)
-                    }
-                })
-                .collect();
+            for (d, &c) in delta.iter_mut().zip(&last_coeff) {
+                *d = if c > half_q_last {
+                    // negative representative: c - q_last
+                    q_i.sub(q_i.reduce(c), q_last_mod_qi)
+                } else {
+                    q_i.reduce(c)
+                };
+            }
             if self.form == PolyForm::Ntt {
                 basis.ntt_tables()[i].forward(&mut delta);
             }
-            let row = &mut self.residues[i];
+            let row = &mut self.data[i * degree..(i + 1) * degree];
             for (a, &d) in row.iter_mut().zip(&delta) {
                 *a = q_i.mul_shoup(q_i.sub(*a, d), &inv_pre);
             }
         }
-        self.residues.pop();
+        self.level = last_idx;
+        self.data.truncate(self.level * degree);
     }
 
     /// Applies the Galois automorphism `X ↦ X^galois_elt` and returns the
-    /// transformed polynomial.
+    /// transformed polynomial (the returned polynomial is the only
+    /// allocation).
     ///
     /// # Panics
     ///
@@ -298,13 +357,15 @@ impl RnsPoly {
             "Galois automorphisms are applied in coefficient form"
         );
         let tool = GaloisTool::new(self.degree);
-        let mut residues = Vec::with_capacity(self.level());
-        for (i, row) in self.residues.iter().enumerate() {
-            let mut out = vec![0u64; self.degree];
-            tool.apply(row, galois_elt, &basis.moduli()[i], &mut out);
-            residues.push(out);
+        let mut out = RnsPoly::zero(self.degree, self.level, PolyForm::Coeff);
+        for (i, (src, dst)) in self
+            .rows()
+            .zip(out.data.chunks_exact_mut(self.degree))
+            .enumerate()
+        {
+            tool.apply(src, galois_elt, &basis.moduli()[i], dst);
         }
-        RnsPoly::from_residues(residues, PolyForm::Coeff)
+        out
     }
 
     /// Returns a copy of this polynomial restricted to its first `level`
@@ -315,20 +376,33 @@ impl RnsPoly {
     /// Panics if `level` is zero or exceeds the current level.
     pub fn truncated(&self, level: usize) -> RnsPoly {
         assert!(
-            level >= 1 && level <= self.level(),
+            level >= 1 && level <= self.level,
             "cannot truncate level {} polynomial to level {level}",
-            self.level()
+            self.level
         );
         RnsPoly {
             degree: self.degree,
-            residues: self.residues[..level].to_vec(),
+            level,
+            data: self.data[..level * self.degree].to_vec(),
             form: self.form,
         }
     }
 
     /// True if every residue of the polynomial is zero.
     pub fn is_zero(&self) -> bool {
-        self.residues.iter().all(|row| row.iter().all(|&c| c == 0))
+        self.data.iter().all(|&c| c == 0)
+    }
+
+    /// Pairs each mutable row of `self` with the matching row of `other`,
+    /// yielding `(prime_index, (self_row, other_row))`.
+    fn rows_mut_with<'a>(
+        &'a mut self,
+        other: &'a RnsPoly,
+    ) -> impl Iterator<Item = (usize, (&'a mut [u64], &'a [u64]))> {
+        self.data
+            .chunks_exact_mut(self.degree)
+            .zip(other.data.chunks_exact(other.degree))
+            .enumerate()
     }
 }
 
@@ -346,14 +420,30 @@ mod tests {
 
     fn random_poly(basis: &RnsBasis, level: usize, seed: u64) -> RnsPoly {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let residues: Vec<Vec<u64>> = (0..level)
-            .map(|i| {
-                (0..basis.degree())
-                    .map(|_| rng.gen_range(0..basis.moduli()[i].value()))
-                    .collect()
-            })
-            .collect();
-        RnsPoly::from_residues(residues, PolyForm::Coeff)
+        let mut poly = RnsPoly::zero(basis.degree(), level, PolyForm::Coeff);
+        for i in 0..level {
+            let q = basis.moduli()[i].value();
+            for v in poly.residue_mut(i) {
+                *v = rng.gen_range(0..q);
+            }
+        }
+        poly
+    }
+
+    #[test]
+    fn flat_layout_round_trips() {
+        let poly = RnsPoly::from_flat(4, (0u64..12).collect(), PolyForm::Coeff);
+        assert_eq!(poly.level(), 3);
+        assert_eq!(poly.degree(), 4);
+        assert_eq!(poly.residue(1), &[4, 5, 6, 7]);
+        assert_eq!(poly.rows().count(), 3);
+        assert_eq!(poly.into_flat(), (0u64..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a positive multiple")]
+    fn from_flat_rejects_ragged_buffer() {
+        RnsPoly::from_flat(4, vec![0u64; 7], PolyForm::Coeff);
     }
 
     #[test]
@@ -398,13 +488,29 @@ mod tests {
         let bc: Vec<u64> = (0..32).map(|_| rng.gen_range(0..q.value())).collect();
         let expected = eva_math::ntt::negacyclic_multiply_naive(&ac, &bc, q);
 
-        let mut pa = RnsPoly::from_residues(vec![ac], PolyForm::Coeff);
-        let mut pb = RnsPoly::from_residues(vec![bc], PolyForm::Coeff);
+        let mut pa = RnsPoly::from_flat(32, ac, PolyForm::Coeff);
+        let mut pb = RnsPoly::from_flat(32, bc, PolyForm::Coeff);
         pa.to_ntt(&b);
         pb.to_ntt(&b);
         let mut prod = pa.dyadic_mul(&pb, &b);
         prod.to_coeff(&b);
         assert_eq!(prod.residue(0), expected.as_slice());
+    }
+
+    #[test]
+    fn dyadic_mul_acc_accumulates_products() {
+        let b = basis(32, &[40, 50]);
+        let mut pa = random_poly(&b, 2, 20);
+        let mut pb = random_poly(&b, 2, 21);
+        pa.to_ntt(&b);
+        pb.to_ntt(&b);
+        let mut acc = pa.dyadic_mul(&pb, &b);
+        pa.dyadic_mul_acc(&pb, &mut acc, &b);
+        // acc == 2 * (pa ∘ pb)
+        let mut twice = pa.dyadic_mul(&pb, &b);
+        let copy = twice.clone();
+        twice.add_assign(&copy, &b);
+        assert_eq!(acc, twice);
     }
 
     #[test]
