@@ -70,7 +70,19 @@ impl EncryptedContext {
     /// instantiated.
     pub fn setup(compiled: &CompiledProgram, seed: Option<u64>) -> Result<Self, EvaError> {
         let spec = &compiled.parameters;
-        let params = if spec.secure {
+        // Build the context from the *actual primes* the compiler selected
+        // and annotated exact scales against — regenerating primes from bit
+        // sizes here would break the bit-identity between the compiler's
+        // scale predictions and the evaluator's observations. The bit-size
+        // path remains as a fallback for hand-built specs without primes.
+        let params = if !spec.data_primes.is_empty() {
+            CkksParameters::from_primes(
+                spec.degree,
+                &spec.data_primes,
+                spec.special_prime,
+                spec.secure,
+            )
+        } else if spec.secure {
             CkksParameters::with_special_prime_bits(
                 spec.degree,
                 &spec.data_prime_bits,
@@ -146,8 +158,14 @@ impl EncryptedContext {
         let program = &compiled.program;
         let size = program.vec_size();
         let top_level = self.context.max_level();
+        // Dead inputs are skipped: the executors never read them, so they
+        // need neither a bound value nor an encode+encrypt.
+        let live = program.live_mask();
         let mut bindings = HashMap::new();
         for (id, node) in program.nodes().iter().enumerate() {
+            if !live[id] {
+                continue;
+            }
             let NodeKind::Input { name } = &node.kind else {
                 continue;
             };
@@ -163,8 +181,8 @@ impl EncryptedContext {
             let replicated: Vec<f64> = (0..size).map(|i| raw[i % raw.len()]).collect();
             let value = match node.ty {
                 ValueType::Cipher => {
-                    let scale = 2f64.powi(node.scale_bits as i32);
-                    let plaintext = self.encoder.encode(&replicated, scale, top_level);
+                    // Encode/encrypt stamp the node's exact log2 scale.
+                    let plaintext = self.encoder.encode(&replicated, node.scale_log2, top_level);
                     NodeValue::Cipher(self.encryptor.encrypt(&plaintext))
                 }
                 _ => NodeValue::Plain(replicated),
@@ -228,8 +246,8 @@ impl EncryptedContext {
                     }
                     NodeValue::Plain(values) => {
                         // Encode the plaintext operand at the ciphertext's exact
-                        // scale and level so SEAL-style equality constraints hold.
-                        let pt = self.encoder.encode(values, ct.scale(), ct.level());
+                        // scale and level so the exact-equality constraint holds.
+                        let pt = self.encoder.encode(values, ct.scale_log2(), ct.level());
                         let mut out = if matches!(op, Opcode::Add) {
                             ev.add_plain(ct, &pt).map_err(to_eva_error)?
                         } else {
@@ -248,16 +266,16 @@ impl EncryptedContext {
                 match other {
                     NodeValue::Cipher(rhs) => ev.multiply(ct, rhs).map_err(to_eva_error)?,
                     NodeValue::Plain(values) => {
-                        // Plaintext factors are encoded at their annotated scale.
+                        // Plaintext factors are encoded at their annotated
+                        // exact scale — for the compiler's exact match-scale
+                        // corrections this is a tiny non-integral delta.
                         let plain_id = arg_ids
                             .iter()
                             .copied()
                             .find(|&a| !program.node(a).ty.is_cipher())
                             .expect("one operand is plaintext");
-                        let scale_bits = program.node(plain_id).scale_bits;
-                        let pt =
-                            self.encoder
-                                .encode(values, 2f64.powi(scale_bits as i32), ct.level());
+                        let scale_log2 = program.node(plain_id).scale_log2;
+                        let pt = self.encoder.encode(values, scale_log2, ct.level());
                         ev.multiply_plain(ct, &pt).map_err(to_eva_error)?
                     }
                 }
@@ -288,6 +306,18 @@ impl EncryptedContext {
                 ev.rescale_to_next(ct).map_err(to_eva_error)?
             }
         };
+        // The compiler's exact-scale phase promises its per-node annotations
+        // are bit-identical to the scales the evaluator produces; check that
+        // on every node in debug builds (CI runs a debug-assertions job so
+        // this executes on the encrypted network paths).
+        debug_assert_eq!(
+            result.scale_log2().to_bits(),
+            node.scale_log2.to_bits(),
+            "node {id} ({op}): executor scale 2^{} deviates from the compiler's \
+             exact annotation 2^{}",
+            result.scale_log2(),
+            node.scale_log2,
+        );
         Ok(NodeValue::Cipher(result))
     }
 
@@ -333,7 +363,14 @@ impl EncryptedContext {
     ) -> Result<HashMap<NodeId, NodeValue>, EvaError> {
         let program = &compiled.program;
         let uses = program.uses();
-        let mut remaining_uses: Vec<usize> = uses.iter().map(|u| u.len()).collect();
+        // Only nodes that reach an output are executed: dead branches are not
+        // covered by the compiler's prime budget or exact-scale annotations
+        // (and running them would waste FHE kernels).
+        let live = program.live_mask();
+        let mut remaining_uses: Vec<usize> = uses
+            .iter()
+            .map(|u| u.iter().filter(|&&c| live[c]).count())
+            .collect();
         // Output nodes must survive until decryption.
         for output in program.outputs() {
             remaining_uses[output.node] += 1;
@@ -343,6 +380,9 @@ impl EncryptedContext {
             values[id] = Some(value);
         }
         for id in program.topological_order() {
+            if !live[id] {
+                continue;
+            }
             let node = program.node(id);
             match &node.kind {
                 NodeKind::Input { .. } => {

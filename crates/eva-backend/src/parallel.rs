@@ -112,7 +112,15 @@ pub fn execute_parallel_with_options(
     let program = &compiled.program;
     let n = program.len();
     let num_threads = num_threads.max(1);
-    let uses = program.uses();
+    // Only nodes that reach an output participate: dead branches are not
+    // covered by the compiler's prime budget or exact-scale annotations.
+    let live = program.live_mask();
+    let uses: Vec<Vec<NodeId>> = program
+        .uses()
+        .iter()
+        .map(|us| us.iter().copied().filter(|&c| live[c]).collect())
+        .collect();
+    let live_count = live.iter().filter(|&&l| l).count();
 
     let mut values: Vec<RwLock<Option<NodeValue>>> = Vec::with_capacity(n);
     for _ in 0..n {
@@ -142,7 +150,7 @@ pub fn execute_parallel_with_options(
         pending_parents: pending,
         remaining_uses,
         ready: SegQueue::new(),
-        remaining_nodes: AtomicUsize::new(n),
+        remaining_nodes: AtomicUsize::new(live_count),
         live_bytes: AtomicUsize::new(0),
         peak_live_bytes: AtomicUsize::new(0),
         bytes_retired: AtomicUsize::new(0),
@@ -155,6 +163,9 @@ pub fn execute_parallel_with_options(
     // Seed initial values: bound inputs and materialized constants become ready
     // immediately; their consumers' dependence counters are decremented below.
     for (id, node) in program.nodes().iter().enumerate() {
+        if !live[id] {
+            continue;
+        }
         match &node.kind {
             NodeKind::Input { name } => {
                 let value = bindings.remove(&id).ok_or_else(|| {
@@ -175,7 +186,7 @@ pub fn execute_parallel_with_options(
     // count and notify their consumers. Every instruction has at least one
     // parent, so all ready instructions are discovered through notification.
     for (id, node) in program.nodes().iter().enumerate() {
-        if !matches!(node.kind, NodeKind::Instruction { .. }) {
+        if live[id] && !matches!(node.kind, NodeKind::Instruction { .. }) {
             shared.remaining_nodes.fetch_sub(1, Ordering::SeqCst);
             notify_children(&shared, id, &uses);
         }

@@ -22,7 +22,7 @@ fn bench_primitives(c: &mut Criterion) {
     let values: Vec<f64> = (0..context.slot_count())
         .map(|i| (i as f64).sin())
         .collect();
-    let scale = 2f64.powi(40);
+    let scale = 40.0;
     let plaintext = encoder.encode(&values, scale, 3);
     let ct_a = encryptor.encrypt(&plaintext);
     let ct_b = encryptor.encrypt(&plaintext);

@@ -305,7 +305,7 @@ pub fn measure_primitives(quick: bool) -> Vec<KernelTiming> {
         let values: Vec<f64> = (0..context.slot_count())
             .map(|i| (i as f64).sin())
             .collect();
-        let plaintext = encoder.encode(&values, 2f64.powi(40), 3);
+        let plaintext = encoder.encode(&values, 40.0, 3);
         let ct_a = encryptor.encrypt(&plaintext);
         let ct_b = encryptor.encrypt(&plaintext);
         let product = evaluator.multiply(&ct_a, &ct_b).expect("multiply");

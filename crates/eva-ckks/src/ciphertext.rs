@@ -5,17 +5,23 @@ use eva_poly::RnsPoly;
 /// An RNS-CKKS ciphertext: two (or, right after a multiplication, three)
 /// polynomials in NTT form spanning `level` data primes, plus the fixed-point
 /// scale of the encrypted message.
+///
+/// The scale is carried in the `log2` domain as an `f64` and is tracked
+/// *exactly*: every evaluator operation updates it with the same `f64`
+/// arithmetic the compiler's exact-scale analysis performs, so a compiled
+/// program's per-node scale annotations are bit-identical to the values
+/// observed here.
 #[derive(Debug, Clone)]
 pub struct Ciphertext {
     pub(crate) polys: Vec<RnsPoly>,
-    pub(crate) scale: f64,
+    pub(crate) scale_log2: f64,
     pub(crate) level: usize,
 }
 
 impl Ciphertext {
     /// Creates a ciphertext from raw parts. Exposed for the executor crates;
     /// most users obtain ciphertexts from the encryptor or evaluator.
-    pub fn from_parts(polys: Vec<RnsPoly>, scale: f64, level: usize) -> Self {
+    pub fn from_parts(polys: Vec<RnsPoly>, scale_log2: f64, level: usize) -> Self {
         assert!(
             !polys.is_empty(),
             "a ciphertext needs at least one polynomial"
@@ -23,7 +29,7 @@ impl Ciphertext {
         assert!(polys.iter().all(|p| p.level() == level));
         Self {
             polys,
-            scale,
+            scale_log2,
             level,
         }
     }
@@ -33,9 +39,16 @@ impl Ciphertext {
         self.polys.len()
     }
 
-    /// The fixed-point scale of the encrypted message.
+    /// `log2` of the fixed-point scale of the encrypted message, tracked
+    /// exactly (non-integral once a rescale has divided by a real prime).
+    pub fn scale_log2(&self) -> f64 {
+        self.scale_log2
+    }
+
+    /// The fixed-point scale as a linear factor (`2^scale_log2`). Only for
+    /// display and encoding math; comparisons must use [`Self::scale_log2`].
     pub fn scale(&self) -> f64 {
-        self.scale
+        self.scale_log2.exp2()
     }
 
     /// Number of data primes this ciphertext currently spans (its level).

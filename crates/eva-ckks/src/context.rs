@@ -30,6 +30,9 @@ struct ContextInner {
     galois: GaloisTool,
     /// `composers[k-1]` composes residues over the first `k` data primes.
     composers: Vec<CrtComposer>,
+    /// `log2` of each data prime, cached once so every rescale subtracts the
+    /// exact same `f64` the compiler's exact-scale analysis used.
+    data_prime_log2s: Vec<f64>,
 }
 
 impl CkksContext {
@@ -50,6 +53,11 @@ impl CkksContext {
         let composers = (1..=params.level_count())
             .map(|k| CrtComposer::new(&key_basis.moduli()[..k]))
             .collect();
+        let data_prime_log2s = params
+            .data_primes()
+            .iter()
+            .map(|&q| (q as f64).log2())
+            .collect();
         Ok(Self {
             inner: Arc::new(ContextInner {
                 params,
@@ -57,6 +65,7 @@ impl CkksContext {
                 fft,
                 galois,
                 composers,
+                data_prime_log2s,
             }),
         })
     }
@@ -113,6 +122,12 @@ impl CkksContext {
     /// The actual value of data prime `i`.
     pub fn data_prime(&self, i: usize) -> u64 {
         self.inner.params.data_primes()[i]
+    }
+
+    /// Cached `log2` of data prime `i` (the exact `f64` a rescale at level
+    /// `i + 1` subtracts from the scale).
+    pub fn data_prime_log2(&self, i: usize) -> f64 {
+        self.inner.data_prime_log2s[i]
     }
 }
 

@@ -17,8 +17,9 @@ use crate::context::CkksContext;
 pub struct Plaintext {
     /// The encoded polynomial (NTT form, spanning `level` data primes).
     pub poly: RnsPoly,
-    /// Fixed-point scale the values were multiplied by.
-    pub scale: f64,
+    /// `log2` of the fixed-point scale the values were multiplied by,
+    /// tracked exactly (see [`crate::Ciphertext::scale_log2`]).
+    pub scale_log2: f64,
     /// Number of data primes this plaintext spans.
     pub level: usize,
 }
@@ -40,27 +41,30 @@ impl CkksEncoder {
         self.context.slot_count()
     }
 
-    /// Encodes `values` at the given scale and level.
+    /// Encodes `values` at the given `log2` scale and level.
     ///
     /// `values.len()` must be a power of two not exceeding the slot count; a
-    /// shorter vector is packed sparsely (replicated in slot space).
+    /// shorter vector is packed sparsely (replicated in slot space). The
+    /// plaintext is stamped with exactly `scale_log2`; the linear factor used
+    /// in the rounding arithmetic is `2^scale_log2`.
     ///
     /// # Panics
     ///
     /// Panics if the length is not a power of two, exceeds the slot count, or
     /// if `level` is out of range.
-    pub fn encode(&self, values: &[f64], scale: f64, level: usize) -> Plaintext {
+    pub fn encode(&self, values: &[f64], scale_log2: f64, level: usize) -> Plaintext {
         let slots = values.len();
         let nh = self.context.degree() / 2;
         assert!(
             slots.is_power_of_two() && slots <= nh,
             "value count {slots} must be a power of two at most {nh}"
         );
-        assert!(scale > 0.0, "scale must be positive");
+        assert!(scale_log2.is_finite(), "scale must be finite");
         assert!(
             level >= 1 && level <= self.context.max_level(),
             "level {level} out of range"
         );
+        let scale = scale_log2.exp2();
         let mut work: Vec<Complex> = values.iter().map(|&v| Complex::from_real(v)).collect();
         self.context.fft().embed_inverse(&mut work);
         let gap = nh / slots;
@@ -72,7 +76,11 @@ impl CkksEncoder {
         }
         let mut poly = self.context.key_basis().poly_from_i128(&coeffs, level);
         poly.to_ntt(self.context.key_basis());
-        Plaintext { poly, scale, level }
+        Plaintext {
+            poly,
+            scale_log2,
+            level,
+        }
     }
 
     /// Decodes a plaintext back into `slots` real values.
@@ -88,19 +96,20 @@ impl CkksEncoder {
         );
         let mut poly = plaintext.poly.clone();
         poly.to_coeff(self.context.key_basis());
-        self.decode_poly(&poly, plaintext.scale, plaintext.level, slots)
+        self.decode_poly(&poly, plaintext.scale_log2, plaintext.level, slots)
     }
 
-    /// Decodes a coefficient-form polynomial with explicit scale and level.
-    /// Used directly by the decryptor to avoid an extra copy.
+    /// Decodes a coefficient-form polynomial with explicit `log2` scale and
+    /// level. Used directly by the decryptor to avoid an extra copy.
     pub(crate) fn decode_poly(
         &self,
         poly: &RnsPoly,
-        scale: f64,
+        scale_log2: f64,
         level: usize,
         slots: usize,
     ) -> Vec<f64> {
         assert_eq!(poly.form(), PolyForm::Coeff);
+        let scale = scale_log2.exp2();
         let nh = self.context.degree() / 2;
         let gap = nh / slots;
         let composer = self.context.composer(level);
@@ -148,7 +157,7 @@ mod tests {
         let ctx = context();
         let encoder = CkksEncoder::new(ctx.clone());
         let values: Vec<f64> = (0..64).map(|i| (i as f64 - 32.0) / 7.0).collect();
-        let scale = 2f64.powi(30);
+        let scale = 30.0;
         let pt = encoder.encode(&values, scale, 3);
         let decoded = encoder.decode(&pt, 64);
         for (a, b) in decoded.iter().zip(&values) {
@@ -161,7 +170,7 @@ mod tests {
         let ctx = context();
         let encoder = CkksEncoder::new(ctx);
         let values = vec![1.5, -2.25, 3.0, 0.125];
-        let pt = encoder.encode(&values, 2f64.powi(30), 2);
+        let pt = encoder.encode(&values, 30.0, 2);
         // Decoding at full width must show the 4-vector replicated 16 times.
         let full = encoder.decode(&pt, 64);
         for (i, v) in full.iter().enumerate() {
@@ -174,7 +183,7 @@ mod tests {
         let ctx = context();
         let encoder = CkksEncoder::new(ctx);
         let values = vec![0.5; 64];
-        let pt = encoder.encode(&values, 2f64.powi(25), 1);
+        let pt = encoder.encode(&values, 25.0, 1);
         let decoded = encoder.decode(&pt, 64);
         assert!(decoded.iter().all(|v| (v - 0.5).abs() < 1e-5));
     }
@@ -184,8 +193,8 @@ mod tests {
         let ctx = context();
         let encoder = CkksEncoder::new(ctx);
         let values: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
-        let coarse = encoder.decode(&encoder.encode(&values, 2f64.powi(12), 2), 64);
-        let fine = encoder.decode(&encoder.encode(&values, 2f64.powi(40), 2), 64);
+        let coarse = encoder.decode(&encoder.encode(&values, 12.0, 2), 64);
+        let fine = encoder.decode(&encoder.encode(&values, 40.0, 2), 64);
         let err = |out: &[f64]| {
             out.iter()
                 .zip(&values)
@@ -201,6 +210,6 @@ mod tests {
     fn encode_rejects_non_power_of_two() {
         let ctx = context();
         let encoder = CkksEncoder::new(ctx);
-        encoder.encode(&[1.0, 2.0, 3.0], 2f64.powi(20), 1);
+        encoder.encode(&[1.0, 2.0, 3.0], 20.0, 1);
     }
 }

@@ -1,7 +1,7 @@
 //! Encryption and decryption.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::rngs::{ChaCha20Rng, StdRng};
+use rand::{RngCore, SeedableRng};
 
 use crate::ciphertext::Ciphertext;
 use crate::context::CkksContext;
@@ -9,10 +9,14 @@ use crate::encoder::{CkksEncoder, Plaintext};
 use crate::keys::{PublicKey, SecretKey};
 
 /// Encrypts plaintexts under a public key.
+///
+/// [`Encryptor::new`] draws the ephemeral secrets and errors from a ChaCha20
+/// generator keyed from OS entropy; [`Encryptor::from_seed`] keeps the
+/// deterministic xoshiro256** generator for reproducible tests.
 pub struct Encryptor {
     context: CkksContext,
     public_key: PublicKey,
-    rng: StdRng,
+    rng: Box<dyn RngCore + Send + Sync>,
 }
 
 impl std::fmt::Debug for Encryptor {
@@ -24,17 +28,23 @@ impl std::fmt::Debug for Encryptor {
 }
 
 impl Encryptor {
-    /// Creates an encryptor with a randomly seeded RNG.
+    /// Creates an encryptor whose randomness comes from a ChaCha20 generator
+    /// keyed from OS entropy.
     pub fn new(context: CkksContext, public_key: PublicKey) -> Self {
-        Self::from_seed(context, public_key, rand::thread_rng().gen())
+        Self {
+            context,
+            public_key,
+            rng: Box::new(ChaCha20Rng::from_os_entropy()),
+        }
     }
 
-    /// Creates an encryptor with deterministic encryption randomness (tests).
+    /// Creates an encryptor with deterministic encryption randomness
+    /// (xoshiro256**; tests and benchmarks only — not a CSPRNG).
     pub fn from_seed(context: CkksContext, public_key: PublicKey, seed: u64) -> Self {
         Self {
             context,
             public_key,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Box::new(StdRng::seed_from_u64(seed)),
         }
     }
 
@@ -51,7 +61,7 @@ impl Encryptor {
         let mut u = basis.poly_from_signed(&signed, level);
         u.to_ntt(basis);
 
-        let make_error = |rng: &mut StdRng| {
+        let make_error = |rng: &mut (dyn RngCore + Send + Sync)| {
             let cbd = eva_math::sample_cbd(rng, n);
             let signed: Vec<i64> = cbd.iter().map(|&v| v as i64).collect();
             let mut e = basis.poly_from_signed(&signed, level);
@@ -71,7 +81,7 @@ impl Encryptor {
         let mut c1 = pk1.dyadic_mul(&u, basis);
         c1.add_assign(&e1, basis);
 
-        Ciphertext::from_parts(vec![c0, c1], plaintext.scale, level)
+        Ciphertext::from_parts(vec![c0, c1], plaintext.scale_log2, level)
     }
 }
 
@@ -110,7 +120,7 @@ impl Decryptor {
         }
         Plaintext {
             poly: acc,
-            scale: ciphertext.scale(),
+            scale_log2: ciphertext.scale_log2(),
             level,
         }
     }
@@ -143,7 +153,7 @@ mod tests {
     fn encrypt_decrypt_roundtrip() {
         let (_ctx, encoder, mut encryptor, decryptor) = setup();
         let values: Vec<f64> = (0..128).map(|i| (i as f64 / 128.0) - 0.5).collect();
-        let scale = 2f64.powi(40);
+        let scale = 40.0;
         let pt = encoder.encode(&values, scale, 3);
         let ct = encryptor.encrypt(&pt);
         assert_eq!(ct.size(), 2);
@@ -157,7 +167,7 @@ mod tests {
     #[test]
     fn encryption_is_randomized() {
         let (_ctx, encoder, mut encryptor, _) = setup();
-        let pt = encoder.encode(&[1.0; 128], 2f64.powi(30), 2);
+        let pt = encoder.encode(&[1.0; 128], 30.0, 2);
         let a = encryptor.encrypt(&pt);
         let b = encryptor.encrypt(&pt);
         assert_ne!(
@@ -173,7 +183,7 @@ mod tests {
         let other = KeyGenerator::from_seed(ctx.clone(), 999);
         let wrong = Decryptor::new(ctx, other.secret_key().clone());
         let values = vec![0.25; 128];
-        let pt = encoder.encode(&values, 2f64.powi(40), 1);
+        let pt = encoder.encode(&values, 40.0, 1);
         let ct = encryptor.encrypt(&pt);
         let garbled = wrong.decrypt_to_values(&ct, 128);
         let max_err = garbled
@@ -187,7 +197,7 @@ mod tests {
     #[test]
     fn fresh_ciphertext_memory_accounting() {
         let (_ctx, encoder, mut encryptor, _) = setup();
-        let pt = encoder.encode(&[0.0; 128], 2f64.powi(30), 3);
+        let pt = encoder.encode(&[0.0; 128], 30.0, 3);
         let ct = encryptor.encrypt(&pt);
         // 2 polynomials * 3 primes * 256 coefficients * 8 bytes.
         assert_eq!(ct.memory_bytes(), 2 * 3 * 256 * 8);

@@ -18,11 +18,12 @@ pub enum CkksError {
         right: usize,
     },
     /// Two addition/subtraction operands have different scales; violates the
-    /// paper's Constraint 2.
+    /// paper's Constraint 2. Scales are compared with exact `f64` equality
+    /// (no drift tolerance); the fields carry both exact `log2` scales.
     ScaleMismatch {
-        /// Scale of the left operand.
+        /// Exact `log2` scale of the left operand.
         left: f64,
-        /// Scale of the right operand.
+        /// Exact `log2` scale of the right operand.
         right: f64,
     },
     /// A multiplication operand has more than two polynomials; violates the
@@ -62,7 +63,12 @@ impl fmt::Display for CkksError {
                 write!(f, "operand levels differ: {left} vs {right}")
             }
             CkksError::ScaleMismatch { left, right } => {
-                write!(f, "operand scales differ: {left} vs {right}")
+                write!(
+                    f,
+                    "operand scales differ (exact-equality check): \
+                     2^{left:.17e} vs 2^{right:.17e} (delta {:.3e} bits)",
+                    left - right
+                )
             }
             CkksError::TooManyPolynomials { size } => {
                 write!(

@@ -22,18 +22,6 @@ use crate::encoder::Plaintext;
 use crate::error::CkksError;
 use crate::keys::{GaloisKeys, KeySwitchKey, RelinearizationKey};
 
-/// Relative tolerance used when comparing operand scales.
-///
-/// The compiler guarantees operand scales match in *bits*, but the executor
-/// divides by the *actual* rescale primes (`q ≈ 2^s`, never exactly), so two
-/// operands that reached the same level through different RESCALE/MODSWITCH
-/// structures drift apart by roughly `|q - 2^s| / 2^s` per rescale — about
-/// `2^-15` for the prime sizes used here, accumulating over deep circuits.
-/// Genuinely mismatched scales differ by at least a factor of two (scale bits
-/// are integers), so a `2^-10` relative tolerance cleanly separates inherent
-/// prime drift from real constraint violations.
-const SCALE_TOLERANCE: f64 = 1e-3;
-
 /// Stateless homomorphic evaluator bound to one [`CkksContext`].
 #[derive(Debug, Clone)]
 pub struct Evaluator {
@@ -61,8 +49,13 @@ impl Evaluator {
         Ok(())
     }
 
+    /// Scales are compared with **exact** `f64` equality. There is no drift
+    /// tolerance: the compiler's exact-scale phase tracks scales with the
+    /// same `f64` arithmetic performed here (against the same primes), so a
+    /// mismatch is a genuine constraint violation, never inherent prime
+    /// drift.
     fn check_scales(&self, a: f64, b: f64) -> Result<(), CkksError> {
-        if (a - b).abs() > SCALE_TOLERANCE * a.abs().max(b.abs()) {
+        if a != b {
             return Err(CkksError::ScaleMismatch { left: a, right: b });
         }
         Ok(())
@@ -90,7 +83,7 @@ impl Evaluator {
                 p
             })
             .collect();
-        Ciphertext::from_parts(polys, ct.scale(), ct.level())
+        Ciphertext::from_parts(polys, ct.scale_log2(), ct.level())
     }
 
     /// Adds two ciphertexts element-wise.
@@ -101,7 +94,7 @@ impl Evaluator {
     /// (Constraint 2).
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
         self.check_binary(a, b)?;
-        self.check_scales(a.scale(), b.scale())?;
+        self.check_scales(a.scale_log2(), b.scale_log2())?;
         let basis = self.context.key_basis();
         let size = a.size().max(b.size());
         let level = a.level();
@@ -119,7 +112,7 @@ impl Evaluator {
             };
             polys.push(poly);
         }
-        Ok(Ciphertext::from_parts(polys, a.scale(), level))
+        Ok(Ciphertext::from_parts(polys, a.scale_log2(), level))
     }
 
     /// Subtracts `b` from `a` element-wise.
@@ -139,11 +132,11 @@ impl Evaluator {
     /// Fails if levels or scales disagree.
     pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
         self.check_plain(ct, pt)?;
-        self.check_scales(ct.scale(), pt.scale)?;
+        self.check_scales(ct.scale_log2(), pt.scale_log2)?;
         let basis = self.context.key_basis();
         let mut polys: Vec<RnsPoly> = ct.polys().to_vec();
         polys[0].add_assign(&pt.poly, basis);
-        Ok(Ciphertext::from_parts(polys, ct.scale(), ct.level()))
+        Ok(Ciphertext::from_parts(polys, ct.scale_log2(), ct.level()))
     }
 
     /// Subtracts an encoded plaintext from a ciphertext.
@@ -153,11 +146,11 @@ impl Evaluator {
     /// Fails if levels or scales disagree.
     pub fn sub_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
         self.check_plain(ct, pt)?;
-        self.check_scales(ct.scale(), pt.scale)?;
+        self.check_scales(ct.scale_log2(), pt.scale_log2)?;
         let basis = self.context.key_basis();
         let mut polys: Vec<RnsPoly> = ct.polys().to_vec();
         polys[0].sub_assign(&pt.poly, basis);
-        Ok(Ciphertext::from_parts(polys, ct.scale(), ct.level()))
+        Ok(Ciphertext::from_parts(polys, ct.scale_log2(), ct.level()))
     }
 
     /// Multiplies two ciphertexts element-wise. The result has three
@@ -188,7 +181,7 @@ impl Evaluator {
         let c2 = a1.dyadic_mul(b1, basis);
         Ok(Ciphertext::from_parts(
             vec![c0, c1, c2],
-            a.scale() * b.scale(),
+            a.scale_log2() + b.scale_log2(),
             a.level(),
         ))
     }
@@ -209,7 +202,7 @@ impl Evaluator {
             .collect();
         Ok(Ciphertext::from_parts(
             polys,
-            ct.scale() * pt.scale,
+            ct.scale_log2() + pt.scale_log2,
             ct.level(),
         ))
     }
@@ -246,13 +239,19 @@ impl Evaluator {
         let (mut d0, mut d1) = self.switch_key(&ct.polys()[2], &key.key, ct.level());
         d0.add_assign(&ct.polys()[0], basis);
         d1.add_assign(&ct.polys()[1], basis);
-        Ok(Ciphertext::from_parts(vec![d0, d1], ct.scale(), ct.level()))
+        Ok(Ciphertext::from_parts(
+            vec![d0, d1],
+            ct.scale_log2(),
+            ct.level(),
+        ))
     }
 
     /// Divides the message by the last prime of the ciphertext's chain and
     /// drops that prime (the paper's RESCALE instruction). The scale is
-    /// divided by the actual prime value, which is how the EVA executor
-    /// resolves the paper's power-of-two-versus-prime footnote.
+    /// divided by the actual prime value — in the `log2` domain, the cached
+    /// `log2 q` of that prime is subtracted, the very same `f64` the
+    /// compiler's exact-scale analysis subtracts, so predicted and observed
+    /// scales stay bit-identical.
     ///
     /// # Errors
     ///
@@ -262,7 +261,7 @@ impl Evaluator {
             return Err(CkksError::ModulusChainExhausted);
         }
         let basis = self.context.key_basis();
-        let divisor = self.context.data_prime(ct.level() - 1) as f64;
+        let divisor_log2 = self.context.data_prime_log2(ct.level() - 1);
         let polys = ct
             .polys()
             .iter()
@@ -274,7 +273,7 @@ impl Evaluator {
             .collect();
         Ok(Ciphertext::from_parts(
             polys,
-            ct.scale() / divisor,
+            ct.scale_log2() - divisor_log2,
             ct.level() - 1,
         ))
     }
@@ -298,7 +297,11 @@ impl Evaluator {
                 p
             })
             .collect();
-        Ok(Ciphertext::from_parts(polys, ct.scale(), ct.level() - 1))
+        Ok(Ciphertext::from_parts(
+            polys,
+            ct.scale_log2(),
+            ct.level() - 1,
+        ))
     }
 
     /// Rotates the encrypted slot vector left by `steps` positions (negative
@@ -341,7 +344,7 @@ impl Evaluator {
         c0_rot.add_assign(&d0, basis);
         Ok(Ciphertext::from_parts(
             vec![c0_rot, d1],
-            ct.scale(),
+            ct.scale_log2(),
             ct.level(),
         ))
     }
@@ -489,7 +492,7 @@ mod tests {
     #[test]
     fn add_sub_negate() {
         let mut f = fixture();
-        let scale = 2f64.powi(40);
+        let scale = 40.0;
         let xs: Vec<f64> = (0..f.slots).map(|i| i as f64 / 100.0).collect();
         let ys: Vec<f64> = (0..f.slots).map(|i| (i as f64).cos()).collect();
         let ct_x = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
@@ -523,7 +526,7 @@ mod tests {
     #[test]
     fn plaintext_operations() {
         let mut f = fixture();
-        let scale = 2f64.powi(40);
+        let scale = 40.0;
         let xs: Vec<f64> = (0..f.slots).map(|i| (i as f64 + 1.0) / 64.0).collect();
         let ps: Vec<f64> = (0..f.slots).map(|i| ((i % 7) as f64) - 3.0).collect();
         let ct = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
@@ -547,7 +550,11 @@ mod tests {
 
         let prod = f.evaluator.multiply_plain(&ct, &pt).unwrap();
         let expected: Vec<f64> = xs.iter().zip(&ps).map(|(a, b)| a * b).collect();
-        assert!((prod.scale() - scale * scale).abs() < 1.0);
+        assert_eq!(
+            prod.scale_log2(),
+            scale + scale,
+            "multiply adds log2 scales"
+        );
         assert_close(
             &f.decryptor.decrypt_to_values(&prod, f.slots),
             &expected,
@@ -558,7 +565,7 @@ mod tests {
     #[test]
     fn multiply_relinearize_rescale() {
         let mut f = fixture();
-        let scale = 2f64.powi(40);
+        let scale = 40.0;
         let xs: Vec<f64> = (0..f.slots)
             .map(|i| (i as f64 / f.slots as f64) - 0.5)
             .collect();
@@ -587,7 +594,7 @@ mod tests {
 
         let rescaled = f.evaluator.rescale_to_next(&relin).unwrap();
         assert_eq!(rescaled.level(), 3);
-        assert!((rescaled.scale().log2() - 40.0).abs() < 0.1);
+        assert!((rescaled.scale_log2() - 40.0).abs() < 0.1);
         assert_close(
             &f.decryptor.decrypt_to_values(&rescaled, f.slots),
             &expected,
@@ -598,12 +605,12 @@ mod tests {
     #[test]
     fn mod_switch_preserves_message_and_scale() {
         let mut f = fixture();
-        let scale = 2f64.powi(40);
+        let scale = 40.0;
         let xs: Vec<f64> = (0..f.slots).map(|i| (i % 5) as f64 * 0.2).collect();
         let ct = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
         let switched = f.evaluator.mod_switch_to_next(&ct).unwrap();
         assert_eq!(switched.level(), 3);
-        assert_eq!(switched.scale(), scale);
+        assert_eq!(switched.scale_log2(), scale);
         assert_close(
             &f.decryptor.decrypt_to_values(&switched, f.slots),
             &xs,
@@ -614,7 +621,7 @@ mod tests {
     #[test]
     fn rotation_left_and_right() {
         let mut f = fixture();
-        let scale = 2f64.powi(40);
+        let scale = 40.0;
         let xs: Vec<f64> = (0..f.slots).map(|i| i as f64 / 10.0).collect();
         let ct = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
         let gk = f.keygen.create_galois_keys(&[1, 3, -2]);
@@ -639,9 +646,7 @@ mod tests {
     fn rotation_by_zero_is_identity() {
         let mut f = fixture();
         let xs = vec![1.25; 128];
-        let ct = f
-            .encryptor
-            .encrypt(&f.encoder.encode(&xs, 2f64.powi(40), 2));
+        let ct = f.encryptor.encrypt(&f.encoder.encode(&xs, 40.0, 2));
         let gk = f.keygen.create_galois_keys(&[]);
         let out = f.evaluator.rotate(&ct, 0, &gk).unwrap();
         assert_close(&f.decryptor.decrypt_to_values(&out, 128), &xs, 1e-4);
@@ -650,7 +655,7 @@ mod tests {
     #[test]
     fn constraint_violations_are_reported() {
         let mut f = fixture();
-        let scale = 2f64.powi(40);
+        let scale = 40.0;
         let xs = vec![0.5; 128];
         let ct_high = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
         let ct_low = f.evaluator.mod_switch_to_next(&ct_high).unwrap();
@@ -662,9 +667,7 @@ mod tests {
         ));
 
         // Scale mismatch (Constraint 2).
-        let other_scale = f
-            .encryptor
-            .encrypt(&f.encoder.encode(&xs, 2f64.powi(30), 4));
+        let other_scale = f.encryptor.encrypt(&f.encoder.encode(&xs, 30.0, 4));
         assert!(matches!(
             f.evaluator.add(&ct_high, &other_scale),
             Err(CkksError::ScaleMismatch { .. })
@@ -702,7 +705,7 @@ mod tests {
         let xs: Vec<f64> = (0..f.slots).map(|i| 0.3 + (i % 4) as f64 * 0.1).collect();
         let ys: Vec<f64> = (0..f.slots).map(|i| 0.5 + (i % 3) as f64 * 0.05).collect();
         let rk = f.keygen.create_relinearization_key();
-        let scale = 2f64.powi(40);
+        let scale = 40.0;
 
         let ct_x = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
         let ct_y = f.encryptor.encrypt(&f.encoder.encode(&ys, scale, 4));

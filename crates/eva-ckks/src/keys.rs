@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 
 use eva_poly::{PolyForm, RnsPoly};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::rngs::{ChaCha20Rng, StdRng};
+use rand::{RngCore, SeedableRng};
 
 use crate::context::CkksContext;
 use crate::error::CkksError;
@@ -84,12 +84,14 @@ impl GaloisKeys {
 
 /// Generates all key material for one [`CkksContext`].
 ///
-/// The generator owns its RNG; use [`KeyGenerator::from_seed`] for
-/// reproducible keys in tests and benchmarks.
+/// The generator owns its RNG. [`KeyGenerator::new`] keys a ChaCha20 CSPRNG
+/// stand-in from OS entropy (the security-relevant path); use
+/// [`KeyGenerator::from_seed`] for reproducible keys in tests and benchmarks,
+/// which deliberately keeps the fast deterministic xoshiro256** generator.
 pub struct KeyGenerator {
     context: CkksContext,
     secret: SecretKey,
-    rng: StdRng,
+    rng: Box<dyn RngCore + Send + Sync>,
 }
 
 impl std::fmt::Debug for KeyGenerator {
@@ -101,16 +103,21 @@ impl std::fmt::Debug for KeyGenerator {
 }
 
 impl KeyGenerator {
-    /// Creates a key generator with a fresh random secret key.
+    /// Creates a key generator with a fresh random secret key, drawing all
+    /// randomness from a ChaCha20 generator keyed from OS entropy.
     pub fn new(context: CkksContext) -> Self {
-        Self::from_seed(context, rand::thread_rng().gen())
+        Self::with_rng(context, Box::new(ChaCha20Rng::from_os_entropy()))
     }
 
     /// Creates a key generator whose secret key and all subsequently generated
-    /// keys are derived deterministically from `seed`.
+    /// keys are derived deterministically from `seed` (xoshiro256**; test and
+    /// benchmark fixtures only — not a CSPRNG).
     pub fn from_seed(context: CkksContext, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let secret = Self::generate_secret(&context, &mut rng);
+        Self::with_rng(context, Box::new(StdRng::seed_from_u64(seed)))
+    }
+
+    fn with_rng(context: CkksContext, mut rng: Box<dyn RngCore + Send + Sync>) -> Self {
+        let secret = Self::generate_secret(&context, &mut *rng);
         Self {
             context,
             secret,
@@ -118,7 +125,7 @@ impl KeyGenerator {
         }
     }
 
-    fn generate_secret(context: &CkksContext, rng: &mut StdRng) -> SecretKey {
+    fn generate_secret(context: &CkksContext, rng: &mut (dyn RngCore + Send + Sync)) -> SecretKey {
         let basis = context.key_basis();
         let n = context.degree();
         let ternary = eva_math::sample_ternary(rng, n);
@@ -255,6 +262,19 @@ mod tests {
                 "non-ternary coefficient {c}"
             );
         }
+    }
+
+    #[test]
+    fn entropy_keyed_generators_produce_distinct_secrets() {
+        // KeyGenerator::new draws from the ChaCha20 CSPRNG path.
+        let ctx = context();
+        let a = KeyGenerator::new(ctx.clone());
+        let b = KeyGenerator::new(ctx);
+        assert_ne!(
+            a.secret_key().coeff,
+            b.secret_key().coeff,
+            "two entropy-keyed generators must not share a secret"
+        );
     }
 
     #[test]

@@ -43,9 +43,10 @@
 //! let evaluator = Evaluator::new(context);
 //!
 //! let values = vec![1.5, -2.0, 0.25, 3.0];
-//! let scale = 2f64.powi(40);
+//! // Scales are handled in the log2 domain: 40.0 means a scale of 2^40.
+//! let scale_log2 = 40.0;
 //! // Encode at the top level (3 data primes are available).
-//! let ct = encryptor.encrypt(&encoder.encode(&values, scale, 3));
+//! let ct = encryptor.encrypt(&encoder.encode(&values, scale_log2, 3));
 //! let squared = evaluator.relinearize(&evaluator.square(&ct)?, &relin_key)?;
 //! let squared = evaluator.rescale_to_next(&squared)?;
 //! let result = decryptor.decrypt_to_values(&squared, 4);

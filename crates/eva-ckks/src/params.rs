@@ -145,6 +145,78 @@ impl CkksParameters {
         Self::build(degree, data_prime_bits, special_prime_bits)
     }
 
+    /// Builds parameters directly from **actual prime values** — the chain
+    /// the EVA compiler's parameter selection resolved and annotated exact
+    /// scales against. Using the very same primes on the backend is what
+    /// keeps the compiler's scale predictions bit-identical to the scales
+    /// the evaluator observes.
+    ///
+    /// When `enforce_security` is set, the 128-bit bound on `log2 Q` is
+    /// validated exactly as in [`CkksParameters::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParameterError`] if the degree is unsupported, a prime is
+    /// out of the supported bit range, not NTT-friendly for the degree
+    /// (`q ≢ 1 mod 2N`), duplicated, or the modulus violates the requested
+    /// security bound.
+    pub fn from_primes(
+        degree: usize,
+        data_primes: &[u64],
+        special_prime: u64,
+        enforce_security: bool,
+    ) -> Result<Self, ParameterError> {
+        if degree < 8 || !degree.is_power_of_two() {
+            return Err(ParameterError::UnsupportedDegree(degree));
+        }
+        if data_primes.is_empty() {
+            return Err(ParameterError::EmptyChain);
+        }
+        let bits_of = |q: u64| 64 - q.leading_zeros();
+        let mut chain: Vec<u64> = data_primes.to_vec();
+        chain.push(special_prime);
+        for &q in &chain {
+            let bits = bits_of(q);
+            if !(2..=MAX_PRIME_BITS).contains(&bits) {
+                return Err(ParameterError::InvalidPrimeBits(bits));
+            }
+            if q % (2 * degree as u64) != 1 {
+                return Err(ParameterError::PrimeGeneration(format!(
+                    "prime {q} is not NTT-friendly for degree {degree}"
+                )));
+            }
+        }
+        let mut sorted = chain.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != chain.len() {
+            return Err(ParameterError::PrimeGeneration(
+                "duplicate primes in the modulus chain".into(),
+            ));
+        }
+        let data_prime_bits: Vec<u32> = data_primes.iter().map(|&q| bits_of(q)).collect();
+        let special_prime_bits = bits_of(special_prime);
+        if enforce_security {
+            let allowed =
+                max_coeff_modulus_bits(degree).ok_or(ParameterError::UnsupportedDegree(degree))?;
+            let requested: u32 = data_prime_bits.iter().sum::<u32>() + special_prime_bits;
+            if requested > allowed {
+                return Err(ParameterError::InsecureModulus {
+                    degree,
+                    requested_bits: requested,
+                    allowed_bits: allowed,
+                });
+            }
+        }
+        Ok(Self {
+            degree,
+            data_primes: data_primes.to_vec(),
+            special_prime,
+            data_prime_bits,
+            special_prime_bits,
+        })
+    }
+
     /// Builds parameters **without** enforcing the 128-bit-security bound on
     /// `log2 Q`. Intended for unit tests and micro-benchmarks that use small
     /// ring degrees; production callers should use [`CkksParameters::new`].

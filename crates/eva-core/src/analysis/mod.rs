@@ -8,5 +8,8 @@ pub mod validation;
 
 pub use parameters::{select_parameters, ParameterSpec};
 pub use rotations::select_rotation_steps;
-pub use scale::{analyze_levels, analyze_num_polys, analyze_scales, ChainEntry};
-pub use validation::validate_transformed;
+pub use scale::{
+    analyze_exact_scales, analyze_levels, analyze_num_polys, analyze_scales, match_scale_delta,
+    prime_log2s, ChainEntry,
+};
+pub use validation::{validate_exact_scales, validate_transformed};

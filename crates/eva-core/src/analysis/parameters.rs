@@ -10,9 +10,15 @@
 use crate::analysis::scale::{analyze_levels, analyze_scales, ChainEntry};
 use crate::error::EvaError;
 use crate::program::Program;
+use eva_math::primes::generate_ntt_primes;
 
-/// The encryption parameters the compiler hands to the backend, expressed as
-/// prime bit sizes (the backend turns them into actual NTT-friendly primes).
+/// The encryption parameters the compiler hands to the backend.
+///
+/// Besides the requested prime *bit sizes*, the spec carries the **actual**
+/// NTT-friendly primes the compiler resolved them to: the exact-scale pass
+/// re-annotates the program against these values, so the backend must build
+/// its context from the very same primes (not regenerate its own) for the
+/// compiler's scale predictions to hold bit-exactly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParameterSpec {
     /// Ring degree `N`.
@@ -22,6 +28,10 @@ pub struct ParameterSpec {
     pub data_prime_bits: Vec<u32>,
     /// Bit size of the special key-switching prime.
     pub special_prime_bits: u32,
+    /// The actual data primes (same order as `data_prime_bits`).
+    pub data_primes: Vec<u64>,
+    /// The actual special key-switching prime.
+    pub special_prime: u64,
     /// Whether the chosen degree satisfies the 128-bit security bound for the
     /// total modulus (always true for specs produced by [`select_parameters`]).
     pub secure: bool,
@@ -113,7 +123,10 @@ pub fn select_parameters(
                 ChainEntry::ModSwitch => max_rescale_bits,
             })
             .collect();
-        let tail_bits = split_scale_bits(scales[node] + output.scale_bits, max_rescale_bits);
+        // Nominal scales are integral f64s at this point; ceil makes the cast
+        // safe even for exact (re-compiled) annotations.
+        let needed_bits = (scales[node] + output.scale_log2).ceil() as u32;
+        let tail_bits = split_scale_bits(needed_bits, max_rescale_bits);
         let length = rescale_bits.len() + tail_bits.len();
         let is_better = match &best {
             None => true,
@@ -156,10 +169,22 @@ pub fn select_parameters(
         ))
     })?;
 
+    // Resolve the bit sizes to the actual NTT-friendly primes now, so the
+    // exact-scale pass and the backend agree on the chain down to the bit.
+    let mut all_bits = data_prime_bits.clone();
+    all_bits.push(special_prime_bits);
+    let primes = generate_ntt_primes(degree, &all_bits).map_err(|e| {
+        EvaError::ParameterSelection(format!("prime generation failed for degree {degree}: {e}"))
+    })?;
+    let special_prime = *primes.last().expect("chain is non-empty");
+    let data_primes = primes[..primes.len() - 1].to_vec();
+
     Ok(ParameterSpec {
         degree,
         data_prime_bits,
         special_prime_bits,
+        data_primes,
+        special_prime,
         secure: true,
     })
 }
@@ -200,6 +225,13 @@ mod tests {
         assert_eq!(spec.total_bits(), 150);
         assert_eq!(spec.degree, 8192, "150 bits fit degree 8192 but not 4096");
         assert_eq!(spec.bit_vector_paper_order(), vec![60, 60, 30]);
+        // The actual primes are resolved alongside the bit sizes.
+        assert_eq!(spec.data_primes.len(), 2);
+        for (&q, &bits) in spec.data_primes.iter().zip(&spec.data_prime_bits) {
+            assert_eq!(64 - q.leading_zeros(), bits);
+            assert_eq!(q % (2 * 8192), 1, "prime must be NTT-friendly");
+        }
+        assert_eq!(64 - spec.special_prime.leading_zeros(), 60);
     }
 
     #[test]

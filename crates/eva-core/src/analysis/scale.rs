@@ -1,5 +1,39 @@
 //! Forward data-flow analyses: fixed-point scales, rescale chains (levels) and
 //! polynomial counts.
+//!
+//! # The two-phase exact-scale pipeline
+//!
+//! Scales are tracked in the `log2` domain as `f64` throughout the compiler,
+//! in two phases:
+//!
+//! 1. **Nominal phase** (before parameter selection): [`analyze_scales`]
+//!    propagates the programmer's integral bit annotations under
+//!    power-of-two semantics — MULTIPLY adds `log2` scales, `RESCALE(s)`
+//!    subtracts exactly `s` bits. All values are integral `f64`s, so the
+//!    rewrite passes (waterline rescale, match-scale, modswitch) make the
+//!    same decisions the paper's integer formulation makes, and parameter
+//!    selection can size the prime chain from them.
+//! 2. **Exact phase** (after parameter selection): once the actual
+//!    NTT-friendly primes are fixed, [`analyze_exact_scales`] re-propagates
+//!    scales against the real chain — a RESCALE at level `l` subtracts
+//!    `log2(q_{l-1})` of the *actual* prime, which is close to but never
+//!    exactly its nominal bit size. The propagation mirrors, operation for
+//!    operation, the `f64` arithmetic the runtime evaluator performs
+//!    (addition of `log2` scales on multiply, subtraction of a cached
+//!    `log2 q` on rescale), so the compiler's predicted scales are
+//!    **bit-identical** to the scales the executor observes.
+//!
+//! ADD/SUB requires exactly equal operand scales at runtime. Where two
+//! operands reach the same level through different RESCALE/MODSWITCH
+//! structures their exact scales differ by a tiny drift (≈ `2^-15` relative
+//! per rescale, the gap between a prime and its power-of-two nominal); the
+//! exact match-scale pass
+//! ([`crate::passes::apply_exact_scales`]) closes that gap by multiplying the
+//! lower-scale operand with the constant `1` encoded at the scale ratio,
+//! using [`match_scale_delta`] to pick a `log2` delta whose rounded sum lands
+//! bit-exactly on the target. The executor therefore needs **no scale
+//! tolerance at all** — its scale comparison is exact `f64` equality, and any
+//! mismatch is a genuine compiler bug rather than inherent prime drift.
 
 use crate::error::EvaError;
 use crate::program::{NodeId, NodeKind, Program};
@@ -26,36 +60,39 @@ impl ChainEntry {
     }
 }
 
-/// Computes the fixed-point scale (in bits) of every node and stores it on the
+/// Computes the nominal `log2` scale of every node and stores it on the
 /// program. Returns the vector of scales indexed by node id.
 ///
 /// Scales combine exactly as the paper describes: inputs and constants carry
-/// their annotations, MULTIPLY adds scales, RESCALE subtracts its divisor, and
-/// every other instruction preserves its (first cipher) parent's scale.
+/// their annotations, MULTIPLY adds `log2` scales, RESCALE subtracts its
+/// nominal divisor, and every other instruction preserves its (first cipher)
+/// parent's scale. This is the *nominal* (power-of-two) phase of the pipeline
+/// described in the module docs; after parameter selection
+/// [`analyze_exact_scales`] replaces these annotations with the exact values.
 ///
 /// # Errors
 ///
 /// Returns [`EvaError::Validation`] if a RESCALE divides by more bits than its
 /// operand's scale has.
-pub fn analyze_scales(program: &mut Program) -> Result<Vec<u32>, EvaError> {
+pub fn analyze_scales(program: &mut Program) -> Result<Vec<f64>, EvaError> {
     let order = program.topological_order();
-    let mut scales = vec![0u32; program.len()];
+    let mut scales = vec![0.0f64; program.len()];
     for id in order {
         let scale = match &program.node(id).kind {
-            NodeKind::Input { .. } | NodeKind::Constant { .. } => program.node(id).scale_bits,
+            NodeKind::Input { .. } | NodeKind::Constant { .. } => program.node(id).scale_log2,
             NodeKind::Instruction { op, args } => {
-                let arg_scales: Vec<u32> = args.iter().map(|&a| scales[a]).collect();
+                let arg_scales: Vec<f64> = args.iter().map(|&a| scales[a]).collect();
                 match op {
                     Opcode::Multiply => arg_scales.iter().sum(),
-                    Opcode::Add | Opcode::Sub => *arg_scales.iter().max().unwrap_or(&0),
+                    Opcode::Add | Opcode::Sub => arg_scales.iter().copied().fold(0.0f64, f64::max),
                     Opcode::Rescale(bits) => {
                         let input = arg_scales[0];
-                        if input < *bits {
+                        if input < f64::from(*bits) {
                             return Err(EvaError::Validation(format!(
                                 "node {id}: rescale by 2^{bits} underflows operand scale 2^{input}"
                             )));
                         }
-                        input - bits
+                        input - f64::from(*bits)
                     }
                     Opcode::Negate
                     | Opcode::RotateLeft(_)
@@ -66,9 +103,173 @@ pub fn analyze_scales(program: &mut Program) -> Result<Vec<u32>, EvaError> {
             }
         };
         scales[id] = scale;
-        program.set_scale_bits(id, scale);
+        program.set_scale_log2(id, scale);
     }
     Ok(scales)
+}
+
+/// The nominal `log2` transfer function for one node given its operands'
+/// scales: the same rules as [`analyze_scales`], but saturating on rescale
+/// underflow instead of erroring. Shared by the rewrite passes (waterline /
+/// always rescale, match-scale) so the rules live in exactly one place.
+pub(crate) fn nominal_scale_of(node: &crate::program::Node, arg_scales: &[f64]) -> f64 {
+    match &node.kind {
+        NodeKind::Input { .. } | NodeKind::Constant { .. } => node.scale_log2,
+        NodeKind::Instruction { op, .. } => match op {
+            Opcode::Multiply => arg_scales.iter().sum(),
+            Opcode::Add | Opcode::Sub => arg_scales.iter().copied().fold(0.0f64, f64::max),
+            Opcode::Rescale(bits) => (arg_scales[0] - f64::from(*bits)).max(0.0),
+            _ => arg_scales[0],
+        },
+    }
+}
+
+/// `log2` of each data prime, cached once per exact-scale pass. The values
+/// are computed with the same `(q as f64).log2()` expression the runtime
+/// context uses, which is what makes compiler predictions bit-identical to
+/// executor observations.
+pub fn prime_log2s(data_primes: &[u64]) -> Vec<f64> {
+    data_primes.iter().map(|&q| (q as f64).log2()).collect()
+}
+
+/// Computes the **exact** `log2` scale of every node against the actual prime
+/// chain chosen by parameter selection, without modifying the program.
+///
+/// The propagation replays the evaluator's own scale arithmetic: MULTIPLY
+/// adds the operand `log2` scales (for a plaintext operand, the plaintext
+/// node's annotation, at which the executor encodes it), RESCALE at level `l`
+/// subtracts `log2(q_{l-1})` of the real prime, ADD/SUB with a plaintext
+/// operand inherits the cipher operand's scale (the executor encodes the
+/// plaintext at exactly that scale), and every other instruction preserves
+/// its parent's scale. Non-cipher nodes keep their (integral) nominal scales.
+///
+/// # Errors
+///
+/// Returns [`EvaError::Validation`] if a cipher-cipher ADD/SUB has operands
+/// whose exact scales are not bit-identical (the exact match-scale pass
+/// should have corrected them first), or if a node's rescale chain is longer
+/// than the prime chain.
+pub fn analyze_exact_scales(program: &Program, data_primes: &[u64]) -> Result<Vec<f64>, EvaError> {
+    let chains = analyze_levels(program)?;
+    let log_primes = prime_log2s(data_primes);
+    let max_level = data_primes.len();
+    let order = program.topological_order();
+    let live = program.live_mask();
+    let mut scales = vec![0.0f64; program.len()];
+    for id in order {
+        if !live[id] {
+            // Dead nodes are never executed; they keep their nominal
+            // annotation (their chains may exceed the prime budget).
+            scales[id] = program.node(id).scale_log2;
+            continue;
+        }
+        scales[id] = exact_scale_of(program, id, &scales, &chains, &log_primes, max_level)?;
+    }
+    Ok(scales)
+}
+
+/// The exact-scale transfer function for one node, shared by the pure
+/// analysis above and the rewriting pass in `passes::match_scale`.
+pub(crate) fn exact_scale_of(
+    program: &Program,
+    id: NodeId,
+    scales: &[f64],
+    chains: &[Vec<ChainEntry>],
+    log_primes: &[f64],
+    max_level: usize,
+) -> Result<f64, EvaError> {
+    let node = program.node(id);
+    let scale = match &node.kind {
+        NodeKind::Input { .. } | NodeKind::Constant { .. } => node.scale_log2,
+        NodeKind::Instruction { op, args } => {
+            if !node.ty.is_cipher() {
+                // Plaintext subgraphs keep nominal (integral) semantics: the
+                // executor computes them as raw vectors and re-encodes them at
+                // their annotated scale when a cipher consumer needs them.
+                let arg_scales: Vec<f64> = args.iter().map(|&a| scales[a]).collect();
+                return Ok(match op {
+                    Opcode::Multiply => arg_scales.iter().sum(),
+                    Opcode::Add | Opcode::Sub => arg_scales.iter().copied().fold(0.0f64, f64::max),
+                    Opcode::Rescale(bits) => arg_scales[0] - f64::from(*bits),
+                    _ => arg_scales[0],
+                });
+            }
+            let cipher_args: Vec<NodeId> = args
+                .iter()
+                .copied()
+                .filter(|&a| program.node(a).ty.is_cipher())
+                .collect();
+            match op {
+                Opcode::Multiply => scales[args[0]] + scales[args[1]],
+                Opcode::Add | Opcode::Sub => {
+                    if cipher_args.len() == 2 {
+                        let (a, b) = (scales[cipher_args[0]], scales[cipher_args[1]]);
+                        if a != b {
+                            return Err(EvaError::Validation(format!(
+                                "node {id} ({op}): operand exact scales differ \
+                                 (2^{a:.10e} vs 2^{b:.10e})"
+                            )));
+                        }
+                        a
+                    } else {
+                        // The executor encodes the plaintext operand at the
+                        // cipher operand's exact scale.
+                        scales[cipher_args[0]]
+                    }
+                }
+                Opcode::Rescale(_) => {
+                    // chains[id] includes this node's own entry, so the level
+                    // *after* this rescale — which indexes the prime divided —
+                    // is max_level - chains[id].len().
+                    let consumed = chains[id].len();
+                    if consumed > max_level {
+                        return Err(EvaError::Validation(format!(
+                            "node {id}: rescale chain of length {consumed} exceeds the \
+                             {max_level}-prime chain"
+                        )));
+                    }
+                    let level = max_level - consumed;
+                    scales[args[0]] - log_primes[level]
+                }
+                Opcode::Negate
+                | Opcode::RotateLeft(_)
+                | Opcode::RotateRight(_)
+                | Opcode::Relinearize
+                | Opcode::ModSwitch => scales[args[0]],
+            }
+        }
+    };
+    Ok(scale)
+}
+
+/// Solves for a `log2`-domain correction `delta` such that
+/// `source + delta == target` holds **bit-exactly** in `f64` arithmetic.
+///
+/// The naive `target - source` lands within an ulp of the target after the
+/// rounded re-addition; because `|delta| ≪ |source|`, nudging `delta` in
+/// ulp-of-target steps moves the rounded sum one representable value at a
+/// time, so a few steps in either direction always reach the target exactly.
+/// Returns `None` only if no representable delta works (not observed in
+/// practice; callers surface it as a validation error).
+pub fn match_scale_delta(source: f64, target: f64) -> Option<f64> {
+    if source == target {
+        return Some(0.0);
+    }
+    let base = target - source;
+    if source + base == target {
+        return Some(base);
+    }
+    // One ulp at the target's magnitude (scales are positive, tens of bits).
+    let ulp = (target.next_up() - target).max(f64::MIN_POSITIVE);
+    for k in 1..=8i32 {
+        for sign in [1.0f64, -1.0] {
+            let delta = base + sign * f64::from(k) * ulp;
+            if source + delta == target {
+                return Some(delta);
+            }
+        }
+    }
+    None
 }
 
 /// Computes the conforming rescale chain of every *cipher* node.
@@ -192,9 +393,68 @@ mod tests {
         let rescaled = p.push_instruction(Opcode::Rescale(40), vec![prod], ValueType::Cipher);
         p.output("out", rescaled, 25);
         let scales = analyze_scales(&mut p).unwrap();
-        assert_eq!(scales[prod], 55);
-        assert_eq!(scales[rescaled], 15);
-        assert_eq!(p.node(rescaled).scale_bits, 15);
+        assert_eq!(scales[prod], 55.0);
+        assert_eq!(scales[rescaled], 15.0);
+        assert_eq!(p.node(rescaled).scale_log2, 15.0);
+    }
+
+    #[test]
+    fn exact_scales_divide_by_actual_primes() {
+        // x^2 rescaled once: the exact scale is 2*30 - log2(q_top), not 60-40.
+        let mut p = Program::new("exact", 8);
+        let x = p.input_cipher("x", 30);
+        let prod = p.instruction(Opcode::Multiply, &[x, x]);
+        let rescaled = p.push_instruction(Opcode::Rescale(40), vec![prod], ValueType::Cipher);
+        p.output("out", rescaled, 20);
+        // Two data primes; the first rescale divides by the *last* one.
+        let primes = [1099511590913u64, 1099511680897];
+        let exact = analyze_exact_scales(&p, &primes).unwrap();
+        assert_eq!(exact[x], 30.0);
+        assert_eq!(exact[prod], 60.0);
+        assert_eq!(
+            exact[rescaled].to_bits(),
+            (60.0 - (primes[1] as f64).log2()).to_bits()
+        );
+        assert!(exact[rescaled] != 20.0, "exact scale is never the nominal");
+    }
+
+    #[test]
+    fn exact_scales_reject_drifted_add() {
+        // x^2 rescaled vs x mod-switched: same level, different division
+        // history, so the exact scales genuinely differ -> validation error.
+        let mut p = Program::new("drift", 8);
+        let x = p.input_cipher("x", 40);
+        let prod = p.instruction(Opcode::Multiply, &[x, x]);
+        let rescaled = p.push_instruction(Opcode::Rescale(40), vec![prod], ValueType::Cipher);
+        let switched = p.push_instruction(Opcode::ModSwitch, vec![x], ValueType::Cipher);
+        let sum = p.instruction(Opcode::Add, &[rescaled, switched]);
+        p.output("out", sum, 40);
+        let primes = [1099511590913u64, 1099511680897];
+        let err = analyze_exact_scales(&p, &primes).unwrap_err();
+        assert!(err.to_string().contains("exact scales differ"), "{err}");
+    }
+
+    #[test]
+    fn match_scale_delta_lands_bit_exactly() {
+        let qs = [1099511590913u64, 1099511680897, 2199023190017];
+        let mut cases = Vec::new();
+        for (i, &qa) in qs.iter().enumerate() {
+            for &qb in &qs[i + 1..] {
+                // The canonical drift pair: divided by qa vs divided by qb.
+                cases.push((80.0 - (qa as f64).log2(), 80.0 - (qb as f64).log2()));
+                cases.push((117.3 - (qa as f64).log2(), 117.3 - (qb as f64).log2()));
+            }
+        }
+        cases.push((40.0, 40.0));
+        for (source, target) in cases {
+            let delta = match_scale_delta(source, target)
+                .unwrap_or_else(|| panic!("no delta for {source} -> {target}"));
+            assert_eq!(
+                (source + delta).to_bits(),
+                target.to_bits(),
+                "source {source}, delta {delta}"
+            );
+        }
     }
 
     #[test]

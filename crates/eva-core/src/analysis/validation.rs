@@ -3,7 +3,10 @@
 //! never trigger a runtime exception in the FHE library (paper Section 6.2,
 //! "Validation Passes").
 
-use crate::analysis::scale::{analyze_levels, analyze_num_polys, analyze_scales};
+use crate::analysis::scale::{
+    analyze_exact_scales, analyze_levels, analyze_num_polys, analyze_scales,
+};
+use crate::analysis::ParameterSpec;
 use crate::error::EvaError;
 use crate::program::{NodeKind, Program};
 use crate::types::Opcode;
@@ -81,6 +84,30 @@ pub fn validate_transformed(program: &mut Program, max_rescale_bits: u32) -> Res
                     )));
                 }
             _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Validates the exact-scale phase: re-runs the exact propagation against the
+/// actual prime chain (which errors on any cipher ADD/SUB whose operand
+/// scales are not bit-identical) and checks that every node's stamped
+/// annotation matches the recomputed value bit for bit. A compiled program
+/// passing this check can never trigger the evaluator's exact-equality scale
+/// error at run time.
+///
+/// # Errors
+///
+/// Returns [`EvaError::Validation`] describing the first mismatch.
+pub fn validate_exact_scales(program: &Program, spec: &ParameterSpec) -> Result<(), EvaError> {
+    let exact = analyze_exact_scales(program, &spec.data_primes)?;
+    for (id, node) in program.nodes().iter().enumerate() {
+        if node.scale_log2.to_bits() != exact[id].to_bits() {
+            return Err(EvaError::Validation(format!(
+                "node {id}: stamped scale 2^{} is not bit-identical to the exact \
+                 scale 2^{}",
+                node.scale_log2, exact[id]
+            )));
         }
     }
     Ok(())

@@ -2,12 +2,13 @@
 //! encryption parameters, select rotation keys.
 
 use crate::analysis::{
-    select_parameters, select_rotation_steps, validate_transformed, ParameterSpec,
+    select_parameters, select_rotation_steps, validate_exact_scales, validate_transformed,
+    ParameterSpec,
 };
 use crate::error::EvaError;
 use crate::passes::{
-    insert_always_rescale, insert_eager_modswitch, insert_lazy_modswitch, insert_match_scale,
-    insert_relinearize, insert_waterline_rescale,
+    apply_exact_scales, insert_always_rescale, insert_eager_modswitch, insert_lazy_modswitch,
+    insert_match_scale, insert_relinearize, insert_waterline_rescale,
 };
 use crate::program::Program;
 
@@ -67,6 +68,9 @@ pub struct CompilationStats {
     pub scale_fixes_inserted: usize,
     /// Number of RELINEARIZE instructions inserted.
     pub relinearizations_inserted: usize,
+    /// Number of *exact* match-scale corrections inserted by the second
+    /// (exact-scale) phase, closing sub-bit rescale drift between operands.
+    pub exact_scale_fixes_inserted: usize,
     /// Total node count of the transformed program.
     pub node_count: usize,
 }
@@ -104,8 +108,13 @@ impl CompiledProgram {
 /// insertion, MATCH-SCALE and RELINEARIZE. The transformed program is then
 /// validated against Constraints 1–4 — if validation fails the compiler
 /// returns an error instead of producing a program that would throw inside
-/// the FHE library. Finally encryption parameters and rotation steps are
-/// selected.
+/// the FHE library — and encryption parameters (including the actual primes)
+/// are selected. A second, exact scale phase then re-annotates the program
+/// against the chosen primes, inserting exact match-scale corrections where
+/// rescale drift would otherwise break the evaluator's exact scale-equality
+/// check, and validates that every annotation is bit-identical to what the
+/// executor will observe (see [`crate::analysis::scale`]). Finally rotation
+/// steps are selected.
 ///
 /// # Errors
 ///
@@ -131,6 +140,12 @@ pub fn compile(input: &Program, options: &CompilerOptions) -> Result<CompiledPro
 
     validate_transformed(&mut program, options.max_rescale_bits)?;
     let parameters = select_parameters(&mut program, options.max_rescale_bits)?;
+
+    // Phase two: the prime chain is fixed, so re-annotate with exact scales
+    // and correct the sub-bit drift the nominal phase cannot see.
+    let exact_scale_fixes_inserted = apply_exact_scales(&mut program, &parameters)?;
+    validate_exact_scales(&program, &parameters)?;
+
     let rotation_steps = select_rotation_steps(&program);
 
     let stats = CompilationStats {
@@ -138,6 +153,7 @@ pub fn compile(input: &Program, options: &CompilerOptions) -> Result<CompiledPro
         mod_switches_inserted,
         scale_fixes_inserted,
         relinearizations_inserted,
+        exact_scale_fixes_inserted,
         node_count: program.len(),
     };
     Ok(CompiledProgram {

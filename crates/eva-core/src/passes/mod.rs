@@ -11,7 +11,7 @@ pub mod modswitch;
 pub mod relinearize;
 pub mod rescale;
 
-pub use match_scale::insert_match_scale;
+pub use match_scale::{apply_exact_scales, insert_match_scale};
 pub use modswitch::{insert_eager_modswitch, insert_lazy_modswitch};
 pub use relinearize::insert_relinearize;
 pub use rescale::{insert_always_rescale, insert_waterline_rescale};
@@ -72,9 +72,10 @@ impl<'a> GraphEditor<'a> {
         new_id
     }
 
-    /// Appends a fresh constant node.
-    pub fn add_constant(&mut self, value: crate::types::ConstantValue, scale_bits: u32) -> NodeId {
-        let id = self.program.push_constant(value, scale_bits);
+    /// Appends a fresh constant node with an explicit `log2` scale (the exact
+    /// match-scale pass needs non-integral deltas).
+    pub fn add_constant(&mut self, value: crate::types::ConstantValue, scale_log2: f64) -> NodeId {
+        let id = self.program.push_constant(value, scale_log2);
         self.uses.push(Vec::new());
         id
     }
@@ -170,7 +171,7 @@ mod tests {
         let sq = p.instruction(Opcode::Multiply, &[x, x]);
         p.output("out", sq, 30);
         let mut editor = GraphEditor::new(&mut p);
-        let c = editor.add_constant(ConstantValue::Scalar(1.0), 10);
+        let c = editor.add_constant(ConstantValue::Scalar(1.0), 10.0);
         let scaled = editor.add_instruction(Opcode::Multiply, vec![x, c], ValueType::Cipher);
         editor.replace_arg_at(sq, 1, scaled);
         assert_eq!(editor.program().args(sq), &[x, scaled]);

@@ -12,17 +12,16 @@ use crate::passes::GraphEditor;
 use crate::program::{NodeKind, Program};
 use crate::types::Opcode;
 
-fn waterline(program: &Program) -> u32 {
+fn waterline(program: &Program) -> f64 {
     program
         .nodes()
         .iter()
         .filter(|n| matches!(n.kind, NodeKind::Input { .. } | NodeKind::Constant { .. }))
-        .map(|n| n.scale_bits)
-        .max()
-        .unwrap_or(0)
+        .map(|n| n.scale_log2)
+        .fold(0.0f64, f64::max)
 }
 
-fn operand_scales(editor: &GraphEditor<'_>, scales: &[u32], id: usize) -> Vec<u32> {
+fn operand_scales(editor: &GraphEditor<'_>, scales: &[f64], id: usize) -> Vec<f64> {
     editor
         .program()
         .args(id)
@@ -31,20 +30,9 @@ fn operand_scales(editor: &GraphEditor<'_>, scales: &[u32], id: usize) -> Vec<u3
         .collect()
 }
 
-fn compute_scale(editor: &GraphEditor<'_>, scales: &[u32], id: usize) -> u32 {
-    let node = editor.program().node(id);
-    match &node.kind {
-        NodeKind::Input { .. } | NodeKind::Constant { .. } => node.scale_bits,
-        NodeKind::Instruction { op, .. } => {
-            let args = operand_scales(editor, scales, id);
-            match op {
-                Opcode::Multiply => args.iter().sum(),
-                Opcode::Add | Opcode::Sub => *args.iter().max().unwrap_or(&0),
-                Opcode::Rescale(bits) => args[0].saturating_sub(*bits),
-                _ => args[0],
-            }
-        }
-    }
+fn compute_scale(editor: &GraphEditor<'_>, scales: &[f64], id: usize) -> f64 {
+    let args = operand_scales(editor, scales, id);
+    crate::analysis::scale::nominal_scale_of(editor.program().node(id), &args)
 }
 
 /// Inserts WATERLINE-RESCALE nodes (Figure 4): after a ciphertext
@@ -53,13 +41,14 @@ fn compute_scale(editor: &GraphEditor<'_>, scales: &[u32], id: usize) -> u32 {
 /// scale). Returns the number of RESCALE nodes inserted.
 pub fn insert_waterline_rescale(program: &mut Program, max_rescale_bits: u32) -> usize {
     let sw = waterline(program);
+    let sf = f64::from(max_rescale_bits);
     let order = program.topological_order();
     let mut editor = GraphEditor::new(program);
-    let mut scales = vec![0u32; editor.len()];
+    let mut scales = vec![0.0f64; editor.len()];
     let mut inserted = 0;
 
     for id in order {
-        scales.resize(editor.len(), 0);
+        scales.resize(editor.len(), 0.0);
         scales[id] = compute_scale(&editor, &scales, id);
         let node = editor.program().node(id);
         let is_cipher_multiply =
@@ -70,10 +59,10 @@ pub fn insert_waterline_rescale(program: &mut Program, max_rescale_bits: u32) ->
         // Rescale while the post-rescale scale stays at or above the waterline.
         let mut current_scale = scales[id];
         let mut tail = id;
-        while current_scale >= max_rescale_bits + sw {
+        while current_scale >= sf + sw {
             let rescale = editor.insert_after_all(tail, Opcode::Rescale(max_rescale_bits));
-            current_scale -= max_rescale_bits;
-            scales.resize(editor.len(), 0);
+            current_scale -= sf;
+            scales.resize(editor.len(), 0.0);
             scales[rescale] = current_scale;
             tail = rescale;
             inserted += 1;
@@ -89,11 +78,11 @@ pub fn insert_waterline_rescale(program: &mut Program, max_rescale_bits: u32) ->
 pub fn insert_always_rescale(program: &mut Program) -> usize {
     let order = program.topological_order();
     let mut editor = GraphEditor::new(program);
-    let mut scales = vec![0u32; editor.len()];
+    let mut scales = vec![0.0f64; editor.len()];
     let mut inserted = 0;
 
     for id in order {
-        scales.resize(editor.len(), 0);
+        scales.resize(editor.len(), 0.0);
         scales[id] = compute_scale(&editor, &scales, id);
         let node = editor.program().node(id);
         let is_cipher_multiply =
@@ -103,14 +92,15 @@ pub fn insert_always_rescale(program: &mut Program) -> usize {
         }
         let operand_min = operand_scales(&editor, &scales, id)
             .into_iter()
-            .min()
-            .unwrap_or(0);
-        if operand_min == 0 {
+            .fold(f64::INFINITY, f64::min);
+        if operand_min <= 0.0 || !operand_min.is_finite() {
             continue;
         }
-        let rescale = editor.insert_after_all(id, Opcode::Rescale(operand_min));
-        scales.resize(editor.len(), 0);
-        scales[rescale] = scales[id].saturating_sub(operand_min);
+        // Input-program scales are integral annotations, so the rounded bit
+        // count equals the nominal operand scale.
+        let rescale = editor.insert_after_all(id, Opcode::Rescale(operand_min.round() as u32));
+        scales.resize(editor.len(), 0.0);
+        scales[rescale] = (scales[id] - operand_min).max(0.0);
         inserted += 1;
     }
     inserted
@@ -146,7 +136,7 @@ mod tests {
         assert_eq!(inserted, 2);
         let scales = analyze_scales(&mut p).unwrap();
         let out_node = p.outputs()[0].node;
-        assert_eq!(scales[out_node], 90);
+        assert_eq!(scales[out_node], 90.0);
         // After MODSWITCH insertion the chains conform and the output has
         // consumed exactly two 2^60 primes.
         crate::passes::modswitch::insert_eager_modswitch(&mut p);
@@ -191,6 +181,6 @@ mod tests {
         let scales = analyze_scales(&mut p).unwrap();
         let out_node = p.outputs()[0].node;
         // Whatever the exact chain, the final scale must sit below s_f + s_w.
-        assert!(scales[out_node] < 60 + 55);
+        assert!(scales[out_node] < 115.0);
     }
 }

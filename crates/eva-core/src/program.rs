@@ -40,10 +40,16 @@ pub struct Node {
     pub kind: NodeKind,
     /// The EVA type of the value produced at this node.
     pub ty: ValueType,
-    /// Fixed-point scale in bits (`log2` of the scale). For inputs and
-    /// constants this is the programmer-provided annotation; for instructions
-    /// it is filled in by scale analysis and is `0` until then.
-    pub scale_bits: u32,
+    /// `log2` of the node's fixed-point scale, tracked exactly as an `f64`.
+    ///
+    /// For inputs and constants this starts as the programmer-provided
+    /// annotation (an integral number of bits); for instructions it is filled
+    /// in by scale analysis and is `0` until then. After parameter selection
+    /// the second (exact) scale pass re-annotates every cipher node with the
+    /// scale the executor will actually observe — a non-integral value once a
+    /// RESCALE has divided by a real prime `q ≈ 2^s` (see
+    /// [`crate::analysis::scale`] for the two-phase pipeline).
+    pub scale_log2: f64,
 }
 
 /// A named program output (a leaf of the graph).
@@ -53,8 +59,8 @@ pub struct OutputInfo {
     pub name: String,
     /// Node whose value is returned.
     pub node: NodeId,
-    /// Desired fixed-point scale of the output, in bits.
-    pub scale_bits: u32,
+    /// Desired fixed-point scale of the output (`log2`, integral annotation).
+    pub scale_log2: f64,
 }
 
 /// An EVA program: the tuple `(M, Insts, Consts, Inputs, Outputs)` of the
@@ -129,28 +135,32 @@ impl Program {
 
     /// Adds a `Cipher` input with the given fixed-point scale (in bits).
     pub fn input_cipher(&mut self, name: impl Into<String>, scale_bits: u32) -> NodeId {
-        self.push(Node {
-            kind: NodeKind::Input { name: name.into() },
-            ty: ValueType::Cipher,
-            scale_bits,
-        })
+        self.push_input(name, ValueType::Cipher, f64::from(scale_bits))
     }
 
     /// Adds a plaintext `Vector` input with the given scale.
     pub fn input_vector(&mut self, name: impl Into<String>, scale_bits: u32) -> NodeId {
-        self.push(Node {
-            kind: NodeKind::Input { name: name.into() },
-            ty: ValueType::Vector,
-            scale_bits,
-        })
+        self.push_input(name, ValueType::Vector, f64::from(scale_bits))
     }
 
     /// Adds a plaintext `Scalar` input with the given scale.
     pub fn input_scalar(&mut self, name: impl Into<String>, scale_bits: u32) -> NodeId {
+        self.push_input(name, ValueType::Scalar, f64::from(scale_bits))
+    }
+
+    /// Adds an input of the given type with an explicit `log2` scale.
+    /// Used by deserialization, which must round-trip exact (non-integral)
+    /// scales of already-compiled programs.
+    pub(crate) fn push_input(
+        &mut self,
+        name: impl Into<String>,
+        ty: ValueType,
+        scale_log2: f64,
+    ) -> NodeId {
         self.push(Node {
             kind: NodeKind::Input { name: name.into() },
-            ty: ValueType::Scalar,
-            scale_bits,
+            ty,
+            scale_log2,
         })
     }
 
@@ -168,12 +178,7 @@ impl Program {
                 self.vec_size
             );
         }
-        let ty = value.value_type();
-        self.push(Node {
-            kind: NodeKind::Constant { value },
-            ty,
-            scale_bits,
-        })
+        self.push_constant(value, f64::from(scale_bits))
     }
 
     /// Adds an instruction node.
@@ -204,17 +209,23 @@ impl Program {
                 args: args.to_vec(),
             },
             ty,
-            scale_bits: 0,
+            scale_log2: 0.0,
         })
     }
 
     /// Marks `node` as a program output with the given name and desired scale.
     pub fn output(&mut self, name: impl Into<String>, node: NodeId, scale_bits: u32) {
+        self.push_output(name, node, f64::from(scale_bits));
+    }
+
+    /// Marks `node` as a program output with an explicit `log2` scale
+    /// (deserialization round-trips exact scales through this).
+    pub(crate) fn push_output(&mut self, name: impl Into<String>, node: NodeId, scale_log2: f64) {
         assert!(node < self.nodes.len(), "output node {node} does not exist");
         self.outputs.push(OutputInfo {
             name: name.into(),
             node,
-            scale_bits,
+            scale_log2,
         });
     }
 
@@ -299,6 +310,31 @@ impl Program {
         }
         debug_assert_eq!(order.len(), self.nodes.len(), "program graph has a cycle");
         order
+    }
+
+    /// Returns, for every node, whether it can reach a program output (is
+    /// *live*). Dead nodes are never executed and are skipped by the
+    /// exact-scale phase: parameter selection budgets the prime chain from
+    /// the outputs, so a dead branch may consume more rescales than the
+    /// chain provides without affecting any observable value.
+    pub fn live_mask(&self) -> Vec<bool> {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = Vec::new();
+        for output in &self.outputs {
+            if !live[output.node] {
+                live[output.node] = true;
+                stack.push(output.node);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            for &arg in self.args(id) {
+                if !live[arg] {
+                    live[arg] = true;
+                    stack.push(arg);
+                }
+            }
+        }
+        live
     }
 
     /// Multiplicative depth of the program: the maximum number of MULTIPLY
@@ -404,17 +440,18 @@ impl Program {
         self.push(Node {
             kind: NodeKind::Instruction { op, args },
             ty,
-            scale_bits: 0,
+            scale_log2: 0.0,
         })
     }
 
-    /// Appends a new constant node.
-    pub(crate) fn push_constant(&mut self, value: ConstantValue, scale_bits: u32) -> NodeId {
+    /// Appends a new constant node with an explicit `log2` scale (the exact
+    /// match-scale pass inserts constants with tiny non-integral scales).
+    pub(crate) fn push_constant(&mut self, value: ConstantValue, scale_log2: f64) -> NodeId {
         let ty = value.value_type();
         self.push(Node {
             kind: NodeKind::Constant { value },
             ty,
-            scale_bits,
+            scale_log2,
         })
     }
 
@@ -437,9 +474,9 @@ impl Program {
         }
     }
 
-    /// Sets the analysed scale of a node.
-    pub(crate) fn set_scale_bits(&mut self, node: NodeId, scale_bits: u32) {
-        self.nodes[node].scale_bits = scale_bits;
+    /// Sets the analysed `log2` scale of a node.
+    pub(crate) fn set_scale_log2(&mut self, node: NodeId, scale_log2: f64) {
+        self.nodes[node].scale_log2 = scale_log2;
     }
 
     /// Redirects every output that refers to `from` so it refers to `to`.
@@ -463,7 +500,7 @@ impl std::fmt::Display for Program {
                 NodeKind::Input { name } => writeln!(
                     f,
                     "  %{id} = input {name:?} : {} @2^{}",
-                    node.ty, node.scale_bits
+                    node.ty, node.scale_log2
                 )?,
                 NodeKind::Constant { value } => {
                     let summary = match value {
@@ -474,7 +511,7 @@ impl std::fmt::Display for Program {
                     writeln!(
                         f,
                         "  %{id} = const {summary} : {} @2^{}",
-                        node.ty, node.scale_bits
+                        node.ty, node.scale_log2
                     )?
                 }
                 NodeKind::Instruction { op, args } => {
@@ -484,7 +521,7 @@ impl std::fmt::Display for Program {
                         "  %{id} = {op} {} : {} @2^{}",
                         args.join(", "),
                         node.ty,
-                        node.scale_bits
+                        node.scale_log2
                     )?
                 }
             }
@@ -493,7 +530,7 @@ impl std::fmt::Display for Program {
             writeln!(
                 f,
                 "  output {:?} = %{} @2^{}",
-                output.name, output.node, output.scale_bits
+                output.name, output.node, output.scale_log2
             )?;
         }
         Ok(())

@@ -11,7 +11,9 @@ use crate::program::{NodeKind, Program};
 use crate::types::{ConstantValue, Opcode, ValueType};
 
 const MAGIC: &[u8; 4] = b"EVAP";
-const VERSION: u32 = 1;
+// Version 2: scales are serialized as `f64` log2 values (exact scale
+// tracking) instead of `u32` bit counts.
+const VERSION: u32 = 2;
 
 struct Writer {
     buf: Vec<u8>,
@@ -149,7 +151,7 @@ pub fn to_bytes(program: &Program) -> Vec<u8> {
     for id in 0..program.len() {
         let node = program.node(id);
         w.u8(type_tag(node.ty));
-        w.u32(node.scale_bits);
+        w.f64(node.scale_log2);
         match &node.kind {
             NodeKind::Input { name } => {
                 w.u8(0);
@@ -191,7 +193,7 @@ pub fn to_bytes(program: &Program) -> Vec<u8> {
     for output in program.outputs() {
         w.str(&output.name);
         w.u64(output.node as u64);
-        w.u32(output.scale_bits);
+        w.f64(output.scale_log2);
     }
     w.buf
 }
@@ -224,18 +226,17 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Program, EvaError> {
     let mut program = Program::new(name, vec_size);
     for id in 0..node_count {
         let ty = type_from_tag(r.u8()?)?;
-        let scale_bits = r.u32()?;
+        let scale_log2 = r.f64()?;
+        if !scale_log2.is_finite() {
+            return Err(EvaError::Serialization(format!(
+                "node {id} has a non-finite scale"
+            )));
+        }
         let kind_tag = r.u8()?;
         match kind_tag {
             0 => {
                 let input_name = r.str()?;
-                let node = match ty {
-                    ValueType::Cipher => program.input_cipher(input_name, scale_bits),
-                    ValueType::Vector => program.input_vector(input_name, scale_bits),
-                    ValueType::Scalar | ValueType::Integer => {
-                        program.input_scalar(input_name, scale_bits)
-                    }
-                };
+                let node = program.push_input(input_name, ty, scale_log2);
                 debug_assert_eq!(node, id);
             }
             1 => {
@@ -257,7 +258,14 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Program, EvaError> {
                         )))
                     }
                 };
-                let node = program.constant(value, scale_bits);
+                if let ConstantValue::Vector(v) = &value {
+                    if v.len() > vec_size {
+                        return Err(EvaError::Serialization(format!(
+                            "constant node {id} is longer than the program vector size"
+                        )));
+                    }
+                }
+                let node = program.push_constant(value, scale_log2);
                 debug_assert_eq!(node, id);
             }
             2 => {
@@ -280,7 +288,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Program, EvaError> {
                 }
                 let ty_expected = ty;
                 let node = program.push_instruction(op, args, ty_expected);
-                program.set_scale_bits(node, scale_bits);
+                program.set_scale_log2(node, scale_log2);
                 debug_assert_eq!(node, id);
             }
             other => {
@@ -294,13 +302,18 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Program, EvaError> {
     for _ in 0..output_count {
         let output_name = r.str()?;
         let node = r.u64()? as usize;
-        let scale_bits = r.u32()?;
+        let scale_log2 = r.f64()?;
+        if !scale_log2.is_finite() {
+            return Err(EvaError::Serialization(format!(
+                "output {output_name} has a non-finite scale"
+            )));
+        }
         if node >= program.len() {
             return Err(EvaError::Serialization(format!(
                 "output {output_name} references missing node {node}"
             )));
         }
-        program.output(output_name, node, scale_bits);
+        program.push_output(output_name, node, scale_log2);
     }
     Ok(program)
 }
@@ -344,6 +357,30 @@ mod tests {
         crate::passes::insert_relinearize(&mut p);
         let restored = from_bytes(&to_bytes(&p)).unwrap();
         assert_eq!(p, restored);
+    }
+
+    #[test]
+    fn roundtrip_preserves_exact_compiled_scales() {
+        // A fully compiled program carries exact (non-integral) f64 scales;
+        // the v2 format must round-trip them bit for bit.
+        let mut p = Program::new("exact", 8);
+        let x = p.input_cipher("x", 40);
+        let x2 = p.instruction(Opcode::Multiply, &[x, x]);
+        let sum = p.instruction(Opcode::Add, &[x2, x]);
+        let deep = p.instruction(Opcode::Multiply, &[sum, sum]);
+        p.output("out", deep, 30);
+        let compiled =
+            crate::compiler::compile(&p, &crate::compiler::CompilerOptions::default()).unwrap();
+        assert!(
+            compiled
+                .program
+                .nodes()
+                .iter()
+                .any(|n| n.scale_log2.fract() != 0.0),
+            "a compiled program with rescales must carry non-integral exact scales"
+        );
+        let restored = from_bytes(&to_bytes(&compiled.program)).unwrap();
+        assert_eq!(compiled.program, restored);
     }
 
     #[test]

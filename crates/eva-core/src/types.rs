@@ -58,7 +58,11 @@ pub enum Opcode {
     Relinearize,
     /// Switch to the next modulus in the modulus chain (compiler-inserted).
     ModSwitch,
-    /// Rescale the ciphertext, dividing the scale by `2^bits` (compiler-inserted).
+    /// Rescale the ciphertext (compiler-inserted). The operand is the
+    /// *nominal* divisor in bits; at run time the executor divides by the
+    /// actual prime at the ciphertext's level, and the exact-scale phase of
+    /// the compiler re-annotates node scales with `log2` of that real prime
+    /// (see `analysis::scale` for the two-phase pipeline).
     Rescale(u32),
 }
 

@@ -174,6 +174,6 @@ mod tests {
             .iter()
             .find(|n| matches!(n.kind, eva_core::NodeKind::Constant { .. }))
             .unwrap();
-        assert_eq!(constant.scale_bits, 42);
+        assert_eq!(constant.scale_log2, 42.0);
     }
 }

@@ -47,8 +47,13 @@ pub struct NttTables {
     inv_root_operands: Vec<u64>,
     /// `floor(ψ^{-bitrev(i)} · 2^64 / q)`.
     inv_root_quotients: Vec<u64>,
-    /// N^{-1} mod q in Shoup form.
+    /// N^{-1} mod q in Shoup form (applied to the sum outputs of the fused
+    /// final inverse stage).
     inv_degree: ShoupPrecomputed,
+    /// `ψ^{-bitrev(1)} · N^{-1} mod q` in Shoup form: the last inverse stage's
+    /// single twiddle with the `N^{-1}` scaling folded in, so the inverse
+    /// transform needs no separate scaling pass over the array.
+    inv_root_last_scaled: ShoupPrecomputed,
 }
 
 /// Error returned when NTT tables cannot be constructed.
@@ -133,11 +138,14 @@ impl NttTables {
             inv_root_operands[i] = inv.operand;
             inv_root_quotients[i] = inv.quotient;
         }
-        let inv_degree = modulus.shoup(
-            modulus
-                .inv(degree as u64)
-                .expect("degree is invertible modulo an odd prime"),
-        );
+        let inv_n = modulus
+            .inv(degree as u64)
+            .expect("degree is invertible modulo an odd prime");
+        let inv_degree = modulus.shoup(inv_n);
+        // The final inverse stage (m == 2) uses the single twiddle at index 1;
+        // pre-scale it by N^{-1} so that stage also performs the scaling.
+        let inv_root_last_scaled =
+            modulus.shoup(modulus.mul(plain_inv[bit_reverse(1, log_n)], inv_n));
         Ok(Self {
             degree,
             modulus,
@@ -146,6 +154,7 @@ impl NttTables {
             inv_root_operands,
             inv_root_quotients,
             inv_degree,
+            inv_root_last_scaled,
         })
     }
 
@@ -233,8 +242,11 @@ impl NttTables {
     }
 
     /// In-place inverse negacyclic NTT with deferred reduction: accepts inputs
-    /// in `[0, 2q)` and leaves outputs in `[0, 2q)`, including the final
-    /// `N^{-1}` scaling (applied as a lazy Shoup product).
+    /// in `[0, 2q)` and leaves outputs in `[0, 2q)`. The final `N^{-1}`
+    /// scaling is **merged into the last butterfly stage** — its sum output is
+    /// multiplied by `N^{-1}` and its difference output by the pre-scaled
+    /// twiddle `ψ^{-bitrev(1)}·N^{-1}`, both as lazy Shoup products — so no
+    /// separate scaling pass over the array is needed.
     ///
     /// Run [`Modulus::reduce_once`] over the values (or call
     /// [`NttTables::inverse`]) for canonical outputs.
@@ -255,7 +267,7 @@ impl NttTables {
         let n = self.degree;
         let mut t = 1usize;
         let mut m = n;
-        while m > 1 {
+        while m > 2 {
             let h = m >> 1;
             let mut j1 = 0usize;
             for i in 0..h {
@@ -277,10 +289,18 @@ impl NttTables {
             t <<= 1;
             m = h;
         }
+        // Fused final stage (m == 2, one twiddle, halves at distance N/2):
+        // both butterfly outputs absorb the N^{-1} scaling. The Shoup product
+        // accepts the unreduced [0, 4q) sums directly and emits [0, 2q).
+        let modulus = &self.modulus;
         let inv_n = &self.inv_degree;
-        let q = &self.modulus;
-        for value in values.iter_mut() {
-            *value = q.mul_shoup_lazy(*value, inv_n);
+        let w_n = &self.inv_root_last_scaled;
+        let (lower, upper) = values.split_at_mut(t);
+        for (x, y) in lower.iter_mut().zip(upper.iter_mut()) {
+            let u = *x;
+            let v = *y;
+            *x = modulus.mul_shoup_lazy(u + v, inv_n);
+            *y = modulus.mul_shoup_lazy(u + two_q - v, w_n);
         }
     }
 }
