@@ -14,6 +14,8 @@ use eva_ckks::{
 };
 use eva_core::{CompiledProgram, EvaError, NodeId, NodeKind, Opcode, Program, ValueType};
 
+use crate::keys::ProgramKeyDerivation;
+
 /// A value flowing through the encrypted executor: either a ciphertext or a
 /// plaintext vector (the executor keeps plaintext data unencoded and encodes
 /// it on demand at the level and scale its cipher consumer requires).
@@ -35,22 +37,46 @@ impl NodeValue {
     }
 }
 
-/// CKKS context plus all key material needed to run one compiled program.
-pub struct EncryptedContext {
+/// The secret-free half of the executor: the CKKS context, the encoder used
+/// for plaintext operands, the evaluator and the **evaluation keys**
+/// (relinearization and Galois keys).
+///
+/// This is exactly the state an untrusted deployment server holds: it can
+/// execute a compiled program over ciphertexts it received, but it can
+/// neither encrypt under the client's public key nor decrypt anything. The
+/// client-side [`EncryptedContext`] wraps this with an encryptor and a
+/// decryptor.
+pub struct EvaluationContext {
     context: CkksContext,
     encoder: CkksEncoder,
     evaluator: Evaluator,
-    encryptor: Encryptor,
-    decryptor: Decryptor,
     relin_key: Option<RelinearizationKey>,
     galois_keys: GaloisKeys,
+}
+
+impl std::fmt::Debug for EvaluationContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvaluationContext")
+            .field("degree", &self.context.degree())
+            .field("levels", &self.context.max_level())
+            .finish()
+    }
+}
+
+/// CKKS context plus **all** key material needed to run one compiled program
+/// in-process: the evaluation half ([`EvaluationContext`]) plus the
+/// encryptor and the secret-key decryptor.
+pub struct EncryptedContext {
+    eval: EvaluationContext,
+    encryptor: Encryptor,
+    decryptor: Decryptor,
 }
 
 impl std::fmt::Debug for EncryptedContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EncryptedContext")
-            .field("degree", &self.context.degree())
-            .field("levels", &self.context.max_level())
+            .field("degree", &self.eval.context.degree())
+            .field("levels", &self.eval.context.max_level())
             .finish()
     }
 }
@@ -59,79 +85,68 @@ fn to_eva_error(err: CkksError) -> EvaError {
     EvaError::Execution(format!("CKKS backend error: {err}"))
 }
 
-impl EncryptedContext {
-    /// Generates the encryption context and all keys the compiled program
-    /// needs (public key, relinearization key if the program relinearizes,
-    /// Galois keys for the program's rotation steps).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EvaError::Execution`] if the parameter specification cannot be
-    /// instantiated.
-    pub fn setup(compiled: &CompiledProgram, seed: Option<u64>) -> Result<Self, EvaError> {
-        let spec = &compiled.parameters;
-        // Build the context from the *actual primes* the compiler selected
-        // and annotated exact scales against — regenerating primes from bit
-        // sizes here would break the bit-identity between the compiler's
-        // scale predictions and the evaluator's observations. The bit-size
-        // path remains as a fallback for hand-built specs without primes.
-        let params = if !spec.data_primes.is_empty() {
-            CkksParameters::from_primes(
-                spec.degree,
-                &spec.data_primes,
-                spec.special_prime,
-                spec.secure,
-            )
-        } else if spec.secure {
-            CkksParameters::with_special_prime_bits(
-                spec.degree,
-                &spec.data_prime_bits,
-                spec.special_prime_bits,
-            )
-        } else {
-            CkksParameters::new_insecure(
-                spec.degree,
-                &spec.data_prime_bits,
-                spec.special_prime_bits,
-            )
-        }
-        .map_err(|e| EvaError::Execution(format!("invalid encryption parameters: {e}")))?;
-        let context = CkksContext::new(params)
-            .map_err(|e| EvaError::Execution(format!("context creation failed: {e}")))?;
+/// Builds the CKKS parameters a compiled program's spec describes.
+///
+/// # Errors
+///
+/// Returns [`EvaError::Execution`] if the spec cannot be instantiated.
+pub fn parameters_from_spec(spec: &eva_core::ParameterSpec) -> Result<CkksParameters, EvaError> {
+    // Build the context from the *actual primes* the compiler selected
+    // and annotated exact scales against — regenerating primes from bit
+    // sizes here would break the bit-identity between the compiler's
+    // scale predictions and the evaluator's observations. The bit-size
+    // path remains as a fallback for hand-built specs without primes.
+    if !spec.data_primes.is_empty() {
+        CkksParameters::from_primes(
+            spec.degree,
+            &spec.data_primes,
+            spec.special_prime,
+            spec.secure,
+        )
+    } else if spec.secure {
+        CkksParameters::with_special_prime_bits(
+            spec.degree,
+            &spec.data_prime_bits,
+            spec.special_prime_bits,
+        )
+    } else {
+        CkksParameters::new_insecure(spec.degree, &spec.data_prime_bits, spec.special_prime_bits)
+    }
+    .map_err(|e| EvaError::Execution(format!("invalid encryption parameters: {e}")))
+}
 
-        let mut keygen = match seed {
-            Some(seed) => KeyGenerator::from_seed(context.clone(), seed),
-            None => KeyGenerator::new(context.clone()),
-        };
-        let public_key = keygen.create_public_key();
-        let needs_relin = compiled.program.nodes().iter().any(|n| {
-            matches!(
-                n.kind,
-                NodeKind::Instruction {
-                    op: Opcode::Relinearize,
-                    ..
-                }
-            )
-        });
-        let relin_key = needs_relin.then(|| keygen.create_relinearization_key());
-        let galois_keys = keygen.create_galois_keys(&compiled.rotation_steps);
+/// Whether the compiled program contains a RELINEARIZE instruction (and hence
+/// needs a relinearization key).
+pub fn needs_relinearization(compiled: &CompiledProgram) -> bool {
+    compiled.program.nodes().iter().any(|n| {
+        matches!(
+            n.kind,
+            NodeKind::Instruction {
+                op: Opcode::Relinearize,
+                ..
+            }
+        )
+    })
+}
 
+impl EvaluationContext {
+    /// Assembles an evaluation context from a CKKS context and evaluation
+    /// keys — the server side of the deployment split, where the keys arrive
+    /// over the wire instead of from a local key generator.
+    pub fn from_parts(
+        context: CkksContext,
+        relin_key: Option<RelinearizationKey>,
+        galois_keys: GaloisKeys,
+    ) -> Self {
         let encoder = CkksEncoder::new(context.clone());
-        let encryptor = match seed {
-            Some(seed) => Encryptor::from_seed(context.clone(), public_key, seed.wrapping_add(1)),
-            None => Encryptor::new(context.clone(), public_key),
-        };
-        let decryptor = Decryptor::new(context.clone(), keygen.secret_key().clone());
         let evaluator = Evaluator::new(context.clone());
-        Ok(Self {
+        Self {
             context,
             encoder,
             evaluator,
-            encryptor,
-            decryptor,
             relin_key,
             galois_keys,
-        })
+        }
     }
 
     /// The underlying CKKS context.
@@ -144,22 +159,37 @@ impl EncryptedContext {
         &self.evaluator
     }
 
-    /// Encrypts the program's `Cipher` inputs and collects plaintext inputs,
-    /// returning the initial node-value bindings for execution.
+    /// The encoder used for plaintext operands.
+    pub fn encoder(&self) -> &CkksEncoder {
+        &self.encoder
+    }
+
+    /// Binds already-encrypted inputs (plus plaintext input vectors) to the
+    /// program's input nodes — the server-side counterpart of
+    /// [`EncryptedContext::encrypt_inputs`], used when ciphertexts arrive
+    /// over the wire. Every value is validated against the program's
+    /// annotations before it is accepted:
+    ///
+    /// * ciphertexts must match the context's ring degree, sit at the top
+    ///   level with exactly two polynomials in NTT form, carry the node's
+    ///   exact `log2` scale bit-for-bit, and have every limb canonical
+    ///   (`< q_i`);
+    /// * plaintext vectors must have between 1 and `vec_size` values, and are
+    ///   replicated to the program vector size exactly like locally supplied
+    ///   inputs.
     ///
     /// # Errors
     ///
-    /// Returns [`EvaError::Execution`] if an input is missing or too long.
-    pub fn encrypt_inputs(
-        &mut self,
+    /// Returns [`EvaError::Execution`] if an input is missing, unknown or
+    /// fails validation.
+    pub fn bind_inputs(
+        &self,
         compiled: &CompiledProgram,
-        inputs: &HashMap<String, Vec<f64>>,
+        mut ciphers: HashMap<String, Ciphertext>,
+        mut plains: HashMap<String, Vec<f64>>,
     ) -> Result<HashMap<NodeId, NodeValue>, EvaError> {
         let program = &compiled.program;
         let size = program.vec_size();
-        let top_level = self.context.max_level();
-        // Dead inputs are skipped: the executors never read them, so they
-        // need neither a bound value nor an encode+encrypt.
         let live = program.live_mask();
         let mut bindings = HashMap::new();
         for (id, node) in program.nodes().iter().enumerate() {
@@ -169,27 +199,113 @@ impl EncryptedContext {
             let NodeKind::Input { name } = &node.kind else {
                 continue;
             };
-            let raw = inputs
-                .get(name)
-                .ok_or_else(|| EvaError::Execution(format!("missing input value for {name:?}")))?;
-            if raw.is_empty() || raw.len() > size {
-                return Err(EvaError::Execution(format!(
-                    "input {name:?} has length {}, expected between 1 and {size}",
-                    raw.len()
-                )));
-            }
-            let replicated: Vec<f64> = (0..size).map(|i| raw[i % raw.len()]).collect();
             let value = match node.ty {
                 ValueType::Cipher => {
-                    // Encode/encrypt stamp the node's exact log2 scale.
-                    let plaintext = self.encoder.encode(&replicated, node.scale_log2, top_level);
-                    NodeValue::Cipher(self.encryptor.encrypt(&plaintext))
+                    let ct = ciphers.remove(name).ok_or_else(|| {
+                        EvaError::Execution(format!("missing encrypted input {name:?}"))
+                    })?;
+                    self.validate_input_ciphertext(name, &ct, node.scale_log2)?;
+                    NodeValue::Cipher(ct)
                 }
-                _ => NodeValue::Plain(replicated),
+                _ => {
+                    let raw = plains.remove(name).ok_or_else(|| {
+                        EvaError::Execution(format!("missing plaintext input {name:?}"))
+                    })?;
+                    if raw.is_empty() || raw.len() > size {
+                        return Err(EvaError::Execution(format!(
+                            "input {name:?} has length {}, expected between 1 and {size}",
+                            raw.len()
+                        )));
+                    }
+                    if raw.iter().any(|v| !v.is_finite()) {
+                        return Err(EvaError::Execution(format!(
+                            "input {name:?} contains non-finite values"
+                        )));
+                    }
+                    let replicated: Vec<f64> = (0..size).map(|i| raw[i % raw.len()]).collect();
+                    NodeValue::Plain(replicated)
+                }
             };
             bindings.insert(id, value);
         }
+        if let Some(name) = ciphers.keys().chain(plains.keys()).next() {
+            return Err(EvaError::Execution(format!(
+                "input {name:?} does not match any live program input"
+            )));
+        }
         Ok(bindings)
+    }
+
+    fn validate_input_ciphertext(
+        &self,
+        name: &str,
+        ct: &Ciphertext,
+        expected_scale_log2: f64,
+    ) -> Result<(), EvaError> {
+        let context = &self.context;
+        let fail = |why: String| {
+            Err(EvaError::Execution(format!(
+                "encrypted input {name:?} rejected: {why}"
+            )))
+        };
+        if ct.size() != 2 {
+            return fail(format!("expected 2 polynomials, found {}", ct.size()));
+        }
+        if ct.level() != context.max_level() {
+            return fail(format!(
+                "expected a top-level ciphertext (level {}), found level {}",
+                context.max_level(),
+                ct.level()
+            ));
+        }
+        if ct.scale_log2().to_bits() != expected_scale_log2.to_bits() {
+            return fail(format!(
+                "scale 2^{} is not bit-identical to the program's input scale 2^{}",
+                ct.scale_log2(),
+                expected_scale_log2
+            ));
+        }
+        let moduli = context.key_basis().moduli();
+        for poly in ct.polys() {
+            if poly.degree() != context.degree() {
+                return fail(format!(
+                    "ring degree {} does not match the context degree {}",
+                    poly.degree(),
+                    context.degree()
+                ));
+            }
+            if poly.form() != eva_poly::PolyForm::Ntt {
+                return fail("polynomials must be in NTT form".into());
+            }
+            for (i, row) in poly.rows().enumerate() {
+                let q = moduli[i].value();
+                if row.iter().any(|&limb| limb >= q) {
+                    return fail(format!("non-canonical limb in residue row {i}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Collects a program's outputs from computed node values by name,
+    /// **without decrypting** — the server side sends these back over the
+    /// wire for the client to decrypt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaError::Execution`] if an output value is missing.
+    pub fn named_outputs(
+        compiled: &CompiledProgram,
+        values: &HashMap<NodeId, NodeValue>,
+    ) -> Result<Vec<(String, NodeValue)>, EvaError> {
+        let mut outputs = Vec::with_capacity(compiled.program.outputs().len());
+        for output in compiled.program.outputs() {
+            let value = values.get(&output.node).ok_or_else(|| {
+                EvaError::Execution(format!("output {:?} was not computed", output.name))
+            })?;
+            outputs.push((output.name.clone(), value.clone()));
+        }
+        Ok(outputs)
     }
 
     /// Executes one instruction given its already-computed argument values.
@@ -321,35 +437,6 @@ impl EncryptedContext {
         Ok(NodeValue::Cipher(result))
     }
 
-    /// Decrypts the program outputs into plain vectors of the program's
-    /// vector size.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EvaError::Execution`] if an output value is missing.
-    pub fn decrypt_outputs(
-        &self,
-        compiled: &CompiledProgram,
-        values: &HashMap<NodeId, NodeValue>,
-    ) -> Result<HashMap<String, Vec<f64>>, EvaError> {
-        let size = compiled.program.vec_size();
-        let mut outputs = HashMap::new();
-        for output in compiled.program.outputs() {
-            let value = values.get(&output.node).ok_or_else(|| {
-                EvaError::Execution(format!("output {:?} was not computed", output.name))
-            })?;
-            let decoded = match value {
-                NodeValue::Cipher(ct) => {
-                    let full = self.decryptor.decrypt_to_values(ct, size.max(1));
-                    full[..size].to_vec()
-                }
-                NodeValue::Plain(v) => v.clone(),
-            };
-            outputs.insert(output.name.clone(), decoded);
-        }
-        Ok(outputs)
-    }
-
     /// Serial execution of the whole program: computes every node in
     /// topological order and returns the values of the output nodes.
     ///
@@ -424,6 +511,173 @@ impl EncryptedContext {
             }
         }
         Ok(result)
+    }
+}
+
+impl EncryptedContext {
+    /// Generates the encryption context and all keys the compiled program
+    /// needs (public key, relinearization key if the program relinearizes,
+    /// Galois keys for exactly the rotation steps the program's ROTATE nodes
+    /// use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaError::Execution`] if the parameter specification cannot be
+    /// instantiated.
+    pub fn setup(compiled: &CompiledProgram, seed: Option<u64>) -> Result<Self, EvaError> {
+        let params = parameters_from_spec(&compiled.parameters)?;
+        let context = CkksContext::new(params)
+            .map_err(|e| EvaError::Execution(format!("context creation failed: {e}")))?;
+
+        let mut keygen = match seed {
+            Some(seed) => KeyGenerator::from_seed(context.clone(), seed),
+            None => KeyGenerator::new(context.clone()),
+        };
+        let public_key = keygen.create_public_key();
+        let relin_key =
+            needs_relinearization(compiled).then(|| keygen.create_relinearization_key());
+        let galois_keys = keygen.create_galois_keys_for_program(&compiled.program);
+
+        let encryptor = match seed {
+            Some(seed) => Encryptor::from_seed(context.clone(), public_key, seed.wrapping_add(1)),
+            None => Encryptor::new(context.clone(), public_key),
+        };
+        let decryptor = Decryptor::new(context.clone(), keygen.secret_key().clone());
+        Ok(Self {
+            eval: EvaluationContext::from_parts(context, relin_key, galois_keys),
+            encryptor,
+            decryptor,
+        })
+    }
+
+    /// The secret-free evaluation half (context, evaluator, evaluation
+    /// keys) — what the executors and the deployment server actually run
+    /// against.
+    pub fn evaluation(&self) -> &EvaluationContext {
+        &self.eval
+    }
+
+    /// The underlying CKKS context.
+    pub fn context(&self) -> &CkksContext {
+        self.eval.context()
+    }
+
+    /// The evaluator (shared, thread-safe).
+    pub fn evaluator(&self) -> &Evaluator {
+        self.eval.evaluator()
+    }
+
+    /// Encrypts the program's `Cipher` inputs and collects plaintext inputs,
+    /// returning the initial node-value bindings for execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaError::Execution`] if an input is missing or too long.
+    pub fn encrypt_inputs(
+        &mut self,
+        compiled: &CompiledProgram,
+        inputs: &HashMap<String, Vec<f64>>,
+    ) -> Result<HashMap<NodeId, NodeValue>, EvaError> {
+        let program = &compiled.program;
+        let size = program.vec_size();
+        let top_level = self.eval.context.max_level();
+        // Dead inputs are skipped: the executors never read them, so they
+        // need neither a bound value nor an encode+encrypt.
+        let live = program.live_mask();
+        let mut bindings = HashMap::new();
+        for (id, node) in program.nodes().iter().enumerate() {
+            if !live[id] {
+                continue;
+            }
+            let NodeKind::Input { name } = &node.kind else {
+                continue;
+            };
+            let raw = inputs
+                .get(name)
+                .ok_or_else(|| EvaError::Execution(format!("missing input value for {name:?}")))?;
+            if raw.is_empty() || raw.len() > size {
+                return Err(EvaError::Execution(format!(
+                    "input {name:?} has length {}, expected between 1 and {size}",
+                    raw.len()
+                )));
+            }
+            let replicated: Vec<f64> = (0..size).map(|i| raw[i % raw.len()]).collect();
+            let value = match node.ty {
+                ValueType::Cipher => {
+                    // Encode/encrypt stamp the node's exact log2 scale.
+                    let plaintext =
+                        self.eval
+                            .encoder
+                            .encode(&replicated, node.scale_log2, top_level);
+                    NodeValue::Cipher(self.encryptor.encrypt(&plaintext))
+                }
+                _ => NodeValue::Plain(replicated),
+            };
+            bindings.insert(id, value);
+        }
+        Ok(bindings)
+    }
+
+    /// Executes one instruction given its already-computed argument values
+    /// (delegates to the evaluation half).
+    ///
+    /// # Errors
+    ///
+    /// See [`EvaluationContext::execute_node`].
+    pub fn execute_node(
+        &self,
+        program: &Program,
+        id: NodeId,
+        args: &[&NodeValue],
+    ) -> Result<NodeValue, EvaError> {
+        self.eval.execute_node(program, id, args)
+    }
+
+    /// Serial execution of the whole program (delegates to the evaluation
+    /// half).
+    ///
+    /// # Errors
+    ///
+    /// See [`EvaluationContext::execute_serial`].
+    pub fn execute_serial(
+        &self,
+        compiled: &CompiledProgram,
+        bindings: HashMap<NodeId, NodeValue>,
+    ) -> Result<HashMap<NodeId, NodeValue>, EvaError> {
+        self.eval.execute_serial(compiled, bindings)
+    }
+
+    /// The secret key's leak-audit probe (see
+    /// [`eva_ckks::SecretKey::leak_probe`]): raw bytes that deployment tests
+    /// scan captured traffic for.
+    pub fn secret_key_probe(&self) -> Vec<u8> {
+        self.decryptor.secret_key_probe()
+    }
+
+    /// Decrypts the program outputs into plain vectors of the program's
+    /// vector size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaError::Execution`] if an output value is missing.
+    pub fn decrypt_outputs(
+        &self,
+        compiled: &CompiledProgram,
+        values: &HashMap<NodeId, NodeValue>,
+    ) -> Result<HashMap<String, Vec<f64>>, EvaError> {
+        let size = compiled.program.vec_size();
+        let mut outputs = HashMap::new();
+        for (name, value) in EvaluationContext::named_outputs(compiled, values)? {
+            let decoded = match value {
+                NodeValue::Cipher(ct) => {
+                    let full = self.decryptor.decrypt_to_values(&ct, size.max(1));
+                    full[..size].to_vec()
+                }
+                NodeValue::Plain(v) => v,
+            };
+            outputs.insert(name, decoded);
+        }
+        Ok(outputs)
     }
 }
 

@@ -1,0 +1,75 @@
+//! Program-driven key derivation: generate exactly the evaluation keys a
+//! compiled EVA program needs.
+//!
+//! As the paper notes (Section 2.1), every rotation step count needs its own
+//! Galois key, and keys are by far the largest objects a client uploads to a
+//! deployment server. Deriving the key set from the program's ROTATE nodes —
+//! instead of generating keys for, say, all power-of-two steps — directly
+//! shrinks the key-upload bytes on the wire.
+
+use eva_ckks::{GaloisKeys, KeyGenerator};
+use eva_core::{select_rotation_steps, Program};
+
+/// Extension methods on [`KeyGenerator`] that derive key material from a
+/// compiled EVA program. (Defined here rather than in `eva-ckks` because the
+/// scheme crate deliberately knows nothing about the EVA IR.)
+pub trait ProgramKeyDerivation {
+    /// Generates Galois keys for **exactly** the rotation step set used by
+    /// the program's ROTATE nodes (the compiler's rotation-selection
+    /// analysis), so a client uploads only the keys the circuit needs.
+    fn create_galois_keys_for_program(&mut self, program: &Program) -> GaloisKeys;
+}
+
+impl ProgramKeyDerivation for KeyGenerator {
+    fn create_galois_keys_for_program(&mut self, program: &Program) -> GaloisKeys {
+        self.create_galois_keys(&select_rotation_steps(program))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_ckks::{CkksContext, CkksParameters, KeyGenerator};
+    use eva_core::{compile, CompilerOptions, Opcode, Program};
+
+    fn context() -> CkksContext {
+        let params = CkksParameters::new_insecure(64, &[40, 40], 45).unwrap();
+        CkksContext::new(params).unwrap()
+    }
+
+    #[test]
+    fn derives_exactly_the_programs_rotation_steps() {
+        let mut p = Program::new("rot", 16);
+        let x = p.input_cipher("x", 30);
+        let a = p.instruction(Opcode::RotateLeft(3), &[x]);
+        let b = p.instruction(Opcode::RotateRight(2), &[a]);
+        let c = p.instruction(Opcode::RotateLeft(3), &[b]);
+        p.output("out", c, 30);
+        let mut keygen = KeyGenerator::from_seed(context(), 9);
+        let keys = keygen.create_galois_keys_for_program(&p);
+        assert_eq!(keys.step_count(), 2);
+        assert!(keys.supports_step(3));
+        assert!(keys.supports_step(-2));
+        assert!(!keys.supports_step(1));
+    }
+
+    #[test]
+    fn matches_the_compilers_rotation_step_selection() {
+        let mut p = Program::new("rot", 16);
+        let x = p.input_cipher("x", 30);
+        let a = p.instruction(Opcode::RotateLeft(1), &[x]);
+        let b = p.instruction(Opcode::RotateRight(4), &[x]);
+        let sum = p.instruction(Opcode::Add, &[a, b]);
+        p.output("out", sum, 30);
+        let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+        // Seeded generators draw identical randomness for identical step
+        // sequences, so deriving from the program must equal generating from
+        // the compiler's selected steps.
+        let ctx = context();
+        let from_program = KeyGenerator::from_seed(ctx.clone(), 5)
+            .create_galois_keys_for_program(&compiled.program);
+        let mut other = KeyGenerator::from_seed(ctx, 5);
+        let from_steps = other.create_galois_keys(&compiled.rotation_steps);
+        assert_eq!(from_program.step_elements(), from_steps.step_elements());
+    }
+}

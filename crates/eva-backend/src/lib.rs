@@ -12,6 +12,15 @@
 //! * [`parallel`] — the asynchronous DAG executor of Section 6.1: a
 //!   dependence-counting scheduler over a pool of worker threads that also
 //!   retires (frees) ciphertexts as soon as their last consumer has run.
+//! * [`keys`] — program-driven key derivation: generate exactly the Galois
+//!   keys a compiled program's ROTATE nodes need.
+//!
+//! The encrypted executor is split along the deployment trust boundary:
+//! [`EvaluationContext`] holds only public evaluation state (context,
+//! encoder, evaluator, relinearization + Galois keys) and is what both
+//! executors run against — locally and on the `eva-service` server, where
+//! the keys arrive over the wire; [`EncryptedContext`] wraps it with the
+//! encryptor and secret-key decryptor for in-process runs.
 //!
 //! ```no_run
 //! use std::collections::HashMap;
@@ -34,9 +43,14 @@
 #![warn(missing_docs)]
 
 pub mod encrypted;
+pub mod keys;
 pub mod parallel;
 pub mod reference;
 
-pub use encrypted::{run_encrypted, EncryptedContext, NodeValue};
+pub use encrypted::{
+    needs_relinearization, parameters_from_spec, run_encrypted, EncryptedContext,
+    EvaluationContext, NodeValue,
+};
+pub use keys::ProgramKeyDerivation;
 pub use parallel::{execute_parallel, execute_parallel_with_options, ExecutionStats};
 pub use reference::run_reference;

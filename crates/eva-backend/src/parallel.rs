@@ -16,7 +16,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use eva_core::{CompiledProgram, EvaError, NodeId, NodeKind};
 
-use crate::encrypted::{EncryptedContext, NodeValue};
+use crate::encrypted::{EvaluationContext, NodeValue};
 
 /// Statistics collected by one parallel execution.
 #[derive(Debug, Clone, Default)]
@@ -32,7 +32,7 @@ pub struct ExecutionStats {
 }
 
 struct Shared<'a> {
-    context: &'a EncryptedContext,
+    context: &'a EvaluationContext,
     program: &'a eva_core::Program,
     values: Vec<RwLock<Option<NodeValue>>>,
     pending_parents: Vec<AtomicUsize>,
@@ -87,7 +87,7 @@ impl<'a> Shared<'a> {
 ///
 /// Propagates node-execution errors from the CKKS backend.
 pub fn execute_parallel(
-    context: &EncryptedContext,
+    context: &EvaluationContext,
     compiled: &CompiledProgram,
     bindings: HashMap<NodeId, NodeValue>,
     num_threads: usize,
@@ -103,7 +103,7 @@ pub fn execute_parallel(
 ///
 /// Propagates node-execution errors from the CKKS backend.
 pub fn execute_parallel_with_options(
-    context: &EncryptedContext,
+    context: &EvaluationContext,
     compiled: &CompiledProgram,
     mut bindings: HashMap<NodeId, NodeValue>,
     num_threads: usize,
@@ -318,7 +318,7 @@ fn worker(shared: &Shared<'_>, uses: &[Vec<NodeId>], executed: &AtomicUsize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::encrypted::run_encrypted;
+    use crate::encrypted::{run_encrypted, EncryptedContext};
     use crate::reference::run_reference;
     use eva_core::{compile, CompilerOptions, Opcode as Op, Program};
 
@@ -364,7 +364,7 @@ mod tests {
         let mut ctx = EncryptedContext::setup(&compiled, Some(7)).unwrap();
         let bindings = ctx.encrypt_inputs(&compiled, &inputs).unwrap();
         let (values, stats) =
-            execute_parallel_with_options(&ctx, &compiled, bindings, 2, true).unwrap();
+            execute_parallel_with_options(ctx.evaluation(), &compiled, bindings, 2, true).unwrap();
         let parallel = ctx.decrypt_outputs(&compiled, &values).unwrap();
 
         for ((a, b), c) in parallel["out"]
@@ -400,11 +400,11 @@ mod tests {
         let mut ctx = EncryptedContext::setup(&compiled, Some(3)).unwrap();
         let bindings = ctx.encrypt_inputs(&compiled, &inputs).unwrap();
         let (_, with_reuse) =
-            execute_parallel_with_options(&ctx, &compiled, bindings, 1, true).unwrap();
+            execute_parallel_with_options(ctx.evaluation(), &compiled, bindings, 1, true).unwrap();
 
         let bindings = ctx.encrypt_inputs(&compiled, &inputs).unwrap();
         let (_, without_reuse) =
-            execute_parallel_with_options(&ctx, &compiled, bindings, 1, false).unwrap();
+            execute_parallel_with_options(ctx.evaluation(), &compiled, bindings, 1, false).unwrap();
 
         assert!(with_reuse.peak_live_bytes < without_reuse.peak_live_bytes);
         assert!(with_reuse.bytes_retired > 0);
@@ -416,7 +416,7 @@ mod tests {
         let program = wide_program();
         let compiled = compile(&program, &CompilerOptions::default()).unwrap();
         let ctx = EncryptedContext::setup(&compiled, Some(1)).unwrap();
-        let result = execute_parallel(&ctx, &compiled, HashMap::new(), 2);
+        let result = execute_parallel(ctx.evaluation(), &compiled, HashMap::new(), 2);
         assert!(result.is_err());
     }
 }

@@ -29,7 +29,7 @@ fn main() {
             .encrypt_inputs(&compiled, &app.inputs)
             .expect("encrypt");
         let start = Instant::now();
-        execute_parallel(&context, &compiled, bindings, threads).expect("execute");
+        execute_parallel(context.evaluation(), &compiled, bindings, threads).expect("execute");
         println!(
             "sobel_32x32 threads={threads} latency={:.2?}",
             start.elapsed()
@@ -52,7 +52,8 @@ fn main() {
             for &threads in &thread_counts {
                 let bindings = context.encrypt_inputs(compiled, &inputs).expect("encrypt");
                 let start = Instant::now();
-                execute_parallel(&context, compiled, bindings, threads).expect("execute");
+                execute_parallel(context.evaluation(), compiled, bindings, threads)
+                    .expect("execute");
                 println!(
                     "lenet5_small mode={label} threads={threads} latency={:.2?}",
                     start.elapsed()

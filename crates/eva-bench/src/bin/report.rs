@@ -23,6 +23,9 @@ struct Options {
     /// `Some(path)` when `--primitives [path]` was passed: time the arithmetic
     /// substrate kernels and write the JSON baseline to `path`.
     primitives: Option<String>,
+    /// `Some(path)` when `--wire [path]` was passed: measure wire object
+    /// sizes and localhost service round-trip latency, writing `path`.
+    wire: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -35,6 +38,7 @@ fn parse_args() -> Options {
             .map(|n| n.get())
             .unwrap_or(1),
         primitives: None,
+        wire: None,
     };
     let mut iter = args.iter().peekable();
     let mut all = args.is_empty();
@@ -64,6 +68,13 @@ fn parse_args() -> Options {
                     _ => "BENCH_primitives.json".to_string(),
                 };
                 options.primitives = Some(path);
+            }
+            "--wire" => {
+                let path = match iter.peek() {
+                    Some(p) if !p.starts_with("--") => iter.next().unwrap().clone(),
+                    _ => "BENCH_wire.json".to_string(),
+                };
+                options.wire = Some(path);
             }
             other => eprintln!("ignoring unknown argument {other}"),
         }
@@ -100,6 +111,25 @@ fn main() {
             })
             .collect();
         let json = primitives_json(&timings, &preserved);
+        if let Err(err) = std::fs::write(path, &json) {
+            eprintln!("failed to write {path}: {err}");
+        }
+    }
+
+    if let Some(path) = &options.wire {
+        println!("== Deployment wire baseline (writing {path}) ==");
+        let sizes = measure_wire_sizes();
+        for entry in &sizes {
+            println!("{:<32} {:>12} bytes", entry.name, entry.bytes);
+        }
+        let timings = measure_service_roundtrip(false);
+        for t in &timings {
+            println!(
+                "{:<36} mean={:>10.3}µs min={:>10.3}µs ({} samples)",
+                t.name, t.mean_us, t.min_us, t.samples
+            );
+        }
+        let json = wire_json(&sizes, &timings, &[]);
         if let Err(err) = std::fs::write(path, &json) {
             eprintln!("failed to write {path}: {err}");
         }

@@ -115,7 +115,8 @@ pub fn measure_inference(
     let encrypt_time = start.elapsed();
 
     let start = Instant::now();
-    let values = execute_parallel(&context, compiled, bindings, threads).expect("execution");
+    let values =
+        execute_parallel(context.evaluation(), compiled, bindings, threads).expect("execution");
     let execute_time = start.elapsed();
 
     let start = Instant::now();
@@ -376,6 +377,179 @@ pub fn extract_json_section(doc: &str, key: &str) -> Option<String> {
     None
 }
 
+/// One wire-size entry for the serialization baseline.
+#[derive(Debug, Clone)]
+pub struct WireSize {
+    /// Object identifier, e.g. `ciphertext_n8192_l3`.
+    pub name: String,
+    /// Encoded size in bytes (`eva-wire` format, envelope included).
+    pub bytes: usize,
+}
+
+/// Measures the encoded sizes of every runtime wire object at the two
+/// deployment-relevant ring degrees (N = 4096 and N = 8192), so future PRs
+/// can track serialization overhead the way `BENCH_primitives.json` tracks
+/// kernel latency.
+///
+/// # Panics
+///
+/// Panics if context setup fails (fixed, known-good parameters).
+pub fn measure_wire_sizes() -> Vec<WireSize> {
+    use eva_ckks::{CkksContext, CkksEncoder, CkksParameters, Encryptor, KeyGenerator};
+    use eva_wire::WireObject;
+
+    let mut out = Vec::new();
+    for (degree, data_bits, special_bits) in [
+        (4096usize, vec![30u32, 30], 40u32),
+        (8192, vec![40, 40, 40], 60),
+    ] {
+        let params = CkksParameters::with_special_prime_bits(degree, &data_bits, special_bits)
+            .expect("baseline parameters");
+        let context = CkksContext::new(params).expect("context");
+        let level = context.max_level();
+        let mut keygen = KeyGenerator::from_seed(context.clone(), 77);
+        let public_key = keygen.create_public_key();
+        let relin_key = keygen.create_relinearization_key();
+        let galois_one_step = keygen.create_galois_keys(&[1]);
+        let encoder = CkksEncoder::new(context.clone());
+        let mut encryptor = Encryptor::from_seed(context.clone(), public_key.clone(), 78);
+        let values: Vec<f64> = (0..context.slot_count())
+            .map(|i| (i as f64).cos())
+            .collect();
+        let plaintext = encoder.encode(&values, f64::from(*data_bits.last().unwrap()), level);
+        let ciphertext = encryptor.encrypt(&plaintext);
+
+        let mut push = |name: String, bytes: usize| out.push(WireSize { name, bytes });
+        push(
+            format!("ciphertext_n{degree}_l{level}"),
+            ciphertext.to_wire_bytes().len(),
+        );
+        push(
+            format!("plaintext_n{degree}_l{level}"),
+            plaintext.to_wire_bytes().len(),
+        );
+        push(
+            format!("public_key_n{degree}"),
+            public_key.to_wire_bytes().len(),
+        );
+        push(
+            format!("relin_key_n{degree}"),
+            relin_key.to_wire_bytes().len(),
+        );
+        push(
+            format!("galois_key_per_step_n{degree}"),
+            galois_one_step.to_wire_bytes().len(),
+        );
+    }
+    out
+}
+
+/// Measures end-to-end client/server latency over a real localhost TCP
+/// socket: the one-time session setup (handshake + parameter validation +
+/// key generation + evaluation-key upload) and the per-evaluation round trip
+/// (encrypt → ship → execute → ship back → decrypt) for a small compiled
+/// program.
+///
+/// `quick` shrinks the sample count for CI smoke runs.
+///
+/// # Panics
+///
+/// Panics if compilation or the localhost session fails.
+pub fn measure_service_roundtrip(quick: bool) -> Vec<KernelTiming> {
+    use eva_core::{compile, CompilerOptions, Opcode, Program};
+    use eva_service::{EvaClient, EvaServer};
+    use std::net::TcpListener;
+
+    let samples = if quick { 2 } else { 10 };
+    let mut p = Program::new("x2_plus_x", 8);
+    let x = p.input_cipher("x", 30);
+    let x2 = p.instruction(Opcode::Multiply, &[x, x]);
+    let sum = p.instruction(Opcode::Add, &[x2, x]);
+    p.output("out", sum, 30);
+    let compiled = compile(&p, &CompilerOptions::default()).expect("compile");
+    let degree = compiled.parameters.degree;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+    let addr = listener.local_addr().expect("local addr");
+    let server = EvaServer::new(compiled).expect("server");
+    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 1));
+
+    let start = Instant::now();
+    let mut client = EvaClient::connect(addr, Some(42)).expect("handshake");
+    let setup = start.elapsed();
+
+    let inputs: HashMap<String, Vec<f64>> = [("x".to_string(), vec![0.5; 8])].into_iter().collect();
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    client.evaluate(&inputs).expect("warm-up evaluation");
+    for _ in 0..samples {
+        let start = Instant::now();
+        let outputs = client.evaluate(&inputs).expect("evaluation");
+        let elapsed = start.elapsed();
+        assert!(
+            (outputs["out"][0] - 0.75).abs() < 1e-3,
+            "service result drifted"
+        );
+        total += elapsed;
+        min = min.min(elapsed);
+    }
+    client.finish().expect("goodbye");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server session");
+
+    vec![
+        KernelTiming {
+            name: format!("service_session_setup_n{degree}"),
+            mean_us: setup.as_secs_f64() * 1e6,
+            min_us: setup.as_secs_f64() * 1e6,
+            samples: 1,
+        },
+        KernelTiming {
+            name: format!("service_roundtrip_x2_plus_x_n{degree}"),
+            mean_us: total.as_secs_f64() * 1e6 / samples as f64,
+            min_us: min.as_secs_f64() * 1e6,
+            samples,
+        },
+    ]
+}
+
+/// Renders the wire baseline as the `BENCH_wire.json` document (hand-rolled
+/// JSON like [`primitives_json`]; `preserved` carries verbatim sections from
+/// a previous baseline).
+pub fn wire_json(sizes: &[WireSize], timings: &[KernelTiming], preserved: &[String]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"eva-bench-wire-v1\",\n");
+    s.push_str(
+        "  \"note\": \"Regenerate with: cargo run --release -p eva-bench --bin report -- --wire \
+         BENCH_wire.json. Sizes are eva-wire encodings (envelope included); latency is a \
+         localhost TCP round trip through eva-service.\",\n",
+    );
+    s.push_str("  \"wire_sizes\": {\n");
+    for (i, entry) in sizes.iter().enumerate() {
+        let comma = if i + 1 == sizes.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"{}\": {{ \"bytes\": {} }}{comma}\n",
+            entry.name, entry.bytes
+        ));
+    }
+    s.push_str("  },\n  \"service_latency\": {\n");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 == timings.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"{}\": {{ \"mean_us\": {:.3}, \"min_us\": {:.3}, \"samples\": {} }}{comma}\n",
+            t.name, t.mean_us, t.min_us, t.samples
+        ));
+    }
+    s.push_str("  }");
+    for section in preserved {
+        s.push_str(",\n  ");
+        s.push_str(section);
+    }
+    s.push_str("\n}\n");
+    s
+}
+
 /// Index of the maximum element.
 pub fn argmax(values: &[f64]) -> usize {
     values
@@ -603,6 +777,44 @@ mod tests {
         assert!(regenerated.contains("pre_lazy_reference_us"));
         assert!(regenerated.contains("\"mean_us\": 9.0"));
         assert_eq!(extract_json_section(&old, "missing_key"), None);
+    }
+
+    #[test]
+    fn wire_baseline_covers_sizes_and_roundtrip_latency() {
+        let sizes = measure_wire_sizes();
+        let names: Vec<&str> = sizes.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "ciphertext_n4096_l2",
+            "ciphertext_n8192_l3",
+            "public_key_n8192",
+            "relin_key_n8192",
+            "galois_key_per_step_n4096",
+        ] {
+            assert!(names.contains(&expected), "missing wire size {expected}");
+        }
+        assert!(sizes.iter().all(|s| s.bytes > 0));
+        // A fresh ciphertext is two polynomials over (level, special-free)
+        // primes: 2 * 3 * 8192 * 8 bytes of limbs plus framing overhead.
+        let ct = sizes
+            .iter()
+            .find(|s| s.name == "ciphertext_n8192_l3")
+            .unwrap();
+        assert!(ct.bytes >= 2 * 3 * 8192 * 8);
+        assert!(ct.bytes < 2 * 3 * 8192 * 8 + 256);
+
+        let timings = measure_service_roundtrip(true);
+        assert!(timings
+            .iter()
+            .any(|t| t.name.starts_with("service_session_setup")));
+        assert!(timings
+            .iter()
+            .any(|t| t.name.starts_with("service_roundtrip")));
+        assert!(timings.iter().all(|t| t.mean_us > 0.0));
+
+        let json = wire_json(&sizes, &timings, &[]);
+        assert!(json.contains("\"wire_sizes\""));
+        assert!(json.contains("\"service_latency\""));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
     }
 
     #[test]

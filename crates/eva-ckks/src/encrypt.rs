@@ -130,6 +130,12 @@ impl Decryptor {
         let plaintext = self.decrypt(ciphertext);
         self.encoder.decode(&plaintext, slots)
     }
+
+    /// The held secret key's leak-audit probe (see
+    /// [`SecretKey::leak_probe`]).
+    pub fn secret_key_probe(&self) -> Vec<u8> {
+        self.secret_key.leak_probe()
+    }
 }
 
 #[cfg(test)]

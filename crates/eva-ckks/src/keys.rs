@@ -17,12 +17,30 @@ use crate::context::CkksContext;
 use crate::error::CkksError;
 
 /// The secret key: a uniformly random ternary polynomial.
+///
+/// Deliberately **not** serializable: `eva-wire` implements codecs for every
+/// other runtime object but provides no encoder for this type, so a secret
+/// key can never be framed onto a socket by the service layer.
 #[derive(Debug, Clone)]
 pub struct SecretKey {
     /// `s` in NTT form over the full key basis (data primes + special prime).
     pub(crate) ntt: RnsPoly,
     /// `s` in coefficient form, needed to derive Galois-rotated keys.
     pub(crate) coeff: RnsPoly,
+}
+
+impl SecretKey {
+    /// Raw little-endian bytes of the first residue row of `s` in coefficient
+    /// form, exposed **only** so deployment tests can scan captured network
+    /// traffic and assert these bytes never appear on the wire. Do not use
+    /// for anything else.
+    pub fn leak_probe(&self) -> Vec<u8> {
+        self.coeff
+            .residue(0)
+            .iter()
+            .flat_map(|&c| c.to_le_bytes())
+            .collect()
+    }
 }
 
 /// The public encryption key `(-(a·s + e), a)` over the full key basis.
@@ -32,10 +50,47 @@ pub struct PublicKey {
     pub(crate) p1: RnsPoly,
 }
 
+impl PublicKey {
+    /// Reassembles a public key from its two polynomials (the inverse of
+    /// [`PublicKey::p0`] / [`PublicKey::p1`]; used by the wire codec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomials disagree in degree or level.
+    pub fn from_parts(p0: RnsPoly, p1: RnsPoly) -> Self {
+        assert_eq!(p0.degree(), p1.degree(), "public key degree mismatch");
+        assert_eq!(p0.level(), p1.level(), "public key level mismatch");
+        Self { p0, p1 }
+    }
+
+    /// The `-(a·s + e)` component.
+    pub fn p0(&self) -> &RnsPoly {
+        &self.p0
+    }
+
+    /// The uniformly random `a` component.
+    pub fn p1(&self) -> &RnsPoly {
+        &self.p1
+    }
+}
+
 /// A generic key-switching key: one `(k0_j, k1_j)` pair per data prime digit.
 #[derive(Debug, Clone)]
 pub struct KeySwitchKey {
     pub(crate) digits: Vec<(RnsPoly, RnsPoly)>,
+}
+
+impl KeySwitchKey {
+    /// Reassembles a key-switching key from its digit pairs (wire codec
+    /// constructor).
+    pub fn from_digits(digits: Vec<(RnsPoly, RnsPoly)>) -> Self {
+        Self { digits }
+    }
+
+    /// The `(k0_j, k1_j)` pair for every data prime digit `j`.
+    pub fn digits(&self) -> &[(RnsPoly, RnsPoly)] {
+        &self.digits
+    }
 }
 
 /// Relinearization key: switches the `s²` component of a freshly multiplied
@@ -43,6 +98,19 @@ pub struct KeySwitchKey {
 #[derive(Debug, Clone)]
 pub struct RelinearizationKey {
     pub(crate) key: KeySwitchKey,
+}
+
+impl RelinearizationKey {
+    /// Reassembles a relinearization key from its key-switching key (wire
+    /// codec constructor).
+    pub fn from_key_switch_key(key: KeySwitchKey) -> Self {
+        Self { key }
+    }
+
+    /// The underlying key-switching key (from `s²` to `s`).
+    pub fn key_switch_key(&self) -> &KeySwitchKey {
+        &self.key
+    }
 }
 
 /// Rotation (Galois) keys for a chosen set of rotation steps.
@@ -59,6 +127,34 @@ pub struct GaloisKeys {
 }
 
 impl GaloisKeys {
+    /// Reassembles Galois keys from `(step, element)` pairs and
+    /// `(element, key)` pairs (wire codec constructor). The caller is
+    /// responsible for the referential integrity the codec validates (every
+    /// step's element has a key); a dangling element surfaces later as
+    /// [`CkksError::MissingGaloisKey`].
+    pub fn from_parts(steps: Vec<(i64, u64)>, keys: Vec<(u64, KeySwitchKey)>) -> Self {
+        Self {
+            steps: steps.into_iter().collect(),
+            keys: keys.into_iter().collect(),
+        }
+    }
+
+    /// The `(step, Galois element)` pairs, sorted by step (deterministic
+    /// iteration order for serialization).
+    pub fn step_elements(&self) -> Vec<(i64, u64)> {
+        let mut pairs: Vec<(i64, u64)> = self.steps.iter().map(|(&s, &e)| (s, e)).collect();
+        pairs.sort_unstable_by_key(|&(s, _)| s);
+        pairs
+    }
+
+    /// The `(Galois element, key)` pairs, sorted by element (deterministic
+    /// iteration order for serialization).
+    pub fn element_keys(&self) -> Vec<(u64, &KeySwitchKey)> {
+        let mut pairs: Vec<(u64, &KeySwitchKey)> = self.keys.iter().map(|(&e, k)| (e, k)).collect();
+        pairs.sort_unstable_by_key(|&(e, _)| e);
+        pairs
+    }
+
     /// The rotation steps for which keys are present.
     pub fn step_count(&self) -> usize {
         self.steps.len()

@@ -73,5 +73,5 @@ pub use encoder::{CkksEncoder, Plaintext};
 pub use encrypt::{Decryptor, Encryptor};
 pub use error::CkksError;
 pub use evaluator::Evaluator;
-pub use keys::{GaloisKeys, KeyGenerator, PublicKey, RelinearizationKey, SecretKey};
+pub use keys::{GaloisKeys, KeyGenerator, KeySwitchKey, PublicKey, RelinearizationKey, SecretKey};
 pub use params::{max_coeff_modulus_bits, minimal_degree_for_bits, CkksParameters, ParameterError};

@@ -142,7 +142,19 @@ impl CkksParameters {
                 allowed_bits: allowed,
             });
         }
-        Self::build(degree, data_prime_bits, special_prime_bits)
+        let params = Self::build(degree, data_prime_bits, special_prime_bits)?;
+        // The closest-prime search may land primes slightly above 2^s, so the
+        // nominal sum can under-count the real modulus; enforce the standard's
+        // bound on the exact log2 Q too.
+        let exact = params.total_modulus_bits();
+        if exact > f64::from(allowed) {
+            return Err(ParameterError::InsecureModulus {
+                degree,
+                requested_bits: exact.ceil() as u32,
+                allowed_bits: allowed,
+            });
+        }
+        Ok(params)
     }
 
     /// Builds parameters directly from **actual prime values** — the chain
@@ -172,10 +184,16 @@ impl CkksParameters {
         if data_primes.is_empty() {
             return Err(ParameterError::EmptyChain);
         }
-        let bits_of = |q: u64| 64 - q.leading_zeros();
+        // Primes are sized by their *nominal* bit count (the s minimizing
+        // |log2 q − s|): the closest-prime search may pick a prime slightly
+        // above 2^s, whose raw bit count is s + 1.
+        let bits_of = eva_math::nominal_prime_bits;
         let mut chain: Vec<u64> = data_primes.to_vec();
         chain.push(special_prime);
         for &q in &chain {
+            if q < 2 {
+                return Err(ParameterError::InvalidPrimeBits(0));
+            }
             let bits = bits_of(q);
             if !(2..=MAX_PRIME_BITS).contains(&bits) {
                 return Err(ParameterError::InvalidPrimeBits(bits));
@@ -199,11 +217,14 @@ impl CkksParameters {
         if enforce_security {
             let allowed =
                 max_coeff_modulus_bits(degree).ok_or(ParameterError::UnsupportedDegree(degree))?;
-            let requested: u32 = data_prime_bits.iter().sum::<u32>() + special_prime_bits;
-            if requested > allowed {
+            // Check the standard's bound against the *exact* log2 Q, not the
+            // nominal bit sum: primes just above 2^s would otherwise let a
+            // chain slip past the table by a fraction of a bit per prime.
+            let exact: f64 = chain.iter().map(|&q| (q as f64).log2()).sum();
+            if exact > f64::from(allowed) {
                 return Err(ParameterError::InsecureModulus {
                     degree,
-                    requested_bits: requested,
+                    requested_bits: exact.ceil() as u32,
                     allowed_bits: allowed,
                 });
             }
@@ -341,7 +362,7 @@ mod tests {
         assert_eq!(params.data_primes().len(), 3);
         assert!((params.total_modulus_bits() - 160.0).abs() < 1.0);
         for (&p, &bits) in params.data_primes().iter().zip(params.data_prime_bits()) {
-            assert_eq!(64 - p.leading_zeros(), bits);
+            assert_eq!(eva_math::nominal_prime_bits(p), bits);
             assert_eq!(p % (2 * 8192), 1);
         }
     }

@@ -147,34 +147,47 @@ pub fn select_parameters(
     let special_prime_bits = max_rescale_bits;
     let total: u32 = data_prime_bits.iter().sum::<u32>() + special_prime_bits;
 
-    // Smallest degree that is secure for `total` bits and can pack the vector.
+    // Smallest degree that is secure for `total` bits and can pack the
+    // vector. Primes are resolved per candidate degree (NTT-friendliness
+    // depends on it), and the security bound is re-checked against the
+    // *exact* log2 Q of the resolved chain: the closest-prime search may
+    // land primes a hair above 2^s, and a chain that fills the nominal
+    // budget exactly could otherwise overshoot the standard's table by a
+    // fraction of a bit.
     let min_degree_for_slots = (2 * program.vec_size()).max(1024);
-    let mut degree = None;
+    let mut all_bits = data_prime_bits.clone();
+    all_bits.push(special_prime_bits);
+    let mut selected = None;
     for candidate in [1024usize, 2048, 4096, 8192, 16384, 32768, 65536] {
         if candidate < min_degree_for_slots {
             continue;
         }
-        if let Some(max) = max_bits_for_degree(candidate) {
-            if total <= max {
-                degree = Some(candidate);
-                break;
-            }
+        let Some(max) = max_bits_for_degree(candidate) else {
+            continue;
+        };
+        if total > max {
+            continue;
         }
+        // Resolve the bit sizes to the actual NTT-friendly primes now, so the
+        // exact-scale pass and the backend agree on the chain down to the bit.
+        let primes = generate_ntt_primes(candidate, &all_bits).map_err(|e| {
+            EvaError::ParameterSelection(format!(
+                "prime generation failed for degree {candidate}: {e}"
+            ))
+        })?;
+        let exact_bits: f64 = primes.iter().map(|&q| (q as f64).log2()).sum();
+        if exact_bits > f64::from(max) {
+            continue;
+        }
+        selected = Some((candidate, primes));
+        break;
     }
-    let degree = degree.ok_or_else(|| {
+    let (degree, primes) = selected.ok_or_else(|| {
         EvaError::ParameterSelection(format!(
             "program needs {total} modulus bits and {} slots, which no supported \
              ring degree provides at 128-bit security",
             program.vec_size()
         ))
-    })?;
-
-    // Resolve the bit sizes to the actual NTT-friendly primes now, so the
-    // exact-scale pass and the backend agree on the chain down to the bit.
-    let mut all_bits = data_prime_bits.clone();
-    all_bits.push(special_prime_bits);
-    let primes = generate_ntt_primes(degree, &all_bits).map_err(|e| {
-        EvaError::ParameterSelection(format!("prime generation failed for degree {degree}: {e}"))
     })?;
     let special_prime = *primes.last().expect("chain is non-empty");
     let data_primes = primes[..primes.len() - 1].to_vec();
@@ -225,13 +238,14 @@ mod tests {
         assert_eq!(spec.total_bits(), 150);
         assert_eq!(spec.degree, 8192, "150 bits fit degree 8192 but not 4096");
         assert_eq!(spec.bit_vector_paper_order(), vec![60, 60, 30]);
-        // The actual primes are resolved alongside the bit sizes.
+        // The actual primes are resolved alongside the bit sizes (nominal
+        // sizes: the closest-prime search may land just above 2^s).
         assert_eq!(spec.data_primes.len(), 2);
         for (&q, &bits) in spec.data_primes.iter().zip(&spec.data_prime_bits) {
-            assert_eq!(64 - q.leading_zeros(), bits);
+            assert_eq!(eva_math::nominal_prime_bits(q), bits);
             assert_eq!(q % (2 * 8192), 1, "prime must be NTT-friendly");
         }
-        assert_eq!(64 - spec.special_prime.leading_zeros(), 60);
+        assert_eq!(eva_math::nominal_prime_bits(spec.special_prime), 60);
     }
 
     #[test]

@@ -51,5 +51,5 @@ pub use fft::{Complex, SpecialFft};
 pub use galois::GaloisTool;
 pub use modulus::Modulus;
 pub use ntt::NttTables;
-pub use primes::{generate_ntt_primes, is_prime};
+pub use primes::{generate_ntt_primes, is_prime, nominal_prime_bits};
 pub use sampling::{sample_cbd, sample_ternary, sample_uniform_into, sample_uniform_poly};

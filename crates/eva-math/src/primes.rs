@@ -120,11 +120,41 @@ impl std::fmt::Display for PrimeGenError {
 
 impl std::error::Error for PrimeGenError {}
 
-/// Generates distinct primes `q_i ≡ 1 (mod 2N)` with the requested bit sizes.
+/// The *nominal* bit size of a prime `q`: the integer `s` minimizing
+/// `|log2 q − s|`. A prime just **above** `2^s` still has nominal size `s`
+/// (its raw bit count is `s + 1`), which is what the closest-prime search of
+/// [`generate_ntt_primes`] produces.
 ///
-/// Primes of equal bit size are distinct; the search walks downwards from the
-/// largest candidate of each size, exactly like SEAL's `CoeffModulus::Create`,
-/// so results are deterministic.
+/// # Examples
+///
+/// ```
+/// use eva_math::nominal_prime_bits;
+/// assert_eq!(nominal_prime_bits((1u64 << 40) - 87), 40); // just below 2^40
+/// assert_eq!(nominal_prime_bits((1u64 << 40) + 453), 40); // just above 2^40
+/// assert_eq!(nominal_prime_bits(3), 2);
+/// ```
+pub fn nominal_prime_bits(q: u64) -> u32 {
+    debug_assert!(q >= 2);
+    let raw = 64 - q.leading_zeros();
+    // q ∈ [2^(raw-1), 2^raw): log2 q rounds up to `raw` iff it is ≥ raw - 0.5.
+    if (q as f64).log2() >= f64::from(raw) - 0.5 {
+        raw
+    } else {
+        raw - 1
+    }
+}
+
+/// Generates distinct primes `q_i ≡ 1 (mod 2N)`, each as **close to `2^s` as
+/// possible** for its requested size `s`.
+///
+/// The search walks outwards from `2^s` over both smaller and larger
+/// candidates in order of distance, so the chosen primes minimize
+/// `|log2 q − s|` — and with them the per-rescale scale drift the compiler's
+/// exact-scale phase has to correct (a rescale divides the scale by the
+/// *actual* prime, not by `2^s`). Primes of equal requested size are
+/// distinct (the k-th request gets the k-th closest prime); results are
+/// deterministic. Note that a prime just above `2^s` has `s + 1` raw bits
+/// but nominal size `s` (see [`nominal_prime_bits`]).
 ///
 /// # Errors
 ///
@@ -134,37 +164,60 @@ impl std::error::Error for PrimeGenError {}
 /// # Examples
 ///
 /// ```
-/// use eva_math::generate_ntt_primes;
+/// use eva_math::{generate_ntt_primes, nominal_prime_bits};
 /// let primes = generate_ntt_primes(4096, &[40, 40, 60]).unwrap();
 /// assert_eq!(primes.len(), 3);
 /// assert!(primes.iter().all(|&q| q % (2 * 4096) == 1));
+/// assert_eq!(primes.iter().map(|&q| nominal_prime_bits(q)).collect::<Vec<_>>(), vec![40, 40, 60]);
 /// ```
 pub fn generate_ntt_primes(degree: usize, bit_sizes: &[u32]) -> Result<Vec<u64>, PrimeGenError> {
     if degree < 2 || !degree.is_power_of_two() {
         return Err(PrimeGenError::InvalidDegree(degree));
     }
     let factor = 2 * degree as u64;
-    let mut result = Vec::with_capacity(bit_sizes.len());
+    let mut result: Vec<u64> = Vec::with_capacity(bit_sizes.len());
     for &bits in bit_sizes {
         if !(2..=61).contains(&bits) {
             return Err(PrimeGenError::InvalidBitSize(bits));
         }
-        // Start from the largest multiple of `factor` strictly below 2^bits, +1.
-        let upper = 1u64 << bits;
-        let mut candidate = (upper - 1) / factor * factor + 1;
-        loop {
-            if candidate <= (1u64 << (bits - 1)) {
-                return Err(PrimeGenError::Exhausted {
-                    bit_size: bits,
-                    degree,
-                });
+        let target = 1u64 << bits;
+        // Candidate ladder: `below` descends from the largest `k·2N + 1` not
+        // exceeding the target, `above` ascends from the next rung up. Each
+        // side stays valid while its candidate still rounds to `bits`
+        // (`nominal_prime_bits`), which also keeps every candidate well below
+        // the 2^62 modulus limit.
+        let mut below = (target - 1) / factor * factor + 1;
+        let mut above = below + factor;
+        let valid = |c: u64| c > 2 && nominal_prime_bits(c) == bits;
+        let mut found = None;
+        while found.is_none() {
+            let below_ok = valid(below);
+            let above_ok = valid(above);
+            let candidate = match (below_ok, above_ok) {
+                (false, false) => {
+                    return Err(PrimeGenError::Exhausted {
+                        bit_size: bits,
+                        degree,
+                    })
+                }
+                (true, false) => true,
+                (false, true) => false,
+                // Both in range: take whichever is closer to 2^s.
+                (true, true) => target - below <= above - target,
+            };
+            if candidate {
+                if is_prime(below) && !result.contains(&below) {
+                    found = Some(below);
+                }
+                below = below.saturating_sub(factor);
+            } else {
+                if is_prime(above) && !result.contains(&above) {
+                    found = Some(above);
+                }
+                above += factor;
             }
-            if is_prime(candidate) && !result.contains(&candidate) {
-                result.push(candidate);
-                break;
-            }
-            candidate -= factor;
         }
+        result.push(found.expect("loop exits only with a prime"));
     }
     Ok(result)
 }
@@ -254,10 +307,53 @@ mod tests {
             assert!(is_prime(q));
             assert_eq!(q % (2 * degree as u64), 1);
             let requested = [30u32, 30, 40, 60][i];
-            assert_eq!(64 - q.leading_zeros(), requested);
+            assert_eq!(nominal_prime_bits(q), requested);
         }
         // Equal bit sizes must still give distinct primes.
         assert_ne!(primes[0], primes[1]);
+    }
+
+    #[test]
+    fn generated_primes_are_the_closest_to_the_target_power() {
+        // No other NTT-friendly prime of the same nominal size may lie
+        // strictly closer to 2^s than the chosen one.
+        let degree = 1024;
+        let factor = 2 * degree as u64;
+        for bits in [20u32, 30, 40, 50, 60] {
+            let q = generate_ntt_primes(degree, &[bits]).unwrap()[0];
+            let target = 1u64 << bits;
+            let distance = target.abs_diff(q);
+            let mut c = (target - 1) / factor * factor + 1;
+            // Scan every candidate strictly closer than the chosen prime.
+            let mut closer: Vec<u64> = Vec::new();
+            while target - c < distance {
+                closer.push(c);
+                c -= factor;
+            }
+            let mut c = (target - 1) / factor * factor + 1 + factor;
+            while c - target < distance {
+                closer.push(c);
+                c += factor;
+            }
+            assert!(
+                closer.iter().all(|&c| !is_prime(c)),
+                "{bits}-bit: a closer NTT prime than {q} exists"
+            );
+        }
+    }
+
+    #[test]
+    fn nominal_bits_round_to_the_nearest_power() {
+        assert_eq!(nominal_prime_bits(2), 1);
+        assert_eq!(nominal_prime_bits(3), 2);
+        assert_eq!(nominal_prime_bits(4), 2);
+        assert_eq!(nominal_prime_bits(6), 3);
+        assert_eq!(nominal_prime_bits((1u64 << 50) - 27), 50);
+        assert_eq!(nominal_prime_bits((1u64 << 50) + 1), 50);
+        assert_eq!(nominal_prime_bits((1u64 << 60) + 1), 60);
+        // Exactly halfway in the log domain rounds up.
+        let sqrt2_mid = ((1u64 << 40) as f64 * std::f64::consts::SQRT_2) as u64;
+        assert_eq!(nominal_prime_bits(sqrt2_mid + 2), 41);
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! The deployment client: the trusted party that owns every key.
+//!
+//! [`EvaClient`] connects to an [`EvaServer`](crate::EvaServer), validates
+//! the encryption parameters the server publishes (rebuilding them with
+//! [`CkksParameters::from_primes`], which re-checks NTT-friendliness,
+//! distinctness and — when claimed — the 128-bit security bound), generates
+//! all key material locally, uploads only the evaluation keys, and then
+//! encrypts inputs / decrypts outputs for as many evaluation rounds as it
+//! likes. Secret and public encryption keys never leave the client.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use eva_ckks::{CkksContext, CkksEncoder, CkksParameters, Decryptor, Encryptor, KeyGenerator};
+
+use crate::error::ServiceError;
+use crate::protocol::{
+    expect_message, write_message, InputValue, Message, OutputValue, ProgramManifest,
+    PROTOCOL_VERSION,
+};
+
+/// A connected client session, generic over the transport so tests can use
+/// instrumented or in-memory streams.
+pub struct EvaClient<S> {
+    stream: S,
+    manifest: ProgramManifest,
+    context: CkksContext,
+    encoder: CkksEncoder,
+    encryptor: Encryptor,
+    decryptor: Decryptor,
+    keygen: KeyGenerator,
+}
+
+impl<S> std::fmt::Debug for EvaClient<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvaClient")
+            .field("program", &self.manifest.name)
+            .field("degree", &self.context.degree())
+            .finish()
+    }
+}
+
+impl EvaClient<TcpStream> {
+    /// Connects to a server and performs the full handshake (hello →
+    /// manifest → parameter validation → key generation → evaluation-key
+    /// upload).
+    ///
+    /// `key_seed` selects deterministic key/encryption randomness for tests
+    /// and reproducible measurements; pass `None` for fresh CSPRNG keys. The
+    /// derivation matches `EncryptedContext::setup`, so a seeded client
+    /// produces bit-identical ciphertexts to the in-process executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on connection, protocol or validation
+    /// failures.
+    pub fn connect(addr: impl ToSocketAddrs, key_seed: Option<u64>) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Self::handshake(stream, key_seed)
+    }
+}
+
+impl<S: Read + Write> EvaClient<S> {
+    /// Performs the handshake over an already-established stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on protocol or validation failures.
+    pub fn handshake(mut stream: S, key_seed: Option<u64>) -> Result<Self, ServiceError> {
+        write_message(
+            &mut stream,
+            &Message::Hello {
+                protocol: PROTOCOL_VERSION,
+            },
+        )?;
+        let manifest = match expect_message(&mut stream)? {
+            Message::Manifest(manifest) => *manifest,
+            Message::Error(msg) => return Err(ServiceError::Remote(msg)),
+            other => {
+                return Err(ServiceError::Protocol(format!(
+                    "expected Manifest, got {other:?}"
+                )))
+            }
+        };
+        // Handshake validation: never build a context from unvalidated wire
+        // data. `from_primes` re-checks the chain (NTT-friendliness,
+        // distinctness, prime sizes) and — iff the server claims security —
+        // the 128-bit bound on log2 Q.
+        let params = CkksParameters::from_primes(
+            manifest.degree,
+            &manifest.data_primes,
+            manifest.special_prime,
+            manifest.secure,
+        )
+        .map_err(|e| ServiceError::InvalidParameters(e.to_string()))?;
+        if manifest.vec_size > params.slot_count() {
+            return Err(ServiceError::InvalidParameters(format!(
+                "vector size {} exceeds the {} slots of degree {}",
+                manifest.vec_size,
+                params.slot_count(),
+                manifest.degree
+            )));
+        }
+        let context =
+            CkksContext::new(params).map_err(|e| ServiceError::InvalidParameters(e.to_string()))?;
+
+        // Client-side key generation, mirroring EncryptedContext::setup's
+        // draw order exactly (secret → public → relin → Galois) so seeded
+        // runs are bit-identical to the in-process executor.
+        let mut keygen = match key_seed {
+            Some(seed) => KeyGenerator::from_seed(context.clone(), seed),
+            None => KeyGenerator::new(context.clone()),
+        };
+        let public_key = keygen.create_public_key();
+        let relin = manifest
+            .needs_relin
+            .then(|| keygen.create_relinearization_key());
+        let galois = keygen.create_galois_keys(&manifest.rotation_steps);
+        write_message(
+            &mut stream,
+            &Message::EvalKeys {
+                relin: relin.map(Box::new),
+                galois: Box::new(galois),
+            },
+        )?;
+
+        let encoder = CkksEncoder::new(context.clone());
+        let encryptor = match key_seed {
+            Some(seed) => Encryptor::from_seed(context.clone(), public_key, seed.wrapping_add(1)),
+            None => Encryptor::new(context.clone(), public_key),
+        };
+        let decryptor = Decryptor::new(context.clone(), keygen.secret_key().clone());
+        Ok(Self {
+            stream,
+            manifest,
+            context,
+            encoder,
+            encryptor,
+            decryptor,
+            keygen,
+        })
+    }
+
+    /// The program manifest the server published.
+    pub fn manifest(&self) -> &ProgramManifest {
+        &self.manifest
+    }
+
+    /// Runs one evaluation round: encodes and encrypts every `Cipher` input
+    /// at its manifest scale, ships the inputs, and decrypts/decodes the
+    /// returned outputs to vectors of the program's vector size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] if an input is missing or malformed, the
+    /// server reports an error, or the response fails validation.
+    pub fn evaluate(
+        &mut self,
+        inputs: &HashMap<String, Vec<f64>>,
+    ) -> Result<HashMap<String, Vec<f64>>, ServiceError> {
+        let vec_size = self.manifest.vec_size;
+        let top_level = self.context.max_level();
+        let mut wire_inputs = Vec::with_capacity(self.manifest.inputs.len());
+        for spec in &self.manifest.inputs {
+            let raw = inputs.get(&spec.name).ok_or_else(|| {
+                ServiceError::Execution(format!("missing input value for {:?}", spec.name))
+            })?;
+            if raw.is_empty() || raw.len() > vec_size {
+                return Err(ServiceError::Execution(format!(
+                    "input {:?} has length {}, expected between 1 and {vec_size}",
+                    spec.name,
+                    raw.len()
+                )));
+            }
+            let value = if spec.cipher {
+                // Replicate exactly like the in-process executor, then stamp
+                // the node's exact log2 scale (bit-for-bit from the wire).
+                let replicated: Vec<f64> = (0..vec_size).map(|i| raw[i % raw.len()]).collect();
+                let plaintext = self.encoder.encode(&replicated, spec.scale_log2, top_level);
+                InputValue::Cipher(Box::new(self.encryptor.encrypt(&plaintext)))
+            } else {
+                InputValue::Plain(raw.clone())
+            };
+            wire_inputs.push((spec.name.clone(), value));
+        }
+        write_message(&mut self.stream, &Message::Inputs(wire_inputs))?;
+        let outputs = match expect_message(&mut self.stream)? {
+            Message::Outputs(outputs) => outputs,
+            Message::Error(msg) => return Err(ServiceError::Remote(msg)),
+            other => {
+                return Err(ServiceError::Protocol(format!(
+                    "expected Outputs, got {other:?}"
+                )))
+            }
+        };
+        let mut decoded = HashMap::with_capacity(outputs.len());
+        for (name, value) in outputs {
+            let values = match value {
+                OutputValue::Cipher(ct) => {
+                    // Validate the shape before decrypting so a hostile
+                    // server cannot push the decryptor out of its domain
+                    // (which would panic, e.g. on a coefficient-form poly).
+                    if ct.polys()[0].degree() != self.context.degree()
+                        || ct.level() > self.context.max_level()
+                        || ct.size() > 3
+                        || ct
+                            .polys()
+                            .iter()
+                            .any(|p| p.form() != eva_poly::PolyForm::Ntt)
+                    {
+                        return Err(ServiceError::Protocol(format!(
+                            "output {name:?} has an invalid ciphertext shape"
+                        )));
+                    }
+                    let full = self.decryptor.decrypt_to_values(&ct, vec_size.max(1));
+                    full[..vec_size].to_vec()
+                }
+                OutputValue::Plain(values) => values,
+            };
+            decoded.insert(name, values);
+        }
+        Ok(decoded)
+    }
+
+    /// The secret key's leak-audit probe (see
+    /// [`eva_ckks::SecretKey::leak_probe`]): deployment tests scan captured
+    /// traffic for these bytes to prove the secret never hit the socket.
+    pub fn secret_key_probe(&self) -> Vec<u8> {
+        self.keygen.secret_key().leak_probe()
+    }
+
+    /// Ends the session politely and returns the transport (so instrumented
+    /// streams can be inspected afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Io`] if the goodbye cannot be sent.
+    pub fn finish(mut self) -> Result<S, ServiceError> {
+        write_message(&mut self.stream, &Message::Bye)?;
+        Ok(self.stream)
+    }
+}

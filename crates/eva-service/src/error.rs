@@ -1,0 +1,69 @@
+//! The service-layer error type.
+
+use std::fmt;
+use std::io;
+
+use eva_wire::WireError;
+
+/// Errors produced by the EVA deployment client and server.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A socket read or write failed.
+    Io(io::Error),
+    /// A frame or wire object failed to decode.
+    Wire(WireError),
+    /// The peer violated the session protocol (wrong message order, wrong
+    /// protocol version, oversized frame, …).
+    Protocol(String),
+    /// The server's encryption parameters failed client-side validation, or
+    /// uploaded key material failed server-side validation.
+    InvalidParameters(String),
+    /// The peer reported an error for the current request.
+    Remote(String),
+    /// Compilation or execution of the program failed.
+    Execution(String),
+    /// The peer closed the connection mid-session.
+    Disconnected,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(err) => write!(f, "socket error: {err}"),
+            ServiceError::Wire(err) => write!(f, "wire decoding error: {err}"),
+            ServiceError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServiceError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            ServiceError::Remote(msg) => write!(f, "peer reported an error: {msg}"),
+            ServiceError::Execution(msg) => write!(f, "execution failed: {msg}"),
+            ServiceError::Disconnected => write!(f, "peer closed the connection mid-session"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(err) => Some(err),
+            ServiceError::Wire(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServiceError {
+    fn from(err: io::Error) -> Self {
+        ServiceError::Io(err)
+    }
+}
+
+impl From<WireError> for ServiceError {
+    fn from(err: WireError) -> Self {
+        ServiceError::Wire(err)
+    }
+}
+
+impl From<eva_core::EvaError> for ServiceError {
+    fn from(err: eva_core::EvaError) -> Self {
+        ServiceError::Execution(err.to_string())
+    }
+}

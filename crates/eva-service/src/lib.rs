@@ -1,0 +1,69 @@
+//! # eva-service — client/server deployment of compiled EVA programs
+//!
+//! The EVA paper's whole point is a deployment split (Section 2): a client
+//! that encodes and encrypts with keys it never shares, and an untrusted
+//! server that executes the compiled circuit over ciphertexts. This crate
+//! implements that split over TCP:
+//!
+//! * [`EvaServer`] loads a [`CompiledProgram`](eva_core::CompiledProgram)
+//!   (in memory or from a `.evaprog` bundle), publishes a
+//!   [`ProgramManifest`] to connecting clients, accepts their evaluation
+//!   keys and runs evaluation rounds with the shared parallel executor —
+//!   concurrently across sessions, each isolated with its own client's keys.
+//! * [`EvaClient`] validates the published parameters with
+//!   `CkksParameters::from_primes`, generates **all** keys locally, uploads
+//!   only the evaluation keys (relinearization + exactly the Galois keys the
+//!   circuit's rotation steps need), then encrypts inputs and decrypts
+//!   outputs for any number of evaluation rounds.
+//!
+//! Wire formats come from `eva-wire`; secret keys have no wire
+//! representation at all, and the public *encryption* key also stays on the
+//! client — the server receives nothing it could encrypt (let alone
+//! decrypt) with.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::collections::HashMap;
+//! use std::net::TcpListener;
+//! use eva_core::{compile, CompilerOptions, Opcode, Program};
+//! use eva_service::{EvaClient, EvaServer};
+//!
+//! // Compile x^2 and serve it on a localhost socket.
+//! let mut p = Program::new("square", 8);
+//! let x = p.input_cipher("x", 30);
+//! let sq = p.instruction(Opcode::Multiply, &[x, x]);
+//! p.output("out", sq, 30);
+//! let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let addr = listener.local_addr().unwrap();
+//! let server = EvaServer::new(compiled).unwrap();
+//! let handle = std::thread::spawn(move || server.serve_sessions(&listener, 1));
+//!
+//! let mut client = EvaClient::connect(addr, None).unwrap();
+//! let inputs: HashMap<String, Vec<f64>> =
+//!     [("x".to_string(), vec![1.5; 8])].into_iter().collect();
+//! let outputs = client.evaluate(&inputs).unwrap();
+//! assert!((outputs["out"][0] - 2.25).abs() < 1e-3);
+//! client.finish().unwrap();
+//! handle.join().unwrap().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod record;
+pub mod server;
+
+pub use client::EvaClient;
+pub use error::ServiceError;
+pub use protocol::{
+    InputSpec, InputValue, Message, OutputSpec, OutputValue, ProgramManifest, ValuePayload,
+    PROTOCOL_VERSION,
+};
+pub use record::{contains_bytes, RecordingStream};
+pub use server::{EvaServer, SessionReport};

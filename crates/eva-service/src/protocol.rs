@@ -1,0 +1,617 @@
+//! The session protocol spoken between [`EvaClient`](crate::EvaClient) and
+//! [`EvaServer`](crate::EvaServer).
+//!
+//! Every message is one length-prefixed frame on the socket:
+//!
+//! ```text
+//! tag (u8) · payload_len (u64, little-endian) · payload
+//! ```
+//!
+//! and payloads are built from the `eva-wire` framing layer, so the same
+//! reader/writer, envelopes and error type cover the whole stack. A session
+//! proceeds:
+//!
+//! ```text
+//! client                                server
+//!   | -- Hello { protocol } ------------> |
+//!   | <------------ Manifest (EVAM) ----- |   program name, shape, primes,
+//!   |                                     |   rotation steps, input scales
+//!   | -- EvalKeys { relin?, galois } ---> |   public *evaluation* keys only
+//!   | -- Inputs [name -> ct | values] --> |
+//!   | <-- Outputs [name -> ct | values] - |   (repeat Inputs/Outputs freely)
+//!   | -- Bye ---------------------------> |
+//! ```
+//!
+//! Secret keys never have a wire representation (see `eva-wire`), and the
+//! public *encryption* key stays client-side too: the server receives only
+//! the evaluation keys (relinearization + Galois) it needs to run the
+//! circuit.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+use eva_backend::{needs_relinearization, NodeValue};
+use eva_ckks::{Ciphertext, GaloisKeys, RelinearizationKey};
+use eva_core::{CompiledProgram, NodeKind, ValueType};
+use eva_wire::{Reader, WireError, WireObject, Writer};
+
+use crate::error::ServiceError;
+
+/// Version of the session protocol (checked in the Hello message).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a single frame's payload (1 GiB), so a corrupt or hostile
+/// length prefix cannot demand an unbounded buffer. Frames are additionally
+/// read incrementally, so even below the cap a peer must actually send the
+/// bytes it announced before they are held in memory.
+pub const MAX_FRAME_BYTES: u64 = 1 << 30;
+
+/// One program input as described by the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSpec {
+    /// Input name (the program's input node name).
+    pub name: String,
+    /// Whether the input is encrypted (`Cipher`) or travels as plain values.
+    pub cipher: bool,
+    /// Exact `log2` scale the client must encode this input at
+    /// (bit-for-bit; the server validates equality).
+    pub scale_log2: f64,
+}
+
+/// One program output as described by the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputSpec {
+    /// Output name.
+    pub name: String,
+    /// Whether the output comes back encrypted.
+    pub cipher: bool,
+}
+
+/// Everything a client needs to participate in a session: the program's
+/// shape, the exact encryption parameters (actual primes, so client and
+/// server scales agree bit-for-bit), the evaluation keys to generate and the
+/// input/output interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramManifest {
+    /// Program name.
+    pub name: String,
+    /// Program vector size (slots used per ciphertext).
+    pub vec_size: usize,
+    /// Ring degree `N`.
+    pub degree: usize,
+    /// Actual data primes, chain order (rescale consumes from the back).
+    pub data_primes: Vec<u64>,
+    /// Actual special key-switching prime.
+    pub special_prime: u64,
+    /// Whether the parameters satisfy the 128-bit security bound.
+    pub secure: bool,
+    /// Whether the program relinearizes (client must upload a relin key).
+    pub needs_relin: bool,
+    /// Rotation steps needing Galois keys — exactly the program's ROTATE
+    /// step set, so the client uploads only the keys the circuit needs.
+    pub rotation_steps: Vec<i64>,
+    /// Live program inputs, in node order.
+    pub inputs: Vec<InputSpec>,
+    /// Program outputs, in declaration order.
+    pub outputs: Vec<OutputSpec>,
+}
+
+impl ProgramManifest {
+    /// Builds the manifest a server publishes for a compiled program. Only
+    /// live (output-reachable) inputs are listed; dead inputs need no value.
+    pub fn from_compiled(compiled: &CompiledProgram) -> Self {
+        let program = &compiled.program;
+        let live = program.live_mask();
+        let inputs = program
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| live[id])
+            .filter_map(|(_, node)| match &node.kind {
+                NodeKind::Input { name } => Some(InputSpec {
+                    name: name.clone(),
+                    cipher: node.ty == ValueType::Cipher,
+                    scale_log2: node.scale_log2,
+                }),
+                _ => None,
+            })
+            .collect();
+        let outputs = program
+            .outputs()
+            .iter()
+            .map(|output| OutputSpec {
+                name: output.name.clone(),
+                cipher: program.node(output.node).ty == ValueType::Cipher,
+            })
+            .collect();
+        Self {
+            name: program.name().to_string(),
+            vec_size: program.vec_size(),
+            degree: compiled.parameters.degree,
+            data_primes: compiled.parameters.data_primes.clone(),
+            special_prime: compiled.parameters.special_prime,
+            secure: compiled.parameters.secure,
+            needs_relin: needs_relinearization(compiled),
+            rotation_steps: compiled.rotation_steps.clone(),
+            inputs,
+            outputs,
+        }
+    }
+}
+
+impl WireObject for ProgramManifest {
+    const MAGIC: [u8; 4] = *b"EVAM";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.str(&self.name);
+        w.u64(self.vec_size as u64);
+        w.u64(self.degree as u64);
+        w.u64_slice(&self.data_primes);
+        w.u64(self.special_prime);
+        w.bool(self.secure);
+        w.bool(self.needs_relin);
+        w.u32(self.rotation_steps.len() as u32);
+        for &step in &self.rotation_steps {
+            w.i64(step);
+        }
+        w.u32(self.inputs.len() as u32);
+        for input in &self.inputs {
+            w.str(&input.name);
+            w.bool(input.cipher);
+            w.f64(input.scale_log2);
+        }
+        w.u32(self.outputs.len() as u32);
+        for output in &self.outputs {
+            w.str(&output.name);
+            w.bool(output.cipher);
+        }
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let name = r.str()?;
+        let vec_size = r.u64()? as usize;
+        if vec_size == 0 || !vec_size.is_power_of_two() {
+            return Err(WireError::Invalid(format!(
+                "vector size {vec_size} is not a power of two"
+            )));
+        }
+        let degree = r.u64()? as usize;
+        if degree < 2 || !degree.is_power_of_two() || degree > eva_wire::MAX_WIRE_DEGREE {
+            return Err(WireError::Invalid(format!(
+                "ring degree {degree} out of range"
+            )));
+        }
+        let data_primes = r.u64_slice()?;
+        let special_prime = r.u64()?;
+        let secure = r.bool()?;
+        let needs_relin = r.bool()?;
+        let step_count = r.u32()? as usize;
+        let mut rotation_steps = Vec::with_capacity(step_count.min(1 << 16));
+        for _ in 0..step_count {
+            rotation_steps.push(r.i64()?);
+        }
+        let input_count = r.u32()? as usize;
+        let mut inputs = Vec::with_capacity(input_count.min(1 << 16));
+        for _ in 0..input_count {
+            let name = r.str()?;
+            let cipher = r.bool()?;
+            let scale_log2 = r.f64()?;
+            if !scale_log2.is_finite() {
+                return Err(WireError::Invalid(format!(
+                    "input {name:?} has a non-finite scale"
+                )));
+            }
+            inputs.push(InputSpec {
+                name,
+                cipher,
+                scale_log2,
+            });
+        }
+        let output_count = r.u32()? as usize;
+        let mut outputs = Vec::with_capacity(output_count.min(1 << 16));
+        for _ in 0..output_count {
+            outputs.push(OutputSpec {
+                name: r.str()?,
+                cipher: r.bool()?,
+            });
+        }
+        Ok(Self {
+            name,
+            vec_size,
+            degree,
+            data_primes,
+            special_prime,
+            secure,
+            needs_relin,
+            rotation_steps,
+            inputs,
+            outputs,
+        })
+    }
+}
+
+/// A named value crossing the wire in either direction: `Cipher`-typed
+/// program values travel as ciphertexts, plaintext values as raw reals (the
+/// server encodes plaintext operands on demand, like the in-process
+/// executor). Inputs (client → server) and outputs (server → client) share
+/// this layout and codec.
+#[derive(Debug, Clone)]
+pub enum ValuePayload {
+    /// An encrypted value.
+    Cipher(Box<Ciphertext>),
+    /// A plaintext vector.
+    Plain(Vec<f64>),
+}
+
+/// One named input travelling client → server.
+pub type InputValue = ValuePayload;
+
+/// One named output travelling server → client.
+pub type OutputValue = ValuePayload;
+
+impl From<NodeValue> for ValuePayload {
+    fn from(value: NodeValue) -> Self {
+        match value {
+            NodeValue::Cipher(ct) => ValuePayload::Cipher(Box::new(ct)),
+            NodeValue::Plain(v) => ValuePayload::Plain(v),
+        }
+    }
+}
+
+fn encode_named_values(w: &mut Writer, values: &[(String, ValuePayload)]) {
+    w.u32(values.len() as u32);
+    for (name, value) in values {
+        w.str(name);
+        match value {
+            ValuePayload::Cipher(ct) => {
+                w.u8(0);
+                ct.encode(w);
+            }
+            ValuePayload::Plain(values) => {
+                w.u8(1);
+                w.u64(values.len() as u64);
+                for &v in values {
+                    w.f64(v);
+                }
+            }
+        }
+    }
+}
+
+fn decode_named_values(r: &mut Reader<'_>) -> Result<Vec<(String, ValuePayload)>, WireError> {
+    let count = r.u32()? as usize;
+    let mut values = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let name = r.str()?;
+        let value = match r.u8()? {
+            0 => ValuePayload::Cipher(Box::new(Ciphertext::decode(r)?)),
+            1 => ValuePayload::Plain(decode_f64_values(r)?),
+            other => return Err(WireError::Invalid(format!("unknown value tag {other}"))),
+        };
+        values.push((name, value));
+    }
+    Ok(values)
+}
+
+/// A protocol message.
+#[derive(Debug)]
+pub enum Message {
+    /// Client → server session opener.
+    Hello {
+        /// The client's protocol version.
+        protocol: u32,
+    },
+    /// Server → client program description.
+    Manifest(Box<ProgramManifest>),
+    /// Client → server evaluation-key upload.
+    EvalKeys {
+        /// Relinearization key, iff the manifest demands one.
+        relin: Option<Box<RelinearizationKey>>,
+        /// Galois keys for the manifest's rotation steps.
+        galois: Box<GaloisKeys>,
+    },
+    /// Client → server named inputs for one evaluation.
+    Inputs(Vec<(String, InputValue)>),
+    /// Server → client named outputs of one evaluation.
+    Outputs(Vec<(String, OutputValue)>),
+    /// Either direction: the current request failed.
+    Error(String),
+    /// Client → server: end of session.
+    Bye,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_MANIFEST: u8 = 2;
+const TAG_EVAL_KEYS: u8 = 3;
+const TAG_INPUTS: u8 = 4;
+const TAG_OUTPUTS: u8 = 5;
+const TAG_ERROR: u8 = 6;
+const TAG_BYE: u8 = 7;
+
+fn encode_payload(message: &Message) -> (u8, Vec<u8>) {
+    let mut w = Writer::new();
+    let tag = match message {
+        Message::Hello { protocol } => {
+            w.u32(*protocol);
+            TAG_HELLO
+        }
+        Message::Manifest(manifest) => {
+            manifest.encode(&mut w);
+            TAG_MANIFEST
+        }
+        Message::EvalKeys { relin, galois } => {
+            match relin {
+                Some(key) => {
+                    w.bool(true);
+                    key.encode(&mut w);
+                }
+                None => w.bool(false),
+            }
+            galois.encode(&mut w);
+            TAG_EVAL_KEYS
+        }
+        Message::Inputs(inputs) => {
+            encode_named_values(&mut w, inputs);
+            TAG_INPUTS
+        }
+        Message::Outputs(outputs) => {
+            encode_named_values(&mut w, outputs);
+            TAG_OUTPUTS
+        }
+        Message::Error(msg) => {
+            w.str(msg);
+            TAG_ERROR
+        }
+        Message::Bye => TAG_BYE,
+    };
+    (tag, w.into_bytes())
+}
+
+fn decode_f64_values(r: &mut Reader<'_>) -> Result<Vec<f64>, WireError> {
+    let count = r.u64()? as usize;
+    if count.checked_mul(8).is_none_or(|b| b > r.remaining()) {
+        return Err(WireError::UnexpectedEnd);
+    }
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(r.f64()?);
+    }
+    Ok(values)
+}
+
+fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message, ServiceError> {
+    let mut r = Reader::new(payload);
+    let message = match tag {
+        TAG_HELLO => Message::Hello { protocol: r.u32()? },
+        TAG_MANIFEST => Message::Manifest(Box::new(ProgramManifest::decode(&mut r)?)),
+        TAG_EVAL_KEYS => {
+            let relin = if r.bool()? {
+                Some(Box::new(RelinearizationKey::decode(&mut r)?))
+            } else {
+                None
+            };
+            let galois = Box::new(GaloisKeys::decode(&mut r)?);
+            Message::EvalKeys { relin, galois }
+        }
+        TAG_INPUTS => Message::Inputs(decode_named_values(&mut r)?),
+        TAG_OUTPUTS => Message::Outputs(decode_named_values(&mut r)?),
+        TAG_ERROR => Message::Error(r.str()?),
+        TAG_BYE => Message::Bye,
+        other => {
+            return Err(ServiceError::Protocol(format!(
+                "unknown message tag {other}"
+            )))
+        }
+    };
+    r.expect_end().map_err(ServiceError::Wire)?;
+    Ok(message)
+}
+
+/// Writes one framed message and flushes the stream.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Io`] on socket failure.
+pub fn write_message<S: Write>(stream: &mut S, message: &Message) -> Result<(), ServiceError> {
+    let (tag, payload) = encode_payload(message);
+    stream.write_all(&[tag])?;
+    stream.write_all(&(payload.len() as u64).to_le_bytes())?;
+    stream.write_all(&payload)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message. Returns `Ok(None)` on a clean end-of-stream
+/// (the peer closed between messages); truncation inside a frame is an
+/// error.
+///
+/// # Errors
+///
+/// Returns [`ServiceError`] on socket failure, oversized frames or
+/// undecodable payloads.
+pub fn read_message<S: Read>(stream: &mut S) -> Result<Option<Message>, ServiceError> {
+    let mut tag = [0u8; 1];
+    // A bare `read` (unlike `read_exact`) surfaces EINTR; retry it so a
+    // signal delivered while idle between frames does not kill the session.
+    loop {
+        match stream.read(&mut tag) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(err.into()),
+        }
+    }
+    let mut len_bytes = [0u8; 8];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u64::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(ServiceError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )));
+    }
+    // Read through `take(..).read_to_end`, which grows the buffer as bytes
+    // actually arrive: a peer lying about the length must send that many
+    // bytes to make us hold them, so a 9-byte connection cannot reserve
+    // gigabytes up front.
+    let mut payload = Vec::new();
+    let read = std::io::Read::take(&mut *stream, len).read_to_end(&mut payload)?;
+    if (read as u64) < len {
+        return Err(ServiceError::Disconnected);
+    }
+    decode_payload(tag[0], &payload).map(Some)
+}
+
+/// Reads one message, treating end-of-stream as a protocol violation (used
+/// where the protocol requires a next message).
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Disconnected`] on end-of-stream, otherwise as
+/// [`read_message`].
+pub fn expect_message<S: Read>(stream: &mut S) -> Result<Message, ServiceError> {
+    read_message(stream)?.ok_or(ServiceError::Disconnected)
+}
+
+/// Named encrypted inputs, as [`EvaluationContext::bind_inputs`] expects.
+///
+/// [`EvaluationContext::bind_inputs`]: eva_backend::EvaluationContext::bind_inputs
+pub type CipherInputs = HashMap<String, Ciphertext>;
+
+/// Named plaintext inputs, as [`EvaluationContext::bind_inputs`] expects.
+///
+/// [`EvaluationContext::bind_inputs`]: eva_backend::EvaluationContext::bind_inputs
+pub type PlainInputs = HashMap<String, Vec<f64>>;
+
+/// Splits decoded inputs into the cipher and plain maps
+/// [`EvaluationContext::bind_inputs`](eva_backend::EvaluationContext::bind_inputs)
+/// expects, rejecting duplicate names.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Protocol`] on duplicate input names.
+pub fn partition_inputs(
+    inputs: Vec<(String, InputValue)>,
+) -> Result<(CipherInputs, PlainInputs), ServiceError> {
+    let mut ciphers = HashMap::new();
+    let mut plains = HashMap::new();
+    for (name, value) in inputs {
+        let duplicate = match value {
+            InputValue::Cipher(ct) => ciphers.insert(name.clone(), *ct).is_some(),
+            InputValue::Plain(values) => plains.insert(name.clone(), values).is_some(),
+        };
+        if duplicate {
+            return Err(ServiceError::Protocol(format!(
+                "duplicate input {name:?} in one evaluation request"
+            )));
+        }
+    }
+    Ok((ciphers, plains))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_core::{compile, CompilerOptions, Opcode, Program};
+
+    fn compiled_fixture() -> CompiledProgram {
+        let mut p = Program::new("fixture", 8);
+        let x = p.input_cipher("x", 30);
+        let w = p.input_vector("w", 20);
+        let rot = p.instruction(Opcode::RotateLeft(2), &[x]);
+        let prod = p.instruction(Opcode::Multiply, &[rot, w]);
+        let sq = p.instruction(Opcode::Multiply, &[prod, prod]);
+        p.output("out", sq, 30);
+        compile(&p, &CompilerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn manifest_reflects_the_compiled_program() {
+        let compiled = compiled_fixture();
+        let manifest = ProgramManifest::from_compiled(&compiled);
+        assert_eq!(manifest.name, "fixture");
+        assert_eq!(manifest.vec_size, 8);
+        assert_eq!(manifest.degree, compiled.parameters.degree);
+        assert_eq!(manifest.data_primes, compiled.parameters.data_primes);
+        assert!(manifest.needs_relin);
+        assert_eq!(manifest.rotation_steps, vec![2]);
+        assert_eq!(manifest.inputs.len(), 2);
+        assert!(manifest.inputs[0].cipher);
+        assert!(!manifest.inputs[1].cipher);
+        assert_eq!(manifest.outputs.len(), 1);
+        assert!(manifest.outputs[0].cipher);
+    }
+
+    #[test]
+    fn manifest_roundtrips_bit_exactly() {
+        let manifest = ProgramManifest::from_compiled(&compiled_fixture());
+        let bytes = manifest.to_wire_bytes();
+        let restored = ProgramManifest::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(restored, manifest);
+        assert_eq!(restored.to_wire_bytes(), bytes);
+    }
+
+    #[test]
+    fn messages_roundtrip_over_a_byte_stream() {
+        let manifest = ProgramManifest::from_compiled(&compiled_fixture());
+        let mut buf: Vec<u8> = Vec::new();
+        write_message(&mut buf, &Message::Hello { protocol: 1 }).unwrap();
+        write_message(&mut buf, &Message::Manifest(Box::new(manifest.clone()))).unwrap();
+        write_message(
+            &mut buf,
+            &Message::Inputs(vec![("w".into(), InputValue::Plain(vec![1.0, -2.5]))]),
+        )
+        .unwrap();
+        write_message(&mut buf, &Message::Error("boom".into())).unwrap();
+        write_message(&mut buf, &Message::Bye).unwrap();
+
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            expect_message(&mut cursor).unwrap(),
+            Message::Hello { protocol: 1 }
+        ));
+        match expect_message(&mut cursor).unwrap() {
+            Message::Manifest(m) => assert_eq!(*m, manifest),
+            other => panic!("expected manifest, got {other:?}"),
+        }
+        match expect_message(&mut cursor).unwrap() {
+            Message::Inputs(inputs) => {
+                assert_eq!(inputs.len(), 1);
+                assert_eq!(inputs[0].0, "w");
+                assert!(matches!(&inputs[0].1, InputValue::Plain(v) if v == &vec![1.0, -2.5]));
+            }
+            other => panic!("expected inputs, got {other:?}"),
+        }
+        assert!(matches!(
+            expect_message(&mut cursor).unwrap(),
+            Message::Error(msg) if msg == "boom"
+        ));
+        assert!(matches!(expect_message(&mut cursor).unwrap(), Message::Bye));
+        assert!(read_message(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frames_and_bad_tags_error() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_message(&mut buf, &Message::Error("hello".into())).unwrap();
+        // Cut into the payload: read_exact must fail, not hang or panic.
+        let mut cursor = &buf[..buf.len() - 2];
+        assert!(expect_message(&mut cursor).is_err());
+        // Unknown tag.
+        let mut bad = buf.clone();
+        bad[0] = 200;
+        let mut cursor = &bad[..];
+        assert!(matches!(
+            expect_message(&mut cursor),
+            Err(ServiceError::Protocol(_))
+        ));
+        // Oversized frame length.
+        let mut bad = buf;
+        bad[1..9].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut cursor = &bad[..];
+        assert!(matches!(
+            expect_message(&mut cursor),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+}

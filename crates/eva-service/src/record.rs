@@ -1,0 +1,88 @@
+//! A recording transport wrapper for audits and measurements.
+
+use std::io::{Read, Result, Write};
+
+/// Wraps any byte stream and records every byte sent and received, so tests
+/// and examples can (a) measure wire traffic and (b) scan the captured bytes
+/// for material that must never appear on the socket (secret keys).
+#[derive(Debug)]
+pub struct RecordingStream<S> {
+    inner: S,
+    sent: Vec<u8>,
+    received: Vec<u8>,
+}
+
+impl<S> RecordingStream<S> {
+    /// Wraps a stream.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            sent: Vec::new(),
+            received: Vec::new(),
+        }
+    }
+
+    /// Every byte written so far.
+    pub fn sent(&self) -> &[u8] {
+        &self.sent
+    }
+
+    /// Every byte read so far.
+    pub fn received(&self) -> &[u8] {
+        &self.received
+    }
+
+    /// Unwraps the inner stream, returning the captured traffic as
+    /// `(sent, received)`.
+    pub fn into_parts(self) -> (S, Vec<u8>, Vec<u8>) {
+        (self.inner, self.sent, self.received)
+    }
+}
+
+/// Returns true iff `needle` occurs contiguously anywhere in `haystack`
+/// (used to scan captured traffic for secret-key bytes).
+pub fn contains_bytes(haystack: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+impl<S: Read> Read for RecordingStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.received.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for RecordingStream<S> {
+    fn write(&mut self, buf: &[u8]) -> Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.sent.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_both_directions() {
+        let mut stream = RecordingStream::new(std::io::Cursor::new(vec![9u8, 8, 7]));
+        let mut buf = [0u8; 2];
+        stream.read_exact(&mut buf).unwrap();
+        assert_eq!(stream.received(), &[9, 8]);
+        stream.write_all(&[1, 2, 3]).unwrap();
+        assert_eq!(stream.sent(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn substring_scan() {
+        assert!(contains_bytes(&[1, 2, 3, 4], &[2, 3]));
+        assert!(!contains_bytes(&[1, 2, 3, 4], &[3, 2]));
+        assert!(!contains_bytes(&[1, 2], &[]));
+    }
+}

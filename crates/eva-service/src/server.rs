@@ -1,0 +1,313 @@
+//! The deployment server: loads one compiled EVA program and evaluates it
+//! over ciphertexts for connecting clients.
+//!
+//! The server is the **untrusted** party of the paper's deployment split: it
+//! holds the compiled circuit, the CKKS context derived from the compiler's
+//! parameter spec, and — per session — the evaluation keys a client
+//! uploaded. It never sees a secret key, a public encryption key or a
+//! plaintext of any `Cipher` input; it executes the circuit with the shared
+//! parallel executor and returns the still-encrypted outputs.
+
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::Arc;
+
+use eva_backend::{execute_parallel, parameters_from_spec, EvaluationContext};
+use eva_ckks::{CkksContext, GaloisKeys, RelinearizationKey};
+use eva_core::serialize::compiled_from_bytes;
+use eva_core::CompiledProgram;
+
+use crate::error::ServiceError;
+use crate::protocol::{
+    expect_message, partition_inputs, write_message, Message, OutputValue, ProgramManifest,
+    PROTOCOL_VERSION,
+};
+
+/// Statistics for one completed session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionReport {
+    /// Number of evaluation rounds served.
+    pub evaluations: usize,
+}
+
+/// A server for one compiled EVA program.
+///
+/// The CKKS context (NTT tables, CRT composers) is built once from the
+/// compiler's actual primes and shared across sessions; each session carries
+/// only its client's evaluation keys, so concurrent sessions from different
+/// clients — with different keys — are isolated from each other.
+#[derive(Debug, Clone)]
+pub struct EvaServer {
+    inner: Arc<ServerInner>,
+    /// Worker threads the parallel executor uses per evaluation.
+    threads: usize,
+}
+
+#[derive(Debug)]
+struct ServerInner {
+    compiled: CompiledProgram,
+    manifest: ProgramManifest,
+    context: CkksContext,
+}
+
+impl EvaServer {
+    /// Builds a server around a compiled program, instantiating the CKKS
+    /// context from the compiler's parameter spec (the actual primes, so the
+    /// compiler's exact-scale annotations hold bit-for-bit at run time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidParameters`] if the spec cannot be
+    /// instantiated.
+    pub fn new(compiled: CompiledProgram) -> Result<Self, ServiceError> {
+        let params = parameters_from_spec(&compiled.parameters)
+            .map_err(|e| ServiceError::InvalidParameters(e.to_string()))?;
+        let context =
+            CkksContext::new(params).map_err(|e| ServiceError::InvalidParameters(e.to_string()))?;
+        let manifest = ProgramManifest::from_compiled(&compiled);
+        Ok(Self {
+            inner: Arc::new(ServerInner {
+                compiled,
+                manifest,
+                context,
+            }),
+            threads: 1,
+        })
+    }
+
+    /// Loads a `.evaprog` compiled-program bundle from disk (the artifact
+    /// `eva_core::serialize::compiled_to_bytes` writes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on I/O, deserialization or parameter errors.
+    pub fn from_program_file(path: impl AsRef<Path>) -> Result<Self, ServiceError> {
+        let bytes = std::fs::read(path)?;
+        let compiled = compiled_from_bytes(&bytes)?;
+        Self::new(compiled)
+    }
+
+    /// Sets the number of executor worker threads used per evaluation.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The manifest published to clients.
+    pub fn manifest(&self) -> &ProgramManifest {
+        &self.inner.manifest
+    }
+
+    /// The compiled program being served.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.inner.compiled
+    }
+
+    /// Accepts exactly `sessions` connections from `listener` and serves each
+    /// in its own thread (sessions run **concurrently**; a slow client does
+    /// not block the next accept). Returns the per-session reports in accept
+    /// order once every session has ended; per-session failures are reported
+    /// in the result slots rather than aborting the other sessions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Io`] if accepting a connection fails.
+    pub fn serve_sessions(
+        &self,
+        listener: &TcpListener,
+        sessions: usize,
+    ) -> Result<Vec<Result<SessionReport, ServiceError>>, ServiceError> {
+        let mut results = Vec::with_capacity(sessions);
+        std::thread::scope(|scope| -> Result<(), ServiceError> {
+            let mut handles = Vec::with_capacity(sessions);
+            for _ in 0..sessions {
+                let (stream, _addr) = listener.accept()?;
+                let server = self.clone();
+                handles.push(scope.spawn(move || server.handle_session_tcp(stream)));
+            }
+            for handle in handles {
+                results.push(handle.join().unwrap_or_else(|_| {
+                    Err(ServiceError::Protocol("session thread panicked".into()))
+                }));
+            }
+            Ok(())
+        })?;
+        Ok(results)
+    }
+
+    /// Serves connections forever, one thread per session. Only returns on
+    /// accept errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Io`] when the listener fails.
+    pub fn serve_forever(&self, listener: &TcpListener) -> Result<(), ServiceError> {
+        loop {
+            let (stream, addr) = listener.accept()?;
+            let server = self.clone();
+            std::thread::spawn(move || {
+                if let Err(err) = server.handle_session_tcp(stream) {
+                    eprintln!("eva-service: session from {addr} failed: {err}");
+                }
+            });
+        }
+    }
+
+    fn handle_session_tcp(&self, mut stream: TcpStream) -> Result<SessionReport, ServiceError> {
+        stream.set_nodelay(true).ok();
+        self.handle_session(&mut stream)
+    }
+
+    /// Runs one full session over any bidirectional byte stream (exposed so
+    /// tests and benchmarks can use in-memory or instrumented transports).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on protocol violations, invalid key material
+    /// or execution failures; a best-effort `Error` message is sent to the
+    /// client first.
+    pub fn handle_session<S: std::io::Read + std::io::Write>(
+        &self,
+        stream: &mut S,
+    ) -> Result<SessionReport, ServiceError> {
+        match self.session_inner(stream) {
+            Ok(report) => Ok(report),
+            Err(err) => {
+                // Tell the client what went wrong before giving up on the
+                // session; the socket may already be gone, so ignore failures.
+                let _ = write_message(stream, &Message::Error(err.to_string()));
+                Err(err)
+            }
+        }
+    }
+
+    fn session_inner<S: std::io::Read + std::io::Write>(
+        &self,
+        stream: &mut S,
+    ) -> Result<SessionReport, ServiceError> {
+        let inner = &*self.inner;
+        // 1. Hello / version check.
+        match expect_message(stream)? {
+            Message::Hello { protocol } if protocol == PROTOCOL_VERSION => {}
+            Message::Hello { protocol } => {
+                return Err(ServiceError::Protocol(format!(
+                    "client speaks protocol {protocol}, server speaks {PROTOCOL_VERSION}"
+                )))
+            }
+            other => {
+                return Err(ServiceError::Protocol(format!(
+                    "expected Hello, got {}",
+                    message_name(&other)
+                )))
+            }
+        }
+        // 2. Publish the program manifest.
+        write_message(stream, &Message::Manifest(Box::new(inner.manifest.clone())))?;
+        // 3. Evaluation-key upload.
+        let (relin, galois) = match expect_message(stream)? {
+            Message::EvalKeys { relin, galois } => (relin.map(|k| *k), *galois),
+            other => {
+                return Err(ServiceError::Protocol(format!(
+                    "expected EvalKeys, got {}",
+                    message_name(&other)
+                )))
+            }
+        };
+        self.validate_eval_keys(relin.as_ref(), &galois)?;
+        let eval = EvaluationContext::from_parts(inner.context.clone(), relin, galois);
+        // 4. Evaluation rounds until the client says Bye (or cleanly hangs up).
+        let mut report = SessionReport::default();
+        loop {
+            match crate::protocol::read_message(stream)? {
+                Some(Message::Inputs(inputs)) => {
+                    let (ciphers, plains) = partition_inputs(inputs)?;
+                    let bindings = eval.bind_inputs(&inner.compiled, ciphers, plains)?;
+                    let values = execute_parallel(&eval, &inner.compiled, bindings, self.threads)?;
+                    let outputs = EvaluationContext::named_outputs(&inner.compiled, &values)?
+                        .into_iter()
+                        .map(|(name, value)| (name, OutputValue::from(value)))
+                        .collect();
+                    write_message(stream, &Message::Outputs(outputs))?;
+                    report.evaluations += 1;
+                }
+                Some(Message::Bye) | None => return Ok(report),
+                Some(other) => {
+                    return Err(ServiceError::Protocol(format!(
+                        "expected Inputs or Bye, got {}",
+                        message_name(&other)
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Validates uploaded evaluation keys against the server context and the
+    /// published manifest before any of them touches the evaluator.
+    fn validate_eval_keys(
+        &self,
+        relin: Option<&RelinearizationKey>,
+        galois: &GaloisKeys,
+    ) -> Result<(), ServiceError> {
+        let inner = &*self.inner;
+        let degree = inner.context.degree();
+        let key_level = inner.context.key_basis().len();
+        let digit_count = inner.context.max_level();
+        let check_ksk = |what: &str, key: &eva_ckks::KeySwitchKey| {
+            if key.digits().len() != digit_count {
+                return Err(ServiceError::InvalidParameters(format!(
+                    "{what} has {} digits, expected {digit_count}",
+                    key.digits().len()
+                )));
+            }
+            for (k0, k1) in key.digits() {
+                for poly in [k0, k1] {
+                    if poly.degree() != degree || poly.level() != key_level {
+                        return Err(ServiceError::InvalidParameters(format!(
+                            "{what} polynomial has shape ({}, {}), expected ({degree}, {key_level})",
+                            poly.degree(),
+                            poly.level()
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        };
+        if inner.manifest.needs_relin {
+            let relin = relin.ok_or_else(|| {
+                ServiceError::InvalidParameters(
+                    "the program relinearizes but no relinearization key was uploaded".into(),
+                )
+            })?;
+            check_ksk("relinearization key", relin.key_switch_key())?;
+        }
+        for step in &inner.manifest.rotation_steps {
+            if !galois.supports_step(*step) {
+                return Err(ServiceError::InvalidParameters(format!(
+                    "no Galois key for rotation step {step}"
+                )));
+            }
+        }
+        for (elt, key) in galois.element_keys() {
+            if elt % 2 != 1 || elt >= 2 * degree as u64 {
+                return Err(ServiceError::InvalidParameters(format!(
+                    "Galois element {elt} is not an odd unit modulo 2N"
+                )));
+            }
+            check_ksk("Galois key", key)?;
+        }
+        Ok(())
+    }
+}
+
+fn message_name(message: &Message) -> &'static str {
+    match message {
+        Message::Hello { .. } => "Hello",
+        Message::Manifest(_) => "Manifest",
+        Message::EvalKeys { .. } => "EvalKeys",
+        Message::Inputs(_) => "Inputs",
+        Message::Outputs(_) => "Outputs",
+        Message::Error(_) => "Error",
+        Message::Bye => "Bye",
+    }
+}

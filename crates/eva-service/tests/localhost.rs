@@ -1,0 +1,243 @@
+//! End-to-end tests over a real localhost TCP socket: the client keeps every
+//! key, the server executes over ciphertexts, and the decrypted results
+//! match the in-process encrypted executor bit-for-bit under seeded
+//! randomness.
+
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+
+use eva_backend::{execute_parallel, run_reference, EncryptedContext};
+use eva_core::{compile, CompilerOptions, Opcode, Program};
+use eva_service::{contains_bytes, EvaClient, EvaServer, RecordingStream};
+
+/// A rotation + plaintext-operand program: exercises Galois keys,
+/// relinearization, plain inputs and match-scale corrections.
+fn mixed_program() -> Program {
+    let mut p = Program::new("mixed", 16);
+    let image = p.input_cipher("image", 30);
+    let weights = p.input_vector("weights", 20);
+    let c = p.constant(eva_core::ConstantValue::Scalar(0.25), 20);
+    let shifted = p.instruction(Opcode::RotateLeft(3), &[image]);
+    let weighted = p.instruction(Opcode::Multiply, &[shifted, weights]);
+    let scaled = p.instruction(Opcode::Multiply, &[weighted, c]);
+    let sum = p.instruction(Opcode::Add, &[scaled, image]);
+    let sq = p.instruction(Opcode::Multiply, &[sum, sum]);
+    p.output("out", sq, 30);
+    p
+}
+
+fn mixed_inputs() -> HashMap<String, Vec<f64>> {
+    [
+        (
+            "image".to_string(),
+            (0..16).map(|i| (i as f64) / 8.0 - 1.0).collect::<Vec<_>>(),
+        ),
+        (
+            "weights".to_string(),
+            (0..16).map(|i| ((i % 3) as f64) - 1.0).collect::<Vec<_>>(),
+        ),
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[test]
+fn client_server_roundtrip_matches_in_process_executor_bit_for_bit() {
+    let compiled = compile(&mixed_program(), &CompilerOptions::default()).unwrap();
+    let inputs = mixed_inputs();
+    let seed = 7u64;
+
+    // In-process encrypted execution with the same seed the client will use.
+    let mut in_process = EncryptedContext::setup(&compiled, Some(seed)).unwrap();
+    let bindings = in_process.encrypt_inputs(&compiled, &inputs).unwrap();
+    let values = execute_parallel(in_process.evaluation(), &compiled, bindings, 2).unwrap();
+    let expected = in_process.decrypt_outputs(&compiled, &values).unwrap();
+
+    // Client → server → client over a real socket.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = EvaServer::new(compiled.clone()).unwrap().with_threads(2);
+    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 1));
+
+    let stream = RecordingStream::new(TcpStream::connect(addr).unwrap());
+    let mut client = EvaClient::handshake(stream, Some(seed)).unwrap();
+    let outputs = client.evaluate(&inputs).unwrap();
+
+    // Identical seeds + identical draw order ⇒ identical keys, identical
+    // encryption randomness, identical circuit ⇒ bit-identical results.
+    for (name, expected_values) in &expected {
+        let got = &outputs[name];
+        for (a, b) in got.iter().zip(expected_values) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "output {name:?} deviates from the in-process executor"
+            );
+        }
+    }
+    // And well within the ≤ 1e-4 regression bound against the plaintext
+    // reference semantics.
+    let reference = run_reference(&compiled.program, &inputs).unwrap();
+    for (a, b) in outputs["out"].iter().zip(&reference["out"]) {
+        assert!((a - b).abs() <= 1e-4, "encrypted {a} vs reference {b}");
+    }
+
+    // The secret key never appeared in either direction of the traffic.
+    let probe = client.secret_key_probe();
+    let stream = client.finish().unwrap();
+    assert!(probe.len() >= 64);
+    for window in [64, 32] {
+        for chunk in probe.chunks(window).take(8) {
+            assert!(
+                !contains_bytes(stream.sent(), chunk),
+                "secret key bytes on the wire"
+            );
+            assert!(!contains_bytes(stream.received(), chunk));
+        }
+    }
+
+    let reports = server_thread.join().unwrap().unwrap();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].as_ref().unwrap().evaluations, 1);
+}
+
+#[test]
+fn concurrent_sessions_with_different_keys_are_isolated() {
+    let compiled = compile(&mixed_program(), &CompilerOptions::default()).unwrap();
+    let inputs = mixed_inputs();
+    let reference = run_reference(&compiled.program, &inputs).unwrap();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = EvaServer::new(compiled).unwrap();
+    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 2));
+
+    // Two clients with different keys, connected at the same time; the second
+    // runs two evaluation rounds over one session.
+    let mut handles = Vec::new();
+    for (seed, rounds) in [(101u64, 1usize), (202, 2)] {
+        let inputs = inputs.clone();
+        let reference = reference["out"].clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = EvaClient::connect(addr, Some(seed)).unwrap();
+            for _ in 0..rounds {
+                let outputs = client.evaluate(&inputs).unwrap();
+                for (a, b) in outputs["out"].iter().zip(&reference) {
+                    assert!((a - b).abs() <= 1e-4);
+                }
+            }
+            client.finish().unwrap();
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let reports = server_thread.join().unwrap().unwrap();
+    let total: usize = reports
+        .iter()
+        .map(|r| r.as_ref().unwrap().evaluations)
+        .sum();
+    assert_eq!(total, 3);
+}
+
+#[test]
+fn server_rejects_missing_relin_key_and_bad_protocol() {
+    use eva_service::{Message, PROTOCOL_VERSION};
+
+    let compiled = compile(&mixed_program(), &CompilerOptions::default()).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = EvaServer::new(compiled).unwrap();
+    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 2));
+
+    // Session 1: wrong protocol version is refused with an Error message.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        eva_service::protocol::write_message(
+            &mut stream,
+            &Message::Hello {
+                protocol: PROTOCOL_VERSION + 1,
+            },
+        )
+        .unwrap();
+        match eva_service::protocol::expect_message(&mut stream).unwrap() {
+            Message::Error(msg) => assert!(msg.contains("protocol")),
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+    // Session 2: withholding the relinearization key is refused.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        eva_service::protocol::write_message(
+            &mut stream,
+            &Message::Hello {
+                protocol: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        let manifest = match eva_service::protocol::expect_message(&mut stream).unwrap() {
+            Message::Manifest(m) => *m,
+            other => panic!("expected Manifest, got {other:?}"),
+        };
+        assert!(manifest.needs_relin);
+        eva_service::protocol::write_message(
+            &mut stream,
+            &Message::EvalKeys {
+                relin: None,
+                galois: Box::new(eva_ckks::GaloisKeys::default()),
+            },
+        )
+        .unwrap();
+        match eva_service::protocol::expect_message(&mut stream).unwrap() {
+            Message::Error(msg) => assert!(msg.contains("relinearization")),
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+    let reports = server_thread.join().unwrap().unwrap();
+    assert!(reports.iter().all(|r| r.is_err()));
+}
+
+#[test]
+fn server_loads_a_compiled_program_bundle_from_disk() {
+    // The `.evaprog` deployment artifact: compile once, ship the bundle,
+    // serve it from the file.
+    let compiled = compile(&mixed_program(), &CompilerOptions::default()).unwrap();
+    let path =
+        std::env::temp_dir().join(format!("eva_service_test_{}.evaprog", std::process::id()));
+    std::fs::write(&path, eva_core::serialize::compiled_to_bytes(&compiled)).unwrap();
+    let server = EvaServer::from_program_file(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(server.manifest().name, "mixed");
+    assert_eq!(server.compiled(), &compiled);
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 1));
+    let inputs = mixed_inputs();
+    let reference = run_reference(&compiled.program, &inputs).unwrap();
+    let mut client = EvaClient::connect(addr, Some(11)).unwrap();
+    let outputs = client.evaluate(&inputs).unwrap();
+    for (a, b) in outputs["out"].iter().zip(&reference["out"]) {
+        assert!((a - b).abs() <= 1e-4);
+    }
+    client.finish().unwrap();
+    server_thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn evaluating_with_wrong_input_names_is_a_clean_remote_error() {
+    let compiled = compile(&mixed_program(), &CompilerOptions::default()).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = EvaServer::new(compiled).unwrap();
+    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 1));
+
+    let mut client = EvaClient::connect(addr, Some(5)).unwrap();
+    let bogus: HashMap<String, Vec<f64>> =
+        [("nonsense".to_string(), vec![1.0])].into_iter().collect();
+    // The client refuses locally: the manifest says which inputs exist.
+    assert!(client.evaluate(&bogus).is_err());
+    drop(client);
+    // The server sees a clean hang-up, not a crash.
+    let _ = server_thread.join().unwrap();
+}

@@ -1,0 +1,522 @@
+//! The shared framing layer of every EVA binary format.
+//!
+//! All EVA serialization — the compiler's program format in
+//! `eva-core::serialize` as well as the runtime object codecs in
+//! [`crate::runtime`] — is built from the same three pieces:
+//!
+//! * [`Writer`] / [`Reader`]: little-endian primitive encoding with
+//!   length-prefixed strings and arrays,
+//! * the **object envelope**: a 4-byte magic, a `u32` format version and a
+//!   `u64` body length, written by [`Writer::object`] and checked by
+//!   [`Reader::object`], so every object is self-describing and can be
+//!   skipped, nested or framed on a socket without knowing its schema,
+//! * [`WireError`]: the one error type every decoder returns. Decoders
+//!   **never panic** on malformed input; corruption surfaces as an error.
+//!
+//! The [`WireObject`] trait ties the three together: a codec implements
+//! `encode_body`/`decode_body` and inherits envelope handling, byte-vector
+//! entry points and strict trailing-byte checking.
+
+use std::fmt;
+
+/// Errors produced while decoding any EVA wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the announced data did.
+    UnexpectedEnd,
+    /// The object does not start with the expected magic bytes.
+    BadMagic {
+        /// Magic the decoder was looking for.
+        expected: [u8; 4],
+        /// Magic actually found.
+        found: [u8; 4],
+    },
+    /// The object's format version is not supported by this decoder.
+    UnsupportedVersion {
+        /// Magic of the object family.
+        magic: [u8; 4],
+        /// Version found in the envelope.
+        version: u32,
+    },
+    /// A field's contents are structurally invalid (bad tag, out-of-range
+    /// size, inconsistent shapes, non-finite scale, …).
+    Invalid(String),
+    /// Bytes remain after the object (or object body) ended.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            WireError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic bytes: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            WireError::UnsupportedVersion { magic, version } => write!(
+                f,
+                "unsupported {:?} format version {version}",
+                String::from_utf8_lossy(magic)
+            ),
+            WireError::Invalid(msg) => write!(f, "invalid wire data: {msg}"),
+            WireError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after the object")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i32`.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian IEEE-754 `f64` (bit-exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a UTF-8 string with a `u32` length prefix.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes raw bytes without a length prefix.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a `u64` slice with a `u64` element-count prefix.
+    pub fn u64_slice(&mut self, values: &[u64]) {
+        self.u64(values.len() as u64);
+        for &v in values {
+            self.u64(v);
+        }
+    }
+
+    /// Writes an object envelope — magic, version, `u64` body length — around
+    /// whatever `body` writes. The length is patched in after the body is
+    /// known, so nesting objects is free.
+    pub fn object(&mut self, magic: [u8; 4], version: u32, body: impl FnOnce(&mut Writer)) {
+        self.buf.extend_from_slice(&magic);
+        self.u32(version);
+        let len_pos = self.buf.len();
+        self.u64(0);
+        body(self);
+        let body_len = (self.buf.len() - len_pos - 8) as u64;
+        self.buf[len_pos..len_pos + 8].copy_from_slice(&body_len.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fails with [`WireError::TrailingBytes`] unless the input is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if unread bytes remain.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                count: self.remaining(),
+            })
+        }
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] on exhausted input.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `bool` encoded as one byte; any value other than 0/1 is an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Invalid`] for bytes other than 0 and 1.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::Invalid(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] on exhausted input.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] on exhausted input.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] on exhausted input.
+    pub fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] on exhausted input.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `f64` (bit-exact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] on exhausted input.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Invalid("invalid UTF-8 in string".into()))
+    }
+
+    /// Reads `count` little-endian `u64`s, validating the byte budget before
+    /// allocating (so a corrupt length cannot trigger a huge allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] if fewer than `8 * count` bytes
+    /// remain.
+    pub fn u64_array(&mut self, count: usize) -> Result<Vec<u64>, WireError> {
+        if count.checked_mul(8).is_none_or(|b| b > self.remaining()) {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a `u64`-count-prefixed `u64` slice (the inverse of
+    /// [`Writer::u64_slice`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] on truncation.
+    pub fn u64_slice(&mut self) -> Result<Vec<u64>, WireError> {
+        let count = self.u64()? as usize;
+        self.u64_array(count)
+    }
+
+    /// Opens an object envelope: checks the magic, reads the version and
+    /// returns it with a sub-reader spanning exactly the announced body. The
+    /// outer reader advances past the object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on magic mismatch or truncation.
+    pub fn object(&mut self, magic: [u8; 4]) -> Result<(u32, Reader<'a>), WireError> {
+        let found = self.take(4)?;
+        if found != magic {
+            return Err(WireError::BadMagic {
+                expected: magic,
+                found: found.try_into().unwrap(),
+            });
+        }
+        let version = self.u32()?;
+        let len = self.u64()?;
+        if len > self.remaining() as u64 {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let body = self.take(len as usize)?;
+        Ok((version, Reader::new(body)))
+    }
+}
+
+/// A self-describing wire object: a 4-byte magic, a format version and a
+/// length-prefixed body.
+///
+/// Implementors provide the body codec; the envelope (including strict
+/// version and trailing-byte checking) comes for free. Objects nest by
+/// calling [`WireObject::encode`] / [`WireObject::decode`] from another
+/// object's body.
+pub trait WireObject: Sized {
+    /// The object family's 4-byte magic.
+    const MAGIC: [u8; 4];
+    /// The format version this codec writes and accepts.
+    const VERSION: u32;
+
+    /// Writes the body fields (everything inside the envelope).
+    fn encode_body(&self, w: &mut Writer);
+
+    /// Reads the body fields written by [`WireObject::encode_body`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or structurally invalid input.
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Writes the full object (envelope + body) into `w`.
+    fn encode(&self, w: &mut Writer) {
+        w.object(Self::MAGIC, Self::VERSION, |w| self.encode_body(w));
+    }
+
+    /// Reads one full object from `r`, checking magic, version and that the
+    /// body was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any framing or body defect.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let (version, mut body) = r.object(Self::MAGIC)?;
+        if version != Self::VERSION {
+            return Err(WireError::UnsupportedVersion {
+                magic: Self::MAGIC,
+                version,
+            });
+        }
+        let value = Self::decode_body(&mut body)?;
+        body.expect_end()?;
+        Ok(value)
+    }
+
+    /// Encodes the object into a standalone byte vector.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes an object from a byte vector that must contain exactly one
+    /// object and nothing else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any framing or body defect, including
+    /// trailing bytes.
+    fn from_wire_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let value = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Point {
+        x: i64,
+        label: String,
+    }
+
+    impl WireObject for Point {
+        const MAGIC: [u8; 4] = *b"TPNT";
+        const VERSION: u32 = 7;
+        fn encode_body(&self, w: &mut Writer) {
+            w.i64(self.x);
+            w.str(&self.label);
+        }
+        fn decode_body(r: &mut Reader<'_>) -> Result<Self, WireError> {
+            Ok(Self {
+                x: r.i64()?,
+                label: r.str()?,
+            })
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrip_and_nesting() {
+        let p = Point {
+            x: -42,
+            label: "hello".into(),
+        };
+        let bytes = p.to_wire_bytes();
+        let q = Point::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(q.x, -42);
+        assert_eq!(q.label, "hello");
+
+        // Nest two objects in one stream.
+        let mut w = Writer::new();
+        p.encode(&mut w);
+        p.encode(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        Point::decode(&mut r).unwrap();
+        Point::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn corrupt_envelopes_are_rejected() {
+        let p = Point {
+            x: 1,
+            label: "x".into(),
+        };
+        let bytes = p.to_wire_bytes();
+        // Truncation at every prefix length must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(Point::from_wire_bytes(&bytes[..cut]).is_err());
+        }
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            Point::from_wire_bytes(&bad),
+            Err(WireError::BadMagic { .. })
+        ));
+        // Bad version.
+        let mut bad = bytes.clone();
+        bad[4] ^= 0x01;
+        assert!(matches!(
+            Point::from_wire_bytes(&bad),
+            Err(WireError::UnsupportedVersion { .. })
+        ));
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(matches!(
+            Point::from_wire_bytes(&bad),
+            Err(WireError::TrailingBytes { .. })
+        ));
+        // Oversized announced body length.
+        let mut bad = bytes;
+        bad[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Point::from_wire_bytes(&bad),
+            Err(WireError::UnexpectedEnd)
+        ));
+    }
+
+    #[test]
+    fn u64_array_guards_allocation() {
+        // A claimed count far beyond the buffer must fail before allocating.
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert!(r.u64_slice().is_err());
+    }
+}

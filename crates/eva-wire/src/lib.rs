@@ -1,0 +1,53 @@
+//! # eva-wire — the binary wire formats of the EVA deployment split
+//!
+//! The EVA paper's deployment model (Section 2) is a client/server split: the
+//! client owns every key, encodes and encrypts its inputs, and an untrusted
+//! server executes the compiled circuit over ciphertexts. This crate defines
+//! the **byte formats** that cross that trust boundary:
+//!
+//! * [`frame`] — the framing layer shared by *every* EVA binary format: the
+//!   little-endian [`Writer`]/[`Reader`] pair, the magic/version/length
+//!   object envelope and the [`WireError`] type. The compiler's program
+//!   format in `eva-core::serialize` is built on this same layer, so program
+//!   files and runtime objects share one set of framing rules.
+//! * [`runtime`] — [`WireObject`] codecs for the runtime objects:
+//!   [`Ciphertext`](eva_ckks::Ciphertext), [`Plaintext`](eva_ckks::Plaintext),
+//!   [`PublicKey`](eva_ckks::PublicKey),
+//!   [`RelinearizationKey`](eva_ckks::RelinearizationKey) and
+//!   [`GaloisKeys`](eva_ckks::GaloisKeys).
+//!
+//! `SecretKey` intentionally has **no codec**: the service layer can only
+//! frame [`WireObject`] values, so this crate is a structural guarantee that
+//! secret key material never reaches a socket.
+//!
+//! Every decoder is total: truncated, bit-flipped or hostile input returns a
+//! [`WireError`], never panics, and claimed lengths are validated against the
+//! available bytes before any allocation.
+//!
+//! # Format summary
+//!
+//! | object | magic | version |
+//! |---|---|---|
+//! | EVA program (`eva-core::serialize`) | `EVAP` | 3 |
+//! | compiled program bundle (`eva-core::serialize`) | `EVAB` | 1 |
+//! | encryption parameter spec (`eva-core::serialize`) | `EVAS` | 1 |
+//! | ciphertext | `EVAC` | 1 |
+//! | plaintext | `EVAT` | 1 |
+//! | public key | `EVAK` | 1 |
+//! | relinearization key | `EVAL` | 1 |
+//! | Galois keys | `EVAG` | 1 |
+//! | program manifest (`eva-service`) | `EVAM` | 1 |
+//!
+//! Every object is `magic(4) · version(u32) · body_len(u64) · body`, all
+//! integers little-endian.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod runtime;
+
+pub use frame::{Reader, WireError, WireObject, Writer};
+pub use runtime::{
+    decode_poly, encode_poly, MAX_WIRE_CIPHERTEXT_POLYS, MAX_WIRE_DEGREE, MAX_WIRE_LEVEL,
+};

@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|n| n.get())
         .unwrap_or(1);
     let start = Instant::now();
-    let values = execute_parallel(&context, &compiled, bindings, threads)?;
+    let values = execute_parallel(context.evaluation(), &compiled, bindings, threads)?;
     println!(
         "encrypted inference ({threads} threads): {:.2?}",
         start.elapsed()

@@ -12,6 +12,10 @@
 //! * [`tensor`] — the CHET-like deep-neural-network-to-EVA compiler.
 //! * [`apps`] — the arithmetic, statistical-ML and image-processing applications
 //!   evaluated in the paper.
+//! * [`wire`] — binary wire codecs for everything that crosses the
+//!   client/server trust boundary (secret keys deliberately excluded).
+//! * [`service`] — TCP deployment of compiled programs: keys stay
+//!   client-side, ciphertexts travel, an untrusted server executes.
 //!
 //! ## Quickstart
 //!
@@ -39,7 +43,9 @@ pub use eva_core as ir;
 pub use eva_frontend as frontend;
 pub use eva_math as math;
 pub use eva_poly as poly;
+pub use eva_service as service;
 pub use eva_tensor as tensor;
+pub use eva_wire as wire;
 
 use std::collections::HashMap;
 

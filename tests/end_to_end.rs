@@ -67,7 +67,7 @@ fn serial_and_parallel_executors_agree_on_an_application() {
     let serial = context.decrypt_outputs(&compiled, &serial_values).unwrap();
 
     let bindings = context.encrypt_inputs(&compiled, &app.inputs).unwrap();
-    let parallel_values = execute_parallel(&context, &compiled, bindings, 2).unwrap();
+    let parallel_values = execute_parallel(context.evaluation(), &compiled, bindings, 2).unwrap();
     let parallel = context
         .decrypt_outputs(&compiled, &parallel_values)
         .unwrap();
