@@ -7,10 +7,11 @@
 //! phase separately, exactly like the paper's Table 7.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use eva_ckks::{
-    Ciphertext, CkksContext, CkksEncoder, CkksError, CkksParameters, Decryptor, Encryptor,
-    Evaluator, GaloisKeys, KeyGenerator, RelinearizationKey,
+    Ciphertext, CkksContext, CkksEncoder, CkksError, CkksParameters, Decryptor, Evaluator,
+    GaloisKeys, KeyGenerator, RelinearizationKey, SymmetricEncryptor,
 };
 use eva_core::{CompiledProgram, EvaError, NodeId, NodeKind, Opcode, Program, ValueType};
 
@@ -50,8 +51,11 @@ pub struct EvaluationContext {
     context: CkksContext,
     encoder: CkksEncoder,
     evaluator: Evaluator,
-    relin_key: Option<RelinearizationKey>,
-    galois_keys: GaloisKeys,
+    // The evaluation keys are held behind `Arc`s so a deployment server can
+    // share one cached multi-megabyte key set across concurrent resumed
+    // sessions without deep-cloning it per connection.
+    relin_key: Option<Arc<RelinearizationKey>>,
+    galois_keys: Arc<GaloisKeys>,
 }
 
 impl std::fmt::Debug for EvaluationContext {
@@ -66,9 +70,14 @@ impl std::fmt::Debug for EvaluationContext {
 /// CKKS context plus **all** key material needed to run one compiled program
 /// in-process: the evaluation half ([`EvaluationContext`]) plus the
 /// encryptor and the secret-key decryptor.
+///
+/// Inputs are encrypted with the **symmetric seeded** path
+/// ([`SymmetricEncryptor`]): the in-process executor owns the secret key, and
+/// using the same encryption the deployment client ships over the wire keeps
+/// seeded in-process runs bit-identical to client/server runs.
 pub struct EncryptedContext {
     eval: EvaluationContext,
-    encryptor: Encryptor,
+    encryptor: SymmetricEncryptor,
     decryptor: Decryptor,
 }
 
@@ -137,6 +146,18 @@ impl EvaluationContext {
         context: CkksContext,
         relin_key: Option<RelinearizationKey>,
         galois_keys: GaloisKeys,
+    ) -> Self {
+        Self::from_shared(context, relin_key.map(Arc::new), Arc::new(galois_keys))
+    }
+
+    /// Like [`EvaluationContext::from_parts`], but sharing already-`Arc`'d
+    /// evaluation keys — the deployment server's session-resumption path,
+    /// where one cached key set backs many concurrent sessions and a deep
+    /// clone of tens of megabytes per connection would defeat the cache.
+    pub fn from_shared(
+        context: CkksContext,
+        relin_key: Option<Arc<RelinearizationKey>>,
+        galois_keys: Arc<GaloisKeys>,
     ) -> Self {
         let encoder = CkksEncoder::new(context.clone());
         let evaluator = Evaluator::new(context.clone());
@@ -533,16 +554,25 @@ impl EncryptedContext {
             Some(seed) => KeyGenerator::from_seed(context.clone(), seed),
             None => KeyGenerator::new(context.clone()),
         };
-        let public_key = keygen.create_public_key();
+        // The public key is not used for input encryption (the symmetric
+        // seeded path below is), but generating it keeps the keygen draw
+        // order identical to the deployment client's handshake — and to every
+        // seeded fixture since PR 3 — so relin/Galois keys stay bit-stable.
+        let _public_key = keygen.create_public_key();
         let relin_key =
             needs_relinearization(compiled).then(|| keygen.create_relinearization_key());
         let galois_keys = keygen.create_galois_keys_for_program(&compiled.program);
 
+        let secret_key = keygen.secret_key().clone();
         let encryptor = match seed {
-            Some(seed) => Encryptor::from_seed(context.clone(), public_key, seed.wrapping_add(1)),
-            None => Encryptor::new(context.clone(), public_key),
+            Some(seed) => SymmetricEncryptor::from_seed(
+                context.clone(),
+                secret_key.clone(),
+                seed.wrapping_add(1),
+            ),
+            None => SymmetricEncryptor::new(context.clone(), secret_key.clone()),
         };
-        let decryptor = Decryptor::new(context.clone(), keygen.secret_key().clone());
+        let decryptor = Decryptor::new(context.clone(), secret_key);
         Ok(Self {
             eval: EvaluationContext::from_parts(context, relin_key, galois_keys),
             encryptor,

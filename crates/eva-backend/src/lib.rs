@@ -3,7 +3,7 @@
 //! The compiler in `eva-core` produces a transformed program plus encryption
 //! parameters; this crate runs it:
 //!
-//! * [`reference`] — the paper's `id`-scheme reference semantics on plaintext
+//! * [`mod@reference`] — the paper's `id`-scheme reference semantics on plaintext
 //!   vectors (Section 3), used to define correctness and to measure the
 //!   numeric fidelity of encrypted execution.
 //! * [`encrypted`] — key generation, input encryption, serial execution

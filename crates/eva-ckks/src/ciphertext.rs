@@ -1,6 +1,11 @@
-//! The ciphertext type.
+//! The ciphertext types: fully materialized [`Ciphertext`]s and the
+//! half-size [`SeededCiphertext`] transport form.
 
-use eva_poly::RnsPoly;
+use eva_poly::{PolyForm, RnsPoly};
+use rand::rngs::ChaCha20Rng;
+
+use crate::context::CkksContext;
+use crate::error::CkksError;
 
 /// An RNS-CKKS ciphertext: two (or, right after a multiplication, three)
 /// polynomials in NTT form spanning `level` data primes, plus the fixed-point
@@ -69,4 +74,114 @@ impl Ciphertext {
             .map(|p| p.level() * p.degree() * std::mem::size_of::<u64>())
             .sum()
     }
+}
+
+/// A fresh ciphertext in seeded transport form: the uniformly random `a`
+/// polynomial is represented by the 32-byte ChaCha20 key it was expanded
+/// from, so only the `b` polynomial travels in full — roughly **half** the
+/// wire bytes of a two-polynomial [`Ciphertext`].
+///
+/// Only the *encryptor* can produce this form (the `a` component of a
+/// computed ciphertext is no longer uniform), which is why it is emitted by
+/// [`SymmetricEncryptor::encrypt_seeded`](crate::SymmetricEncryptor::encrypt_seeded)
+/// and consumed by [`SeededCiphertext::expand`] on the receiving side.
+/// Expansion is deterministic: the same seed over the same parameters always
+/// reproduces the same `a`, bit for bit, so a seeded ciphertext and its
+/// expansion are interchangeable.
+#[derive(Debug, Clone)]
+pub struct SeededCiphertext {
+    pub(crate) seed: [u8; 32],
+    pub(crate) b: RnsPoly,
+    pub(crate) scale_log2: f64,
+    pub(crate) level: usize,
+}
+
+impl SeededCiphertext {
+    /// Reassembles a seeded ciphertext from raw parts (wire codec
+    /// constructor). `b` is the `c0` polynomial; `seed` keys the ChaCha20
+    /// expansion of the `c1 = a` polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b`'s level disagrees with `level`.
+    pub fn from_parts(seed: [u8; 32], b: RnsPoly, scale_log2: f64, level: usize) -> Self {
+        assert_eq!(b.level(), level, "seeded ciphertext level mismatch");
+        Self {
+            seed,
+            b,
+            scale_log2,
+            level,
+        }
+    }
+
+    /// The 32-byte ChaCha20 key the `a` polynomial expands from.
+    pub fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// The `b = c0` polynomial (the only one shipped in full).
+    pub fn b(&self) -> &RnsPoly {
+        &self.b
+    }
+
+    /// `log2` of the fixed-point scale (exact; see [`Ciphertext::scale_log2`]).
+    pub fn scale_log2(&self) -> f64 {
+        self.scale_log2
+    }
+
+    /// Number of data primes this ciphertext spans.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Expands the seed back into the full two-polynomial [`Ciphertext`],
+    /// bit-identical to the unseeded encryption this transport form was
+    /// derived from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidParameters`] if the ciphertext's shape
+    /// does not fit `context` (wrong ring degree or more primes than the
+    /// context's chain), so hostile wire data cannot push the expansion out
+    /// of its domain.
+    pub fn expand(&self, context: &CkksContext) -> Result<Ciphertext, CkksError> {
+        if self.b.degree() != context.degree() {
+            return Err(CkksError::InvalidParameters(format!(
+                "seeded ciphertext degree {} does not match the context degree {}",
+                self.b.degree(),
+                context.degree()
+            )));
+        }
+        if self.level == 0 || self.level > context.max_level() {
+            return Err(CkksError::InvalidParameters(format!(
+                "seeded ciphertext level {} outside the context's 1..={} chain",
+                self.level,
+                context.max_level()
+            )));
+        }
+        let a = expand_seeded_a(context, &self.seed, self.level);
+        Ok(Ciphertext::from_parts(
+            vec![self.b.clone(), a],
+            self.scale_log2,
+            self.level,
+        ))
+    }
+}
+
+/// Expands a 32-byte seed into the uniformly random `a` polynomial over the
+/// first `level` primes of the context's key basis, directly in NTT form
+/// (the uniform distribution is invariant under the NTT, so sampling in
+/// evaluation form is sound — the same trick SEAL uses for seeded objects).
+///
+/// The expansion RNG is a ChaCha20 keystream keyed by `seed` alone: it is
+/// completely determined by `(seed, parameters)`, independent of who runs
+/// it, which is what makes the seeded transport form exact.
+pub(crate) fn expand_seeded_a(context: &CkksContext, seed: &[u8; 32], level: usize) -> RnsPoly {
+    let basis = context.key_basis();
+    let mut rng = ChaCha20Rng::from_key_bytes(*seed);
+    let mut a = RnsPoly::zero(basis.degree(), level, PolyForm::Ntt);
+    for (row, modulus) in a.rows_mut().zip(basis.moduli()) {
+        eva_math::sample_uniform_into(&mut rng, row, modulus);
+    }
+    a
 }

@@ -54,6 +54,10 @@ pub enum CkksError {
         /// Plaintext level.
         plaintext: usize,
     },
+    /// An externally supplied object (e.g. a wire-decoded seeded ciphertext)
+    /// does not fit the context it is being used with: wrong ring degree or
+    /// more primes than the context's modulus chain.
+    InvalidParameters(String),
 }
 
 impl fmt::Display for CkksError {
@@ -93,6 +97,9 @@ impl fmt::Display for CkksError {
                     f,
                     "plaintext level {plaintext} does not match ciphertext level {ciphertext}"
                 )
+            }
+            CkksError::InvalidParameters(msg) => {
+                write!(f, "object does not fit the context: {msg}")
             }
         }
     }

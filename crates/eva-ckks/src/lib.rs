@@ -18,6 +18,9 @@
 //! * [`KeyGenerator`], [`PublicKey`], [`SecretKey`], [`RelinearizationKey`],
 //!   [`GaloisKeys`] — key material.
 //! * [`Encryptor`] / [`Decryptor`] — public-key encryption and decryption.
+//! * [`SymmetricEncryptor`] / [`SeededCiphertext`] — secret-key encryption
+//!   whose uniform `a` polynomial travels as a 32-byte ChaCha20 seed,
+//!   halving fresh-ciphertext wire bytes (the deployment transport form).
 //! * [`Evaluator`] — the homomorphic operations (one per EVA opcode).
 //!
 //! # Example
@@ -67,10 +70,10 @@ pub mod evaluator;
 pub mod keys;
 pub mod params;
 
-pub use ciphertext::Ciphertext;
+pub use ciphertext::{Ciphertext, SeededCiphertext};
 pub use context::CkksContext;
 pub use encoder::{CkksEncoder, Plaintext};
-pub use encrypt::{Decryptor, Encryptor};
+pub use encrypt::{Decryptor, Encryptor, SymmetricEncryptor};
 pub use error::CkksError;
 pub use evaluator::Evaluator;
 pub use keys::{GaloisKeys, KeyGenerator, KeySwitchKey, PublicKey, RelinearizationKey, SecretKey};

@@ -24,7 +24,7 @@
 //!
 //! Twiddle factors are stored as flat structure-of-arrays (`operand[]` and
 //! `quotient[]` side by side) rather than an array of
-//! [`ShoupPrecomputed`](crate::modulus::ShoupPrecomputed) structs, so the
+//! [`ShoupPrecomputed`] structs, so the
 //! strided butterfly loops stream two dense `u64` arrays instead of
 //! interleaved pairs.
 

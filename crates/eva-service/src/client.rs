@@ -7,18 +7,56 @@
 //! all key material locally, uploads only the evaluation keys, and then
 //! encrypts inputs / decrypts outputs for as many evaluation rounds as it
 //! likes. Secret and public encryption keys never leave the client.
+//!
+//! Two transport optimizations keep sessions lean:
+//!
+//! * fresh ciphertexts travel in **seeded** form (`EVAD`): inputs are
+//!   encrypted with the secret-key [`SymmetricEncryptor`], whose uniform
+//!   polynomial ships as a 32-byte seed — roughly half the bytes of the full
+//!   two-polynomial encoding;
+//! * a reconnecting client can **resume**: it presents the
+//!   [`SessionTicket`] of an earlier session — the key seed paired with the
+//!   evaluation-key fingerprint — and if the server still caches those keys
+//!   the multi-megabyte key upload, and the client-side key generation it
+//!   would require, are skipped entirely. Resumed sessions always draw
+//!   **fresh** encryption randomness from OS entropy: only key *identity*
+//!   is deterministic, never the per-ciphertext randomness (re-seeding the
+//!   encryption RNG across sessions would repeat `(a, e)` pairs, and the
+//!   difference of two `b` components would hand an observer the encoded
+//!   plaintext difference).
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use eva_ckks::{CkksContext, CkksEncoder, CkksParameters, Decryptor, Encryptor, KeyGenerator};
+use eva_ckks::{
+    CkksContext, CkksEncoder, CkksParameters, Decryptor, KeyGenerator, SymmetricEncryptor,
+};
+use eva_wire::{fingerprint_eval_key_payload, KeyFingerprint};
 
 use crate::error::ServiceError;
 use crate::protocol::{
-    expect_message, write_message, InputValue, Message, OutputValue, ProgramManifest,
-    PROTOCOL_VERSION,
+    encode_payload, expect_message, write_frame, write_message, InputValue, Message, OutputValue,
+    ProgramManifest, PROTOCOL_VERSION,
 };
+
+/// Everything a client needs to resume a later session without re-uploading
+/// its evaluation keys: the deterministic key seed (to re-derive the *same
+/// secret key* the cached evaluation keys belong to) and the content
+/// fingerprint addressing the server's key cache.
+///
+/// The two values are deliberately one type: resuming with a fingerprint
+/// from a *different* seed would make the server relinearize and rotate
+/// under the wrong secret, and every output would silently decrypt to noise
+/// — so the pairing produced by [`EvaClient::resumption_ticket`] is the only
+/// supported way to resume. Store and reload it as a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTicket {
+    /// The key-derivation seed the original session ran with.
+    pub key_seed: u64,
+    /// Fingerprint of the evaluation keys derived from that seed.
+    pub fingerprint: KeyFingerprint,
+}
 
 /// A connected client session, generic over the transport so tests can use
 /// instrumented or in-memory streams.
@@ -27,9 +65,12 @@ pub struct EvaClient<S> {
     manifest: ProgramManifest,
     context: CkksContext,
     encoder: CkksEncoder,
-    encryptor: Encryptor,
+    encryptor: SymmetricEncryptor,
     decryptor: Decryptor,
     keygen: KeyGenerator,
+    key_seed: Option<u64>,
+    fingerprint: Option<KeyFingerprint>,
+    resumed: bool,
 }
 
 impl<S> std::fmt::Debug for EvaClient<S> {
@@ -37,6 +78,7 @@ impl<S> std::fmt::Debug for EvaClient<S> {
         f.debug_struct("EvaClient")
             .field("program", &self.manifest.name)
             .field("degree", &self.context.degree())
+            .field("resumed", &self.resumed)
             .finish()
     }
 }
@@ -46,37 +88,156 @@ impl EvaClient<TcpStream> {
     /// manifest → parameter validation → key generation → evaluation-key
     /// upload).
     ///
-    /// `key_seed` selects deterministic key/encryption randomness for tests
-    /// and reproducible measurements; pass `None` for fresh CSPRNG keys. The
-    /// derivation matches `EncryptedContext::setup`, so a seeded client
-    /// produces bit-identical ciphertexts to the in-process executor.
+    /// `key_seed` selects deterministic **key derivation** — what makes a
+    /// session resumable via [`EvaClient::resumption_ticket`]; pass `None`
+    /// for fresh CSPRNG keys. Per-ciphertext encryption randomness is always
+    /// drawn fresh from OS entropy either way (see
+    /// [`EvaClient::handshake_deterministic`] for the test-only fully
+    /// reproducible mode).
     ///
     /// # Errors
     ///
     /// Returns [`ServiceError`] on connection, protocol or validation
     /// failures.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// use std::collections::HashMap;
+    /// use eva_service::EvaClient;
+    ///
+    /// let mut client = EvaClient::connect("server:7700", None).unwrap();
+    /// let inputs: HashMap<String, Vec<f64>> =
+    ///     [("x".to_string(), vec![1.5; 8])].into_iter().collect();
+    /// let outputs = client.evaluate(&inputs).unwrap();
+    /// client.finish().unwrap();
+    /// # let _ = outputs;
+    /// ```
+    ///
+    /// To use session resumption later, connect with a **seed** (so the same
+    /// keys can be re-derived) and keep the [`SessionTicket`]; see
+    /// [`EvaClient::connect_resuming`].
     pub fn connect(addr: impl ToSocketAddrs, key_seed: Option<u64>) -> Result<Self, ServiceError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         Self::handshake(stream, key_seed)
+    }
+
+    /// Like [`EvaClient::connect`], but attempting **session resumption**
+    /// with the [`SessionTicket`] of an earlier seeded session
+    /// ([`EvaClient::resumption_ticket`]). If the server still caches the
+    /// ticket's keys, neither evaluation-key generation nor the upload
+    /// happens; otherwise the handshake falls back to the full path
+    /// transparently.
+    ///
+    /// The ticket pairs the key seed with the fingerprint because resumption
+    /// is only sound when this client re-derives the **exact secret key**
+    /// the cached evaluation keys were generated from — mismatched halves
+    /// would make every output silently decrypt to noise. Encryption
+    /// randomness is drawn **fresh from OS entropy** regardless of the seed:
+    /// the seed fixes identity, never per-ciphertext randomness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on connection, protocol or validation
+    /// failures.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// use eva_service::EvaClient;
+    ///
+    /// let mut client = EvaClient::connect("server:7700", Some(7)).unwrap();
+    /// let ticket = client.resumption_ticket().unwrap();
+    /// client.finish().unwrap();
+    ///
+    /// // Later: present the ticket — zero key-upload bytes.
+    /// let mut client = EvaClient::connect_resuming("server:7700", ticket).unwrap();
+    /// assert!(client.resumed());
+    /// ```
+    pub fn connect_resuming(
+        addr: impl ToSocketAddrs,
+        ticket: SessionTicket,
+    ) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Self::handshake_resuming(stream, ticket)
     }
 }
 
 impl<S: Read + Write> EvaClient<S> {
     /// Performs the handshake over an already-established stream.
     ///
+    /// `key_seed` fixes **key identity only** (so the session can mint a
+    /// [`SessionTicket`] and later resume); per-ciphertext encryption
+    /// randomness always comes fresh from OS entropy, so reconnecting with
+    /// the same seed never repeats encryption randomness. For bit-for-bit
+    /// reproducible sessions (tests, measurements) use
+    /// [`EvaClient::handshake_deterministic`].
+    ///
     /// # Errors
     ///
     /// Returns [`ServiceError`] on protocol or validation failures.
-    pub fn handshake(mut stream: S, key_seed: Option<u64>) -> Result<Self, ServiceError> {
+    pub fn handshake(stream: S, key_seed: Option<u64>) -> Result<Self, ServiceError> {
+        Self::handshake_inner(stream, key_seed, None, false)
+    }
+
+    /// Performs a **fully deterministic** handshake: keys *and* encryption
+    /// randomness derive from `key_seed`, matching
+    /// `EncryptedContext::setup`'s draw order so the session is bit-identical
+    /// to the in-process executor. Tests, benchmarks and reproducible
+    /// measurements only: two sessions with the same seed repeat the same
+    /// per-ciphertext `(seed, e)` randomness, and the difference of their
+    /// `b` components reveals the encoded plaintext difference — **never use
+    /// this with real data**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on protocol or validation failures.
+    pub fn handshake_deterministic(stream: S, key_seed: u64) -> Result<Self, ServiceError> {
+        Self::handshake_inner(stream, Some(key_seed), None, true)
+    }
+
+    /// Performs the handshake over an already-established stream, attempting
+    /// session resumption with a [`SessionTicket`] (transport-generic
+    /// counterpart of [`EvaClient::connect_resuming`]). The ticket's seed
+    /// re-derives the keys; encryption randomness is fresh OS entropy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on protocol or validation failures.
+    pub fn handshake_resuming(stream: S, ticket: SessionTicket) -> Result<Self, ServiceError> {
+        Self::handshake_inner(
+            stream,
+            Some(ticket.key_seed),
+            Some(ticket.fingerprint),
+            false,
+        )
+    }
+
+    /// Shared handshake body. `deterministic_encryption` selects the seeded
+    /// encryption RNG (test/bench reproducibility only — it must never be
+    /// combined with reconnection, because re-seeding the encryption RNG
+    /// repeats `(a, e)` pairs across sessions and leaks plaintext
+    /// differences); resumption always passes `false`.
+    fn handshake_inner(
+        mut stream: S,
+        key_seed: Option<u64>,
+        resume: Option<KeyFingerprint>,
+        deterministic_encryption: bool,
+    ) -> Result<Self, ServiceError> {
         write_message(
             &mut stream,
             &Message::Hello {
                 protocol: PROTOCOL_VERSION,
+                resume,
             },
         )?;
-        let manifest = match expect_message(&mut stream)? {
-            Message::Manifest(manifest) => *manifest,
+        let (manifest, keys_cached) = match expect_message(&mut stream)? {
+            Message::Manifest {
+                manifest,
+                keys_cached,
+            } => (*manifest, keys_cached),
             Message::Error(msg) => return Err(ServiceError::Remote(msg)),
             other => {
                 return Err(ServiceError::Protocol(format!(
@@ -84,6 +245,11 @@ impl<S: Read + Write> EvaClient<S> {
                 )))
             }
         };
+        if keys_cached && resume.is_none() {
+            return Err(ServiceError::Protocol(
+                "server claims cached keys but this session offered none to resume".into(),
+            ));
+        }
         // Handshake validation: never build a context from unvalidated wire
         // data. `from_primes` re-checks the chain (NTT-friendliness,
         // distinctness, prime sizes) and — iff the server claims security —
@@ -113,25 +279,49 @@ impl<S: Read + Write> EvaClient<S> {
             Some(seed) => KeyGenerator::from_seed(context.clone(), seed),
             None => KeyGenerator::new(context.clone()),
         };
-        let public_key = keygen.create_public_key();
-        let relin = manifest
-            .needs_relin
-            .then(|| keygen.create_relinearization_key());
-        let galois = keygen.create_galois_keys(&manifest.rotation_steps);
-        write_message(
-            &mut stream,
-            &Message::EvalKeys {
+        let fingerprint = if keys_cached {
+            // Resumed: the server already holds keys under this fingerprint,
+            // so all evaluation-side key generation (public/relin/Galois) and
+            // the upload are skipped — only the secret key was derived.
+            Some(resume.expect("checked above"))
+        } else {
+            // The public key is not used for encryption (the symmetric
+            // seeded path is) but its draw keeps the keygen RNG order
+            // stable, which is what makes the relin/Galois keys — and hence
+            // the fingerprint — reproducible from the seed.
+            let _public_key = keygen.create_public_key();
+            let relin = manifest
+                .needs_relin
+                .then(|| keygen.create_relinearization_key());
+            let galois = keygen.create_galois_keys(&manifest.rotation_steps);
+            // Serialize the upload once and fingerprint those same bytes —
+            // the EvalKeys payload (`has_relin · EVAL? · EVAG`) is exactly
+            // the fingerprint input, and the server hashes it as received.
+            // Unseeded sessions skip the hash: their secret key can never be
+            // re-derived, so no resumption ticket can exist and digesting
+            // megabytes of key material would buy nothing.
+            let (tag, payload) = encode_payload(&Message::EvalKeys {
                 relin: relin.map(Box::new),
                 galois: Box::new(galois),
-            },
-        )?;
+            });
+            let fingerprint = key_seed
+                .is_some()
+                .then(|| fingerprint_eval_key_payload(&payload));
+            write_frame(&mut stream, tag, &payload)?;
+            fingerprint
+        };
 
         let encoder = CkksEncoder::new(context.clone());
+        let secret_key = keygen.secret_key().clone();
         let encryptor = match key_seed {
-            Some(seed) => Encryptor::from_seed(context.clone(), public_key, seed.wrapping_add(1)),
-            None => Encryptor::new(context.clone(), public_key),
+            Some(seed) if deterministic_encryption => SymmetricEncryptor::from_seed(
+                context.clone(),
+                secret_key.clone(),
+                seed.wrapping_add(1),
+            ),
+            _ => SymmetricEncryptor::new(context.clone(), secret_key.clone()),
         };
-        let decryptor = Decryptor::new(context.clone(), keygen.secret_key().clone());
+        let decryptor = Decryptor::new(context.clone(), secret_key);
         Ok(Self {
             stream,
             manifest,
@@ -140,6 +330,9 @@ impl<S: Read + Write> EvaClient<S> {
             encryptor,
             decryptor,
             keygen,
+            key_seed,
+            fingerprint,
+            resumed: keys_cached,
         })
     }
 
@@ -148,9 +341,37 @@ impl<S: Read + Write> EvaClient<S> {
         &self.manifest
     }
 
+    /// Content fingerprint of this session's evaluation keys (informational;
+    /// to resume a later session use [`EvaClient::resumption_ticket`], which
+    /// pairs this with the key seed it belongs to). `None` for unseeded
+    /// sessions: they can never resume, so the multi-megabyte hash is
+    /// skipped entirely.
+    pub fn eval_key_fingerprint(&self) -> Option<KeyFingerprint> {
+        self.fingerprint
+    }
+
+    /// The ticket a later connection can present to
+    /// [`EvaClient::connect_resuming`] to skip the evaluation-key upload
+    /// while the server still caches the keys. `None` for sessions with
+    /// fresh CSPRNG keys — without a seed the secret key cannot be
+    /// re-derived, so resumption can never be sound.
+    pub fn resumption_ticket(&self) -> Option<SessionTicket> {
+        Some(SessionTicket {
+            key_seed: self.key_seed?,
+            fingerprint: self.fingerprint?,
+        })
+    }
+
+    /// Whether this session resumed server-cached evaluation keys (in which
+    /// case no key material was generated or uploaded).
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
     /// Runs one evaluation round: encodes and encrypts every `Cipher` input
-    /// at its manifest scale, ships the inputs, and decrypts/decodes the
-    /// returned outputs to vectors of the program's vector size.
+    /// at its manifest scale (in seeded transport form — half the upload
+    /// bytes of a full ciphertext), ships the inputs, and decrypts/decodes
+    /// the returned outputs to vectors of the program's vector size.
     ///
     /// # Errors
     ///
@@ -179,7 +400,7 @@ impl<S: Read + Write> EvaClient<S> {
                 // the node's exact log2 scale (bit-for-bit from the wire).
                 let replicated: Vec<f64> = (0..vec_size).map(|i| raw[i % raw.len()]).collect();
                 let plaintext = self.encoder.encode(&replicated, spec.scale_log2, top_level);
-                InputValue::Cipher(Box::new(self.encryptor.encrypt(&plaintext)))
+                InputValue::Seeded(Box::new(self.encryptor.encrypt_seeded(&plaintext)))
             } else {
                 InputValue::Plain(raw.clone())
             };
@@ -216,6 +437,13 @@ impl<S: Read + Write> EvaClient<S> {
                     }
                     let full = self.decryptor.decrypt_to_values(&ct, vec_size.max(1));
                     full[..vec_size].to_vec()
+                }
+                OutputValue::Seeded(_) => {
+                    // Computed values cannot be seed-compressed; a server
+                    // sending one is talking nonsense.
+                    return Err(ServiceError::Protocol(format!(
+                        "output {name:?} arrived in seeded form, which only encryptors produce"
+                    )));
                 }
                 OutputValue::Plain(values) => values,
             };

@@ -16,10 +16,21 @@
 //!   circuit's rotation steps need), then encrypts inputs and decrypts
 //!   outputs for any number of evaluation rounds.
 //!
+//! Two transport optimizations keep the wire lean:
+//!
+//! * **Seeded ciphertexts** — fresh encrypted inputs travel as `EVAD`
+//!   objects (a 32-byte expansion seed plus one polynomial instead of two),
+//!   roughly halving upload bytes per ciphertext.
+//! * **Session resumption** — the server caches evaluation keys by content
+//!   fingerprint; a client reconnecting with the same keys
+//!   ([`EvaClient::connect_resuming`]) skips the multi-megabyte key upload
+//!   (and the key generation behind it) entirely.
+//!
 //! Wire formats come from `eva-wire`; secret keys have no wire
 //! representation at all, and the public *encryption* key also stays on the
 //! client — the server receives nothing it could encrypt (let alone
-//! decrypt) with.
+//! decrypt) with. The full protocol specification lives in
+//! [`docs/PROTOCOL.md`](https://github.com/eva-reproduction/eva/blob/main/docs/PROTOCOL.md).
 //!
 //! # Example
 //!
@@ -51,7 +62,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod client;
 pub mod error;
@@ -59,11 +70,15 @@ pub mod protocol;
 pub mod record;
 pub mod server;
 
-pub use client::EvaClient;
+pub use client::{EvaClient, SessionTicket};
 pub use error::ServiceError;
+pub use eva_wire::KeyFingerprint;
 pub use protocol::{
-    InputSpec, InputValue, Message, OutputSpec, OutputValue, ProgramManifest, ValuePayload,
-    PROTOCOL_VERSION,
+    bytes_with_tag, frame_index, FrameSummary, InputSpec, InputValue, Message, OutputSpec,
+    OutputValue, ProgramManifest, ValuePayload, PROTOCOL_VERSION, TAG_BYE, TAG_ERROR,
+    TAG_EVAL_KEYS, TAG_HELLO, TAG_INPUTS, TAG_MANIFEST, TAG_OUTPUTS,
 };
 pub use record::{contains_bytes, RecordingStream};
-pub use server::{EvaServer, SessionReport};
+pub use server::{
+    EvaServer, SessionReport, DEFAULT_KEY_CACHE_BUDGET_BYTES, DEFAULT_KEY_CACHE_CAPACITY,
+};

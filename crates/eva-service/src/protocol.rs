@@ -13,32 +13,42 @@
 //!
 //! ```text
 //! client                                server
-//!   | -- Hello { protocol } ------------> |
-//!   | <------------ Manifest (EVAM) ----- |   program name, shape, primes,
+//!   | -- Hello { protocol, resume? } ---> |   resume = eval-key fingerprint
+//!   | <-- Manifest (EVAM, keys_cached) -- |   program name, shape, primes,
 //!   |                                     |   rotation steps, input scales
-//!   | -- EvalKeys { relin?, galois } ---> |   public *evaluation* keys only
-//!   | -- Inputs [name -> ct | values] --> |
-//!   | <-- Outputs [name -> ct | values] - |   (repeat Inputs/Outputs freely)
-//!   | -- Bye ---------------------------> |
+//!   | -- EvalKeys { relin?, galois } ---> |   skipped iff keys_cached
+//!   | -- Inputs [name -> ct | values] --> |   fresh ciphertexts travel
+//!   | <-- Outputs [name -> ct | values] - |   seeded (EVAD, half the bytes);
+//!   | -- Bye ---------------------------> |   repeat Inputs/Outputs freely
 //! ```
 //!
 //! Secret keys never have a wire representation (see `eva-wire`), and the
 //! public *encryption* key stays client-side too: the server receives only
 //! the evaluation keys (relinearization + Galois) it needs to run the
-//! circuit.
+//! circuit. A resuming client that names a fingerprint the server still
+//! holds in its evaluation-key cache skips the multi-megabyte key upload
+//! entirely.
+//!
+//! The authoritative byte-level specification — framing, negotiation rules,
+//! the session state machine and the security argument — is
+//! [`docs/PROTOCOL.md`](https://github.com/eva-reproduction/eva/blob/main/docs/PROTOCOL.md).
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 
 use eva_backend::{needs_relinearization, NodeValue};
-use eva_ckks::{Ciphertext, GaloisKeys, RelinearizationKey};
+use eva_ckks::{Ciphertext, CkksContext, GaloisKeys, RelinearizationKey, SeededCiphertext};
 use eva_core::{CompiledProgram, NodeKind, ValueType};
-use eva_wire::{Reader, WireError, WireObject, Writer};
+use eva_wire::{KeyFingerprint, Reader, WireError, WireObject, Writer};
 
 use crate::error::ServiceError;
 
 /// Version of the session protocol (checked in the Hello message).
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// Version history: 1 — PR 4's original protocol (bare Hello, full `EVAC`
+/// ciphertext uploads, unconditional key upload); 2 — seeded-ciphertext
+/// transport, evaluation-key fingerprints and session resumption.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a single frame's payload (1 GiB), so a corrupt or hostile
 /// length prefix cannot demand an unbounded buffer. Frames are additionally
@@ -238,8 +248,13 @@ impl WireObject for ProgramManifest {
 /// this layout and codec.
 #[derive(Debug, Clone)]
 pub enum ValuePayload {
-    /// An encrypted value.
+    /// An encrypted value, both polynomials dense (`EVAC`). Computed values
+    /// (outputs) can only travel this way.
     Cipher(Box<Ciphertext>),
+    /// A fresh encrypted value in seeded transport form (`EVAD`, roughly
+    /// half the bytes): only the encryptor can produce these, so they travel
+    /// client → server exclusively and the server expands them on receipt.
+    Seeded(Box<SeededCiphertext>),
     /// A plaintext vector.
     Plain(Vec<f64>),
 }
@@ -275,6 +290,10 @@ fn encode_named_values(w: &mut Writer, values: &[(String, ValuePayload)]) {
                     w.f64(v);
                 }
             }
+            ValuePayload::Seeded(ct) => {
+                w.u8(2);
+                ct.encode(w);
+            }
         }
     }
 }
@@ -287,6 +306,7 @@ fn decode_named_values(r: &mut Reader<'_>) -> Result<Vec<(String, ValuePayload)>
         let value = match r.u8()? {
             0 => ValuePayload::Cipher(Box::new(Ciphertext::decode(r)?)),
             1 => ValuePayload::Plain(decode_f64_values(r)?),
+            2 => ValuePayload::Seeded(Box::new(SeededCiphertext::decode(r)?)),
             other => return Err(WireError::Invalid(format!("unknown value tag {other}"))),
         };
         values.push((name, value));
@@ -301,9 +321,20 @@ pub enum Message {
     Hello {
         /// The client's protocol version.
         protocol: u32,
+        /// Fingerprint of the evaluation keys the client would upload, when
+        /// it believes the server may still hold them cached from an earlier
+        /// session (session resumption).
+        resume: Option<KeyFingerprint>,
     },
     /// Server → client program description.
-    Manifest(Box<ProgramManifest>),
+    Manifest {
+        /// The program manifest (`EVAM` object).
+        manifest: Box<ProgramManifest>,
+        /// Whether the server found the Hello's resume fingerprint in its
+        /// evaluation-key cache. When `true` the client must **not** send
+        /// EvalKeys and proceeds straight to Inputs.
+        keys_cached: bool,
+    },
     /// Client → server evaluation-key upload.
     EvalKeys {
         /// Relinearization key, iff the manifest demands one.
@@ -321,23 +352,42 @@ pub enum Message {
     Bye,
 }
 
-const TAG_HELLO: u8 = 1;
-const TAG_MANIFEST: u8 = 2;
-const TAG_EVAL_KEYS: u8 = 3;
-const TAG_INPUTS: u8 = 4;
-const TAG_OUTPUTS: u8 = 5;
-const TAG_ERROR: u8 = 6;
-const TAG_BYE: u8 = 7;
+/// Frame tag of the Hello message.
+pub const TAG_HELLO: u8 = 1;
+/// Frame tag of the Manifest message.
+pub const TAG_MANIFEST: u8 = 2;
+/// Frame tag of the EvalKeys message (absent in resumed sessions — traffic
+/// audits assert a warm reconnect carries zero bytes under this tag).
+pub const TAG_EVAL_KEYS: u8 = 3;
+/// Frame tag of the Inputs message.
+pub const TAG_INPUTS: u8 = 4;
+/// Frame tag of the Outputs message.
+pub const TAG_OUTPUTS: u8 = 5;
+/// Frame tag of the Error message.
+pub const TAG_ERROR: u8 = 6;
+/// Frame tag of the Bye message.
+pub const TAG_BYE: u8 = 7;
 
-fn encode_payload(message: &Message) -> (u8, Vec<u8>) {
+pub(crate) fn encode_payload(message: &Message) -> (u8, Vec<u8>) {
     let mut w = Writer::new();
     let tag = match message {
-        Message::Hello { protocol } => {
+        Message::Hello { protocol, resume } => {
             w.u32(*protocol);
+            match resume {
+                Some(fingerprint) => {
+                    w.bool(true);
+                    w.raw(fingerprint.as_bytes());
+                }
+                None => w.bool(false),
+            }
             TAG_HELLO
         }
-        Message::Manifest(manifest) => {
+        Message::Manifest {
+            manifest,
+            keys_cached,
+        } => {
             manifest.encode(&mut w);
+            w.bool(*keys_cached);
             TAG_MANIFEST
         }
         Message::EvalKeys { relin, galois } => {
@@ -380,11 +430,32 @@ fn decode_f64_values(r: &mut Reader<'_>) -> Result<Vec<f64>, WireError> {
     Ok(values)
 }
 
-fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message, ServiceError> {
+pub(crate) fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message, ServiceError> {
     let mut r = Reader::new(payload);
     let message = match tag {
-        TAG_HELLO => Message::Hello { protocol: r.u32()? },
-        TAG_MANIFEST => Message::Manifest(Box::new(ProgramManifest::decode(&mut r)?)),
+        TAG_HELLO => {
+            let protocol = r.u32()?;
+            // A version-1 Hello is exactly the 4-byte version field. Accept
+            // that shape so version negotiation can answer with a clean
+            // "unsupported protocol" Error instead of a decode failure.
+            let resume = if r.is_empty() {
+                None
+            } else if r.bool()? {
+                let bytes: [u8; 32] = r.take(32)?.try_into().expect("take(32) returns 32 bytes");
+                Some(KeyFingerprint(bytes))
+            } else {
+                None
+            };
+            Message::Hello { protocol, resume }
+        }
+        TAG_MANIFEST => {
+            let manifest = Box::new(ProgramManifest::decode(&mut r)?);
+            let keys_cached = r.bool()?;
+            Message::Manifest {
+                manifest,
+                keys_cached,
+            }
+        }
         TAG_EVAL_KEYS => {
             let relin = if r.bool()? {
                 Some(Box::new(RelinearizationKey::decode(&mut r)?))
@@ -415,9 +486,21 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message, ServiceError> {
 /// Returns [`ServiceError::Io`] on socket failure.
 pub fn write_message<S: Write>(stream: &mut S, message: &Message) -> Result<(), ServiceError> {
     let (tag, payload) = encode_payload(message);
+    write_frame(stream, tag, &payload)
+}
+
+/// Writes one already-encoded frame and flushes the stream (the raw half of
+/// [`write_message`]; used where the payload bytes are also needed for
+/// something else, e.g. fingerprinting a key upload without re-serializing
+/// it).
+pub(crate) fn write_frame<S: Write>(
+    stream: &mut S,
+    tag: u8,
+    payload: &[u8],
+) -> Result<(), ServiceError> {
     stream.write_all(&[tag])?;
     stream.write_all(&(payload.len() as u64).to_le_bytes())?;
-    stream.write_all(&payload)?;
+    stream.write_all(payload)?;
     stream.flush()?;
     Ok(())
 }
@@ -431,6 +514,22 @@ pub fn write_message<S: Write>(stream: &mut S, message: &Message) -> Result<(), 
 /// Returns [`ServiceError`] on socket failure, oversized frames or
 /// undecodable payloads.
 pub fn read_message<S: Read>(stream: &mut S) -> Result<Option<Message>, ServiceError> {
+    match read_frame(stream)? {
+        Some((tag, payload)) => decode_payload(tag, &payload).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// Reads one raw frame (the byte-level half of [`read_message`]), returning
+/// `Ok(None)` on a clean end-of-stream between frames. Exposed crate-wide so
+/// the server can fingerprint a key-upload payload without re-serializing
+/// the decoded keys.
+///
+/// # Errors
+///
+/// Returns [`ServiceError`] on socket failure, oversized frames or
+/// mid-frame truncation.
+pub(crate) fn read_frame<S: Read>(stream: &mut S) -> Result<Option<(u8, Vec<u8>)>, ServiceError> {
     let mut tag = [0u8; 1];
     // A bare `read` (unlike `read_exact`) surfaces EINTR; retry it so a
     // signal delivered while idle between frames does not kill the session.
@@ -459,7 +558,7 @@ pub fn read_message<S: Read>(stream: &mut S) -> Result<Option<Message>, ServiceE
     if (read as u64) < len {
         return Err(ServiceError::Disconnected);
     }
-    decode_payload(tag[0], &payload).map(Some)
+    Ok(Some((tag[0], payload)))
 }
 
 /// Reads one message, treating end-of-stream as a protocol violation (used
@@ -485,19 +584,29 @@ pub type PlainInputs = HashMap<String, Vec<f64>>;
 
 /// Splits decoded inputs into the cipher and plain maps
 /// [`EvaluationContext::bind_inputs`](eva_backend::EvaluationContext::bind_inputs)
-/// expects, rejecting duplicate names.
+/// expects, rejecting duplicate names. Seeded ciphertexts are expanded
+/// against `context` here — after this point the executor only ever sees
+/// full ciphertexts, which then face the usual `bind_inputs` validation.
 ///
 /// # Errors
 ///
-/// Returns [`ServiceError::Protocol`] on duplicate input names.
+/// Returns [`ServiceError::Protocol`] on duplicate input names or a seeded
+/// ciphertext whose shape does not fit the context.
 pub fn partition_inputs(
     inputs: Vec<(String, InputValue)>,
+    context: &CkksContext,
 ) -> Result<(CipherInputs, PlainInputs), ServiceError> {
     let mut ciphers = HashMap::new();
     let mut plains = HashMap::new();
     for (name, value) in inputs {
         let duplicate = match value {
             InputValue::Cipher(ct) => ciphers.insert(name.clone(), *ct).is_some(),
+            InputValue::Seeded(seeded) => {
+                let ct = seeded.expand(context).map_err(|err| {
+                    ServiceError::Protocol(format!("seeded input {name:?} rejected: {err}"))
+                })?;
+                ciphers.insert(name.clone(), ct).is_some()
+            }
             InputValue::Plain(values) => plains.insert(name.clone(), values).is_some(),
         };
         if duplicate {
@@ -507,6 +616,47 @@ pub fn partition_inputs(
         }
     }
     Ok((ciphers, plains))
+}
+
+/// One frame of a captured protocol byte stream, as returned by
+/// [`frame_index`]: the message tag and the payload length in bytes.
+pub type FrameSummary = (u8, u64);
+
+/// Walks a captured stream of protocol frames (e.g. the `sent` half of a
+/// [`RecordingStream`](crate::RecordingStream)) and returns each frame's tag
+/// and payload length — the tool traffic audits use to prove, for example,
+/// that a resumed session carried **zero** [`TAG_EVAL_KEYS`] bytes.
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEnd`] if the capture ends inside a frame.
+pub fn frame_index(captured: &[u8]) -> Result<Vec<FrameSummary>, WireError> {
+    let mut frames = Vec::new();
+    let mut r = Reader::new(captured);
+    while !r.is_empty() {
+        let tag = r.u8()?;
+        let len = r.u64()?;
+        if len > r.remaining() as u64 {
+            return Err(WireError::UnexpectedEnd);
+        }
+        r.take(len as usize)?;
+        frames.push((tag, len));
+    }
+    Ok(frames)
+}
+
+/// Sums the payload bytes of every frame in `captured` carrying `tag`
+/// (convenience over [`frame_index`] for audits).
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEnd`] if the capture ends inside a frame.
+pub fn bytes_with_tag(captured: &[u8], tag: u8) -> Result<u64, WireError> {
+    Ok(frame_index(captured)?
+        .into_iter()
+        .filter(|&(t, _)| t == tag)
+        .map(|(_, len)| len)
+        .sum())
 }
 
 #[cfg(test)]
@@ -554,9 +704,32 @@ mod tests {
     #[test]
     fn messages_roundtrip_over_a_byte_stream() {
         let manifest = ProgramManifest::from_compiled(&compiled_fixture());
+        let fingerprint = KeyFingerprint([7u8; 32]);
         let mut buf: Vec<u8> = Vec::new();
-        write_message(&mut buf, &Message::Hello { protocol: 1 }).unwrap();
-        write_message(&mut buf, &Message::Manifest(Box::new(manifest.clone()))).unwrap();
+        write_message(
+            &mut buf,
+            &Message::Hello {
+                protocol: 2,
+                resume: None,
+            },
+        )
+        .unwrap();
+        write_message(
+            &mut buf,
+            &Message::Hello {
+                protocol: 2,
+                resume: Some(fingerprint),
+            },
+        )
+        .unwrap();
+        write_message(
+            &mut buf,
+            &Message::Manifest {
+                manifest: Box::new(manifest.clone()),
+                keys_cached: true,
+            },
+        )
+        .unwrap();
         write_message(
             &mut buf,
             &Message::Inputs(vec![("w".into(), InputValue::Plain(vec![1.0, -2.5]))]),
@@ -565,13 +738,45 @@ mod tests {
         write_message(&mut buf, &Message::Error("boom".into())).unwrap();
         write_message(&mut buf, &Message::Bye).unwrap();
 
+        // The frame audit sees exactly the messages written above.
+        let tags: Vec<u8> = frame_index(&buf).unwrap().iter().map(|&(t, _)| t).collect();
+        assert_eq!(
+            tags,
+            vec![
+                TAG_HELLO,
+                TAG_HELLO,
+                TAG_MANIFEST,
+                TAG_INPUTS,
+                TAG_ERROR,
+                TAG_BYE
+            ]
+        );
+        assert_eq!(bytes_with_tag(&buf, TAG_EVAL_KEYS).unwrap(), 0);
+        assert!(bytes_with_tag(&buf, TAG_MANIFEST).unwrap() > 0);
+
         let mut cursor = &buf[..];
         assert!(matches!(
             expect_message(&mut cursor).unwrap(),
-            Message::Hello { protocol: 1 }
+            Message::Hello {
+                protocol: 2,
+                resume: None
+            }
         ));
         match expect_message(&mut cursor).unwrap() {
-            Message::Manifest(m) => assert_eq!(*m, manifest),
+            Message::Hello {
+                protocol: 2,
+                resume: Some(fp),
+            } => assert_eq!(fp, fingerprint),
+            other => panic!("expected resuming hello, got {other:?}"),
+        }
+        match expect_message(&mut cursor).unwrap() {
+            Message::Manifest {
+                manifest: m,
+                keys_cached,
+            } => {
+                assert_eq!(*m, manifest);
+                assert!(keys_cached);
+            }
             other => panic!("expected manifest, got {other:?}"),
         }
         match expect_message(&mut cursor).unwrap() {
@@ -588,6 +793,64 @@ mod tests {
         ));
         assert!(matches!(expect_message(&mut cursor).unwrap(), Message::Bye));
         assert!(read_message(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn version_one_hello_still_decodes() {
+        // A PR-4 client's Hello is the bare 4-byte version field; it must
+        // decode (to resume: None) so the server can answer with a polite
+        // version-mismatch Error instead of a framing error.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.push(TAG_HELLO);
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            expect_message(&mut cursor).unwrap(),
+            Message::Hello {
+                protocol: 1,
+                resume: None
+            }
+        ));
+    }
+
+    #[test]
+    fn seeded_inputs_are_expanded_when_partitioned() {
+        use eva_ckks::{
+            CkksContext, CkksEncoder, CkksParameters, KeyGenerator, SymmetricEncryptor,
+        };
+
+        let params = CkksParameters::new_insecure(32, &[30, 30, 40], 45).unwrap();
+        let ctx = CkksContext::new(params).unwrap();
+        let keygen = KeyGenerator::from_seed(ctx.clone(), 3);
+        let encoder = CkksEncoder::new(ctx.clone());
+        let mut seeded_enc =
+            SymmetricEncryptor::from_seed(ctx.clone(), keygen.secret_key().clone(), 4);
+        let mut full_enc =
+            SymmetricEncryptor::from_seed(ctx.clone(), keygen.secret_key().clone(), 4);
+        let pt = encoder.encode(&[1.0; 8], 30.0, 3);
+        let seeded = seeded_enc.encrypt_seeded(&pt);
+        let expected = full_enc.encrypt(&pt);
+
+        let inputs = vec![
+            ("x".to_string(), InputValue::Seeded(Box::new(seeded))),
+            ("w".to_string(), InputValue::Plain(vec![2.0])),
+        ];
+        let (ciphers, plains) = partition_inputs(inputs, &ctx).unwrap();
+        assert_eq!(ciphers["x"].polys(), expected.polys());
+        assert_eq!(plains["w"], vec![2.0]);
+
+        // A seeded ciphertext that does not fit the context is rejected
+        // before it ever reaches the executor.
+        let small = CkksContext::new(CkksParameters::new_insecure(32, &[30], 40).unwrap()).unwrap();
+        let mut enc = SymmetricEncryptor::from_seed(ctx.clone(), keygen.secret_key().clone(), 5);
+        let bad = enc.encrypt_seeded(&encoder.encode(&[1.0; 8], 30.0, 2));
+        let err = partition_inputs(
+            vec![("x".to_string(), InputValue::Seeded(Box::new(bad)))],
+            &small,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServiceError::Protocol(_)));
     }
 
     #[test]

@@ -7,20 +7,29 @@
 //! uploaded. It never sees a secret key, a public encryption key or a
 //! plaintext of any `Cipher` input; it executes the circuit with the shared
 //! parallel executor and returns the still-encrypted outputs.
+//!
+//! Evaluation keys are additionally kept in a bounded LRU **key cache**
+//! addressed by their content fingerprint (`eva_wire::fingerprint`): a
+//! client reconnecting with the same keys names the fingerprint in its Hello
+//! and skips the multi-megabyte upload entirely (session resumption). Cached
+//! entries are shared across sessions behind `Arc`s, so a resumed session
+//! costs neither the transfer nor a copy of the keys.
 
+use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use eva_backend::{execute_parallel, parameters_from_spec, EvaluationContext};
 use eva_ckks::{CkksContext, GaloisKeys, RelinearizationKey};
 use eva_core::serialize::compiled_from_bytes;
 use eva_core::CompiledProgram;
+use eva_wire::{fingerprint_eval_key_payload, KeyFingerprint};
 
 use crate::error::ServiceError;
 use crate::protocol::{
-    expect_message, partition_inputs, write_message, Message, OutputValue, ProgramManifest,
-    PROTOCOL_VERSION,
+    decode_payload, expect_message, partition_inputs, read_frame, write_message, Message,
+    OutputValue, ProgramManifest, PROTOCOL_VERSION, TAG_EVAL_KEYS,
 };
 
 /// Statistics for one completed session.
@@ -28,6 +37,109 @@ use crate::protocol::{
 pub struct SessionReport {
     /// Number of evaluation rounds served.
     pub evaluations: usize,
+    /// Whether the session resumed cached evaluation keys (no key upload).
+    pub resumed: bool,
+    /// Content fingerprint of the session's evaluation keys (server-computed
+    /// on upload, cache-resolved on resumption).
+    pub key_fingerprint: Option<KeyFingerprint>,
+}
+
+/// One client's evaluation keys as held by the server, shared across
+/// sessions through the key cache.
+#[derive(Debug, Clone)]
+struct SessionKeys {
+    relin: Option<Arc<RelinearizationKey>>,
+    galois: Arc<GaloisKeys>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    stamp: u64,
+    /// Wire size of the cached keys (what the entry cost to upload, and a
+    /// faithful proxy for what it holds in memory).
+    bytes: usize,
+    keys: SessionKeys,
+}
+
+/// A bounded least-recently-used map from evaluation-key fingerprints to the
+/// keys themselves, limited both by **entry count** and by a **byte budget**
+/// — key sets are tens of megabytes each, and the protocol has no
+/// authentication, so an unauthenticated peer must not be able to pin
+/// unbounded server memory by uploading distinct valid key sets. Eviction
+/// scans for the oldest stamp — O(capacity), negligible next to the
+/// megabytes each entry saves in transfer.
+#[derive(Debug)]
+struct KeyCache {
+    capacity: usize,
+    max_bytes: usize,
+    bytes: usize,
+    clock: u64,
+    entries: HashMap<[u8; 32], CacheEntry>,
+}
+
+impl KeyCache {
+    fn new(capacity: usize, max_bytes: usize) -> Self {
+        Self {
+            capacity,
+            max_bytes,
+            bytes: 0,
+            clock: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, fingerprint: &KeyFingerprint) -> Option<SessionKeys> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(fingerprint.as_bytes()).map(|entry| {
+            entry.stamp = clock;
+            entry.keys.clone()
+        })
+    }
+
+    fn insert(&mut self, fingerprint: KeyFingerprint, keys: SessionKeys, bytes: usize) {
+        if self.capacity == 0 || bytes > self.max_bytes {
+            return;
+        }
+        self.clock += 1;
+        if let Some(old) = self.entries.remove(fingerprint.as_bytes()) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        self.entries.insert(
+            *fingerprint.as_bytes(),
+            CacheEntry {
+                stamp: self.clock,
+                bytes,
+                keys,
+            },
+        );
+        // The new entry carries the newest stamp, so LRU eviction trims
+        // older entries first and the insert always survives.
+        self.enforce_bounds();
+    }
+
+    /// Evicts least-recently-used entries until both bounds hold (also run
+    /// by the setters, so shrinking a bound purges immediately rather than
+    /// on the next insert).
+    fn enforce_bounds(&mut self) {
+        while self.entries.len() > self.capacity || self.bytes > self.max_bytes {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.stamp)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            let evicted = self.entries.remove(&oldest).expect("key from iteration");
+            self.bytes -= evicted.bytes;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 /// A server for one compiled EVA program.
@@ -48,7 +160,18 @@ struct ServerInner {
     compiled: CompiledProgram,
     manifest: ProgramManifest,
     context: CkksContext,
+    key_cache: Mutex<KeyCache>,
 }
+
+/// Default number of distinct evaluation-key sets the server caches for
+/// session resumption (tune with [`EvaServer::with_key_cache_capacity`]).
+pub const DEFAULT_KEY_CACHE_CAPACITY: usize = 32;
+
+/// Default byte budget of the evaluation-key cache (1 GiB; tune with
+/// [`EvaServer::with_key_cache_budget`]). Key sets are tens of megabytes
+/// each and the socket is unauthenticated, so the cache is bounded in bytes
+/// as well as entries.
+pub const DEFAULT_KEY_CACHE_BUDGET_BYTES: usize = 1 << 30;
 
 impl EvaServer {
     /// Builds a server around a compiled program, instantiating the CKKS
@@ -59,6 +182,23 @@ impl EvaServer {
     ///
     /// Returns [`ServiceError::InvalidParameters`] if the spec cannot be
     /// instantiated.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// use eva_core::{compile, CompilerOptions, Opcode, Program};
+    /// use eva_service::EvaServer;
+    ///
+    /// let mut p = Program::new("square", 8);
+    /// let x = p.input_cipher("x", 30);
+    /// let sq = p.instruction(Opcode::Multiply, &[x, x]);
+    /// p.output("out", sq, 30);
+    /// let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+    ///
+    /// let server = EvaServer::new(compiled).unwrap().with_threads(4);
+    /// let listener = std::net::TcpListener::bind("127.0.0.1:7700").unwrap();
+    /// server.serve_forever(&listener).unwrap();
+    /// ```
     pub fn new(compiled: CompiledProgram) -> Result<Self, ServiceError> {
         let params = parameters_from_spec(&compiled.parameters)
             .map_err(|e| ServiceError::InvalidParameters(e.to_string()))?;
@@ -70,6 +210,10 @@ impl EvaServer {
                 compiled,
                 manifest,
                 context,
+                key_cache: Mutex::new(KeyCache::new(
+                    DEFAULT_KEY_CACHE_CAPACITY,
+                    DEFAULT_KEY_CACHE_BUDGET_BYTES,
+                )),
             }),
             threads: 1,
         })
@@ -92,6 +236,59 @@ impl EvaServer {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Sets how many distinct evaluation-key sets the resumption cache holds
+    /// (default [`DEFAULT_KEY_CACHE_CAPACITY`]); `0` disables caching, so
+    /// every session must upload its keys. Shrinking below the current
+    /// population evicts immediately (least-recently-used first).
+    #[must_use]
+    pub fn with_key_cache_capacity(self, capacity: usize) -> Self {
+        let mut cache = self
+            .inner
+            .key_cache
+            .lock()
+            .expect("key cache lock poisoned");
+        cache.capacity = capacity;
+        cache.enforce_bounds();
+        drop(cache);
+        self
+    }
+
+    /// Sets the resumption cache's total byte budget (default
+    /// [`DEFAULT_KEY_CACHE_BUDGET_BYTES`]). Entries are evicted
+    /// least-recently-used until both the entry and the byte bound hold —
+    /// immediately on shrink, and on every insert; a key set larger than
+    /// the whole budget is simply not cached.
+    #[must_use]
+    pub fn with_key_cache_budget(self, max_bytes: usize) -> Self {
+        let mut cache = self
+            .inner
+            .key_cache
+            .lock()
+            .expect("key cache lock poisoned");
+        cache.max_bytes = max_bytes;
+        cache.enforce_bounds();
+        drop(cache);
+        self
+    }
+
+    /// Number of evaluation-key sets currently cached for resumption.
+    pub fn cached_key_sets(&self) -> usize {
+        self.inner
+            .key_cache
+            .lock()
+            .expect("key cache lock poisoned")
+            .len()
+    }
+
+    /// Total wire bytes of the evaluation-key sets currently cached.
+    pub fn cached_key_bytes(&self) -> usize {
+        self.inner
+            .key_cache
+            .lock()
+            .expect("key cache lock poisoned")
+            .bytes
     }
 
     /// The manifest published to clients.
@@ -187,10 +384,11 @@ impl EvaServer {
         stream: &mut S,
     ) -> Result<SessionReport, ServiceError> {
         let inner = &*self.inner;
-        // 1. Hello / version check.
-        match expect_message(stream)? {
-            Message::Hello { protocol } if protocol == PROTOCOL_VERSION => {}
-            Message::Hello { protocol } => {
+        // 1. Hello / version check; the Hello may name an evaluation-key
+        //    fingerprint to resume.
+        let resume = match expect_message(stream)? {
+            Message::Hello { protocol, resume } if protocol == PROTOCOL_VERSION => resume,
+            Message::Hello { protocol, .. } => {
                 return Err(ServiceError::Protocol(format!(
                     "client speaks protocol {protocol}, server speaks {PROTOCOL_VERSION}"
                 )))
@@ -201,27 +399,75 @@ impl EvaServer {
                     message_name(&other)
                 )))
             }
-        }
-        // 2. Publish the program manifest.
-        write_message(stream, &Message::Manifest(Box::new(inner.manifest.clone())))?;
-        // 3. Evaluation-key upload.
-        let (relin, galois) = match expect_message(stream)? {
-            Message::EvalKeys { relin, galois } => (relin.map(|k| *k), *galois),
-            other => {
-                return Err(ServiceError::Protocol(format!(
-                    "expected EvalKeys, got {}",
-                    message_name(&other)
-                )))
+        };
+        // 2. Key-cache lookup, then publish the manifest together with the
+        //    resumption verdict.
+        let cached = resume.and_then(|fingerprint| {
+            self.inner
+                .key_cache
+                .lock()
+                .expect("key cache lock poisoned")
+                .get(&fingerprint)
+                .map(|keys| (fingerprint, keys))
+        });
+        write_message(
+            stream,
+            &Message::Manifest {
+                manifest: Box::new(inner.manifest.clone()),
+                keys_cached: cached.is_some(),
+            },
+        )?;
+        // 3. Evaluation keys: from the cache on resumption (already validated
+        //    when first uploaded), otherwise uploaded now, validated,
+        //    fingerprinted and cached for future sessions.
+        let mut report = SessionReport::default();
+        let keys = match cached {
+            Some((fingerprint, keys)) => {
+                report.resumed = true;
+                report.key_fingerprint = Some(fingerprint);
+                keys
+            }
+            None => {
+                // Read the raw frame so the fingerprint can be computed over
+                // the payload *as received* — the bytes are already in hand,
+                // so no multi-megabyte re-serialization of the keys happens
+                // (decoders only accept canonical encodings, so hashing the
+                // payload equals hashing the decoded keys).
+                let (tag, payload) = read_frame(stream)?.ok_or(ServiceError::Disconnected)?;
+                let (relin, galois) = match decode_payload(tag, &payload)? {
+                    Message::EvalKeys { relin, galois } => (relin.map(|k| *k), *galois),
+                    other => {
+                        return Err(ServiceError::Protocol(format!(
+                            "expected EvalKeys, got {}",
+                            message_name(&other)
+                        )))
+                    }
+                };
+                debug_assert_eq!(tag, TAG_EVAL_KEYS);
+                self.validate_eval_keys(relin.as_ref(), &galois)?;
+                // The client computes the same digest locally over the bytes
+                // it sent, so nothing fingerprint-shaped ever needs to be
+                // trusted off the wire.
+                let fingerprint = fingerprint_eval_key_payload(&payload);
+                let keys = SessionKeys {
+                    relin: relin.map(Arc::new),
+                    galois: Arc::new(galois),
+                };
+                self.inner
+                    .key_cache
+                    .lock()
+                    .expect("key cache lock poisoned")
+                    .insert(fingerprint, keys.clone(), payload.len());
+                report.key_fingerprint = Some(fingerprint);
+                keys
             }
         };
-        self.validate_eval_keys(relin.as_ref(), &galois)?;
-        let eval = EvaluationContext::from_parts(inner.context.clone(), relin, galois);
+        let eval = EvaluationContext::from_shared(inner.context.clone(), keys.relin, keys.galois);
         // 4. Evaluation rounds until the client says Bye (or cleanly hangs up).
-        let mut report = SessionReport::default();
         loop {
             match crate::protocol::read_message(stream)? {
                 Some(Message::Inputs(inputs)) => {
-                    let (ciphers, plains) = partition_inputs(inputs)?;
+                    let (ciphers, plains) = partition_inputs(inputs, &inner.context)?;
                     let bindings = eval.bind_inputs(&inner.compiled, ciphers, plains)?;
                     let values = execute_parallel(&eval, &inner.compiled, bindings, self.threads)?;
                     let outputs = EvaluationContext::named_outputs(&inner.compiled, &values)?
@@ -303,11 +549,89 @@ impl EvaServer {
 fn message_name(message: &Message) -> &'static str {
     match message {
         Message::Hello { .. } => "Hello",
-        Message::Manifest(_) => "Manifest",
+        Message::Manifest { .. } => "Manifest",
         Message::EvalKeys { .. } => "EvalKeys",
         Message::Inputs(_) => "Inputs",
         Message::Outputs(_) => "Outputs",
         Message::Error(_) => "Error",
         Message::Bye => "Bye",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_keys() -> SessionKeys {
+        SessionKeys {
+            relin: None,
+            galois: Arc::new(GaloisKeys::default()),
+        }
+    }
+
+    fn fp(byte: u8) -> KeyFingerprint {
+        KeyFingerprint([byte; 32])
+    }
+
+    #[test]
+    fn key_cache_evicts_least_recently_used_by_count() {
+        let mut cache = KeyCache::new(2, usize::MAX);
+        cache.insert(fp(1), dummy_keys(), 10);
+        cache.insert(fp(2), dummy_keys(), 10);
+        // Touch 1 so 2 becomes the oldest.
+        assert!(cache.get(&fp(1)).is_some());
+        cache.insert(fp(3), dummy_keys(), 10);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&fp(1)).is_some());
+        assert!(cache.get(&fp(2)).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(&fp(3)).is_some());
+    }
+
+    #[test]
+    fn key_cache_enforces_the_byte_budget() {
+        let mut cache = KeyCache::new(100, 100);
+        cache.insert(fp(1), dummy_keys(), 40);
+        cache.insert(fp(2), dummy_keys(), 40);
+        assert_eq!(cache.bytes, 80);
+        // 40 more bytes exceed the budget: the oldest entry goes.
+        cache.insert(fp(3), dummy_keys(), 40);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes, 80);
+        assert!(cache.get(&fp(1)).is_none());
+        // An entry larger than the whole budget is not cached at all.
+        cache.insert(fp(4), dummy_keys(), 1000);
+        assert!(cache.get(&fp(4)).is_none());
+        assert_eq!(cache.bytes, 80);
+        // Re-inserting an existing fingerprint replaces, not duplicates.
+        cache.insert(fp(2), dummy_keys(), 60);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes, 100);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = KeyCache::new(0, usize::MAX);
+        cache.insert(fp(1), dummy_keys(), 1);
+        assert_eq!(cache.len(), 0);
+        assert!(cache.get(&fp(1)).is_none());
+    }
+
+    #[test]
+    fn shrinking_bounds_evicts_immediately() {
+        // Entries cached before a capacity/budget shrink must not keep
+        // serving resumptions (with_key_cache_* calls enforce_bounds).
+        let mut cache = KeyCache::new(4, usize::MAX);
+        for i in 1..=4 {
+            cache.insert(fp(i), dummy_keys(), 10);
+        }
+        cache.max_bytes = 20;
+        cache.enforce_bounds();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes, 20);
+        cache.capacity = 0;
+        cache.enforce_bounds();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes, 0);
+        assert!(cache.get(&fp(4)).is_none());
     }
 }

@@ -8,7 +8,10 @@ use std::net::{TcpListener, TcpStream};
 
 use eva_backend::{execute_parallel, run_reference, EncryptedContext};
 use eva_core::{compile, CompilerOptions, Opcode, Program};
-use eva_service::{contains_bytes, EvaClient, EvaServer, RecordingStream};
+use eva_service::{
+    bytes_with_tag, contains_bytes, frame_index, EvaClient, EvaServer, RecordingStream,
+    TAG_EVAL_KEYS, TAG_INPUTS,
+};
 
 /// A rotation + plaintext-operand program: exercises Galois keys,
 /// relinearization, plain inputs and match-scale corrections.
@@ -60,11 +63,13 @@ fn client_server_roundtrip_matches_in_process_executor_bit_for_bit() {
     let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 1));
 
     let stream = RecordingStream::new(TcpStream::connect(addr).unwrap());
-    let mut client = EvaClient::handshake(stream, Some(seed)).unwrap();
+    let mut client = EvaClient::handshake_deterministic(stream, seed).unwrap();
     let outputs = client.evaluate(&inputs).unwrap();
 
     // Identical seeds + identical draw order ⇒ identical keys, identical
     // encryption randomness, identical circuit ⇒ bit-identical results.
+    // (handshake_deterministic is the explicit test-only mode; plain
+    // seeded handshakes draw fresh encryption randomness.)
     for (name, expected_values) in &expected {
         let got = &outputs[name];
         for (a, b) in got.iter().zip(expected_values) {
@@ -99,6 +104,134 @@ fn client_server_roundtrip_matches_in_process_executor_bit_for_bit() {
     let reports = server_thread.join().unwrap().unwrap();
     assert_eq!(reports.len(), 1);
     assert_eq!(reports[0].as_ref().unwrap().evaluations, 1);
+}
+
+#[test]
+fn warm_reconnect_resumes_cached_keys_and_uploads_zero_key_bytes() {
+    let compiled = compile(&mixed_program(), &CompilerOptions::default()).unwrap();
+    let inputs = mixed_inputs();
+    let seed = 13u64;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = EvaServer::new(compiled).unwrap();
+    let server_for_thread = server.clone();
+    let server_thread = std::thread::spawn(move || server_for_thread.serve_sessions(&listener, 3));
+
+    // ---- Session 1 (cold): full handshake with evaluation-key upload. ----
+    let stream = RecordingStream::new(TcpStream::connect(addr).unwrap());
+    let mut client = EvaClient::handshake(stream, Some(seed)).unwrap();
+    assert!(!client.resumed());
+    let fingerprint = client.eval_key_fingerprint().unwrap();
+    let ticket = client.resumption_ticket().unwrap();
+    assert_eq!(ticket.key_seed, seed);
+    assert_eq!(ticket.fingerprint, fingerprint);
+    let cold_outputs = client.evaluate(&inputs).unwrap();
+    let stream = client.finish().unwrap();
+    let cold_sent = stream.sent().to_vec();
+    let cold_key_bytes = bytes_with_tag(&cold_sent, TAG_EVAL_KEYS).unwrap();
+    assert!(
+        cold_key_bytes > 100_000,
+        "cold session should upload substantial key material, got {cold_key_bytes} bytes"
+    );
+    assert_eq!(server.cached_key_sets(), 1);
+    assert!(server.cached_key_bytes() as u64 >= cold_key_bytes - 64);
+
+    // ---- Session 2 (warm): resume with the ticket. ----
+    let stream = RecordingStream::new(TcpStream::connect(addr).unwrap());
+    let mut client = EvaClient::handshake_resuming(stream, ticket).unwrap();
+    assert!(client.resumed());
+    assert_eq!(client.eval_key_fingerprint(), Some(fingerprint));
+    assert_eq!(client.resumption_ticket(), Some(ticket));
+    let warm_outputs = client.evaluate(&inputs).unwrap();
+    let stream = client.finish().unwrap();
+    let warm_sent = stream.sent().to_vec();
+
+    // Zero evaluation-key bytes — no frame with the EvalKeys tag at all.
+    let warm_frames = frame_index(&warm_sent).unwrap();
+    assert!(
+        warm_frames.iter().all(|&(tag, _)| tag != TAG_EVAL_KEYS),
+        "warm session sent an EvalKeys frame: {warm_frames:?}"
+    );
+    assert_eq!(bytes_with_tag(&warm_sent, TAG_EVAL_KEYS).unwrap(), 0);
+    // Upload is now dominated by the (seeded) inputs; everything else —
+    // hello + goodbye — is framing noise.
+    let warm_input_bytes = bytes_with_tag(&warm_sent, TAG_INPUTS).unwrap();
+    assert!(
+        (warm_sent.len() as u64) < warm_input_bytes + 200,
+        "warm upload should be inputs plus a small constant, got {} total / {} inputs",
+        warm_sent.len(),
+        warm_input_bytes
+    );
+    assert!(
+        warm_sent.len() * 5 < cold_sent.len(),
+        "warm reconnect should upload a small fraction of the cold session \
+         ({} vs {} bytes)",
+        warm_sent.len(),
+        cold_sent.len()
+    );
+
+    // The warm session re-derives the same keys, so its decrypted outputs
+    // agree with the cold session to well within the regression bound — but
+    // its encryption randomness is FRESH (resumed sessions draw from OS
+    // entropy), so the actual input ciphertext bytes must differ. Reused
+    // randomness across sessions would let an observer difference the `b`
+    // components and recover encoded-plaintext differences.
+    for (name, cold) in &cold_outputs {
+        for (a, b) in warm_outputs[name].iter().zip(cold) {
+            assert!((a - b).abs() <= 2e-4, "warm {a} vs cold {b}");
+        }
+    }
+    {
+        // Extract the Inputs frame payloads from both captures: same
+        // plaintext inputs, different sessions ⇒ different ciphertext bytes.
+        let inputs_payload = |capture: &[u8]| -> Vec<u8> {
+            let mut offset = 0usize;
+            for (tag, len) in frame_index(capture).unwrap() {
+                let start = offset + 9;
+                let end = start + len as usize;
+                if tag == TAG_INPUTS {
+                    return capture[start..end].to_vec();
+                }
+                offset = end;
+            }
+            panic!("no Inputs frame in capture");
+        };
+        assert_ne!(
+            inputs_payload(&cold_sent),
+            inputs_payload(&warm_sent),
+            "warm session reused the cold session's encryption randomness"
+        );
+    }
+
+    // ---- Session 3: an unknown fingerprint falls back to a full upload. ----
+    let stream = RecordingStream::new(TcpStream::connect(addr).unwrap());
+    let bogus = eva_service::SessionTicket {
+        key_seed: seed,
+        fingerprint: eva_service::KeyFingerprint([0x5a; 32]),
+    };
+    let mut client = EvaClient::handshake_resuming(stream, bogus).unwrap();
+    assert!(!client.resumed(), "bogus fingerprint must not resume");
+    assert_eq!(
+        client.eval_key_fingerprint(),
+        Some(fingerprint),
+        "regenerated keys hash to the original fingerprint"
+    );
+    client.evaluate(&inputs).unwrap();
+    let stream = client.finish().unwrap();
+    assert!(bytes_with_tag(stream.sent(), TAG_EVAL_KEYS).unwrap() > 0);
+
+    let reports = server_thread.join().unwrap().unwrap();
+    let reports: Vec<_> = reports.into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(reports.len(), 3);
+    assert!(!reports[0].resumed);
+    assert!(reports[1].resumed);
+    assert!(!reports[2].resumed);
+    // The server computed the same fingerprint over the received bytes as
+    // the client did over the generated keys.
+    for report in &reports {
+        assert_eq!(report.key_fingerprint, Some(fingerprint));
+    }
 }
 
 #[test]
@@ -141,6 +274,26 @@ fn concurrent_sessions_with_different_keys_are_isolated() {
 }
 
 #[test]
+fn unseeded_sessions_have_no_resumption_ticket() {
+    // Fresh CSPRNG keys can never be re-derived, so resumption can never be
+    // sound for them — structurally, such a session mints no ticket (and
+    // `handshake_resuming` only accepts a ticket, which always has a seed).
+    let compiled = compile(&mixed_program(), &CompilerOptions::default()).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = EvaServer::new(compiled).unwrap();
+    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 1));
+
+    let client = EvaClient::connect(addr, None).unwrap();
+    assert!(client.resumption_ticket().is_none());
+    // The hash over the multi-megabyte key upload is skipped too: no seed,
+    // no usable fingerprint.
+    assert!(client.eval_key_fingerprint().is_none());
+    client.finish().unwrap();
+    let _ = server_thread.join().unwrap();
+}
+
+#[test]
 fn server_rejects_missing_relin_key_and_bad_protocol() {
     use eva_service::{Message, PROTOCOL_VERSION};
 
@@ -150,13 +303,15 @@ fn server_rejects_missing_relin_key_and_bad_protocol() {
     let server = EvaServer::new(compiled).unwrap();
     let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 2));
 
-    // Session 1: wrong protocol version is refused with an Error message.
+    // Session 1: wrong protocol version (e.g. a PR-4 v1 client) is refused
+    // with an Error message, not a framing failure.
     {
         let mut stream = TcpStream::connect(addr).unwrap();
         eva_service::protocol::write_message(
             &mut stream,
             &Message::Hello {
                 protocol: PROTOCOL_VERSION + 1,
+                resume: None,
             },
         )
         .unwrap();
@@ -172,11 +327,12 @@ fn server_rejects_missing_relin_key_and_bad_protocol() {
             &mut stream,
             &Message::Hello {
                 protocol: PROTOCOL_VERSION,
+                resume: None,
             },
         )
         .unwrap();
         let manifest = match eva_service::protocol::expect_message(&mut stream).unwrap() {
-            Message::Manifest(m) => *m,
+            Message::Manifest { manifest, .. } => *manifest,
             other => panic!("expected Manifest, got {other:?}"),
         };
         assert!(manifest.needs_relin);

@@ -1,0 +1,308 @@
+//! Content fingerprints for evaluation-key caching.
+//!
+//! Session resumption lets a reconnecting client skip the multi-megabyte
+//! evaluation-key upload: the server keeps recently seen keys in a cache
+//! addressed by a **content hash over their canonical wire bytes**, and the
+//! client names that hash in its Hello message. Both sides compute the hash
+//! with [`fingerprint_eval_keys`], so no fingerprint ever needs to travel
+//! alongside the keys themselves.
+//!
+//! The hash is SHA-256 (FIPS 180-4), implemented here directly because the
+//! build environment vendors all dependencies. Collision resistance matters:
+//! the cache is shared between mutually distrusting clients, and a weaker
+//! hash would let one client craft keys colliding with another's fingerprint
+//! and poison the entry. (Evaluation keys are public material, so even a
+//! successful collision discloses nothing — it can only corrupt the victim's
+//! results, which their decryption immediately exposes as garbage.)
+
+use std::fmt;
+
+use eva_ckks::{GaloisKeys, RelinearizationKey};
+
+use crate::frame::WireObject;
+
+/// SHA-256 round constants (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 (FIPS 180-4). Feed bytes with [`Sha256::update`],
+/// finish with [`Sha256::finalize`].
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Partially filled message block.
+    block: [u8; 64],
+    /// Bytes currently buffered in `block`.
+    fill: usize,
+    /// Total message length in bytes.
+    length: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher in the FIPS 180-4 initial state.
+    pub fn new() -> Self {
+        Self {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            block: [0u8; 64],
+            fill: 0,
+            length: 0,
+        }
+    }
+
+    /// Absorbs `bytes` into the hash state.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.length = self.length.wrapping_add(bytes.len() as u64);
+        let mut rest = bytes;
+        if self.fill > 0 {
+            let take = rest.len().min(64 - self.fill);
+            self.block[self.fill..self.fill + take].copy_from_slice(&rest[..take]);
+            self.fill += take;
+            rest = &rest[take..];
+            if self.fill < 64 {
+                // The input only topped up the partial block.
+                return;
+            }
+            let block = self.block;
+            self.compress(&block);
+            self.fill = 0;
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            self.compress(block.try_into().unwrap());
+            rest = tail;
+        }
+        self.block[..rest.len()].copy_from_slice(rest);
+        self.fill = rest.len();
+    }
+
+    /// Applies the FIPS padding and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_length = self.length.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.fill != 56 {
+            self.update(&[0]);
+        }
+        // Append the message length directly (it must not count toward the
+        // padded length itself).
+        self.block[56..64].copy_from_slice(&bit_length.to_be_bytes());
+        let block = self.block;
+        self.compress(&block);
+        let mut digest = [0u8; 32];
+        for (chunk, word) in digest.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        digest
+    }
+
+    /// One-shot convenience: the SHA-256 digest of `bytes`.
+    pub fn digest(bytes: &[u8]) -> [u8; 32] {
+        let mut hasher = Self::new();
+        hasher.update(bytes);
+        hasher.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (word, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *word = word.wrapping_add(v);
+        }
+    }
+}
+
+/// A 256-bit content fingerprint over a client's evaluation keys, used to
+/// address the server's key cache during session resumption.
+///
+/// Produced by [`fingerprint_eval_keys`]; displayed as 64 lowercase hex
+/// digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeyFingerprint(pub [u8; 32]);
+
+impl KeyFingerprint {
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl fmt::Display for KeyFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for byte in self.0 {
+            write!(f, "{byte:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Domain-separation prefix of the evaluation-key fingerprint (so the digest
+/// can never be confused with a hash of the same bytes in another role).
+const FINGERPRINT_DOMAIN: &[u8] = b"EVA-eval-keys-v1";
+
+/// Computes the content fingerprint of one client's evaluation keys:
+///
+/// ```text
+/// SHA-256( "EVA-eval-keys-v1" · has_relin(u8) · relin_wire_bytes? · galois_wire_bytes )
+/// ```
+///
+/// where the key bytes are the canonical `eva-wire` encodings (`EVAL` and
+/// `EVAG`, which re-encode byte-identically after a decode). Client and
+/// server compute this independently — the client over the keys it generated,
+/// the server over the keys it received — so the fingerprint itself never
+/// needs to be trusted from the wire.
+pub fn fingerprint_eval_keys(
+    relin: Option<&RelinearizationKey>,
+    galois: &GaloisKeys,
+) -> KeyFingerprint {
+    let mut hasher = Sha256::new();
+    hasher.update(FINGERPRINT_DOMAIN);
+    match relin {
+        Some(key) => {
+            hasher.update(&[1]);
+            hasher.update(&key.to_wire_bytes());
+        }
+        None => hasher.update(&[0]),
+    }
+    hasher.update(&galois.to_wire_bytes());
+    KeyFingerprint(hasher.finalize())
+}
+
+/// Computes the evaluation-key fingerprint from an already-serialized
+/// key-upload byte sequence of the shape `has_relin(u8) · EVAL? · EVAG` —
+/// which is exactly the session protocol's EvalKeys frame payload.
+///
+/// This is **byte-identical input** to [`fingerprint_eval_keys`] (the bool
+/// is one `0`/`1` byte, the keys are their canonical wire encodings), so the
+/// two functions always agree; this form exists so that the client can hash
+/// the payload it is about to send and the server can hash the payload it
+/// just received, with neither side re-serializing tens of megabytes of key
+/// material it already holds as bytes. Decoders only accept canonical
+/// encodings (re-encoding any accepted buffer is byte-identical, pinned by
+/// the corruption tests), so hashing received bytes equals hashing the
+/// decoded keys.
+pub fn fingerprint_eval_key_payload(payload: &[u8]) -> KeyFingerprint {
+    let mut hasher = Sha256::new();
+    hasher.update(FINGERPRINT_DOMAIN);
+    hasher.update(payload);
+    KeyFingerprint(hasher.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: &[u8]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_test_vectors() {
+        // FIPS 180-4 / NIST CAVP known-answer vectors.
+        assert_eq!(
+            hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // One million 'a's, fed in uneven chunks to exercise buffering.
+        let mut hasher = Sha256::new();
+        let chunk = [b'a'; 977];
+        let mut remaining = 1_000_000usize;
+        while remaining > 0 {
+            let take = remaining.min(chunk.len());
+            hasher.update(&chunk[..take]);
+            remaining -= take;
+        }
+        assert_eq!(
+            hex(&hasher.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut hasher = Sha256::new();
+            hasher.update(&data[..split]);
+            hasher.update(&data[split..]);
+            assert_eq!(hasher.finalize(), Sha256::digest(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn payload_form_matches_the_reference_definition() {
+        // `has_relin(u8) · EVAL? · EVAG` hashed as one buffer must equal the
+        // piecewise reference definition — the session layer relies on this
+        // to hash frame payloads instead of re-serializing keys.
+        let galois = GaloisKeys::default();
+        let mut payload = vec![0u8];
+        payload.extend_from_slice(&galois.to_wire_bytes());
+        assert_eq!(
+            fingerprint_eval_key_payload(&payload),
+            fingerprint_eval_keys(None, &galois)
+        );
+    }
+
+    #[test]
+    fn fingerprint_hex_rendering() {
+        let fp = KeyFingerprint([0xab; 32]);
+        assert_eq!(fp.to_string(), "ab".repeat(32));
+        assert_eq!(fp.as_bytes(), &[0xab; 32]);
+    }
+}

@@ -11,10 +11,15 @@
 //!   format in `eva-core::serialize` is built on this same layer, so program
 //!   files and runtime objects share one set of framing rules.
 //! * [`runtime`] — [`WireObject`] codecs for the runtime objects:
-//!   [`Ciphertext`](eva_ckks::Ciphertext), [`Plaintext`](eva_ckks::Plaintext),
-//!   [`PublicKey`](eva_ckks::PublicKey),
+//!   [`Ciphertext`](eva_ckks::Ciphertext),
+//!   [`SeededCiphertext`](eva_ckks::SeededCiphertext) (half-size fresh
+//!   ciphertexts whose uniform polynomial ships as a 32-byte seed),
+//!   [`Plaintext`](eva_ckks::Plaintext), [`PublicKey`](eva_ckks::PublicKey),
 //!   [`RelinearizationKey`](eva_ckks::RelinearizationKey) and
 //!   [`GaloisKeys`](eva_ckks::GaloisKeys).
+//! * [`fingerprint`] — SHA-256 content fingerprints over evaluation-key wire
+//!   bytes ([`fingerprint_eval_keys`]), the addresses of the deployment
+//!   server's evaluation-key cache for session resumption.
 //!
 //! `SecretKey` intentionally has **no codec**: the service layer can only
 //! frame [`WireObject`] values, so this crate is a structural guarantee that
@@ -32,6 +37,7 @@
 //! | compiled program bundle (`eva-core::serialize`) | `EVAB` | 1 |
 //! | encryption parameter spec (`eva-core::serialize`) | `EVAS` | 1 |
 //! | ciphertext | `EVAC` | 1 |
+//! | seeded ciphertext | `EVAD` | 1 |
 //! | plaintext | `EVAT` | 1 |
 //! | public key | `EVAK` | 1 |
 //! | relinearization key | `EVAL` | 1 |
@@ -39,14 +45,20 @@
 //! | program manifest (`eva-service`) | `EVAM` | 1 |
 //!
 //! Every object is `magic(4) · version(u32) · body_len(u64) · body`, all
-//! integers little-endian.
+//! integers little-endian. The full byte-level specification, including the
+//! session protocol these objects travel inside, lives in
+//! [`docs/PROTOCOL.md`](https://github.com/eva-reproduction/eva/blob/main/docs/PROTOCOL.md).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod fingerprint;
 pub mod frame;
 pub mod runtime;
 
+pub use fingerprint::{
+    fingerprint_eval_key_payload, fingerprint_eval_keys, KeyFingerprint, Sha256,
+};
 pub use frame::{Reader, WireError, WireObject, Writer};
 pub use runtime::{
     decode_poly, encode_poly, MAX_WIRE_CIPHERTEXT_POLYS, MAX_WIRE_DEGREE, MAX_WIRE_LEVEL,

@@ -11,7 +11,10 @@
 //! only ever frame objects that implement [`WireObject`], so secret key
 //! material cannot reach a socket through this crate.
 
-use eva_ckks::{Ciphertext, GaloisKeys, KeySwitchKey, Plaintext, PublicKey, RelinearizationKey};
+use eva_ckks::{
+    Ciphertext, GaloisKeys, KeySwitchKey, Plaintext, PublicKey, RelinearizationKey,
+    SeededCiphertext,
+};
 use eva_poly::{PolyForm, RnsPoly};
 
 use crate::frame::{Reader, WireError, WireObject, Writer};
@@ -137,6 +140,37 @@ impl WireObject for Ciphertext {
             )));
         }
         Ok(Ciphertext::from_parts(polys, scale_log2, level))
+    }
+}
+
+impl WireObject for SeededCiphertext {
+    const MAGIC: [u8; 4] = *b"EVAD";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.f64(self.scale_log2());
+        w.u32(self.level() as u32);
+        w.raw(self.seed());
+        encode_poly(w, self.b());
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let scale_log2 = r.f64()?;
+        if !scale_log2.is_finite() {
+            return Err(WireError::Invalid(
+                "non-finite seeded-ciphertext scale".into(),
+            ));
+        }
+        let level = r.u32()? as usize;
+        let seed: [u8; 32] = r.take(32)?.try_into().expect("take(32) returns 32 bytes");
+        let b = decode_poly(r)?;
+        if b.level() != level {
+            return Err(WireError::Invalid(format!(
+                "seeded ciphertext level field {level} does not match polynomial level {}",
+                b.level()
+            )));
+        }
+        Ok(SeededCiphertext::from_parts(seed, b, scale_log2, level))
     }
 }
 
@@ -345,6 +379,36 @@ mod tests {
         let decryptor = Decryptor::new(ctx, keygen.secret_key().clone());
         let values = decryptor.decrypt_to_values(&restored, 4);
         assert!((values[0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn seeded_ciphertext_roundtrip_expands_to_the_unseeded_encryption() {
+        use eva_ckks::SymmetricEncryptor;
+
+        let ctx = context();
+        let keygen = KeyGenerator::from_seed(ctx.clone(), 9);
+        let encoder = CkksEncoder::new(ctx.clone());
+        let pt = encoder.encode(&[0.75, -2.0, 1.0, 0.5], 31.5, 3);
+        let mut seeded_enc =
+            SymmetricEncryptor::from_seed(ctx.clone(), keygen.secret_key().clone(), 10);
+        let mut full_enc =
+            SymmetricEncryptor::from_seed(ctx.clone(), keygen.secret_key().clone(), 10);
+
+        let seeded = seeded_enc.encrypt_seeded(&pt);
+        let bytes = seeded.to_wire_bytes();
+        // The seeded transport form is roughly half the full encoding.
+        let full = full_enc.encrypt(&pt);
+        assert!(bytes.len() * 100 <= full.to_wire_bytes().len() * 55);
+
+        let restored = SeededCiphertext::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(restored.to_wire_bytes(), bytes);
+        let expanded = restored.expand(&ctx).unwrap();
+        assert_eq!(expanded.polys(), full.polys());
+        assert_eq!(expanded.scale_log2().to_bits(), full.scale_log2().to_bits());
+
+        let decryptor = Decryptor::new(ctx, keygen.secret_key().clone());
+        let values = decryptor.decrypt_to_values(&expanded, 4);
+        assert!((values[0] - 0.75).abs() < 1e-3);
     }
 
     #[test]

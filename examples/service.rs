@@ -10,7 +10,13 @@
 //!    encrypted executor under the same seed (and within the ≤ 1e-4
 //!    regression bound of the plaintext reference),
 //! 2. the secret key's bytes never appeared in either direction of the
-//!    captured socket traffic (`secret-key-on-wire: CLEAN`).
+//!    captured socket traffic (`secret-key-on-wire: CLEAN`),
+//! 3. a **warm reconnect** resumes the server's cached evaluation keys via
+//!    the session ticket: the second session's transcript carries **zero**
+//!    evaluation-key bytes (`warm-reconnect-eval-key-bytes: 0`) while its
+//!    outputs still match the in-process executor (numerically, not
+//!    bitwise — resumed sessions deliberately draw fresh encryption
+//!    randomness).
 //!
 //! Run with `cargo run --release --example service -- [image_side | --lenet]`.
 
@@ -20,7 +26,10 @@ use std::time::Instant;
 
 use eva::backend::{execute_parallel, run_reference, EncryptedContext};
 use eva::ir::{compile, CompilerOptions};
-use eva::service::{contains_bytes, EvaClient, EvaServer, RecordingStream};
+use eva::service::{
+    bytes_with_tag, contains_bytes, EvaClient, EvaServer, RecordingStream, TAG_EVAL_KEYS,
+    TAG_INPUTS,
+};
 
 const SEED: u64 = 7;
 
@@ -83,12 +92,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = listener.local_addr()?;
     println!("server: listening on {addr}, keys stay client-side");
     let server = EvaServer::new(compiled.clone())?.with_threads(2);
-    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 1));
+    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 2));
 
     // ---- Client session over an instrumented stream. --------------------
     let start = Instant::now();
     let stream = RecordingStream::new(TcpStream::connect(addr)?);
-    let mut client = EvaClient::handshake(stream, Some(SEED))?;
+    // Deterministic mode (test/demo only): everything derives from SEED so
+    // the socket run can be compared bit-for-bit with the in-process one.
+    let mut client = EvaClient::handshake_deterministic(stream, SEED)?;
     println!(
         "client: handshake + key generation + evaluation-key upload took {:.2?}",
         start.elapsed()
@@ -120,13 +131,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Leak audit: the secret key must never touch the socket. --------
     let probe = client.secret_key_probe();
+    let ticket = client
+        .resumption_ticket()
+        .expect("seeded sessions mint a resumption ticket");
     let stream = client.finish()?;
     let (sent, received) = (stream.sent().to_vec(), stream.received().to_vec());
     println!(
-        "traffic: {} bytes uploaded (hello + evaluation keys + encrypted inputs), \
+        "traffic: {} bytes uploaded (hello + evaluation keys + seeded encrypted inputs), \
          {} bytes downloaded (manifest + encrypted outputs)",
         sent.len(),
         received.len()
+    );
+    println!(
+        "traffic: evaluation keys {} bytes, inputs {} bytes (seeded EVAD transport)",
+        bytes_with_tag(&sent, TAG_EVAL_KEYS)?,
+        bytes_with_tag(&sent, TAG_INPUTS)?,
     );
     let leaked = probe
         .chunks(32)
@@ -136,6 +155,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Err("secret key bytes found in captured socket traffic".into());
     }
     println!("secret-key-on-wire: CLEAN");
+
+    // ---- Warm reconnect: session resumption via cached evaluation keys. --
+    // The ticket's seed re-derives the same keys; encryption randomness is
+    // fresh OS entropy, so the warm outputs agree numerically (not bitwise)
+    // with the first session.
+    let start = Instant::now();
+    let stream = RecordingStream::new(TcpStream::connect(addr)?);
+    let mut client = EvaClient::handshake_resuming(stream, ticket)?;
+    println!(
+        "client: warm reconnect (resumed = {}) took {:.2?}",
+        client.resumed(),
+        start.elapsed()
+    );
+    if !client.resumed() {
+        return Err("server did not resume the cached evaluation keys".into());
+    }
+    let warm_outputs = client.evaluate(&inputs)?;
+    let mut max_warm = 0.0f64;
+    for (name, got) in &warm_outputs {
+        for (a, b) in got.iter().zip(&expected[name]) {
+            max_warm = max_warm.max((a - b).abs());
+        }
+    }
+    // Two independently-noised encryptions (deterministic cold run + fresh-
+    // entropy warm run) can differ by the sum of two noise draws, so the
+    // bound is twice the single-run one.
+    assert!(
+        max_warm <= 2e-4,
+        "warm-reconnect outputs deviate from the in-process executor"
+    );
+    let stream = client.finish()?;
+    let warm_sent = stream.sent().to_vec();
+    let warm_key_bytes = bytes_with_tag(&warm_sent, TAG_EVAL_KEYS)?;
+    println!(
+        "traffic: warm session uploaded {} bytes total ({} input bytes)",
+        warm_sent.len(),
+        bytes_with_tag(&warm_sent, TAG_INPUTS)?,
+    );
+    println!("warm-reconnect-eval-key-bytes: {warm_key_bytes}");
+    if warm_key_bytes != 0 {
+        return Err("warm reconnect uploaded evaluation-key bytes".into());
+    }
+    println!("warm reconnect outputs match in-process executor (<=2e-4)");
 
     server_thread
         .join()

@@ -167,7 +167,7 @@ pub mod sample {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         count: usize,
