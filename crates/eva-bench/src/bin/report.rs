@@ -5,14 +5,21 @@
 //! cargo run --release -p eva-bench --bin report -- --table 6
 //! cargo run --release -p eva-bench --bin report -- --figure 7 --full
 //! cargo run --release -p eva-bench --bin report -- --primitives     # BENCH_primitives.json
+//! cargo run --release -p eva-bench --bin report -- --analysis       # verifier + noise budgets
+//! cargo run --release -p eva-bench --bin report -- --dot sobel.dot  # annotated graphviz dump
 //! ```
 //!
 //! By default the encrypted-latency measurements (Tables 5, 7 and Figure 7)
 //! only run the smaller networks so the report finishes in minutes on a
 //! laptop; pass `--full` to measure every network of Table 3.
 
+use std::time::Instant;
+
 use eva_bench::*;
-use eva_core::{compile, CompilerOptions, ModSwitchStrategy, Opcode, Program, RescaleStrategy};
+use eva_core::analysis::{estimate_noise, verify_compiled, NoiseModel};
+use eva_core::{
+    compile, CompiledProgram, CompilerOptions, ModSwitchStrategy, Opcode, Program, RescaleStrategy,
+};
 use eva_tensor::all_networks;
 
 struct Options {
@@ -26,6 +33,12 @@ struct Options {
     /// `Some(path)` when `--wire [path]` was passed: measure wire object
     /// sizes and localhost service round-trip latency, writing `path`.
     wire: Option<String>,
+    /// `--analysis`: time the static verifier and dump per-output worst-case
+    /// noise budgets for the example circuits (Sobel, LeNet).
+    analysis: bool,
+    /// `Some(path)` when `--dot [path]` was passed: write the Sobel circuit
+    /// as annotated Graphviz DOT (level + noise budget per node) to `path`.
+    dot: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -39,6 +52,8 @@ fn parse_args() -> Options {
             .unwrap_or(1),
         primitives: None,
         wire: None,
+        analysis: false,
+        dot: None,
     };
     let mut iter = args.iter().peekable();
     let mut all = args.is_empty();
@@ -75,6 +90,14 @@ fn parse_args() -> Options {
                     _ => "BENCH_wire.json".to_string(),
                 };
                 options.wire = Some(path);
+            }
+            "--analysis" => options.analysis = true,
+            "--dot" => {
+                let path = match iter.peek() {
+                    Some(p) if !p.starts_with("--") => iter.next().unwrap().clone(),
+                    _ => "sobel.dot".to_string(),
+                };
+                options.dot = Some(path);
             }
             other => eprintln!("ignoring unknown argument {other}"),
         }
@@ -137,6 +160,39 @@ fn main() {
 
     let networks = all_networks(42);
     let heavy_limit = if options.full { networks.len() } else { 1 };
+
+    if options.analysis {
+        println!("== Static analysis: verifier timing and worst-case noise budgets ==");
+        let sobel = compile(
+            &eva_apps::image::sobel_program(16),
+            &CompilerOptions::default(),
+        )
+        .expect("sobel compiles");
+        analysis_entry("sobel 16x16", &sobel);
+        for network in networks.iter().take(heavy_limit) {
+            let prepared = prepare_network(network);
+            analysis_entry(&network.name, &prepared.eva.1);
+        }
+        if !options.full {
+            println!("(pass --full to analyse every network of Table 3)");
+        }
+    }
+
+    if let Some(path) = &options.dot {
+        let sobel = compile(
+            &eva_apps::image::sobel_program(16),
+            &CompilerOptions::default(),
+        )
+        .expect("sobel compiles");
+        let dot = sobel.to_dot();
+        match std::fs::write(path, &dot) {
+            Ok(()) => println!(
+                "wrote annotated DOT for sobel 16x16 ({} nodes) to {path}",
+                sobel.program.len()
+            ),
+            Err(err) => eprintln!("failed to write {path}: {err}"),
+        }
+    }
 
     for &figure in &options.figures {
         match figure {
@@ -217,6 +273,34 @@ fn main() {
             }
             other => eprintln!("no such table: {other}"),
         }
+    }
+}
+
+/// Times the verifier and the noise estimator on one compiled circuit and
+/// prints the per-output worst-case budgets.
+fn analysis_entry(label: &str, compiled: &CompiledProgram) {
+    let start = Instant::now();
+    let report = verify_compiled(compiled);
+    let verify_time = start.elapsed();
+    let start = Instant::now();
+    let noise = estimate_noise(compiled, &NoiseModel::default());
+    let noise_time = start.elapsed();
+    println!(
+        "{label:<24} {:>6} nodes  verify {:>9.2?} ({})  noise model {:>9.2?}",
+        compiled.program.len(),
+        verify_time,
+        if report.is_clean() {
+            "clean".to_string()
+        } else {
+            format!("{} errors", report.error_count())
+        },
+        noise_time,
+    );
+    for output in noise.output_budgets(&compiled.program) {
+        println!(
+            "  output {:<16} budget {:>7.1} bits   worst-case message error 2^{:.1}",
+            output.name, output.budget_bits, output.message_error_log2
+        );
     }
 }
 

@@ -1,11 +1,21 @@
 //! Analysis passes: graph traversals that compute per-node facts without
 //! modifying the graph (paper Section 6).
 
+// The analysis API is a documented contract (docs/ANALYSIS.md): the service
+// layer gates untrusted program load on it, so missing docs here are errors
+// even though the rest of the crate only warns.
+#![deny(missing_docs)]
+
+pub mod noise;
 pub mod parameters;
 pub mod rotations;
 pub mod scale;
 pub mod validation;
+pub mod verifier;
 
+pub use noise::{
+    check_noise, estimate_noise, NoiseModel, NoiseReport, OutputBudget, DEFAULT_SAFETY_MARGIN_BITS,
+};
 pub use parameters::{select_parameters, ParameterSpec};
 pub use rotations::select_rotation_steps;
 pub use scale::{
@@ -13,3 +23,4 @@ pub use scale::{
     prime_log2s, ChainEntry,
 };
 pub use validation::{validate_exact_scales, validate_transformed};
+pub use verifier::{verify_compiled, verify_program, Check, Diagnostic, Severity, VerifierReport};

@@ -76,7 +76,7 @@ fn split_scale_bits(total_bits: u32, max_bits: u32) -> Vec<u32> {
 
 /// Security table lookup shared with `eva-ckks`: the maximum total modulus
 /// bits admissible at 128-bit security for each supported degree.
-fn max_bits_for_degree(degree: usize) -> Option<u32> {
+pub(crate) fn max_bits_for_degree(degree: usize) -> Option<u32> {
     match degree {
         1024 => Some(27),
         2048 => Some(54),

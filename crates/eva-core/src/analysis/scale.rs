@@ -51,7 +51,7 @@ pub enum ChainEntry {
 }
 
 impl ChainEntry {
-    fn merge(a: ChainEntry, b: ChainEntry) -> Option<ChainEntry> {
+    pub(crate) fn merge(a: ChainEntry, b: ChainEntry) -> Option<ChainEntry> {
         match (a, b) {
             (ChainEntry::ModSwitch, other) | (other, ChainEntry::ModSwitch) => Some(other),
             (ChainEntry::Rescale(x), ChainEntry::Rescale(y)) if x == y => Some(a),

@@ -3,13 +3,11 @@
 //! never trigger a runtime exception in the FHE library (paper Section 6.2,
 //! "Validation Passes").
 
-use crate::analysis::scale::{
-    analyze_exact_scales, analyze_levels, analyze_num_polys, analyze_scales,
-};
+use crate::analysis::scale::{analyze_exact_scales, analyze_scales};
+use crate::analysis::verifier::verify_program;
 use crate::analysis::ParameterSpec;
 use crate::error::EvaError;
-use crate::program::{NodeKind, Program};
-use crate::types::Opcode;
+use crate::program::Program;
 
 /// Validates the transformed program against Constraints 1–4.
 ///
@@ -20,72 +18,23 @@ use crate::types::Opcode;
 ///   polynomials (relinearization was inserted where needed).
 /// * **Constraint 4** — every RESCALE divides by at most `2^max_rescale_bits`.
 ///
+/// The checks run through the multi-diagnostic
+/// [verifier](crate::analysis::verifier), so the error describes **every**
+/// violated constraint with node and opcode provenance, not just the first.
+/// On success the program's nominal scale annotations are (re)stamped for the
+/// phases that follow.
+///
 /// # Errors
 ///
-/// Returns [`EvaError::Validation`] describing the first violated constraint.
+/// Returns [`EvaError::Validation`] listing all violated constraints.
 pub fn validate_transformed(program: &mut Program, max_rescale_bits: u32) -> Result<(), EvaError> {
-    let scales = analyze_scales(program)?;
-    let chains = analyze_levels(program)?; // also checks chain conformity
-    let polys = analyze_num_polys(program);
-
-    for id in 0..program.len() {
-        let node = program.node(id).clone();
-        let NodeKind::Instruction { op, args } = &node.kind else {
-            continue;
-        };
-        let cipher_args: Vec<usize> = args
-            .iter()
-            .copied()
-            .filter(|&a| program.node(a).ty.is_cipher())
-            .collect();
-
-        match op {
-            Opcode::Add | Opcode::Sub | Opcode::Multiply => {
-                // Constraint 1: equal moduli for the cipher operands.
-                if cipher_args.len() == 2 {
-                    let (a, b) = (cipher_args[0], cipher_args[1]);
-                    if chains[a].len() != chains[b].len() {
-                        return Err(EvaError::Validation(format!(
-                            "node {id} ({op}): operand moduli differ \
-                             (chain lengths {} vs {})",
-                            chains[a].len(),
-                            chains[b].len()
-                        )));
-                    }
-                }
-                // Constraint 2: equal scales for addition and subtraction.
-                if matches!(op, Opcode::Add | Opcode::Sub) && args.len() == 2 {
-                    let (a, b) = (args[0], args[1]);
-                    if scales[a] != scales[b] {
-                        return Err(EvaError::Validation(format!(
-                            "node {id} ({op}): operand scales differ (2^{} vs 2^{})",
-                            scales[a], scales[b]
-                        )));
-                    }
-                }
-                // Constraint 3: multiply operands must have exactly 2 polynomials.
-                if matches!(op, Opcode::Multiply) {
-                    for &a in &cipher_args {
-                        if polys[a] != 2 {
-                            return Err(EvaError::Validation(format!(
-                                "node {id} (multiply): operand {a} has {} polynomials; \
-                                 relinearization missing",
-                                polys[a]
-                            )));
-                        }
-                    }
-                }
-            }
-            Opcode::Rescale(bits)
-                // Constraint 4: rescale divisor bounded by the maximum prime size.
-                if *bits > max_rescale_bits => {
-                    return Err(EvaError::Validation(format!(
-                        "node {id}: rescale by 2^{bits} exceeds the maximum of 2^{max_rescale_bits}"
-                    )));
-                }
-            _ => {}
-        }
+    if let Some(err) = verify_program(program, max_rescale_bits).into_error() {
+        return Err(err);
     }
+    // The verifier is read-only; stamp the nominal scales it validated so
+    // parameter selection can read them off the nodes. A clean report
+    // guarantees this cannot fail (no rescale underflow remains).
+    analyze_scales(program)?;
     Ok(())
 }
 

@@ -1,0 +1,1050 @@
+//! The full IR verifier: a standalone static checker for EVA programs.
+//!
+//! The compiler's validation passes (paper Section 6.2) only ever ran inside
+//! [`crate::compile`], and they stopped at the first violated constraint.
+//! This module turns them into a reusable verifier that works on **any**
+//! [`Program`] — freshly compiled or decoded from an untrusted `.evaprog`
+//! file — and reports *every* violation it finds, each with node provenance
+//! (id and opcode), instead of first-error-only.
+//!
+//! Two entry points:
+//!
+//! * [`verify_program`] checks a transformed program in isolation:
+//!   structural well-formedness (acyclic DAG, in-range argument indices and
+//!   arities, no dangling or duplicate outputs, dead-node hygiene) plus the
+//!   paper's Constraints 1–4 over nominal scales (conforming moduli chains,
+//!   equal ADD/SUB scales, relinearization before any 3-polynomial
+//!   multiplication, bounded rescale divisors).
+//! * [`verify_compiled`] additionally checks a [`CompiledProgram`] against
+//!   its shipped [`ParameterSpec`](crate::ParameterSpec): level underflow of
+//!   rescale/modswitch chains vs. the actual prime chain, exact-scale
+//!   annotations bit-identical to what the executor will observe, full
+//!   rotation-step coverage by the requested Galois keys, and internal
+//!   consistency of the parameter spec itself (including the 128-bit
+//!   security bound).
+//!
+//! Each finding is a [`Diagnostic`] naming the [`Check`] that failed, so
+//! callers (and tests) can match failures to checks by name. Dead nodes are
+//! reported as warnings — compiled programs may legitimately contain them —
+//! and warnings never make a report unclean.
+//!
+//! # Example
+//!
+//! ```
+//! use eva_core::analysis::verifier::{verify_compiled, Check};
+//! use eva_core::{compile, CompilerOptions, Opcode, Program};
+//!
+//! let mut p = Program::new("square", 8);
+//! let x = p.input_cipher("x", 30);
+//! let sq = p.instruction(Opcode::Multiply, &[x, x]);
+//! p.output("out", sq, 30);
+//!
+//! // Everything the compiler produces verifies cleanly.
+//! let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+//! assert!(verify_compiled(&compiled).is_clean());
+//!
+//! // Tampering with the shipped parameters is caught by a named check.
+//! let mut tampered = compiled.clone();
+//! tampered.parameters.data_primes.pop();
+//! let report = verify_compiled(&tampered);
+//! assert!(!report.is_clean());
+//! assert!(report.has_error(Check::Parameters));
+//! ```
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::analysis::parameters::max_bits_for_degree;
+use crate::analysis::rotations::select_rotation_steps;
+use crate::analysis::scale::{analyze_num_polys, prime_log2s, ChainEntry};
+use crate::compiler::CompiledProgram;
+use crate::error::EvaError;
+use crate::program::{NodeId, NodeKind, Program};
+use crate::types::{ConstantValue, Opcode};
+
+/// The individual checks the verifier runs. Every [`Diagnostic`] names the
+/// check that produced it, so a corrupted program can be matched to the
+/// specific property it violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Check {
+    /// The program graph is a DAG (no argument cycles).
+    Acyclic,
+    /// Argument lists match opcode arities and every index names an existing
+    /// node.
+    ArgIndices,
+    /// Outputs exist, refer to existing nodes and have unique names.
+    Outputs,
+    /// Constants are plaintext-typed and fit the program vector size.
+    Constants,
+    /// Dead-node hygiene: instruction nodes that cannot reach any output
+    /// (reported as warnings — compiled programs may carry dead nodes).
+    DeadCode,
+    /// Paper Constraint 1: operands of binary cipher ops have conforming,
+    /// equal-length rescale/modswitch chains (equal coefficient moduli).
+    ChainConformity,
+    /// Paper Constraint 2: ADD/SUB operands have equal scales (exact `f64`
+    /// equality when verifying against a parameter spec).
+    ScaleMatch,
+    /// Paper Constraint 3: MULTIPLY operands consist of exactly two
+    /// polynomials — relinearization precedes any deeper product.
+    Relinearized,
+    /// Paper Constraint 4: every RESCALE divides by at most the maximum
+    /// prime size and never below its operand's scale.
+    RescaleBounds,
+    /// Rescale/modswitch chains never consume more primes than the shipped
+    /// parameter spec provides (level underflow).
+    LevelBudget,
+    /// Every rotation step in the program is covered by the Galois-key
+    /// request of the compiled program.
+    RotationKeys,
+    /// Stamped exact-scale annotations are bit-identical to a replay of the
+    /// evaluator's scale arithmetic against the shipped primes.
+    ExactScales,
+    /// The parameter spec is internally consistent and within the 128-bit
+    /// security budget for its ring degree.
+    Parameters,
+}
+
+impl Check {
+    /// A stable kebab-case name for the check, used in diagnostics, wire
+    /// payloads and tests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Check::Acyclic => "acyclic",
+            Check::ArgIndices => "arg-indices",
+            Check::Outputs => "outputs",
+            Check::Constants => "constants",
+            Check::DeadCode => "dead-code",
+            Check::ChainConformity => "chain-conformity",
+            Check::ScaleMatch => "scale-match",
+            Check::Relinearized => "relinearized",
+            Check::RescaleBounds => "rescale-bounds",
+            Check::LevelBudget => "level-budget",
+            Check::RotationKeys => "rotation-keys",
+            Check::ExactScales => "exact-scales",
+            Check::Parameters => "parameters",
+        }
+    }
+}
+
+impl std::fmt::Display for Check {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Advisory only; does not make the report unclean.
+    Warning,
+    /// A genuine violation: the program must not be executed.
+    Error,
+}
+
+/// One verifier finding: the check that fired, where, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The check that produced this finding.
+    pub check: Check,
+    /// Whether the finding is a hard error or advisory.
+    pub severity: Severity,
+    /// The node the finding is anchored to, if any.
+    pub node: Option<NodeId>,
+    /// Human-readable description, including node and opcode provenance.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let severity = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "[{}] {severity}: {}", self.check, self.message)
+    }
+}
+
+/// The verifier's result: every diagnostic found, in program order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifierReport {
+    /// All findings, errors and warnings alike.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifierReport {
+    /// Whether the program passed: no error-severity diagnostics (warnings
+    /// such as dead code are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Iterator over the error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether any **error** diagnostic came from the given check.
+    pub fn has_error(&self, check: Check) -> bool {
+        self.errors().any(|d| d.check == check)
+    }
+
+    /// Collapses the report into a single [`EvaError::Validation`] carrying
+    /// every error message (with its check name), or `None` if clean.
+    pub fn into_error(self) -> Option<EvaError> {
+        if self.is_clean() {
+            return None;
+        }
+        let joined: Vec<String> = self
+            .errors()
+            .map(|d| format!("[{}] {}", d.check, d.message))
+            .collect();
+        Some(EvaError::Validation(joined.join("; ")))
+    }
+}
+
+impl std::fmt::Display for VerifierReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.diagnostics.is_empty() {
+            return writeln!(f, "verifier: clean");
+        }
+        for diagnostic in &self.diagnostics {
+            writeln!(f, "{diagnostic}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Verifies a standalone (transformed) program: structural well-formedness
+/// plus Constraints 1–4 over nominal scales. Reports every violation found.
+///
+/// `max_rescale_bits` bounds rescale divisors (Constraint 4, the paper's
+/// `log2 s_f`; 60 in SEAL).
+pub fn verify_program(program: &Program, max_rescale_bits: u32) -> VerifierReport {
+    let mut verifier = Verifier::new(program, max_rescale_bits, None);
+    verifier.run();
+    verifier.report
+}
+
+/// Verifies a compiled program against its own parameter spec and rotation
+/// keys: everything [`verify_program`] checks, plus level budget, exact-scale
+/// bit-identity, rotation-key coverage and parameter-spec consistency.
+///
+/// This is the gate `eva-service` runs on every `.evaprog` load and the
+/// compiler runs on its own output: a program passing it can never throw
+/// inside the FHE runtime.
+pub fn verify_compiled(compiled: &CompiledProgram) -> VerifierReport {
+    let mut verifier = Verifier::new(
+        &compiled.program,
+        compiled.parameters.special_prime_bits,
+        Some(compiled),
+    );
+    verifier.run();
+    verifier.report
+}
+
+/// Internal driver holding the program under inspection and the report being
+/// built.
+struct Verifier<'a> {
+    program: &'a Program,
+    max_rescale_bits: u32,
+    compiled: Option<&'a CompiledProgram>,
+    report: VerifierReport,
+    /// Topological order, available once the structural pass proved the
+    /// graph acyclic.
+    order: Vec<NodeId>,
+    live: Vec<bool>,
+}
+
+impl<'a> Verifier<'a> {
+    fn new(
+        program: &'a Program,
+        max_rescale_bits: u32,
+        compiled: Option<&'a CompiledProgram>,
+    ) -> Self {
+        Self {
+            program,
+            max_rescale_bits,
+            compiled,
+            report: VerifierReport::default(),
+            order: Vec::new(),
+            live: Vec::new(),
+        }
+    }
+
+    fn error(&mut self, check: Check, node: Option<NodeId>, message: String) {
+        self.report.diagnostics.push(Diagnostic {
+            check,
+            severity: Severity::Error,
+            node,
+            message,
+        });
+    }
+
+    fn warn(&mut self, check: Check, node: Option<NodeId>, message: String) {
+        self.report.diagnostics.push(Diagnostic {
+            check,
+            severity: Severity::Warning,
+            node,
+            message,
+        });
+    }
+
+    /// `%id (opcode)` / `%id (input "x")` provenance prefix for messages.
+    fn describe(&self, id: NodeId) -> String {
+        match &self.program.node(id).kind {
+            NodeKind::Input { name } => format!("node {id} (input {name:?})"),
+            NodeKind::Constant { .. } => format!("node {id} (constant)"),
+            NodeKind::Instruction { op, .. } => format!("node {id} ({op})"),
+        }
+    }
+
+    fn run(&mut self) {
+        if !self.structural() {
+            // The graph is not even navigable; semantic analyses would index
+            // out of range or loop, so stop at the structural findings.
+            return;
+        }
+        self.semantic();
+        if let Some(compiled) = self.compiled {
+            self.parameters(compiled);
+            self.rotations(compiled);
+        }
+    }
+
+    /// Structural pass. Returns whether the graph is safe to traverse
+    /// (arguments in range, arities correct, acyclic).
+    fn structural(&mut self) -> bool {
+        let program = self.program;
+        let node_count = program.len();
+
+        if program.outputs().is_empty() {
+            self.error(Check::Outputs, None, "program declares no outputs".into());
+        }
+        let mut seen_names: HashSet<&str> = HashSet::new();
+        for output in program.outputs() {
+            if !seen_names.insert(&output.name) {
+                self.error(
+                    Check::Outputs,
+                    None,
+                    format!("duplicate output name {:?}", output.name),
+                );
+            }
+            if output.node >= node_count {
+                self.error(
+                    Check::Outputs,
+                    None,
+                    format!(
+                        "output {:?} dangles: node {} does not exist ({} nodes)",
+                        output.name, output.node, node_count
+                    ),
+                );
+            }
+        }
+
+        let mut navigable = true;
+        for (id, node) in program.nodes().iter().enumerate() {
+            match &node.kind {
+                NodeKind::Constant { value } => {
+                    if node.ty.is_cipher() {
+                        self.error(
+                            Check::Constants,
+                            Some(id),
+                            format!("node {id} (constant) has Cipher type"),
+                        );
+                    }
+                    if let ConstantValue::Vector(v) = value {
+                        if v.len() > program.vec_size() {
+                            self.error(
+                                Check::Constants,
+                                Some(id),
+                                format!(
+                                    "node {id} (constant) holds {} elements, program vector \
+                                     size is {}",
+                                    v.len(),
+                                    program.vec_size()
+                                ),
+                            );
+                        }
+                    }
+                }
+                NodeKind::Instruction { op, args } => {
+                    if args.len() != op.arity() {
+                        self.error(
+                            Check::ArgIndices,
+                            Some(id),
+                            format!(
+                                "node {id} ({op}) has {} arguments, {op} expects {}",
+                                args.len(),
+                                op.arity()
+                            ),
+                        );
+                        navigable = false;
+                    }
+                    for &arg in args {
+                        if arg >= node_count {
+                            self.error(
+                                Check::ArgIndices,
+                                Some(id),
+                                format!(
+                                    "node {id} ({op}) references missing node {arg} \
+                                     ({node_count} nodes)"
+                                ),
+                            );
+                            navigable = false;
+                        }
+                    }
+                }
+                NodeKind::Input { .. } => {}
+            }
+        }
+        if !navigable {
+            return false;
+        }
+
+        // Cycle check: Kahn's algorithm, reimplemented here because
+        // `Program::topological_order` assumes (and debug-asserts) acyclicity
+        // — precisely what an untrusted decoded program may violate.
+        let mut in_degree = vec![0usize; node_count];
+        for (id, node) in program.nodes().iter().enumerate() {
+            if let NodeKind::Instruction { args, .. } = &node.kind {
+                let mut distinct: Vec<NodeId> = args.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                in_degree[id] = distinct.len();
+            }
+        }
+        let uses = program.uses();
+        let mut queue: VecDeque<NodeId> =
+            (0..node_count).filter(|&id| in_degree[id] == 0).collect();
+        let mut order = Vec::with_capacity(node_count);
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for &user in &uses[id] {
+                in_degree[user] -= 1;
+                if in_degree[user] == 0 {
+                    queue.push_back(user);
+                }
+            }
+        }
+        if order.len() < node_count {
+            let mut cyclic: Vec<NodeId> =
+                (0..node_count).filter(|&id| !order.contains(&id)).collect();
+            cyclic.truncate(8);
+            self.error(
+                Check::Acyclic,
+                cyclic.first().copied(),
+                format!(
+                    "program graph has a cycle through {} node(s), including {}",
+                    node_count - order.len(),
+                    cyclic
+                        .iter()
+                        .map(|&id| format!("%{id}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            );
+            return false;
+        }
+        self.order = order;
+
+        // Dead-node hygiene: instruction nodes that cannot reach any output.
+        self.live = program.live_mask();
+        let dead: Vec<NodeId> = (0..node_count)
+            .filter(|&id| !self.live[id] && program.opcode(id).is_some())
+            .collect();
+        if !dead.is_empty() {
+            let shown: Vec<String> = dead.iter().take(8).map(|&id| format!("%{id}")).collect();
+            let suffix = if dead.len() > shown.len() {
+                ", …"
+            } else {
+                ""
+            };
+            self.warn(
+                Check::DeadCode,
+                dead.first().copied(),
+                format!(
+                    "{} instruction node(s) never reach an output: {}{suffix}",
+                    dead.len(),
+                    shown.join(", ")
+                ),
+            );
+        }
+        true
+    }
+
+    /// Multi-diagnostic rescale-chain propagation (paper Definition 3 and
+    /// Constraint 1). On a conformity conflict the longer chain is kept so
+    /// one root cause does not cascade into a diagnostic per descendant.
+    fn analyze_chains(&mut self) -> Vec<Vec<ChainEntry>> {
+        let program = self.program;
+        let mut chains: Vec<Vec<ChainEntry>> = vec![Vec::new(); program.len()];
+        for idx in 0..self.order.len() {
+            let id = self.order[idx];
+            let node = program.node(id);
+            if !node.ty.is_cipher() {
+                continue;
+            }
+            let NodeKind::Instruction { op, args } = &node.kind else {
+                continue;
+            };
+            let cipher_args: Vec<NodeId> = args
+                .iter()
+                .copied()
+                .filter(|&a| program.node(a).ty.is_cipher())
+                .collect();
+            let mut merged: Option<Vec<ChainEntry>> = None;
+            let mut reported = false;
+            for &arg in &cipher_args {
+                let arg_chain = chains[arg].clone();
+                merged = Some(match merged {
+                    None => arg_chain,
+                    Some(current) => {
+                        if current.len() != arg_chain.len() {
+                            if !reported {
+                                let message = format!(
+                                    "{}: operand rescale chains have different lengths \
+                                     ({} vs {})",
+                                    self.describe(id),
+                                    current.len(),
+                                    arg_chain.len()
+                                );
+                                self.error(Check::ChainConformity, Some(id), message);
+                                reported = true;
+                            }
+                            // Keep the longer chain to bound the cascade.
+                            if arg_chain.len() > current.len() {
+                                arg_chain
+                            } else {
+                                current
+                            }
+                        } else {
+                            let mut out = Vec::with_capacity(current.len());
+                            for (&a, &b) in current.iter().zip(&arg_chain) {
+                                match ChainEntry::merge(a, b) {
+                                    Some(entry) => out.push(entry),
+                                    None => {
+                                        if !reported {
+                                            let message = format!(
+                                                "{}: operands have non-conforming rescale \
+                                                 chains ({a:?} vs {b:?})",
+                                                self.describe(id)
+                                            );
+                                            self.error(Check::ChainConformity, Some(id), message);
+                                            reported = true;
+                                        }
+                                        out.push(a);
+                                    }
+                                }
+                            }
+                            out
+                        }
+                    }
+                });
+            }
+            let mut chain = merged.unwrap_or_default();
+            match op {
+                Opcode::Rescale(bits) => chain.push(ChainEntry::Rescale(*bits)),
+                Opcode::ModSwitch => chain.push(ChainEntry::ModSwitch),
+                _ => {}
+            }
+            chains[id] = chain;
+        }
+        chains
+    }
+
+    /// Scale propagation, nominal or exact depending on whether a parameter
+    /// spec is in hand, collecting `scale-match` / `rescale-bounds` /
+    /// `exact-scales` diagnostics along the way.
+    fn analyze_scales(&mut self, chains: &[Vec<ChainEntry>]) -> Vec<f64> {
+        let program = self.program;
+        let exact = self
+            .compiled
+            .map(|c| (prime_log2s(&c.parameters.data_primes), c));
+        let max_level = exact
+            .as_ref()
+            .map(|(logs, _)| logs.len())
+            .unwrap_or(usize::MAX);
+        let mut scales = vec![0.0f64; program.len()];
+        for idx in 0..self.order.len() {
+            let id = self.order[idx];
+            let node = program.node(id);
+            if exact.is_some() && !self.live[id] {
+                // Dead nodes are never executed; like the exact-scale pass,
+                // trust their stamped annotation and move on.
+                scales[id] = node.scale_log2;
+                continue;
+            }
+            let scale = match &node.kind {
+                NodeKind::Input { .. } | NodeKind::Constant { .. } => node.scale_log2,
+                NodeKind::Instruction { op, args } => {
+                    let arg_scales: Vec<f64> = args.iter().map(|&a| scales[a]).collect();
+                    let cipher_args: Vec<NodeId> = args
+                        .iter()
+                        .copied()
+                        .filter(|&a| program.node(a).ty.is_cipher())
+                        .collect();
+                    let exact_cipher = exact.is_some() && node.ty.is_cipher();
+                    match op {
+                        Opcode::Multiply => arg_scales.iter().sum(),
+                        Opcode::Add | Opcode::Sub => {
+                            if exact_cipher {
+                                // Exact mode mirrors the executor: a plain
+                                // operand is encoded at the cipher operand's
+                                // exact scale, so only cipher-cipher pairs
+                                // can mismatch.
+                                if cipher_args.len() == 2 {
+                                    let (a, b) = (scales[cipher_args[0]], scales[cipher_args[1]]);
+                                    if a != b {
+                                        let message = format!(
+                                            "{}: operand scales differ (2^{a} vs 2^{b})",
+                                            self.describe(id)
+                                        );
+                                        self.error(Check::ScaleMatch, Some(id), message);
+                                    }
+                                    a.max(b)
+                                } else {
+                                    scales[cipher_args[0]]
+                                }
+                            } else {
+                                // Nominal mode follows the paper: both
+                                // operands (plain included) must agree.
+                                let (a, b) = (arg_scales[0], arg_scales[1]);
+                                if a != b {
+                                    let message = format!(
+                                        "{}: operand scales differ (2^{a} vs 2^{b})",
+                                        self.describe(id)
+                                    );
+                                    self.error(Check::ScaleMatch, Some(id), message);
+                                }
+                                a.max(b)
+                            }
+                        }
+                        Opcode::Rescale(bits) => {
+                            if *bits > self.max_rescale_bits {
+                                let message = format!(
+                                    "{}: rescale by 2^{bits} exceeds the maximum of 2^{}",
+                                    self.describe(id),
+                                    self.max_rescale_bits
+                                );
+                                self.error(Check::RescaleBounds, Some(id), message);
+                            }
+                            if exact_cipher {
+                                // chains[id] includes this node's own entry,
+                                // so the prime divided sits at
+                                // max_level - chains[id].len().
+                                let consumed = chains[id].len();
+                                if consumed > max_level {
+                                    // Level underflow is reported by the
+                                    // dedicated check below; fall back to the
+                                    // nominal divisor to keep propagating.
+                                    arg_scales[0] - f64::from(*bits)
+                                } else {
+                                    let (logs, _) = exact.as_ref().expect("exact mode");
+                                    arg_scales[0] - logs[max_level - consumed]
+                                }
+                            } else {
+                                if arg_scales[0] < f64::from(*bits) {
+                                    let message = format!(
+                                        "{}: rescale by 2^{bits} underflows operand scale 2^{}",
+                                        self.describe(id),
+                                        arg_scales[0]
+                                    );
+                                    self.error(Check::RescaleBounds, Some(id), message);
+                                }
+                                (arg_scales[0] - f64::from(*bits)).max(0.0)
+                            }
+                        }
+                        Opcode::Negate
+                        | Opcode::RotateLeft(_)
+                        | Opcode::RotateRight(_)
+                        | Opcode::Relinearize
+                        | Opcode::ModSwitch => arg_scales[0],
+                    }
+                }
+            };
+            scales[id] = scale;
+            // Exact mode: the stamped annotation must be bit-identical to the
+            // replayed value, or the evaluator's exact-equality check fires
+            // at run time.
+            if exact.is_some() && node.scale_log2.to_bits() != scale.to_bits() {
+                let message = format!(
+                    "{}: stamped scale 2^{} is not bit-identical to the replayed exact \
+                     scale 2^{}",
+                    self.describe(id),
+                    node.scale_log2,
+                    scale
+                );
+                self.error(Check::ExactScales, Some(id), message);
+            }
+        }
+        scales
+    }
+
+    /// The semantic pass: chains, scales, polynomial counts, level budget.
+    fn semantic(&mut self) {
+        let program = self.program;
+        let chains = self.analyze_chains();
+        let polys = analyze_num_polys(program);
+        self.analyze_scales(&chains);
+
+        let max_level = self
+            .compiled
+            .map(|c| c.parameters.data_primes.len())
+            .unwrap_or(usize::MAX);
+        for id in 0..program.len() {
+            let Some(op) = program.opcode(id) else {
+                continue;
+            };
+            let cipher_args: Vec<NodeId> = program
+                .args(id)
+                .iter()
+                .copied()
+                .filter(|&a| program.node(a).ty.is_cipher())
+                .collect();
+            // The runtime's multiply and rotate both require canonical
+            // 2-polynomial operands (`CkksError::TooManyPolynomials` /
+            // `InvalidCiphertextSize`), so a missing relinearization anywhere
+            // upstream of either is a load-time refusal, not a session crash.
+            if matches!(
+                op,
+                Opcode::Multiply | Opcode::RotateLeft(_) | Opcode::RotateRight(_)
+            ) {
+                for &a in &cipher_args {
+                    if polys[a] != 2 {
+                        let message = format!(
+                            "{}: operand %{a} has {} polynomials; relinearization missing",
+                            self.describe(id),
+                            polys[a]
+                        );
+                        self.error(Check::Relinearized, Some(id), message);
+                    }
+                }
+            }
+            // Level underflow: a consuming node whose chain is longer than
+            // the shipped prime chain would run the modulus dry at run time.
+            // Reported at consuming nodes only, so one deep chain yields one
+            // diagnostic rather than one per descendant.
+            if op.consumes_modulus()
+                && self.live[id]
+                && program.node(id).ty.is_cipher()
+                && chains[id].len() > max_level
+            {
+                let message = format!(
+                    "{}: rescale chain of length {} exceeds the {max_level}-prime chain",
+                    self.describe(id),
+                    chains[id].len()
+                );
+                self.error(Check::LevelBudget, Some(id), message);
+            }
+        }
+
+        // Deployment gate only: outputs leave a *compiled* program in
+        // canonical 2-polynomial form — the wire ciphertext contract (and the
+        // noise model) assume the final relinearization happened. Standalone
+        // verification stays at the paper's Constraint 3 (the runtime's add
+        // and decrypt both accept wider ciphertexts).
+        if self.compiled.is_none() {
+            return;
+        }
+        for output in program.outputs() {
+            let node = output.node;
+            if program.node(node).ty.is_cipher() && polys[node] != 2 {
+                let message = format!(
+                    "output {:?} ({}) has {} polynomials; relinearization missing",
+                    output.name,
+                    self.describe(node),
+                    polys[node]
+                );
+                self.error(Check::Relinearized, Some(node), message);
+            }
+        }
+    }
+
+    /// Parameter-spec consistency (compiled programs only).
+    fn parameters(&mut self, compiled: &CompiledProgram) {
+        let spec = &compiled.parameters;
+        if spec.data_primes.len() != spec.data_prime_bits.len() {
+            self.error(
+                Check::Parameters,
+                None,
+                format!(
+                    "parameter spec carries {} data primes but {} bit sizes",
+                    spec.data_primes.len(),
+                    spec.data_prime_bits.len()
+                ),
+            );
+        }
+        if spec.data_primes.is_empty() {
+            self.error(
+                Check::Parameters,
+                None,
+                "parameter spec has an empty data prime chain".into(),
+            );
+        }
+        if spec.data_primes.iter().any(|&q| q < 2) || spec.special_prime < 2 {
+            self.error(
+                Check::Parameters,
+                None,
+                "parameter spec contains a prime smaller than 2".into(),
+            );
+            return;
+        }
+        let Some(max_bits) = max_bits_for_degree(spec.degree) else {
+            self.error(
+                Check::Parameters,
+                None,
+                format!("ring degree {} is not supported", spec.degree),
+            );
+            return;
+        };
+        if spec.degree < 2 * self.program.vec_size() {
+            self.error(
+                Check::Parameters,
+                None,
+                format!(
+                    "ring degree {} cannot pack {} slots (needs at least {})",
+                    spec.degree,
+                    self.program.vec_size(),
+                    2 * self.program.vec_size()
+                ),
+            );
+        }
+        let exact_bits: f64 = spec
+            .data_primes
+            .iter()
+            .chain(std::iter::once(&spec.special_prime))
+            .map(|&q| (q as f64).log2())
+            .sum();
+        if exact_bits > f64::from(max_bits) {
+            self.error(
+                Check::Parameters,
+                None,
+                format!(
+                    "coefficient modulus has {exact_bits:.2} bits, above the {max_bits}-bit \
+                     128-bit-security budget for degree {}",
+                    spec.degree
+                ),
+            );
+        }
+    }
+
+    /// Rotation-step coverage (compiled programs only).
+    fn rotations(&mut self, compiled: &CompiledProgram) {
+        let required = select_rotation_steps(self.program);
+        let provided: HashSet<i64> = compiled.rotation_steps.iter().copied().collect();
+        for step in required {
+            if !provided.contains(&step) {
+                self.error(
+                    Check::RotationKeys,
+                    None,
+                    format!(
+                        "rotation step {step} is used by the program but missing from the \
+                         Galois-key request {:?}",
+                        compiled.rotation_steps
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CompilerOptions};
+    use crate::program::Program;
+    use crate::types::ValueType;
+
+    fn sum_of_rotations() -> Program {
+        // A program exercising rotations, multiplication and addition.
+        let mut p = Program::new("rotsum", 16);
+        let x = p.input_cipher("x", 30);
+        let r1 = p.instruction(Opcode::RotateLeft(1), &[x]);
+        let r2 = p.instruction(Opcode::RotateRight(2), &[x]);
+        let prod = p.instruction(Opcode::Multiply, &[r1, r2]);
+        let sum = p.instruction(Opcode::Add, &[prod, prod]);
+        p.output("out", sum, 30);
+        p
+    }
+
+    fn compiled_rotsum() -> CompiledProgram {
+        compile(&sum_of_rotations(), &CompilerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn compiled_programs_verify_cleanly() {
+        let compiled = compiled_rotsum();
+        let report = verify_compiled(&compiled);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn swapped_arg_is_caught() {
+        // Mutation: retarget one argument of a cipher ADD to a node at a
+        // different scale/level — the scale-match (and possibly chain) check
+        // must fire.
+        let mut compiled = compiled_rotsum();
+        let program = &mut compiled.program;
+        let add = (0..program.len())
+            .find(|&id| {
+                program.opcode(id) == Some(Opcode::Add)
+                    && program
+                        .args(id)
+                        .iter()
+                        .all(|&a| program.node(a).ty.is_cipher())
+            })
+            .expect("cipher add");
+        // Point the second operand back at the raw input (different scale
+        // and chain than the transformed operand).
+        program.replace_arg_at(add, 1, 0);
+        let report = verify_compiled(&compiled);
+        assert!(!report.is_clean());
+        assert!(
+            report.has_error(Check::ScaleMatch) || report.has_error(Check::ChainConformity),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn dropped_relinearize_is_caught() {
+        // Mutation: bypass a RELINEARIZE node, re-exposing a 3-polynomial
+        // ciphertext to a downstream multiply.
+        let mut p = Program::new("needs_relin", 8);
+        let x = p.input_cipher("x", 30);
+        let prod = p.instruction(Opcode::Multiply, &[x, x]);
+        let deeper = p.instruction(Opcode::Multiply, &[prod, x]);
+        p.output("out", deeper, 30);
+        let report = verify_program(&p, 60);
+        assert!(report.has_error(Check::Relinearized), "{report}");
+    }
+
+    #[test]
+    fn deepened_rescale_chain_is_caught() {
+        // Mutation: append an extra RESCALE past the shipped prime chain.
+        let mut compiled = compiled_rotsum();
+        let out_node = compiled.program.outputs()[0].node;
+        let extra = compiled.program.push_instruction(
+            Opcode::Rescale(30),
+            vec![out_node],
+            ValueType::Cipher,
+        );
+        compiled.program.redirect_outputs(out_node, extra);
+        // One rescale per remaining prime exhausts the chain.
+        for _ in 0..compiled.parameters.data_primes.len() {
+            let out_node = compiled.program.outputs()[0].node;
+            let extra = compiled.program.push_instruction(
+                Opcode::Rescale(30),
+                vec![out_node],
+                ValueType::Cipher,
+            );
+            compiled.program.redirect_outputs(out_node, extra);
+        }
+        let report = verify_compiled(&compiled);
+        assert!(report.has_error(Check::LevelBudget), "{report}");
+    }
+
+    #[test]
+    fn removed_rotation_step_is_caught() {
+        let mut compiled = compiled_rotsum();
+        assert!(!compiled.rotation_steps.is_empty());
+        compiled.rotation_steps.remove(0);
+        let report = verify_compiled(&compiled);
+        assert!(report.has_error(Check::RotationKeys), "{report}");
+    }
+
+    #[test]
+    fn tampered_exact_scale_is_caught() {
+        let mut compiled = compiled_rotsum();
+        let out_node = compiled.program.outputs()[0].node;
+        let stamped = compiled.program.node(out_node).scale_log2;
+        compiled.program.set_scale_log2(out_node, stamped + 1.0);
+        let report = verify_compiled(&compiled);
+        assert!(report.has_error(Check::ExactScales), "{report}");
+    }
+
+    #[test]
+    fn cycle_is_caught_without_panicking() {
+        // Build a cycle through the pub(crate) mutator: %1 -> %2 -> %1.
+        let mut p = Program::new("cyclic", 8);
+        let x = p.input_cipher("x", 30);
+        let a = p.push_instruction(Opcode::Negate, vec![x], ValueType::Cipher);
+        let b = p.push_instruction(Opcode::Negate, vec![a], ValueType::Cipher);
+        p.replace_arg_at(a, 0, b);
+        p.output("out", b, 30);
+        let report = verify_program(&p, 60);
+        assert!(report.has_error(Check::Acyclic), "{report}");
+    }
+
+    #[test]
+    fn duplicate_and_missing_outputs_are_caught() {
+        let mut p = Program::new("bad_outputs", 8);
+        let x = p.input_cipher("x", 30);
+        p.output("out", x, 30);
+        p.output("out", x, 30); // duplicate name
+        let report = verify_program(&p, 60);
+        assert!(report.has_error(Check::Outputs), "{report}");
+
+        let empty = Program::new("no_outputs", 8);
+        let report = verify_program(&empty, 60);
+        assert!(report.has_error(Check::Outputs), "{report}");
+    }
+
+    #[test]
+    fn oversized_rescale_and_underflow_are_caught() {
+        let mut p = Program::new("bad_rescale", 8);
+        let x = p.input_cipher("x", 30);
+        let r = p.push_instruction(Opcode::Rescale(65), vec![x], ValueType::Cipher);
+        p.output("out", r, 30);
+        let report = verify_program(&p, 60);
+        assert!(report.has_error(Check::RescaleBounds), "{report}");
+        // Both findings (over the max AND underflowing the operand) surface.
+        assert!(report.error_count() >= 2, "{report}");
+    }
+
+    #[test]
+    fn dead_nodes_are_warnings_not_errors() {
+        let mut p = Program::new("dead", 8);
+        let x = p.input_cipher("x", 30);
+        let _dead = p.instruction(Opcode::Negate, &[x]);
+        let live = p.instruction(Opcode::Add, &[x, x]);
+        p.output("out", live, 30);
+        let report = verify_program(&p, 60);
+        assert!(report.is_clean(), "{report}");
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.check == Check::DeadCode && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn tampered_parameters_are_caught() {
+        let mut compiled = compiled_rotsum();
+        compiled.parameters.degree = 512;
+        let report = verify_compiled(&compiled);
+        assert!(report.has_error(Check::Parameters), "{report}");
+    }
+
+    #[test]
+    fn all_violations_are_reported_not_just_the_first() {
+        // Two independent defects in one program: both must appear.
+        let mut p = Program::new("multi", 8);
+        let x = p.input_cipher("x", 30);
+        let prod = p.instruction(Opcode::Multiply, &[x, x]);
+        let deeper = p.instruction(Opcode::Multiply, &[prod, x]); // missing relin
+        let sum = p.instruction(Opcode::Add, &[deeper, x]); // scale mismatch
+        p.output("out", sum, 30);
+        let report = verify_program(&p, 60);
+        assert!(report.has_error(Check::Relinearized), "{report}");
+        assert!(report.has_error(Check::ScaleMatch), "{report}");
+    }
+}

@@ -1,9 +1,11 @@
 //! The compiler driver (paper Algorithm 1): transform, validate, select
 //! encryption parameters, select rotation keys.
 
+use crate::analysis::noise::{check_noise, estimate_noise, NoiseModel};
+use crate::analysis::scale::{analyze_levels, chain_lengths};
+use crate::analysis::verifier::verify_compiled;
 use crate::analysis::{
-    select_parameters, select_rotation_steps, validate_exact_scales, validate_transformed,
-    ParameterSpec,
+    select_parameters, select_rotation_steps, validate_transformed, ParameterSpec,
 };
 use crate::error::EvaError;
 use crate::passes::{
@@ -100,6 +102,45 @@ impl CompiledProgram {
     pub fn name(&self) -> &str {
         self.program.name()
     }
+
+    /// Renders the compiled graph in Graphviz DOT syntax, annotated with the
+    /// facts the static analyses computed: each node label carries its
+    /// opcode, level (remaining primes), exact `log2` scale and worst-case
+    /// noise budget in bits. The plain structural dump without annotations is
+    /// [`Program::to_dot`].
+    ///
+    /// ```
+    /// use eva_core::{compile, CompilerOptions, Opcode, Program};
+    ///
+    /// let mut p = Program::new("square", 8);
+    /// let x = p.input_cipher("x", 30);
+    /// let sq = p.instruction(Opcode::Multiply, &[x, x]);
+    /// p.output("out", sq, 30);
+    /// let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+    /// let dot = compiled.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("budget"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let program = &self.program;
+        let noise = estimate_noise(self, &NoiseModel::default());
+        let max_level = self.parameters.data_primes.len();
+        let levels: Vec<usize> = match analyze_levels(program) {
+            Ok(chains) => chain_lengths(&chains)
+                .iter()
+                .map(|&consumed| max_level.saturating_sub(consumed))
+                .collect(),
+            Err(_) => vec![max_level; program.len()],
+        };
+        program.to_dot_with(|id| {
+            let node = program.node(id);
+            if !node.ty.is_cipher() {
+                return String::new();
+            }
+            let budget = noise.nodes[id].budget_bits;
+            format!("\\nL={} budget={budget:.1}b", levels[id])
+        })
+    }
 }
 
 /// Compiles an input EVA program (paper Algorithm 1).
@@ -144,7 +185,6 @@ pub fn compile(input: &Program, options: &CompilerOptions) -> Result<CompiledPro
     // Phase two: the prime chain is fixed, so re-annotate with exact scales
     // and correct the sub-bit drift the nominal phase cannot see.
     let exact_scale_fixes_inserted = apply_exact_scales(&mut program, &parameters)?;
-    validate_exact_scales(&program, &parameters)?;
 
     let rotation_steps = select_rotation_steps(&program);
 
@@ -156,12 +196,23 @@ pub fn compile(input: &Program, options: &CompilerOptions) -> Result<CompiledPro
         exact_scale_fixes_inserted,
         node_count: program.len(),
     };
-    Ok(CompiledProgram {
+    let compiled = CompiledProgram {
         program,
         parameters,
         rotation_steps,
         stats,
-    })
+    };
+
+    // The full verifier re-checks its own output against the shipped spec —
+    // structure, constraints, level budget, rotation coverage and
+    // bit-identical exact scales (subsuming the old exact-scale validation).
+    if let Some(err) = verify_compiled(&compiled).into_error() {
+        return Err(err);
+    }
+    // Finally the worst-case noise gate: a program whose outputs could drown
+    // in noise is rejected at compile time rather than decrypting to garbage.
+    check_noise(&compiled, &NoiseModel::default())?;
+    Ok(compiled)
 }
 
 #[cfg(test)]

@@ -17,6 +17,10 @@ pub enum EvaError {
     /// coefficient modulus than any supported ring degree provides at 128-bit
     /// security).
     ParameterSelection(String),
+    /// The worst-case noise analysis rejected the program: at least one
+    /// output's noise budget falls below the safety margin, so decryption
+    /// could return garbage even though Constraints 1–4 hold.
+    NoiseBudget(String),
     /// Serialization or deserialization of a program failed.
     Serialization(String),
     /// Execution of a compiled program failed (missing input, backend error).
@@ -31,6 +35,7 @@ impl fmt::Display for EvaError {
             EvaError::ParameterSelection(msg) => {
                 write!(f, "encryption parameter selection failed: {msg}")
             }
+            EvaError::NoiseBudget(msg) => write!(f, "noise budget exhausted: {msg}"),
             EvaError::Serialization(msg) => write!(f, "serialization error: {msg}"),
             EvaError::Execution(msg) => write!(f, "execution error: {msg}"),
         }

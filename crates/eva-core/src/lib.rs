@@ -14,7 +14,10 @@
 //! * the **analysis passes** of Section 6 ([`analysis`]): scale, rescale-chain
 //!   and polynomial-count data flow, constraint validation, encryption
 //!   parameter selection and rotation-key selection;
-//! * the **compiler driver** of Algorithm 1 ([`compile`]).
+//! * the **compiler driver** of Algorithm 1 ([`compile`]);
+//! * a standalone **program verifier** ([`analysis::verifier`]) and
+//!   **worst-case noise estimator** ([`analysis::noise`]) that gate both the
+//!   compiler's output and untrusted `.evaprog` loads.
 //!
 //! The compiler is backend-agnostic: it produces a transformed program plus a
 //! [`ParameterSpec`]; the `eva-backend` crate executes it against the
@@ -52,7 +55,10 @@ pub mod program;
 pub mod serialize;
 pub mod types;
 
-pub use analysis::{select_rotation_steps, ParameterSpec};
+pub use analysis::{
+    check_noise, estimate_noise, select_rotation_steps, verify_compiled, verify_program,
+    NoiseModel, NoiseReport, ParameterSpec, VerifierReport,
+};
 pub use compiler::{
     compile, CompilationStats, CompiledProgram, CompilerOptions, ModSwitchStrategy, RescaleStrategy,
 };

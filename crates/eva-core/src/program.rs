@@ -416,6 +416,73 @@ impl Program {
         Ok(())
     }
 
+    /// Renders the program graph in Graphviz DOT syntax (mirroring PyEVA's
+    /// `to_DOT`), one box per node labelled with its id, operation, type and
+    /// `log2` scale, plus double-octagon sinks for the named outputs.
+    ///
+    /// Pipe the result through `dot -Tsvg` to visualise what the compiler
+    /// passes did to a program. For a dump annotated with levels and noise
+    /// budgets, see
+    /// [`CompiledProgram::to_dot`](crate::CompiledProgram::to_dot).
+    ///
+    /// ```
+    /// use eva_core::{Opcode, Program};
+    ///
+    /// let mut p = Program::new("square", 8);
+    /// let x = p.input_cipher("x", 30);
+    /// let sq = p.instruction(Opcode::Multiply, &[x, x]);
+    /// p.output("out", sq, 30);
+    /// let dot = p.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("multiply"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        self.to_dot_with(|_| String::new())
+    }
+
+    /// [`Program::to_dot`] with a caller-supplied annotation appended to each
+    /// node's label (the string is inserted verbatim into the DOT label, so
+    /// use `\n` as `\\n`). The compiler uses this to attach levels and noise
+    /// budgets to the dump.
+    pub fn to_dot_with(&self, annotate: impl Fn(NodeId) -> String) -> String {
+        fn escape(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut dot = String::new();
+        dot.push_str(&format!("digraph \"{}\" {{\n", escape(&self.name)));
+        dot.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+        for (id, node) in self.nodes.iter().enumerate() {
+            let (head, shape) = match &node.kind {
+                NodeKind::Input { name } => (format!("input \\\"{}\\\"", escape(name)), "house"),
+                NodeKind::Constant { .. } => ("const".to_string(), "ellipse"),
+                NodeKind::Instruction { op, .. } => (op.to_string(), "box"),
+            };
+            dot.push_str(&format!(
+                "  n{id} [shape={shape}, label=\"%{id} {head}\\n{:?} @2^{}{}\"];\n",
+                node.ty,
+                node.scale_log2,
+                annotate(id)
+            ));
+        }
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let NodeKind::Instruction { args, .. } = &node.kind {
+                for &arg in args {
+                    dot.push_str(&format!("  n{arg} -> n{id};\n"));
+                }
+            }
+        }
+        for (i, output) in self.outputs.iter().enumerate() {
+            dot.push_str(&format!(
+                "  out{i} [shape=doubleoctagon, label=\"{} @2^{}\"];\n  n{} -> out{i};\n",
+                escape(&output.name),
+                output.scale_log2,
+                output.node
+            ));
+        }
+        dot.push_str("}\n");
+        dot
+    }
+
     /// Counts nodes per opcode, used by reports and tests.
     pub fn opcode_histogram(&self) -> std::collections::BTreeMap<&'static str, usize> {
         let mut histogram = std::collections::BTreeMap::new();
@@ -427,16 +494,19 @@ impl Program {
         histogram
     }
 
-    // ----- mutation helpers used by the compiler's graph rewriting framework -----
+    // ----- graph surgery -------------------------------------------------
+    //
+    // Unchecked mutators used by the compiler's rewriting framework. They are
+    // public because tests and mutation corpora deliberately use them to
+    // construct *invalid* programs — nothing here maintains the invariants the
+    // [`crate::analysis::verifier`] checks, and a program mutated through
+    // these must be re-verified before execution.
 
-    /// Appends a new instruction node without arity checking of its argument
-    /// types (the rewriting framework constructs maintenance instructions).
-    pub(crate) fn push_instruction(
-        &mut self,
-        op: Opcode,
-        args: Vec<NodeId>,
-        ty: ValueType,
-    ) -> NodeId {
+    /// Appends a new instruction node without arity or type checking (the
+    /// rewriting framework constructs maintenance instructions; mutation
+    /// corpora construct deliberately broken ones). The new node's scale
+    /// annotation starts at `2^0`.
+    pub fn push_instruction(&mut self, op: Opcode, args: Vec<NodeId>, ty: ValueType) -> NodeId {
         self.push(Node {
             kind: NodeKind::Instruction { op, args },
             ty,
@@ -456,8 +526,8 @@ impl Program {
     }
 
     /// Replaces occurrences of `old_arg` with `new_arg` in the argument list of
-    /// `node`.
-    pub(crate) fn replace_arg(&mut self, node: NodeId, old_arg: NodeId, new_arg: NodeId) {
+    /// `node`, without re-checking any invariant.
+    pub fn replace_arg(&mut self, node: NodeId, old_arg: NodeId, new_arg: NodeId) {
         if let NodeKind::Instruction { args, .. } = &mut self.nodes[node].kind {
             for arg in args.iter_mut() {
                 if *arg == old_arg {
@@ -467,22 +537,25 @@ impl Program {
         }
     }
 
-    /// Replaces only the `index`-th argument of `node`.
-    pub(crate) fn replace_arg_at(&mut self, node: NodeId, index: usize, new_arg: NodeId) {
+    /// Replaces only the `index`-th argument of `node`, without re-checking
+    /// any scale, chain or type invariant.
+    pub fn replace_arg_at(&mut self, node: NodeId, index: usize, new_arg: NodeId) {
         if let NodeKind::Instruction { args, .. } = &mut self.nodes[node].kind {
             args[index] = new_arg;
         }
     }
 
-    /// Sets the analysed `log2` scale of a node.
-    pub(crate) fn set_scale_log2(&mut self, node: NodeId, scale_log2: f64) {
+    /// Sets the analysed `log2` scale of a node (normally stamped by the
+    /// exact-scale pass; overriding it desynchronizes the annotation from the
+    /// evaluator's arithmetic, which the `exact-scales` check detects).
+    pub fn set_scale_log2(&mut self, node: NodeId, scale_log2: f64) {
         self.nodes[node].scale_log2 = scale_log2;
     }
 
     /// Redirects every output that refers to `from` so it refers to `to`.
     /// Used when a maintenance instruction is inserted after an output node
     /// (the paper models outputs as leaf children, which get repointed too).
-    pub(crate) fn redirect_outputs(&mut self, from: NodeId, to: NodeId) {
+    pub fn redirect_outputs(&mut self, from: NodeId, to: NodeId) {
         for output in &mut self.outputs {
             if output.node == from {
                 output.node = to;

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::io;
 
-use eva_wire::WireError;
+use eva_wire::{ProgramDiagnostics, WireError};
 
 /// Errors produced by the EVA deployment client and server.
 #[derive(Debug)]
@@ -18,6 +18,11 @@ pub enum ServiceError {
     /// The server's encryption parameters failed client-side validation, or
     /// uploaded key material failed server-side validation.
     InvalidParameters(String),
+    /// The static verifier or the noise gate refused a program: the payload
+    /// carries every finding so the refusal is explainable to the operator.
+    /// A server returning this has not instantiated any FHE state for the
+    /// program — it refuses to serve rather than panic mid-evaluation.
+    InvalidProgram(ProgramDiagnostics),
     /// The peer reported an error for the current request.
     Remote(String),
     /// Compilation or execution of the program failed.
@@ -33,6 +38,19 @@ impl fmt::Display for ServiceError {
             ServiceError::Wire(err) => write!(f, "wire decoding error: {err}"),
             ServiceError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             ServiceError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            ServiceError::InvalidProgram(diagnostics) => {
+                let joined: Vec<String> = diagnostics
+                    .diagnostics
+                    .iter()
+                    .map(|d| format!("[{}] {}", d.check, d.message))
+                    .collect();
+                write!(
+                    f,
+                    "program {:?} failed verification: {}",
+                    diagnostics.program,
+                    joined.join("; ")
+                )
+            }
             ServiceError::Remote(msg) => write!(f, "peer reported an error: {msg}"),
             ServiceError::Execution(msg) => write!(f, "execution failed: {msg}"),
             ServiceError::Disconnected => write!(f, "peer closed the connection mid-session"),

@@ -22,15 +22,33 @@ use std::sync::{Arc, Mutex};
 
 use eva_backend::{execute_parallel, parameters_from_spec, EvaluationContext};
 use eva_ckks::{CkksContext, GaloisKeys, RelinearizationKey};
+use eva_core::analysis::noise::{check_noise, NoiseModel};
+use eva_core::analysis::verifier::{verify_compiled, VerifierReport};
 use eva_core::serialize::compiled_from_bytes;
 use eva_core::CompiledProgram;
-use eva_wire::{fingerprint_eval_key_payload, KeyFingerprint};
+use eva_wire::{fingerprint_eval_key_payload, KeyFingerprint, ProgramDiagnostics, WireDiagnostic};
 
 use crate::error::ServiceError;
 use crate::protocol::{
     decode_payload, expect_message, partition_inputs, read_frame, write_message, Message,
     OutputValue, ProgramManifest, PROTOCOL_VERSION, TAG_EVAL_KEYS,
 };
+
+/// Converts a verifier report into the wire payload a refused load carries:
+/// error-severity findings only, each with its stable check name and node.
+fn diagnostics_payload(program: &str, report: &VerifierReport) -> ProgramDiagnostics {
+    ProgramDiagnostics {
+        program: program.to_string(),
+        diagnostics: report
+            .errors()
+            .map(|d| WireDiagnostic {
+                check: d.check.name().to_string(),
+                node: d.node.map(|n| n as u64),
+                message: d.message.clone(),
+            })
+            .collect(),
+    }
+}
 
 /// Statistics for one completed session.
 #[derive(Debug, Clone, Default)]
@@ -178,10 +196,17 @@ impl EvaServer {
     /// context from the compiler's parameter spec (the actual primes, so the
     /// compiler's exact-scale annotations hold bit-for-bit at run time).
     ///
+    /// The program is treated as **untrusted**: the full static verifier
+    /// (`eva_core::analysis::verifier`) and the worst-case noise gate run
+    /// first, and any finding refuses the program with
+    /// [`ServiceError::InvalidProgram`] before any FHE state exists — a
+    /// malformed `.evaprog` can never panic the server or reach a session.
+    ///
     /// # Errors
     ///
-    /// Returns [`ServiceError::InvalidParameters`] if the spec cannot be
-    /// instantiated.
+    /// Returns [`ServiceError::InvalidProgram`] if verification or the noise
+    /// gate fails, and [`ServiceError::InvalidParameters`] if the spec cannot
+    /// be instantiated.
     ///
     /// # Example
     ///
@@ -200,6 +225,26 @@ impl EvaServer {
     /// server.serve_forever(&listener).unwrap();
     /// ```
     pub fn new(compiled: CompiledProgram) -> Result<Self, ServiceError> {
+        // The program is untrusted input (it usually arrives as a `.evaprog`
+        // file): run the full static verifier and the worst-case noise gate
+        // before building any FHE state, and refuse to serve on any finding.
+        let report = verify_compiled(&compiled);
+        if !report.is_clean() {
+            return Err(ServiceError::InvalidProgram(diagnostics_payload(
+                compiled.name(),
+                &report,
+            )));
+        }
+        if let Err(err) = check_noise(&compiled, &NoiseModel::default()) {
+            return Err(ServiceError::InvalidProgram(ProgramDiagnostics {
+                program: compiled.name().to_string(),
+                diagnostics: vec![WireDiagnostic {
+                    check: "noise-budget".to_string(),
+                    node: None,
+                    message: err.to_string(),
+                }],
+            }));
+        }
         let params = parameters_from_spec(&compiled.parameters)
             .map_err(|e| ServiceError::InvalidParameters(e.to_string()))?;
         let context =
@@ -224,7 +269,9 @@ impl EvaServer {
     ///
     /// # Errors
     ///
-    /// Returns [`ServiceError`] on I/O, deserialization or parameter errors.
+    /// Returns [`ServiceError`] on I/O, deserialization or parameter errors,
+    /// and [`ServiceError::InvalidProgram`] if the bundle decodes but fails
+    /// static verification (see [`EvaServer::new`]).
     pub fn from_program_file(path: impl AsRef<Path>) -> Result<Self, ServiceError> {
         let bytes = std::fs::read(path)?;
         let compiled = compiled_from_bytes(&bytes)?;

@@ -1,0 +1,209 @@
+//! Wire codec for program-verification diagnostics.
+//!
+//! When a deployment server refuses to load a `.evaprog` — the static
+//! verifier found structural or semantic violations, or the noise gate
+//! rejected it — the refusal should be *explainable* to the operator on the
+//! other side of the trust boundary. [`ProgramDiagnostics`] is the compact,
+//! allocation-guarded payload carrying those findings: the program's name
+//! plus one entry per diagnostic (the verifier check that fired, the node it
+//! anchors to, and the human-readable message).
+//!
+//! Like every other EVA wire object it is a [`WireObject`]: magic `EVAX`,
+//! version 1, the shared magic/version/length envelope, and a total decoder
+//! that returns [`WireError`] on any malformed input.
+//!
+//! ```
+//! use eva_wire::diagnostics::{ProgramDiagnostics, WireDiagnostic};
+//! use eva_wire::WireObject;
+//!
+//! let report = ProgramDiagnostics {
+//!     program: "sobel".into(),
+//!     diagnostics: vec![WireDiagnostic {
+//!         check: "rotation-keys".into(),
+//!         node: None,
+//!         message: "rotation step 3 is missing from the Galois-key request".into(),
+//!     }],
+//! };
+//! let bytes = report.to_wire_bytes();
+//! let back = ProgramDiagnostics::from_wire_bytes(&bytes).unwrap();
+//! assert_eq!(back, report);
+//! ```
+
+use crate::frame::{Reader, WireError, WireObject, Writer};
+
+/// Upper bound on the number of diagnostics a payload may carry; hostile
+/// inputs claiming more are rejected before allocation.
+pub const MAX_WIRE_DIAGNOSTICS: usize = 4096;
+
+/// One verifier finding in wire form: the check name (the verifier's stable
+/// kebab-case identifier, e.g. `"scale-match"`), the node it anchors to (if
+/// any) and the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDiagnostic {
+    /// Stable name of the verifier check that fired.
+    pub check: String,
+    /// Node id the finding is anchored to, if any.
+    pub node: Option<u64>,
+    /// Human-readable description with node/opcode provenance.
+    pub message: String,
+}
+
+/// The verification findings for one program, as shipped to a client whose
+/// program upload or load was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramDiagnostics {
+    /// Name of the program the findings refer to.
+    pub program: String,
+    /// Every finding, most severe first (the producer's ordering is kept).
+    pub diagnostics: Vec<WireDiagnostic>,
+}
+
+impl WireObject for ProgramDiagnostics {
+    const MAGIC: [u8; 4] = *b"EVAX";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.str(&self.program);
+        w.u32(self.diagnostics.len() as u32);
+        for d in &self.diagnostics {
+            w.str(&d.check);
+            match d.node {
+                Some(node) => {
+                    w.bool(true);
+                    w.u64(node);
+                }
+                None => w.bool(false),
+            }
+            w.str(&d.message);
+        }
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let program = r.str()?;
+        let count = r.u32()? as usize;
+        if count > MAX_WIRE_DIAGNOSTICS {
+            return Err(WireError::Invalid(format!(
+                "diagnostic count {count} exceeds the limit of {MAX_WIRE_DIAGNOSTICS}"
+            )));
+        }
+        let mut diagnostics = Vec::with_capacity(count);
+        for _ in 0..count {
+            let check = r.str()?;
+            let node = if r.bool()? { Some(r.u64()?) } else { None };
+            let message = r.str()?;
+            diagnostics.push(WireDiagnostic {
+                check,
+                node,
+                message,
+            });
+        }
+        Ok(ProgramDiagnostics {
+            program,
+            diagnostics,
+        })
+    }
+}
+
+impl std::fmt::Display for ProgramDiagnostics {
+    /// One finding per line: `program: [check] message (node N)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.diagnostics {
+            write!(f, "{}: [{}] {}", self.program, d.check, d.message)?;
+            if let Some(node) = d.node {
+                write!(f, " (node {node})")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProgramDiagnostics {
+        ProgramDiagnostics {
+            program: "lenet".into(),
+            diagnostics: vec![
+                WireDiagnostic {
+                    check: "relinearized".into(),
+                    node: Some(17),
+                    message: "node 17 (multiply): operand %12 has 3 polynomials".into(),
+                },
+                WireDiagnostic {
+                    check: "parameters".into(),
+                    node: None,
+                    message: "coefficient modulus exceeds the security budget".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = sample();
+        let bytes = original.to_wire_bytes();
+        let restored = ProgramDiagnostics::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(restored, original);
+        // Canonical: re-encoding is byte-identical.
+        assert_eq!(restored.to_wire_bytes(), bytes);
+    }
+
+    #[test]
+    fn empty_report_roundtrips() {
+        let original = ProgramDiagnostics {
+            program: String::new(),
+            diagnostics: Vec::new(),
+        };
+        let restored = ProgramDiagnostics::from_wire_bytes(&original.to_wire_bytes()).unwrap();
+        assert_eq!(restored, original);
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_rejected() {
+        let bytes = sample().to_wire_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                ProgramDiagnostics::from_wire_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_envelope_is_rejected() {
+        let bytes = sample().to_wire_bytes();
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            ProgramDiagnostics::from_wire_bytes(&bad_magic),
+            Err(WireError::BadMagic { .. })
+        ));
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            ProgramDiagnostics::from_wire_bytes(&bad_version),
+            Err(WireError::UnsupportedVersion { .. })
+        ));
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(ProgramDiagnostics::from_wire_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_before_allocation() {
+        // Hand-craft a body claiming u32::MAX diagnostics.
+        let mut w = Writer::new();
+        let mut body = Writer::new();
+        body.str("evil");
+        body.u32(u32::MAX);
+        let body = body.into_bytes();
+        w.raw(b"EVAX");
+        w.u32(1);
+        w.u64(body.len() as u64);
+        w.raw(&body);
+        let err = ProgramDiagnostics::from_wire_bytes(&w.into_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exceeds the limit"), "{err}");
+    }
+}

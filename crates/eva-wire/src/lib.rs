@@ -20,6 +20,9 @@
 //! * [`fingerprint`] — SHA-256 content fingerprints over evaluation-key wire
 //!   bytes ([`fingerprint_eval_keys`]), the addresses of the deployment
 //!   server's evaluation-key cache for session resumption.
+//! * [`diagnostics`] — [`ProgramDiagnostics`], the payload a server returns
+//!   when the static verifier refuses to load a program, carrying every
+//!   finding (check name, node, message) across the trust boundary.
 //!
 //! `SecretKey` intentionally has **no codec**: the service layer can only
 //! frame [`WireObject`] values, so this crate is a structural guarantee that
@@ -43,6 +46,7 @@
 //! | relinearization key | `EVAL` | 1 |
 //! | Galois keys | `EVAG` | 1 |
 //! | program manifest (`eva-service`) | `EVAM` | 1 |
+//! | program diagnostics ([`diagnostics`]) | `EVAX` | 1 |
 //!
 //! Every object is `magic(4) · version(u32) · body_len(u64) · body`, all
 //! integers little-endian. The full byte-level specification, including the
@@ -52,10 +56,12 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod diagnostics;
 pub mod fingerprint;
 pub mod frame;
 pub mod runtime;
 
+pub use diagnostics::{ProgramDiagnostics, WireDiagnostic};
 pub use fingerprint::{
     fingerprint_eval_key_payload, fingerprint_eval_keys, KeyFingerprint, Sha256,
 };

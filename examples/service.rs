@@ -204,5 +204,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("server thread")?
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
+
+    // ---- Load gate: a malformed `.evaprog` is refused, never served. ----
+    // Corrupt the compiled program the way a broken (or hostile) producer
+    // would — here by dropping a rotation step from the Galois-key request —
+    // write it to disk, and show the server's verifier refusing the bundle
+    // with named diagnostics instead of panicking mid-session.
+    let mut corrupted = compiled.clone();
+    corrupted.rotation_steps.remove(0);
+    let path =
+        std::env::temp_dir().join(format!("eva-service-demo-{}.evaprog", std::process::id()));
+    std::fs::write(&path, eva::ir::serialize::compiled_to_bytes(&corrupted))?;
+    match EvaServer::from_program_file(&path) {
+        Err(eva::service::ServiceError::InvalidProgram(diagnostics)) => {
+            println!(
+                "malformed-program-load: REFUSED ({} finding(s): {})",
+                diagnostics.diagnostics.len(),
+                diagnostics
+                    .diagnostics
+                    .iter()
+                    .map(|d| format!("[{}]", d.check))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        Err(other) => {
+            std::fs::remove_file(&path).ok();
+            return Err(format!("expected a verifier refusal, got: {other}").into());
+        }
+        Ok(_) => {
+            std::fs::remove_file(&path).ok();
+            return Err("malformed program was accepted by the load gate".into());
+        }
+    }
+    std::fs::remove_file(&path).ok();
     Ok(())
 }

@@ -92,11 +92,18 @@ proptest! {
                     prop_assert!(compiled.parameters.total_bits() <= 1762);
                 }
                 Err(err) => {
-                    // Only parameter-selection failures are acceptable for very
-                    // deep random programs; validation failures would mean the
-                    // transformation itself is broken.
+                    // Two failure modes are acceptable for very deep random
+                    // programs: parameter selection (the modulus outgrows every
+                    // supported ring degree) and the worst-case noise gate (deep
+                    // multiply chains genuinely drown their outputs in noise).
+                    // Validation failures would mean the transformation itself
+                    // is broken.
                     prop_assert!(
-                        matches!(err, eva::ir::EvaError::ParameterSelection(_)),
+                        matches!(
+                            err,
+                            eva::ir::EvaError::ParameterSelection(_)
+                                | eva::ir::EvaError::NoiseBudget(_)
+                        ),
                         "unexpected compilation failure: {err}"
                     );
                 }
