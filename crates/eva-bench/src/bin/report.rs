@@ -33,6 +33,10 @@ struct Options {
     /// `Some(path)` when `--wire [path]` was passed: measure wire object
     /// sizes and localhost service round-trip latency, writing `path`.
     wire: Option<String>,
+    /// `Some(path)` when `--service [path]` was passed: measure the
+    /// fault-tolerant service baseline (session setup cold/warm/after a
+    /// restart, evaluation success rate under injected faults), writing `path`.
+    service: Option<String>,
     /// `--analysis`: time the static verifier and dump per-output worst-case
     /// noise budgets for the example circuits (Sobel, LeNet).
     analysis: bool,
@@ -52,6 +56,7 @@ fn parse_args() -> Options {
             .unwrap_or(1),
         primitives: None,
         wire: None,
+        service: None,
         analysis: false,
         dot: None,
     };
@@ -90,6 +95,13 @@ fn parse_args() -> Options {
                     _ => "BENCH_wire.json".to_string(),
                 };
                 options.wire = Some(path);
+            }
+            "--service" => {
+                let path = match iter.peek() {
+                    Some(p) if !p.starts_with("--") => iter.next().unwrap().clone(),
+                    _ => "BENCH_service.json".to_string(),
+                };
+                options.service = Some(path);
             }
             "--analysis" => options.analysis = true,
             "--dot" => {
@@ -153,6 +165,29 @@ fn main() {
             );
         }
         let json = wire_json(&sizes, &timings, &[]);
+        if let Err(err) = std::fs::write(path, &json) {
+            eprintln!("failed to write {path}: {err}");
+        }
+    }
+
+    if let Some(path) = &options.service {
+        println!("== Service resilience baseline (writing {path}) ==");
+        let resilience = measure_service_resilience(false);
+        for t in &resilience.timings {
+            println!(
+                "{:<36} mean={:>10.3}µs min={:>10.3}µs ({} samples)",
+                t.name, t.mean_us, t.min_us, t.samples
+            );
+        }
+        println!(
+            "fault injection: {}/{} rounds recovered bit-identically \
+             ({} retried evaluations, {} resumed retries)",
+            resilience.recovered,
+            resilience.fault_rounds,
+            resilience.retried_evaluations,
+            resilience.resumed_retries
+        );
+        let json = service_json(&resilience, &[]);
         if let Err(err) = std::fs::write(path, &json) {
             eprintln!("failed to write {path}: {err}");
         }

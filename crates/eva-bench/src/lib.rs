@@ -548,6 +548,270 @@ pub fn measure_service_roundtrip(quick: bool) -> Vec<KernelTiming> {
     ]
 }
 
+/// The service-resilience baseline measured by `report --service`.
+#[derive(Debug, Clone)]
+pub struct ServiceResilience {
+    /// Session-setup timings: cold (key upload), warm resume (memory cache)
+    /// and warm resume after a full server restart (disk cache).
+    pub timings: Vec<KernelTiming>,
+    /// Number of injected fault rounds.
+    pub fault_rounds: usize,
+    /// Rounds whose evaluation completed bit-identically despite the fault.
+    pub recovered: usize,
+    /// Evaluations that needed at least one retry.
+    pub retried_evaluations: u64,
+    /// Retries that resumed the session ticket (zero key bytes re-uploaded).
+    pub resumed_retries: u64,
+}
+
+/// Measures the fault-tolerant service path end to end: session setup cold
+/// (evaluation-key upload), warm (resumption from the server's in-memory
+/// cache) and warm **after a full server restart** (resumption from the
+/// disk-backed key store), plus the evaluation success rate of a retrying
+/// client driven through the four injected fault classes — a stall past the
+/// server's read deadline, a short read, a mid-frame disconnect and an
+/// in-transit bit flip.
+///
+/// `quick` shortens the injected stall for CI smoke runs.
+///
+/// # Panics
+///
+/// Panics if compilation or the clean localhost sessions fail; faulted
+/// rounds that fail to recover are counted, not fatal.
+pub fn measure_service_resilience(quick: bool) -> ServiceResilience {
+    use eva_core::{compile, CompilerOptions, Opcode, Program};
+    use eva_service::{
+        bytes_with_tag, frame_index, ChaosStream, EvaClient, EvaServer, Fault, RecordingStream,
+        ReliableClient, RetryPolicy, ServerConfig, ServiceError, TAG_EVAL_KEYS,
+    };
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::{Arc, Mutex};
+
+    const SEED: u64 = 42;
+    let (deadline, stall) = if quick {
+        (Duration::from_millis(400), Duration::from_millis(1000))
+    } else {
+        (Duration::from_secs(1), Duration::from_millis(2500))
+    };
+
+    let mut p = Program::new("x2_plus_x", 8);
+    let x = p.input_cipher("x", 30);
+    let x2 = p.instruction(Opcode::Multiply, &[x, x]);
+    let sum = p.instruction(Opcode::Add, &[x2, x]);
+    p.output("out", sum, 30);
+    let compiled = compile(&p, &CompilerOptions::default()).expect("compile");
+    let degree = compiled.parameters.degree;
+    let inputs: HashMap<String, Vec<f64>> = [("x".to_string(), vec![0.5; 8])].into_iter().collect();
+
+    let store_dir = std::env::temp_dir().join(format!("eva-bench-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // ---- Incarnation 1: disk-backed server; cold and warm setups. -------
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+    let addr = listener.local_addr().expect("local addr");
+    let server = EvaServer::new(compiled.clone())
+        .expect("server")
+        .with_threads(2)
+        .with_key_store(&store_dir)
+        .expect("key store");
+    let control = server.clone();
+    let serve = std::thread::spawn(move || server.serve_forever(&listener));
+
+    let start = Instant::now();
+    let mut client =
+        EvaClient::handshake_deterministic(TcpStream::connect(addr).expect("connect"), SEED)
+            .expect("cold handshake");
+    let cold_setup = start.elapsed();
+    let ticket = client.resumption_ticket().expect("seeded session");
+    let expected = client.evaluate(&inputs).expect("cold evaluation");
+    client.finish().expect("cold goodbye");
+
+    // Warm reconnect, recorded: zero key bytes, and the wire geometry the
+    // fault plans aim at (deterministic sessions repeat the same bytes).
+    let start = Instant::now();
+    let stream = RecordingStream::new(TcpStream::connect(addr).expect("reconnect"));
+    let mut client =
+        EvaClient::handshake_resuming_deterministic(stream, ticket).expect("warm handshake");
+    let warm_setup = start.elapsed();
+    assert!(client.resumed(), "server dropped the cached keys");
+    client.evaluate(&inputs).expect("warm evaluation");
+    let (_, warm_sent, warm_received) = client.finish().expect("warm goodbye").into_parts();
+    assert_eq!(
+        bytes_with_tag(&warm_sent, TAG_EVAL_KEYS).expect("frame audit"),
+        0,
+        "warm reconnect uploaded evaluation-key bytes"
+    );
+    let hello_len = 9 + frame_index(&warm_sent).expect("sent frames")[0].1;
+    let manifest_len = 9 + frame_index(&warm_received).expect("received frames")[0].1;
+
+    // ---- The retrying client, one fault class per round. ----------------
+    let next_plan: Arc<Mutex<Vec<Fault>>> = Arc::default();
+    let stage = Arc::clone(&next_plan);
+    let connector = move |_attempt: u32| -> Result<_, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let plan = std::mem::take(&mut *next_plan.lock().unwrap());
+        Ok(ChaosStream::new(stream, plan))
+    };
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_delay: Duration::from_millis(20),
+        max_delay: Duration::from_millis(100),
+        jitter: Duration::from_millis(10),
+        seed: 13,
+    };
+    let mut client = ReliableClient::new(connector, SEED, policy)
+        .with_ticket(ticket)
+        .deterministic_for_tests();
+
+    let faults = [
+        Fault::DelayWrite {
+            at: hello_len + 20, // 20 bytes into the Inputs frame
+            delay: stall,
+        },
+        Fault::TruncateRead {
+            at: manifest_len + 20, // 20 bytes into the Outputs frame
+        },
+        Fault::DisconnectWrite { at: hello_len + 20 },
+        Fault::FlipReadBit {
+            at: manifest_len, // the Outputs frame's tag byte
+            bit: 1,
+        },
+    ];
+    let fault_rounds = faults.len();
+    let mut recovered = 0usize;
+    for fault in faults {
+        // The stall round only terminates once the server's read deadline
+        // cuts the session, so tighten it for just that round.
+        let is_stall = matches!(fault, Fault::DelayWrite { .. });
+        if is_stall {
+            let _ = control.clone().with_config(ServerConfig {
+                read_deadline: Some(deadline),
+                ..ServerConfig::default()
+            });
+        }
+        *stage.lock().unwrap() = vec![fault];
+        client.disconnect();
+        let result = client.evaluate(&inputs);
+        if is_stall {
+            let _ = control.clone().with_config(ServerConfig::default());
+        }
+        match result {
+            Ok(outputs)
+                if outputs["out"]
+                    .iter()
+                    .zip(&expected["out"])
+                    .all(|(a, b)| a.to_bits() == b.to_bits()) =>
+            {
+                recovered += 1;
+            }
+            Ok(_) => eprintln!("fault round completed but the outputs deviate"),
+            Err(err) => eprintln!("fault round failed to recover: {err}"),
+        }
+    }
+    let stats = client.stats();
+    client.finish().expect("retry goodbye");
+    control.shutdown();
+    serve.join().expect("serve thread").expect("serve_forever");
+
+    // ---- Incarnation 2: fresh server state, same store directory. -------
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+    let addr = listener.local_addr().expect("local addr");
+    let server = EvaServer::new(compiled)
+        .expect("server")
+        .with_key_store(&store_dir)
+        .expect("key store");
+    let control = server.clone();
+    let serve = std::thread::spawn(move || server.serve_forever(&listener));
+
+    let start = Instant::now();
+    let stream = RecordingStream::new(TcpStream::connect(addr).expect("reconnect"));
+    let mut client =
+        EvaClient::handshake_resuming_deterministic(stream, ticket).expect("restart handshake");
+    let restart_setup = start.elapsed();
+    assert!(client.resumed(), "restart forgot the disk-cached keys");
+    client.evaluate(&inputs).expect("post-restart evaluation");
+    let stream = client.finish().expect("restart goodbye");
+    assert_eq!(
+        bytes_with_tag(stream.sent(), TAG_EVAL_KEYS).expect("frame audit"),
+        0,
+        "post-restart resumption uploaded evaluation-key bytes"
+    );
+    control.shutdown();
+    serve.join().expect("serve thread").expect("serve_forever");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let one_shot = |name: String, elapsed: Duration| KernelTiming {
+        name,
+        mean_us: elapsed.as_secs_f64() * 1e6,
+        min_us: elapsed.as_secs_f64() * 1e6,
+        samples: 1,
+    };
+    ServiceResilience {
+        timings: vec![
+            one_shot(format!("service_cold_setup_n{degree}"), cold_setup),
+            one_shot(format!("service_warm_resume_n{degree}"), warm_setup),
+            one_shot(format!("service_restart_resume_n{degree}"), restart_setup),
+        ],
+        fault_rounds,
+        recovered,
+        retried_evaluations: stats.retried_evaluations,
+        resumed_retries: stats.resumed_retries,
+    }
+}
+
+/// Renders the resilience baseline as the `BENCH_service.json` document
+/// (hand-rolled JSON like [`wire_json`]; `preserved` carries verbatim
+/// sections over from a previous baseline).
+pub fn service_json(resilience: &ServiceResilience, preserved: &[String]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"eva-bench-service-v1\",\n");
+    s.push_str(
+        "  \"note\": \"Regenerate with: cargo run --release -p eva-bench --bin report -- \
+         --service BENCH_service.json. Session setups are localhost TCP handshakes against \
+         eva-service with a disk-backed key store: cold uploads the evaluation keys, \
+         warm_resume resumes them from the server's in-memory cache, restart_resume resumes \
+         them from disk after a full server restart — zero key bytes cross the wire in either \
+         warm case. fault_injection drives a retrying client through one round per fault class \
+         (stall past the read deadline, short read, mid-frame disconnect, bit flip); a round \
+         counts as recovered only if the outputs are bit-identical to the clean run.\",\n",
+    );
+    s.push_str("  \"session_setup\": {\n");
+    for (i, t) in resilience.timings.iter().enumerate() {
+        let comma = if i + 1 == resilience.timings.len() {
+            ""
+        } else {
+            ","
+        };
+        s.push_str(&format!(
+            "    \"{}\": {{ \"mean_us\": {:.3}, \"min_us\": {:.3}, \"samples\": {} }}{comma}\n",
+            t.name, t.mean_us, t.min_us, t.samples
+        ));
+    }
+    s.push_str("  },\n  \"fault_injection\": {\n");
+    s.push_str(&format!("    \"rounds\": {},\n", resilience.fault_rounds));
+    s.push_str(&format!("    \"recovered\": {},\n", resilience.recovered));
+    s.push_str(&format!(
+        "    \"success_rate\": {:.3},\n",
+        resilience.recovered as f64 / resilience.fault_rounds.max(1) as f64
+    ));
+    s.push_str(&format!(
+        "    \"retried_evaluations\": {},\n",
+        resilience.retried_evaluations
+    ));
+    s.push_str(&format!(
+        "    \"resumed_retries\": {}\n",
+        resilience.resumed_retries
+    ));
+    s.push_str("  }");
+    for section in preserved {
+        s.push_str(",\n  ");
+        s.push_str(section);
+    }
+    s.push_str("\n}\n");
+    s
+}
+
 /// Renders the wire baseline as the `BENCH_wire.json` document (hand-rolled
 /// JSON like [`primitives_json`]; `preserved` carries verbatim sections from
 /// a previous baseline).

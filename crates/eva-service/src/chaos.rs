@@ -1,0 +1,246 @@
+//! A deterministic fault-injection transport for chaos testing.
+//!
+//! [`ChaosStream`] wraps any byte stream (typically a
+//! [`RecordingStream`](crate::RecordingStream), the same instrumentation
+//! seam the traffic audits use) and injects faults at exact **byte
+//! offsets** of the sent/received streams: artificial delays, short reads
+//! (premature EOF), mid-frame disconnects, and bit flips. Offsets, not
+//! probabilities, make every failure reproducible — a chaos test that fails
+//! once fails every time.
+//!
+//! Reads and writes are split at fault offsets, so a fault at offset `n`
+//! fires after exactly `n` clean bytes regardless of how the caller sizes
+//! its buffers.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// One injected fault, anchored at a byte offset of the stream it applies
+/// to (`at` counts bytes this wrapper has passed through so far in that
+/// direction).
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Sleep `delay` once the write offset reaches `at`, before writing
+    /// another byte — stalling mid-upload so the *peer's* read deadline is
+    /// the thing being exercised. Fires once.
+    DelayWrite {
+        /// Sent-byte offset at which to stall.
+        at: u64,
+        /// How long to stall.
+        delay: Duration,
+    },
+    /// Report end-of-stream once the read offset reaches `at`: the peer
+    /// appears to hang up mid-frame (a short read).
+    TruncateRead {
+        /// Received-byte offset at which reads start returning EOF.
+        at: u64,
+    },
+    /// Fail writes with [`io::ErrorKind::BrokenPipe`] once the write offset
+    /// reaches `at`: a mid-frame disconnect as the sender experiences it.
+    DisconnectWrite {
+        /// Sent-byte offset at which writes start failing.
+        at: u64,
+    },
+    /// XOR bit `bit` into the received byte at offset `at` — corruption in
+    /// transit. Fires once.
+    FlipReadBit {
+        /// Received-byte offset of the byte to corrupt.
+        at: u64,
+        /// Which bit (0–7) to flip.
+        bit: u8,
+    },
+}
+
+/// Bookkeeping wrapper: a fault plus whether a fire-once fault has fired.
+#[derive(Debug, Clone)]
+struct ArmedFault {
+    fault: Fault,
+    fired: bool,
+}
+
+/// A transport wrapper injecting the [`Fault`]s it was armed with (see the
+/// module docs). Construct with [`ChaosStream::new`]; recover the wrapped
+/// stream — e.g. for a [`RecordingStream`](crate::RecordingStream) traffic
+/// audit — with [`ChaosStream::into_inner`].
+#[derive(Debug)]
+pub struct ChaosStream<S> {
+    inner: S,
+    faults: Vec<ArmedFault>,
+    sent: u64,
+    received: u64,
+}
+
+impl<S> ChaosStream<S> {
+    /// Arms a stream with a fault plan. An empty plan is a transparent
+    /// pass-through (useful so clean and faulty connections share a type).
+    pub fn new(inner: S, faults: Vec<Fault>) -> Self {
+        Self {
+            inner,
+            faults: faults
+                .into_iter()
+                .map(|fault| ArmedFault {
+                    fault,
+                    fired: false,
+                })
+                .collect(),
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    /// Unwraps the inner stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Bytes passed through so far as `(sent, received)`.
+    pub fn offsets(&self) -> (u64, u64) {
+        (self.sent, self.received)
+    }
+}
+
+impl<S: Read> Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        // Faults whose offset has been reached fire before any more bytes.
+        for armed in &self.faults {
+            match armed.fault {
+                Fault::TruncateRead { at } if self.received >= at => return Ok(0),
+                _ => {}
+            }
+        }
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        // Cap the read so upcoming read-fault offsets land exactly on a
+        // call boundary (truncation) or inside this buffer (flips).
+        let mut limit = buf.len() as u64;
+        for armed in &self.faults {
+            if let Fault::TruncateRead { at } = armed.fault {
+                if at > self.received {
+                    limit = limit.min(at - self.received);
+                }
+            }
+        }
+        let n = self.inner.read(&mut buf[..limit as usize])?;
+        for armed in &mut self.faults {
+            if let Fault::FlipReadBit { at, bit } = armed.fault {
+                if !armed.fired && at >= self.received && at < self.received + n as u64 {
+                    buf[(at - self.received) as usize] ^= 1 << bit;
+                    armed.fired = true;
+                }
+            }
+        }
+        self.received += n as u64;
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        for armed in &mut self.faults {
+            match armed.fault {
+                Fault::DisconnectWrite { at } if self.sent >= at => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "chaos: injected mid-frame disconnect",
+                    ));
+                }
+                Fault::DelayWrite { at, delay } if !armed.fired && self.sent >= at => {
+                    std::thread::sleep(delay);
+                    armed.fired = true;
+                }
+                _ => {}
+            }
+        }
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        // Cap the write so upcoming write-fault offsets land exactly on a
+        // call boundary.
+        let mut limit = buf.len() as u64;
+        for armed in &self.faults {
+            let at = match armed.fault {
+                Fault::DisconnectWrite { at } => at,
+                Fault::DelayWrite { at, .. } if !armed.fired => at,
+                _ => continue,
+            };
+            if at > self.sent {
+                limit = limit.min(at - self.sent);
+            }
+        }
+        let n = self.inner.write(&buf[..limit as usize])?;
+        self.sent += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn truncates_reads_at_the_exact_offset() {
+        let data = (0u8..32).collect::<Vec<_>>();
+        let mut stream = ChaosStream::new(Cursor::new(data), vec![Fault::TruncateRead { at: 10 }]);
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).unwrap();
+        assert_eq!(out, (0u8..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flips_exactly_one_bit_regardless_of_buffer_sizes() {
+        let data = vec![0u8; 32];
+        for chunk in [1usize, 3, 7, 32] {
+            let mut stream = ChaosStream::new(
+                Cursor::new(data.clone()),
+                vec![Fault::FlipReadBit { at: 17, bit: 5 }],
+            );
+            let mut out = Vec::new();
+            let mut buf = vec![0u8; chunk];
+            loop {
+                let n = stream.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                out.extend_from_slice(&buf[..n]);
+            }
+            let mut expected = data.clone();
+            expected[17] = 1 << 5;
+            assert_eq!(out, expected, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn disconnects_writes_at_the_exact_offset() {
+        let mut stream = ChaosStream::new(
+            Cursor::new(Vec::new()),
+            vec![Fault::DisconnectWrite { at: 5 }],
+        );
+        // The first 5 bytes go through (split across calls as needed)…
+        stream.write_all(&[1, 2, 3]).unwrap();
+        let err = stream.write_all(&[4, 5, 6, 7]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(stream.offsets().0, 5);
+        assert_eq!(stream.get_ref().get_ref(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_transparent() {
+        let mut stream = ChaosStream::new(Cursor::new(vec![9, 8, 7]), Vec::new());
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).unwrap();
+        assert_eq!(out, [9, 8, 7]);
+        stream.write_all(&[1]).unwrap();
+        assert_eq!(stream.offsets(), (1, 3));
+    }
+}

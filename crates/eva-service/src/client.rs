@@ -35,10 +35,48 @@ use eva_ckks::{
 use eva_wire::{fingerprint_eval_key_payload, KeyFingerprint};
 
 use crate::error::ServiceError;
+use crate::limits::ClientConfig;
 use crate::protocol::{
     encode_payload, expect_message, write_frame, write_message, InputValue, Message, OutputValue,
     ProgramManifest, PROTOCOL_VERSION,
 };
+
+/// Establishes a TCP connection under a [`ClientConfig`]: connect deadline
+/// per resolved address, then socket read/write timeouts — so neither a
+/// black-holed connect nor a stalled server can hang the client forever.
+fn connect_stream(
+    addr: impl ToSocketAddrs,
+    config: &ClientConfig,
+) -> Result<TcpStream, ServiceError> {
+    let stream = match config.connect_timeout {
+        Some(timeout) => {
+            let mut last_err = None;
+            let mut connected = None;
+            for addr in addr.to_socket_addrs()? {
+                match TcpStream::connect_timeout(&addr, timeout) {
+                    Ok(stream) => {
+                        connected = Some(stream);
+                        break;
+                    }
+                    Err(err) => last_err = Some(err),
+                }
+            }
+            connected.ok_or_else(|| {
+                ServiceError::Io(last_err.unwrap_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "address resolved to no socket addresses",
+                    )
+                }))
+            })?
+        }
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
+    Ok(stream)
+}
 
 /// Everything a client needs to resume a later session without re-uploading
 /// its evaluation keys: the deterministic key seed (to re-derive the *same
@@ -163,6 +201,38 @@ impl EvaClient<TcpStream> {
         stream.set_nodelay(true).ok();
         Self::handshake_resuming(stream, ticket)
     }
+
+    /// Like [`EvaClient::connect`], but under a [`ClientConfig`]: the TCP
+    /// connect honors a deadline (per resolved address) and the socket gets
+    /// read/write timeouts, so neither a black-holed connect nor a stalled
+    /// server can hang the client forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on connection (including
+    /// [`std::io::ErrorKind::TimedOut`]), protocol or validation failures.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        key_seed: Option<u64>,
+        config: &ClientConfig,
+    ) -> Result<Self, ServiceError> {
+        Self::handshake(connect_stream(addr, config)?, key_seed)
+    }
+
+    /// [`EvaClient::connect_resuming`] under a [`ClientConfig`] (see
+    /// [`EvaClient::connect_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on connection, protocol or validation
+    /// failures.
+    pub fn connect_resuming_with(
+        addr: impl ToSocketAddrs,
+        ticket: SessionTicket,
+        config: &ClientConfig,
+    ) -> Result<Self, ServiceError> {
+        Self::handshake_resuming(connect_stream(addr, config)?, ticket)
+    }
 }
 
 impl<S: Read + Write> EvaClient<S> {
@@ -215,11 +285,36 @@ impl<S: Read + Write> EvaClient<S> {
         )
     }
 
+    /// [`EvaClient::handshake_resuming`] with **deterministic encryption
+    /// randomness**, for tests that must compare a retried/resumed session
+    /// bit-for-bit against the in-process executor. Every session seeded
+    /// this way re-derives the *same* per-ciphertext `(a, e)` randomness
+    /// from the ticket's key seed, which is exactly the plaintext-leaking
+    /// repetition [`EvaClient::handshake_deterministic`] warns about —
+    /// **never use this with real data**; real resumption
+    /// ([`EvaClient::handshake_resuming`]) always draws fresh OS entropy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on protocol or validation failures.
+    pub fn handshake_resuming_deterministic(
+        stream: S,
+        ticket: SessionTicket,
+    ) -> Result<Self, ServiceError> {
+        Self::handshake_inner(
+            stream,
+            Some(ticket.key_seed),
+            Some(ticket.fingerprint),
+            true,
+        )
+    }
+
     /// Shared handshake body. `deterministic_encryption` selects the seeded
-    /// encryption RNG (test/bench reproducibility only — it must never be
-    /// combined with reconnection, because re-seeding the encryption RNG
-    /// repeats `(a, e)` pairs across sessions and leaks plaintext
-    /// differences); resumption always passes `false`.
+    /// encryption RNG (test/bench reproducibility only — combined with
+    /// reconnection it repeats `(a, e)` pairs across sessions and leaks
+    /// plaintext differences, which is why production resumption always
+    /// passes `false` and only the loudly-warned `*_deterministic`
+    /// constructors pass `true`).
     fn handshake_inner(
         mut stream: S,
         key_seed: Option<u64>,

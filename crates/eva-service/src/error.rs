@@ -31,6 +31,37 @@ pub enum ServiceError {
     Disconnected,
 }
 
+impl ServiceError {
+    /// Whether retrying on a **fresh connection** has a chance of succeeding
+    /// — the gate [`ReliableClient`](crate::ReliableClient) applies before
+    /// each backoff.
+    ///
+    /// Transient: socket failures, disconnects, undecodable or
+    /// protocol-violating traffic (a flipped bit or truncated frame corrupts
+    /// what the peer *sent*, not what it *is*), locally-detected parameter
+    /// corruption, and the server's explicitly retryable refusals (`busy:`
+    /// backpressure, `deadline:` stall disconnects, `quota:` exhaustion —
+    /// fresh sessions get fresh quotas — and `internal error` panics).
+    ///
+    /// Permanent: every other server-reported error (a verifier refusal or
+    /// an execution failure reproduces deterministically) and local
+    /// [`InvalidProgram`](ServiceError::InvalidProgram) /
+    /// [`Execution`](ServiceError::Execution) failures.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ServiceError::Io(_) | ServiceError::Wire(_) | ServiceError::Disconnected => true,
+            ServiceError::Protocol(_) | ServiceError::InvalidParameters(_) => true,
+            ServiceError::Remote(msg) => {
+                msg.starts_with("busy:")
+                    || msg.contains("deadline:")
+                    || msg.contains("quota:")
+                    || msg.contains("internal error")
+            }
+            ServiceError::InvalidProgram(_) | ServiceError::Execution(_) => false,
+        }
+    }
+}
+
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -64,21 +64,30 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod error;
+pub mod keystore;
+pub mod limits;
 pub mod protocol;
 pub mod record;
+pub mod retry;
 pub mod server;
 
+pub use chaos::{ChaosStream, Fault};
 pub use client::{EvaClient, SessionTicket};
 pub use error::ServiceError;
 pub use eva_wire::KeyFingerprint;
+pub use keystore::DiskKeyStore;
+pub use limits::{ClientConfig, DeadlineStream, ServerConfig};
 pub use protocol::{
     bytes_with_tag, frame_index, FrameSummary, InputSpec, InputValue, Message, OutputSpec,
-    OutputValue, ProgramManifest, ValuePayload, PROTOCOL_VERSION, TAG_BYE, TAG_ERROR,
-    TAG_EVAL_KEYS, TAG_HELLO, TAG_INPUTS, TAG_MANIFEST, TAG_OUTPUTS,
+    OutputValue, ProgramManifest, ValuePayload, MAX_FRAME_BYTES, PROTOCOL_VERSION, TAG_BYE,
+    TAG_ERROR, TAG_EVAL_KEYS, TAG_HELLO, TAG_INPUTS, TAG_MANIFEST, TAG_OUTPUTS,
 };
 pub use record::{contains_bytes, RecordingStream};
+pub use retry::{ReliableClient, RetryPolicy, RetryStats};
 pub use server::{
-    EvaServer, SessionReport, DEFAULT_KEY_CACHE_BUDGET_BYTES, DEFAULT_KEY_CACHE_CAPACITY,
+    EvaServer, ServerStats, SessionReport, DEFAULT_KEY_CACHE_BUDGET_BYTES,
+    DEFAULT_KEY_CACHE_CAPACITY,
 };

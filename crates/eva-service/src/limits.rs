@@ -1,0 +1,379 @@
+//! Resource limits and deadlines for the service layer.
+//!
+//! The session socket is unauthenticated, so every resource a peer can make
+//! the server spend — worker-thread time, buffered bytes, concurrent
+//! sessions — must be bounded *before* any trust is established. This module
+//! holds the knobs ([`ServerConfig`], [`ClientConfig`]) and the transport
+//! wrapper that enforces the time bound ([`DeadlineStream`]).
+//!
+//! The read deadline is a **wall-clock budget per incoming message**, not a
+//! per-`read(2)` timeout: a slowloris peer that trickles one byte per
+//! almost-timeout would defeat a per-read timeout forever, but against a
+//! per-message budget the total stall is bounded no matter how the bytes are
+//! paced. The clock arms at the first read after the budget was last
+//! re-armed, and re-arms on every write (the server answered) **and on
+//! every completed frame** — [`DeadlineStream`] tracks the wire format's
+//! length-prefixed framing itself, so back-to-back messages (evaluation
+//! keys immediately followed by inputs) each get their own budget while a
+//! peer that never completes a frame in time is still cut off.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::error::ServiceError;
+use crate::protocol::{TAG_EVAL_KEYS, TAG_INPUTS};
+
+/// Resource limits an [`EvaServer`](crate::EvaServer) applies to every
+/// session (set with [`EvaServer::with_config`](crate::EvaServer::with_config)).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Wall-clock budget for receiving one complete message (tag, length and
+    /// payload), measured from the first read after the server's last write
+    /// or the previous completed frame — each message gets its own budget.
+    /// A peer that stalls mid-frame — or trickles bytes slower than this —
+    /// is disconnected with a `deadline:` protocol error. Also bounds how
+    /// long an idle session may sit between evaluation rounds. `None`
+    /// disables the deadline (not recommended on untrusted networks).
+    pub read_deadline: Option<Duration>,
+    /// Socket write timeout: a peer that stops draining its receive window
+    /// cannot pin a worker thread in `write(2)` forever.
+    pub write_timeout: Option<Duration>,
+    /// Maximum concurrently served sessions. Further connections are
+    /// answered with a polite `busy:` protocol `Error` frame and closed —
+    /// backpressure a retrying client turns into backoff, instead of an
+    /// unbounded thread pile-up.
+    pub max_sessions: usize,
+    /// Per-session byte quota for `EvalKeys` frames, checked against the
+    /// **announced** frame length before any payload byte is buffered.
+    pub eval_key_quota: u64,
+    /// Per-session cumulative byte quota for `Inputs` frames, checked the
+    /// same way.
+    pub input_quota: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            read_deadline: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_sessions: 64,
+            // Evaluation keys are tens of megabytes (≈48 MB for 16×16
+            // Sobel); one upload per session plus headroom.
+            eval_key_quota: 256 * 1024 * 1024,
+            // Many evaluation rounds of seeded inputs fit comfortably; a
+            // peer needing more opens a new session.
+            input_quota: 1 << 30,
+        }
+    }
+}
+
+/// Socket tuning for [`EvaClient::connect_with`](crate::EvaClient::connect_with):
+/// a connect deadline plus per-read/per-write socket timeouts, so a stalled
+/// or black-holed server cannot hang the client forever.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection (per resolved address).
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout (each `read(2)`; a stalled server trips it).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Some(Duration::from_secs(10)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Wraps a server-side [`TcpStream`] and enforces the per-message read
+/// deadline of [`ServerConfig::read_deadline`] (see the module docs for why
+/// this is a wall-clock budget rather than a per-read timeout). Reads past
+/// the budget fail with [`io::ErrorKind::TimedOut`] and a `deadline:`
+/// message, which the session layer forwards to the peer as a protocol
+/// `Error` frame before closing.
+#[derive(Debug)]
+pub struct DeadlineStream {
+    inner: TcpStream,
+    deadline: Option<Duration>,
+    /// Arms at the first read after a write or a completed frame; cleared by
+    /// writes and by [`DeadlineStream::advance_frames`] at frame boundaries.
+    message_start: Option<Instant>,
+    /// Read-side frame tracker: header bytes of the current frame seen so
+    /// far (a frame is 1 tag byte + 8 little-endian length bytes + payload).
+    header: [u8; 9],
+    header_filled: usize,
+    /// Payload bytes of the current frame still owed by the peer.
+    payload_remaining: u64,
+}
+
+impl DeadlineStream {
+    /// Wraps a stream with an optional per-message read budget.
+    pub fn new(inner: TcpStream, deadline: Option<Duration>) -> Self {
+        Self {
+            inner,
+            deadline,
+            message_start: None,
+            header: [0; 9],
+            header_filled: 0,
+            payload_remaining: 0,
+        }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.inner
+    }
+
+    /// Feeds received bytes through the frame tracker; every completed frame
+    /// re-arms the read budget, so consecutive messages (a multi-megabyte
+    /// key upload followed immediately by inputs) are each measured against
+    /// their own deadline instead of sharing one.
+    fn advance_frames(&mut self, mut bytes: &[u8]) {
+        while !bytes.is_empty() {
+            if self.header_filled < self.header.len() {
+                let take = bytes.len().min(self.header.len() - self.header_filled);
+                self.header[self.header_filled..self.header_filled + take]
+                    .copy_from_slice(&bytes[..take]);
+                self.header_filled += take;
+                bytes = &bytes[take..];
+                if self.header_filled < self.header.len() {
+                    return; // still mid-header
+                }
+                self.payload_remaining =
+                    u64::from_le_bytes(self.header[1..9].try_into().expect("8 length bytes"));
+            }
+            let take = (bytes.len() as u64).min(self.payload_remaining) as usize;
+            self.payload_remaining -= take as u64;
+            bytes = &bytes[take..];
+            if self.payload_remaining > 0 {
+                return; // still mid-payload
+            }
+            // Frame complete: the next message gets a fresh budget.
+            self.header_filled = 0;
+            self.message_start = None;
+        }
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let Some(deadline) = self.deadline else {
+            return self.inner.read(buf);
+        };
+        let start = *self.message_start.get_or_insert_with(Instant::now);
+        let timeout = |deadline: Duration| {
+            io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("deadline: no complete message within {deadline:?}"),
+            )
+        };
+        let remaining = deadline.saturating_sub(start.elapsed());
+        if remaining.is_zero() {
+            return Err(timeout(deadline));
+        }
+        // The socket timeout covers this read; the budget shrinks with every
+        // byte received, so pacing tricks cannot extend the total stall.
+        self.inner.set_read_timeout(Some(remaining))?;
+        match self.inner.read(buf) {
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(timeout(deadline))
+            }
+            Ok(n) => {
+                self.advance_frames(&buf[..n]);
+                Ok(n)
+            }
+            other => other,
+        }
+    }
+}
+
+impl Write for DeadlineStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        // The server answered: re-arm the budget for the peer's next message.
+        self.message_start = None;
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Per-session byte budgets for the unauthenticated sinks (`EvalKeys` and
+/// `Inputs` frames), decremented by the **announced** length of each frame
+/// before its payload is read — an over-quota frame is refused while still
+/// costing the server only its 9-byte header.
+#[derive(Debug)]
+pub(crate) struct SessionQuotas {
+    eval_key: u64,
+    input: u64,
+}
+
+impl SessionQuotas {
+    pub(crate) fn new(config: &ServerConfig) -> Self {
+        Self {
+            eval_key: config.eval_key_quota,
+            input: config.input_quota,
+        }
+    }
+
+    /// Admits or refuses one announced frame. Non-sink tags are always
+    /// admitted (they are tiny and bounded by `MAX_FRAME_BYTES` anyway).
+    pub(crate) fn admit(&mut self, tag: u8, len: u64) -> Result<(), ServiceError> {
+        let (budget, what) = match tag {
+            TAG_EVAL_KEYS => (&mut self.eval_key, "evaluation-key"),
+            TAG_INPUTS => (&mut self.input, "input"),
+            _ => return Ok(()),
+        };
+        if len > *budget {
+            return Err(ServiceError::Protocol(format!(
+                "quota: {what} frame of {len} bytes exceeds the session's remaining \
+                 {budget}-byte {what} quota"
+            )));
+        }
+        *budget -= len;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotas_track_the_announced_lengths_per_tag() {
+        let config = ServerConfig {
+            eval_key_quota: 100,
+            input_quota: 50,
+            ..ServerConfig::default()
+        };
+        let mut quotas = SessionQuotas::new(&config);
+        quotas.admit(TAG_EVAL_KEYS, 60).unwrap();
+        quotas.admit(TAG_INPUTS, 20).unwrap();
+        quotas.admit(TAG_INPUTS, 30).unwrap();
+        // Budgets are cumulative per tag.
+        let err = quotas.admit(TAG_INPUTS, 1).unwrap_err();
+        assert!(err.to_string().contains("quota:"), "{err}");
+        let err = quotas.admit(TAG_EVAL_KEYS, 41).unwrap_err();
+        assert!(err.to_string().contains("evaluation-key"), "{err}");
+        // Other tags are never counted.
+        quotas.admit(crate::protocol::TAG_BYE, u64::MAX).unwrap();
+    }
+
+    #[test]
+    fn deadline_stream_disconnects_a_stalled_peer() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The peer connects and sends two bytes, then stalls forever.
+        let peer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&[1, 2]).unwrap();
+            stream
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut stream = DeadlineStream::new(stream, Some(Duration::from_millis(200)));
+        let started = Instant::now();
+        let mut buf = [0u8; 8];
+        let n = stream.read(&mut buf).unwrap();
+        assert!(n >= 1);
+        // Drain whatever arrived, then the stall must trip the deadline —
+        // and the budget spans *all* reads of the message, so the second
+        // read fails within the original 200 ms, not another 200 ms.
+        let mut total = n;
+        let err = loop {
+            match stream.read(&mut buf) {
+                Ok(n) => total += n,
+                Err(err) => break err,
+            }
+        };
+        assert_eq!(total, 2);
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("deadline:"), "{err}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline did not bound the stall"
+        );
+        drop(peer.join().unwrap());
+    }
+
+    #[test]
+    fn completed_frames_rearm_the_deadline() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The peer sends three complete frames with inter-frame pauses that
+        // sum to more than the deadline — legal, because each frame arrives
+        // within its own budget — then stalls mid-frame, which is not.
+        let peer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut frame = vec![9u8]; // tag
+            frame.extend_from_slice(&2u64.to_le_bytes());
+            frame.extend_from_slice(&[1, 2]);
+            for _ in 0..3 {
+                stream.write_all(&frame).unwrap();
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            stream.write_all(&frame[..4]).unwrap(); // mid-header, then silence
+            stream
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut stream = DeadlineStream::new(stream, Some(Duration::from_millis(250)));
+        let started = Instant::now();
+        let mut buf = [0u8; 11];
+        for _ in 0..3 {
+            stream.read_exact(&mut buf).unwrap();
+        }
+        assert!(
+            started.elapsed() >= Duration::from_millis(300),
+            "the three frames must span more than one deadline"
+        );
+        let err = stream.read_exact(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("deadline:"), "{err}");
+        drop(peer.join().unwrap());
+    }
+
+    #[test]
+    fn writes_rearm_the_deadline() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&[7]).unwrap();
+            // Wait for the reply, then send the next "message" after a pause
+            // longer than half the deadline: only a re-armed clock admits it.
+            let mut buf = [0u8; 1];
+            stream.read_exact(&mut buf).unwrap();
+            std::thread::sleep(Duration::from_millis(150));
+            stream.write_all(&[8]).unwrap();
+            stream
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut stream = DeadlineStream::new(stream, Some(Duration::from_millis(250)));
+        let mut buf = [0u8; 1];
+        stream.read_exact(&mut buf).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        stream.write_all(&[0]).unwrap();
+        // 300 ms have passed since the first read, but the write re-armed
+        // the budget, so the second message still arrives in time.
+        stream.read_exact(&mut buf).unwrap();
+        assert_eq!(buf[0], 8);
+        drop(peer.join().unwrap());
+    }
+}

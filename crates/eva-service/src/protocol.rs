@@ -530,6 +530,22 @@ pub fn read_message<S: Read>(stream: &mut S) -> Result<Option<Message>, ServiceE
 /// Returns [`ServiceError`] on socket failure, oversized frames or
 /// mid-frame truncation.
 pub(crate) fn read_frame<S: Read>(stream: &mut S) -> Result<Option<(u8, Vec<u8>)>, ServiceError> {
+    read_frame_checked(stream, |_, _| Ok(()))
+}
+
+/// [`read_frame`] with an admission check run against the frame header —
+/// tag and **announced** length — before a single payload byte is read. The
+/// server threads its per-session byte quotas through here: an over-quota
+/// frame is refused at the cost of its 9-byte header, not of buffering the
+/// payload.
+///
+/// # Errors
+///
+/// As [`read_frame`], plus whatever `admit` returns.
+pub(crate) fn read_frame_checked<S: Read>(
+    stream: &mut S,
+    admit: impl FnOnce(u8, u64) -> Result<(), ServiceError>,
+) -> Result<Option<(u8, Vec<u8>)>, ServiceError> {
     let mut tag = [0u8; 1];
     // A bare `read` (unlike `read_exact`) surfaces EINTR; retry it so a
     // signal delivered while idle between frames does not kill the session.
@@ -549,6 +565,7 @@ pub(crate) fn read_frame<S: Read>(stream: &mut S) -> Result<Option<(u8, Vec<u8>)
             "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
         )));
     }
+    admit(tag[0], len)?;
     // Read through `take(..).read_to_end`, which grows the buffer as bytes
     // actually arrive: a peer lying about the length must send that many
     // bytes to make us hold them, so a 9-byte connection cannot reserve

@@ -16,9 +16,12 @@
 //! costs neither the transfer nor a copy of the keys.
 
 use std::collections::HashMap;
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use eva_backend::{execute_parallel, parameters_from_spec, EvaluationContext};
 use eva_ckks::{CkksContext, GaloisKeys, RelinearizationKey};
@@ -29,8 +32,10 @@ use eva_core::CompiledProgram;
 use eva_wire::{fingerprint_eval_key_payload, KeyFingerprint, ProgramDiagnostics, WireDiagnostic};
 
 use crate::error::ServiceError;
+use crate::keystore::DiskKeyStore;
+use crate::limits::{DeadlineStream, ServerConfig, SessionQuotas};
 use crate::protocol::{
-    decode_payload, expect_message, partition_inputs, read_frame, write_message, Message,
+    decode_payload, expect_message, partition_inputs, read_frame_checked, write_message, Message,
     OutputValue, ProgramManifest, PROTOCOL_VERSION, TAG_EVAL_KEYS,
 };
 
@@ -179,6 +184,78 @@ struct ServerInner {
     manifest: ProgramManifest,
     context: CkksContext,
     key_cache: Mutex<KeyCache>,
+    /// Optional disk layer under the in-memory cache
+    /// ([`EvaServer::with_key_store`]); `Arc` so lookups clone the handle
+    /// out and do their I/O without holding the lock.
+    key_store: Mutex<Option<Arc<DiskKeyStore>>>,
+    config: Mutex<ServerConfig>,
+    stats: StatCounters,
+    session_ids: AtomicU64,
+    /// Sessions currently being served; paired with `idle` for shutdown drain.
+    active: Mutex<usize>,
+    idle: Condvar,
+    shutting_down: AtomicBool,
+    /// Where the serving listener is bound, so [`EvaServer::begin_shutdown`]
+    /// can wake a blocking `accept` with a throwaway connection.
+    listener_addr: Mutex<Option<SocketAddr>>,
+}
+
+/// Internal atomic counters behind [`ServerStats`].
+#[derive(Debug, Default)]
+struct StatCounters {
+    started: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    panicked: AtomicU64,
+    busy_rejected: AtomicU64,
+    resumed: AtomicU64,
+    disk_resumed: AtomicU64,
+    evaluations: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server's lifetime counters
+/// ([`EvaServer::stats`]). Sessions are counted when they *end*, so
+/// `sessions_started` can exceed the sum of the outcome counters while
+/// sessions are in flight.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sessions accepted and admitted (not counting busy rejections).
+    pub sessions_started: u64,
+    /// Sessions that ended cleanly (client said Bye or hung up between
+    /// rounds).
+    pub sessions_completed: u64,
+    /// Sessions that ended in an error (protocol violation, deadline, quota,
+    /// invalid keys, …). Panics are counted separately.
+    pub sessions_failed: u64,
+    /// Sessions whose worker **panicked**; the panic is caught, logged with
+    /// the session id, and answered with a best-effort `Error` frame.
+    pub session_panics: u64,
+    /// Connections refused with a `busy:` error at the concurrency limit.
+    pub busy_rejections: u64,
+    /// Completed sessions that resumed cached evaluation keys.
+    pub resumed_sessions: u64,
+    /// Resumptions served from the **disk** store (a restart survivor, or an
+    /// in-memory LRU eviction) rather than from memory.
+    pub disk_resumptions: u64,
+    /// Evaluation rounds served across all completed sessions.
+    pub evaluations: u64,
+}
+
+/// Decrements the active-session count (and wakes shutdown waiters) when a
+/// session ends, however it ends — the guard pattern keeps the count honest
+/// across error paths and caught panics alike.
+#[derive(Debug)]
+struct SessionGuard {
+    inner: Arc<ServerInner>,
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        let mut active = self.inner.active.lock().expect("active lock poisoned");
+        *active -= 1;
+        drop(active);
+        self.inner.idle.notify_all();
+    }
 }
 
 /// Default number of distinct evaluation-key sets the server caches for
@@ -259,6 +336,14 @@ impl EvaServer {
                     DEFAULT_KEY_CACHE_CAPACITY,
                     DEFAULT_KEY_CACHE_BUDGET_BYTES,
                 )),
+                key_store: Mutex::new(None),
+                config: Mutex::new(ServerConfig::default()),
+                stats: StatCounters::default(),
+                session_ids: AtomicU64::new(0),
+                active: Mutex::new(0),
+                idle: Condvar::new(),
+                shutting_down: AtomicBool::new(false),
+                listener_addr: Mutex::new(None),
             }),
             threads: 1,
         })
@@ -283,6 +368,154 @@ impl EvaServer {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Replaces the server's resource limits (deadlines, concurrency bound,
+    /// per-session quotas — see [`ServerConfig`]). Sessions pick up the
+    /// config when they start.
+    #[must_use]
+    pub fn with_config(self, config: ServerConfig) -> Self {
+        *self.inner.config.lock().expect("config lock poisoned") = config;
+        self
+    }
+
+    /// The server's current resource limits.
+    pub fn config(&self) -> ServerConfig {
+        self.inner
+            .config
+            .lock()
+            .expect("config lock poisoned")
+            .clone()
+    }
+
+    /// Layers a [`DiskKeyStore`] under the in-memory key cache, rooted at
+    /// `dir` (created if needed): uploaded evaluation keys are persisted
+    /// there (content-addressed, atomic write-rename), and resumption
+    /// lookups that miss the in-memory LRU fall back to disk — so warm,
+    /// zero-upload resumption survives server restarts. Disk entries are
+    /// never trusted: the fingerprint is re-verified over the bytes read
+    /// back, and the keys re-validated, before anything is served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Io`] if the store directory cannot be
+    /// created.
+    pub fn with_key_store(self, dir: impl Into<std::path::PathBuf>) -> Result<Self, ServiceError> {
+        let store = DiskKeyStore::open(dir)?;
+        *self
+            .inner
+            .key_store
+            .lock()
+            .expect("key store lock poisoned") = Some(Arc::new(store));
+        Ok(self)
+    }
+
+    /// The disk key store, if one is configured.
+    pub fn key_store(&self) -> Option<Arc<DiskKeyStore>> {
+        self.inner
+            .key_store
+            .lock()
+            .expect("key store lock poisoned")
+            .clone()
+    }
+
+    /// A point-in-time snapshot of the server's lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        let stats = &self.inner.stats;
+        ServerStats {
+            sessions_started: stats.started.load(Ordering::Relaxed),
+            sessions_completed: stats.completed.load(Ordering::Relaxed),
+            sessions_failed: stats.failed.load(Ordering::Relaxed),
+            session_panics: stats.panicked.load(Ordering::Relaxed),
+            busy_rejections: stats.busy_rejected.load(Ordering::Relaxed),
+            resumed_sessions: stats.resumed.load(Ordering::Relaxed),
+            disk_resumptions: stats.disk_resumed.load(Ordering::Relaxed),
+            evaluations: stats.evaluations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Flags the server as shutting down and wakes a [`EvaServer::serve_forever`]
+    /// loop blocked in `accept` (with a throwaway self-connection), without
+    /// waiting for in-flight sessions. Pair with [`EvaServer::wait_idle`],
+    /// or call [`EvaServer::shutdown`] for both.
+    pub fn begin_shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        let addr = *self
+            .inner
+            .listener_addr
+            .lock()
+            .expect("listener addr lock poisoned");
+        if let Some(addr) = addr {
+            // Failure just means accept wasn't blocking (or already woke).
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+        }
+    }
+
+    /// Blocks until no session is being served (the drain half of graceful
+    /// shutdown — in-flight evaluations run to completion, they are never
+    /// aborted).
+    pub fn wait_idle(&self) {
+        let mut active = self.inner.active.lock().expect("active lock poisoned");
+        while *active > 0 {
+            active = self.inner.idle.wait(active).expect("active lock poisoned");
+        }
+    }
+
+    /// Graceful shutdown: [`EvaServer::begin_shutdown`] then
+    /// [`EvaServer::wait_idle`]. After this returns, a
+    /// [`EvaServer::serve_forever`] loop on this server has stopped
+    /// accepting and every in-flight evaluation has drained.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        self.wait_idle();
+    }
+
+    /// Whether [`EvaServer::begin_shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Admits a new session under the concurrency limit, returning the
+    /// guard that releases the slot, or `None` at capacity.
+    fn try_begin_session(&self) -> Option<SessionGuard> {
+        let max = self.config().max_sessions.max(1);
+        let mut active = self.inner.active.lock().expect("active lock poisoned");
+        if *active >= max {
+            return None;
+        }
+        *active += 1;
+        Some(SessionGuard {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Politely rejects a connection at the concurrency limit: a `busy:`
+    /// protocol `Error` frame (so a retrying client backs off instead of
+    /// guessing), then close. Returns the error for the session's result
+    /// slot.
+    fn reject_busy(&self, mut stream: TcpStream) -> ServiceError {
+        self.inner
+            .stats
+            .busy_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        let config = self.config();
+        // The bare `busy:`-prefixed message goes on the wire (the client's
+        // transient-error classifier keys on the prefix).
+        let message = format!(
+            "busy: server is at its {}-session limit; retry with backoff",
+            config.max_sessions.max(1)
+        );
+        stream.set_write_timeout(config.write_timeout).ok();
+        let _ = write_message(&mut stream, &Message::Error(message.clone()));
+        // The rejected client has a Hello in flight we never read; see
+        // `drain_before_close` for why closing on top of it would race the
+        // Error frame away.
+        drain_before_close(&stream);
+        ServiceError::Protocol(message)
+    }
+
+    fn next_session_id(&self) -> u64 {
+        self.inner.session_ids.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Sets how many distinct evaluation-key sets the resumption cache holds
@@ -351,8 +584,9 @@ impl EvaServer {
     /// Accepts exactly `sessions` connections from `listener` and serves each
     /// in its own thread (sessions run **concurrently**; a slow client does
     /// not block the next accept). Returns the per-session reports in accept
-    /// order once every session has ended; per-session failures are reported
-    /// in the result slots rather than aborting the other sessions.
+    /// order once every session has ended; per-session failures — including
+    /// `busy:` rejections at the concurrency limit — are reported in the
+    /// result slots rather than aborting the other sessions.
     ///
     /// # Errors
     ///
@@ -362,45 +596,157 @@ impl EvaServer {
         listener: &TcpListener,
         sessions: usize,
     ) -> Result<Vec<Result<SessionReport, ServiceError>>, ServiceError> {
+        *self
+            .inner
+            .listener_addr
+            .lock()
+            .expect("listener addr lock poisoned") = listener.local_addr().ok();
+        // Each accepted connection fills one result slot: either a scoped
+        // session thread to join, or an immediate busy rejection.
+        enum Slot<'scope> {
+            Running(std::thread::ScopedJoinHandle<'scope, Result<SessionReport, ServiceError>>),
+            Rejected(ServiceError),
+        }
         let mut results = Vec::with_capacity(sessions);
         std::thread::scope(|scope| -> Result<(), ServiceError> {
-            let mut handles = Vec::with_capacity(sessions);
+            let mut slots = Vec::with_capacity(sessions);
             for _ in 0..sessions {
                 let (stream, _addr) = listener.accept()?;
-                let server = self.clone();
-                handles.push(scope.spawn(move || server.handle_session_tcp(stream)));
+                match self.try_begin_session() {
+                    Some(guard) => {
+                        let server = self.clone();
+                        let id = self.next_session_id();
+                        slots.push(Slot::Running(scope.spawn(move || {
+                            let _guard = guard;
+                            server.run_session_tcp(stream, id)
+                        })));
+                    }
+                    None => slots.push(Slot::Rejected(self.reject_busy(stream))),
+                }
             }
-            for handle in handles {
-                results.push(handle.join().unwrap_or_else(|_| {
-                    Err(ServiceError::Protocol("session thread panicked".into()))
-                }));
+            for slot in slots {
+                results.push(match slot {
+                    Slot::Running(handle) => handle.join().unwrap_or_else(|_| {
+                        Err(ServiceError::Protocol("session thread panicked".into()))
+                    }),
+                    Slot::Rejected(err) => Err(err),
+                });
             }
             Ok(())
         })?;
         Ok(results)
     }
 
-    /// Serves connections forever, one thread per session. Only returns on
-    /// accept errors.
+    /// Serves connections until [`EvaServer::begin_shutdown`] (or
+    /// [`EvaServer::shutdown`]) is called, one thread per session, honoring
+    /// the concurrency limit with `busy:` rejections. On shutdown the accept
+    /// loop stops and in-flight sessions are **drained** — evaluations run
+    /// to completion — before this returns.
     ///
     /// # Errors
     ///
     /// Returns [`ServiceError::Io`] when the listener fails.
     pub fn serve_forever(&self, listener: &TcpListener) -> Result<(), ServiceError> {
+        *self
+            .inner
+            .listener_addr
+            .lock()
+            .expect("listener addr lock poisoned") = listener.local_addr().ok();
         loop {
             let (stream, addr) = listener.accept()?;
-            let server = self.clone();
-            std::thread::spawn(move || {
-                if let Err(err) = server.handle_session_tcp(stream) {
-                    eprintln!("eva-service: session from {addr} failed: {err}");
+            if self.is_shutting_down() {
+                // The connection may be begin_shutdown's own wake-up, or a
+                // late real client; either way, stop accepting.
+                drop(stream);
+                break;
+            }
+            match self.try_begin_session() {
+                Some(guard) => {
+                    let server = self.clone();
+                    let id = self.next_session_id();
+                    std::thread::spawn(move || {
+                        let _guard = guard;
+                        if let Err(err) = server.run_session_tcp(stream, id) {
+                            eprintln!("eva-service: session {id} from {addr} failed: {err}");
+                        }
+                    });
                 }
-            });
+                None => {
+                    self.reject_busy(stream);
+                }
+            }
         }
+        self.wait_idle();
+        Ok(())
     }
 
-    fn handle_session_tcp(&self, mut stream: TcpStream) -> Result<SessionReport, ServiceError> {
+    /// One accepted TCP session: socket options, the read-deadline wrapper,
+    /// then the panic-guarded session body.
+    fn run_session_tcp(&self, stream: TcpStream, id: u64) -> Result<SessionReport, ServiceError> {
         stream.set_nodelay(true).ok();
-        self.handle_session(&mut stream)
+        let config = self.config();
+        stream.set_write_timeout(config.write_timeout).ok();
+        let mut stream = DeadlineStream::new(stream, config.read_deadline);
+        let result = self.run_guarded(&mut stream, id);
+        if result.is_err() {
+            // The error-frame-before-close rule needs one more step on TCP:
+            // closing a socket with unread peer data in the receive buffer
+            // makes the kernel send RST, which can destroy the just-sent
+            // Error frame before the peer reads it. Drain what's in flight
+            // (time-bounded — this must not reopen the slowloris hole) so
+            // the close is a FIN and the Error frame survives.
+            drain_before_close(stream.get_ref());
+        }
+        result
+    }
+
+    /// Runs one session with panic containment: a panicking session worker
+    /// is caught (never silently unwinding a detached thread), logged with
+    /// its session id, counted in [`ServerStats::session_panics`], and
+    /// answered with a best-effort `internal error` frame. Outcome counters
+    /// are updated here for every path.
+    fn run_guarded<S: std::io::Read + std::io::Write>(
+        &self,
+        stream: &mut S,
+        id: u64,
+    ) -> Result<SessionReport, ServiceError> {
+        let stats = &self.inner.stats;
+        stats.started.fetch_add(1, Ordering::Relaxed);
+        // AssertUnwindSafe: on panic both the stream (closed right after the
+        // error frame) and the server state are discarded or re-validated —
+        // the key cache and counters are behind locks/atomics and every
+        // cached entry was validated before insertion.
+        match catch_unwind(AssertUnwindSafe(|| self.handle_session(stream))) {
+            Ok(Ok(report)) => {
+                stats.completed.fetch_add(1, Ordering::Relaxed);
+                if report.resumed {
+                    stats.resumed.fetch_add(1, Ordering::Relaxed);
+                }
+                stats
+                    .evaluations
+                    .fetch_add(report.evaluations as u64, Ordering::Relaxed);
+                Ok(report)
+            }
+            Ok(Err(err)) => {
+                stats.failed.fetch_add(1, Ordering::Relaxed);
+                Err(err)
+            }
+            Err(payload) => {
+                stats.panicked.fetch_add(1, Ordering::Relaxed);
+                let message = panic_message(payload.as_ref());
+                eprintln!("eva-service: session {id} panicked: {message}");
+                // Error-frame-before-close, even for a crash: the client
+                // learns the request died instead of staring at a dead
+                // socket. `internal error` marks it transient for retries.
+                let _ = write_message(
+                    stream,
+                    &Message::Error("internal error: the session worker crashed".into()),
+                );
+                Err(ServiceError::Execution(format!(
+                    "session {id} panicked: {message}"
+                )))
+            }
+        }
     }
 
     /// Runs one full session over any bidirectional byte stream (exposed so
@@ -410,7 +756,9 @@ impl EvaServer {
     ///
     /// Returns [`ServiceError`] on protocol violations, invalid key material
     /// or execution failures; a best-effort `Error` message is sent to the
-    /// client first.
+    /// client first (the error-frame-before-close rule — oversized frames,
+    /// tripped deadlines and exhausted quotas all reach the peer as a named
+    /// `Error`, never as a bare hang-up).
     pub fn handle_session<S: std::io::Read + std::io::Write>(
         &self,
         stream: &mut S,
@@ -431,6 +779,7 @@ impl EvaServer {
         stream: &mut S,
     ) -> Result<SessionReport, ServiceError> {
         let inner = &*self.inner;
+        let mut quotas = SessionQuotas::new(&self.config());
         // 1. Hello / version check; the Hello may name an evaluation-key
         //    fingerprint to resume.
         let resume = match expect_message(stream)? {
@@ -447,14 +796,10 @@ impl EvaServer {
                 )))
             }
         };
-        // 2. Key-cache lookup, then publish the manifest together with the
-        //    resumption verdict.
+        // 2. Key lookup (memory LRU, then the disk store), then publish the
+        //    manifest together with the resumption verdict.
         let cached = resume.and_then(|fingerprint| {
-            self.inner
-                .key_cache
-                .lock()
-                .expect("key cache lock poisoned")
-                .get(&fingerprint)
+            self.lookup_keys(&fingerprint)
                 .map(|keys| (fingerprint, keys))
         });
         write_message(
@@ -480,7 +825,8 @@ impl EvaServer {
                 // so no multi-megabyte re-serialization of the keys happens
                 // (decoders only accept canonical encodings, so hashing the
                 // payload equals hashing the decoded keys).
-                let (tag, payload) = read_frame(stream)?.ok_or(ServiceError::Disconnected)?;
+                let (tag, payload) = read_frame_checked(stream, |tag, len| quotas.admit(tag, len))?
+                    .ok_or(ServiceError::Disconnected)?;
                 let (relin, galois) = match decode_payload(tag, &payload)? {
                     Message::EvalKeys { relin, galois } => (relin.map(|k| *k), *galois),
                     other => {
@@ -505,6 +851,17 @@ impl EvaServer {
                     .lock()
                     .expect("key cache lock poisoned")
                     .insert(fingerprint, keys.clone(), payload.len());
+                // Persist through to the disk layer (if configured) so the
+                // resumption outlives this process. Persistence failure is
+                // an operational warning, never a session error.
+                if let Some(store) = self.key_store() {
+                    if let Err(err) = store.store(&fingerprint, &payload) {
+                        eprintln!(
+                            "eva-service: failed to persist evaluation keys to {}: {err}",
+                            store.root().display()
+                        );
+                    }
+                }
                 report.key_fingerprint = Some(fingerprint);
                 keys
             }
@@ -512,7 +869,11 @@ impl EvaServer {
         let eval = EvaluationContext::from_shared(inner.context.clone(), keys.relin, keys.galois);
         // 4. Evaluation rounds until the client says Bye (or cleanly hangs up).
         loop {
-            match crate::protocol::read_message(stream)? {
+            let message = match read_frame_checked(stream, |tag, len| quotas.admit(tag, len))? {
+                Some((tag, payload)) => Some(decode_payload(tag, &payload)?),
+                None => None,
+            };
+            match message {
                 Some(Message::Inputs(inputs)) => {
                     let (ciphers, plains) = partition_inputs(inputs, &inner.context)?;
                     let bindings = eval.bind_inputs(&inner.compiled, ciphers, plains)?;
@@ -533,6 +894,50 @@ impl EvaServer {
                 }
             }
         }
+    }
+
+    /// Resolves a resumption fingerprint: the in-memory LRU first, then the
+    /// disk store (if configured). A disk hit is **re-verified** end to end —
+    /// the store checks the fingerprint over the bytes read back, and the
+    /// decoded keys pass the same [`validate_eval_keys`](Self::validate_eval_keys)
+    /// gate as a fresh upload — then promoted into the memory cache. An
+    /// entry that decodes but fails validation (e.g. a store directory
+    /// shared with a server of different parameters) is ignored without
+    /// being evicted; corrupt bytes were already deleted by the store.
+    fn lookup_keys(&self, fingerprint: &KeyFingerprint) -> Option<SessionKeys> {
+        if let Some(keys) = self
+            .inner
+            .key_cache
+            .lock()
+            .expect("key cache lock poisoned")
+            .get(fingerprint)
+        {
+            return Some(keys);
+        }
+        let payload = self.key_store()?.load(fingerprint)?;
+        let keys = match decode_payload(TAG_EVAL_KEYS, &payload) {
+            Ok(Message::EvalKeys { relin, galois }) => {
+                let relin = relin.map(|k| *k);
+                let galois = *galois;
+                self.validate_eval_keys(relin.as_ref(), &galois)
+                    .ok()
+                    .map(|()| SessionKeys {
+                        relin: relin.map(Arc::new),
+                        galois: Arc::new(galois),
+                    })
+            }
+            _ => None,
+        }?;
+        self.inner
+            .stats
+            .disk_resumed
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .key_cache
+            .lock()
+            .expect("key cache lock poisoned")
+            .insert(*fingerprint, keys.clone(), payload.len());
+        Some(keys)
     }
 
     /// Validates uploaded evaluation keys against the server context and the
@@ -590,6 +995,42 @@ impl EvaServer {
             check_ksk("Galois key", key)?;
         }
         Ok(())
+    }
+}
+
+/// Reads and discards whatever the peer still has in flight, bounded in
+/// time, before an errored session's socket is closed.
+///
+/// Closing a TCP socket with unread data in its receive buffer makes the
+/// kernel answer with RST instead of FIN — and an RST discards data the
+/// peer has not read yet, including the `Error` frame we just queued. The
+/// protocol promises an `Error` frame *before* any abnormal close, so the
+/// close must be a FIN: consume the stragglers first. The hard time bound
+/// keeps a trickling peer from turning this courtesy into a slowloris hold.
+fn drain_before_close(stream: &TcpStream) {
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let mut sink = [0u8; 4096];
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() || stream.set_read_timeout(Some(remaining)).is_err() {
+            return;
+        }
+        match std::io::Read::read(&mut (&*stream), &mut sink) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Best-effort rendering of a caught panic payload (panics carry `&str` or
+/// `String` in practice; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -661,6 +1102,69 @@ mod tests {
         cache.insert(fp(1), dummy_keys(), 1);
         assert_eq!(cache.len(), 0);
         assert!(cache.get(&fp(1)).is_none());
+    }
+
+    /// A transport whose reads panic — the worst a hostile-input bug can do
+    /// to a session worker — while recording whatever the server writes.
+    struct PanickingStream {
+        written: Vec<u8>,
+    }
+
+    impl std::io::Read for PanickingStream {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            panic!("injected panic for the containment test");
+        }
+    }
+
+    impl std::io::Write for PanickingStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn session_panics_are_caught_counted_and_answered() {
+        use eva_core::{compile, CompilerOptions, Opcode, Program};
+
+        let mut p = Program::new("square", 8);
+        let x = p.input_cipher("x", 30);
+        let sq = p.instruction(Opcode::Multiply, &[x, x]);
+        p.output("out", sq, 30);
+        let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+        let server = EvaServer::new(compiled).unwrap();
+
+        let mut stream = PanickingStream {
+            written: Vec::new(),
+        };
+        let err = server.run_guarded(&mut stream, 42).unwrap_err();
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains("session 42 panicked"),
+            "panic must surface with its session id: {rendered}"
+        );
+        assert!(
+            rendered.contains("injected panic"),
+            "panic message must be preserved: {rendered}"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.sessions_started, 1);
+        assert_eq!(stats.session_panics, 1);
+        assert_eq!(stats.sessions_failed, 0, "panics are counted separately");
+        // Error-frame-before-close holds even for a crash.
+        assert!(crate::record::contains_bytes(
+            &stream.written,
+            b"internal error"
+        ));
+        // The error is marked transient so a retrying client reconnects.
+        assert!(
+            ServiceError::Remote("internal error: the session worker crashed".into())
+                .is_transient()
+        );
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Robustness tests for the service's deadlines, quotas, concurrency
+//! bound and graceful shutdown: slow, stalled and abusive peers must be
+//! bounded in the resources they can pin, and every abnormal close must be
+//! preceded by a protocol `Error` frame naming what went wrong.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use eva_core::{compile, CompilerOptions, Opcode, Program};
+use eva_service::protocol::{expect_message, write_message};
+use eva_service::{
+    ClientConfig, EvaClient, EvaServer, Message, ServerConfig, ServiceError, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION, TAG_EVAL_KEYS,
+};
+
+fn square_program() -> Program {
+    let mut p = Program::new("square", 8);
+    let x = p.input_cipher("x", 30);
+    let sq = p.instruction(Opcode::Multiply, &[x, x]);
+    p.output("out", sq, 30);
+    p
+}
+
+fn square_server() -> EvaServer {
+    let compiled = compile(&square_program(), &CompilerOptions::default()).unwrap();
+    EvaServer::new(compiled).unwrap()
+}
+
+fn square_inputs() -> HashMap<String, Vec<f64>> {
+    [("x".to_string(), vec![1.5; 8])].into_iter().collect()
+}
+
+/// Satellite: an oversized frame is answered with a protocol `Error` frame
+/// **naming the limit** before the close — not a silent hang-up.
+#[test]
+fn oversized_frame_gets_an_error_frame_naming_the_limit() {
+    let server = square_server();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 1));
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // A frame header announcing more than MAX_FRAME_BYTES, in Hello position.
+    stream.write_all(&[eva_service::TAG_HELLO]).unwrap();
+    stream
+        .write_all(&(MAX_FRAME_BYTES + 1).to_le_bytes())
+        .unwrap();
+    stream.flush().unwrap();
+    match expect_message(&mut stream).unwrap() {
+        Message::Error(msg) => {
+            assert!(msg.contains("exceeds"), "unexpected error text: {msg}");
+            assert!(
+                msg.contains(&MAX_FRAME_BYTES.to_string()),
+                "the limit must be named: {msg}"
+            );
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    let reports = server_thread.join().unwrap().unwrap();
+    assert!(reports[0].is_err());
+}
+
+/// Satellite: a peer that sends a valid tag + length then stops must be
+/// disconnected by the read deadline — server side.
+#[test]
+fn partial_frame_stall_trips_the_server_read_deadline() {
+    let server = square_server().with_config(ServerConfig {
+        read_deadline: Some(Duration::from_millis(300)),
+        ..ServerConfig::default()
+    });
+    let stats_handle = server.clone();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 1));
+
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // Valid Hello tag + plausible length… then silence.
+    stream.write_all(&[eva_service::TAG_HELLO]).unwrap();
+    stream.write_all(&100u64.to_le_bytes()).unwrap();
+    stream.write_all(&[1, 2, 3]).unwrap();
+    stream.flush().unwrap();
+    // The server must send a deadline Error frame, then close.
+    match expect_message(&mut stream).unwrap() {
+        Message::Error(msg) => assert!(msg.contains("deadline"), "unexpected error: {msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    let reports = server_thread.join().unwrap().unwrap();
+    let err = reports[0].as_ref().unwrap_err();
+    assert!(err.to_string().contains("deadline"), "{err}");
+    assert!(err.is_transient(), "deadline disconnects must be retryable");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "the stall was not bounded by the deadline"
+    );
+    assert_eq!(stats_handle.stats().sessions_failed, 1);
+}
+
+/// Satellite: the same stall, asserted from the client side — a server that
+/// accepts and then goes silent trips the client's read timeout.
+#[test]
+fn stalled_server_trips_the_client_read_timeout() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    // "Server" accepts, reads the Hello, then stalls without ever answering.
+    let stall = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_secs(10));
+        drop(stream);
+    });
+
+    let started = Instant::now();
+    let config = ClientConfig {
+        connect_timeout: Some(Duration::from_secs(2)),
+        read_timeout: Some(Duration::from_millis(300)),
+        write_timeout: Some(Duration::from_secs(2)),
+    };
+    let err = EvaClient::connect_with(addr, Some(3), &config).unwrap_err();
+    assert!(
+        matches!(&err, ServiceError::Io(io) if io.kind() == std::io::ErrorKind::WouldBlock
+            || io.kind() == std::io::ErrorKind::TimedOut),
+        "expected a socket timeout, got {err}"
+    );
+    assert!(err.is_transient());
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "client read timeout did not bound the stall"
+    );
+    drop(stall); // detach: the stalling thread exits on its own timer
+}
+
+/// Tentpole: at the concurrent-session limit, further connections get a
+/// polite `busy:` Error frame (so a retrying client backs off) and are
+/// counted in the server stats.
+#[test]
+fn busy_server_rejects_politely_at_the_session_limit() {
+    let server = square_server().with_config(ServerConfig {
+        max_sessions: 1,
+        ..ServerConfig::default()
+    });
+    let stats_handle = server.clone();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 2));
+
+    // Session 1 handshakes fully (so its worker is registered) and stays open.
+    let mut first = EvaClient::connect(addr, Some(1)).unwrap();
+    // Session 2 must be turned away with the busy error during handshake.
+    let err = EvaClient::connect(addr, Some(2)).unwrap_err();
+    match &err {
+        ServiceError::Remote(msg) => {
+            assert!(msg.starts_with("busy:"), "unexpected refusal: {msg}");
+            assert!(
+                msg.contains("1-session"),
+                "the limit should be named: {msg}"
+            );
+        }
+        other => panic!("expected a Remote busy error, got {other}"),
+    }
+    assert!(err.is_transient(), "busy must be retryable");
+
+    // The admitted session is unaffected by the rejection next door.
+    let outputs = first.evaluate(&square_inputs()).unwrap();
+    assert!((outputs["out"][0] - 2.25).abs() < 1e-3);
+    first.finish().unwrap();
+
+    let reports = server_thread.join().unwrap().unwrap();
+    assert_eq!(reports.len(), 2);
+    assert!(reports[0].is_ok());
+    assert!(reports[1].is_err());
+    let stats = stats_handle.stats();
+    assert_eq!(stats.busy_rejections, 1);
+    assert_eq!(stats.sessions_completed, 1);
+    assert_eq!(stats.evaluations, 1);
+}
+
+/// Tentpole: the per-session evaluation-key quota refuses an over-quota
+/// upload against its **announced** length, with a `quota:` Error frame.
+#[test]
+fn eval_key_quota_refuses_oversized_uploads() {
+    let server = square_server().with_config(ServerConfig {
+        eval_key_quota: 10_000, // far below a real key set
+        ..ServerConfig::default()
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 1));
+
+    // Drive the wire directly: Hello, read the manifest, then announce an
+    // EvalKeys frame bigger than the quota — without sending a body at all
+    // (the refusal must come from the header alone).
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_message(
+        &mut stream,
+        &Message::Hello {
+            protocol: PROTOCOL_VERSION,
+            resume: None,
+        },
+    )
+    .unwrap();
+    match expect_message(&mut stream).unwrap() {
+        Message::Manifest { .. } => {}
+        other => panic!("expected Manifest, got {other:?}"),
+    }
+    stream.write_all(&[TAG_EVAL_KEYS]).unwrap();
+    stream.write_all(&1_000_000u64.to_le_bytes()).unwrap();
+    stream.flush().unwrap();
+    match expect_message(&mut stream).unwrap() {
+        Message::Error(msg) => {
+            assert!(msg.contains("quota:"), "unexpected error: {msg}");
+            assert!(msg.contains("evaluation-key"), "{msg}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    let reports = server_thread.join().unwrap().unwrap();
+    let err = reports[0].as_ref().unwrap_err();
+    assert!(err.to_string().contains("quota:"), "{err}");
+    assert!(err.is_transient(), "fresh sessions get fresh quotas");
+}
+
+/// Tentpole: graceful shutdown stops accepting but **drains** the in-flight
+/// session — its evaluation completes, nothing is aborted.
+#[test]
+fn graceful_shutdown_drains_in_flight_sessions() {
+    let server = square_server();
+    let control = server.clone();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let serve_thread = std::thread::spawn(move || server.serve_forever(&listener));
+
+    // A session is mid-flight when shutdown begins…
+    let mut client = EvaClient::connect(addr, Some(9)).unwrap();
+    let shutdown_control = control.clone();
+    let shutdown_thread = std::thread::spawn(move || shutdown_control.shutdown());
+    std::thread::sleep(Duration::from_millis(100));
+    // …and still completes its work.
+    let outputs = client.evaluate(&square_inputs()).unwrap();
+    assert!((outputs["out"][0] - 2.25).abs() < 1e-3);
+    client.finish().unwrap();
+
+    shutdown_thread.join().unwrap();
+    serve_thread
+        .join()
+        .unwrap()
+        .expect("serve_forever returns cleanly after shutdown");
+    assert!(control.is_shutting_down());
+    let stats = control.stats();
+    assert_eq!(stats.sessions_completed, 1);
+    assert_eq!(stats.evaluations, 1);
+    // The listener is closed with the serve loop: new connections die.
+    assert!(EvaClient::connect_with(
+        addr,
+        None,
+        &ClientConfig {
+            connect_timeout: Some(Duration::from_millis(500)),
+            read_timeout: Some(Duration::from_millis(500)),
+            write_timeout: Some(Duration::from_millis(500)),
+        }
+    )
+    .is_err());
+}
