@@ -467,13 +467,45 @@ impl EvaluationContext {
     pub fn execute_serial(
         &self,
         compiled: &CompiledProgram,
+        bindings: HashMap<NodeId, NodeValue>,
+    ) -> Result<HashMap<NodeId, NodeValue>, EvaError> {
+        self.execute_serial_inner(compiled, bindings, None)
+    }
+
+    /// [`execute_serial`](Self::execute_serial) with an allocation-counting
+    /// [`MemoryAudit`]: the same execution, additionally measuring the real
+    /// peak number of simultaneously-live values/ciphertexts and their bytes.
+    ///
+    /// The audit is the ground truth that `eva-core`'s static
+    /// `predict_peak_memory` forecast must upper-bound (the `report --cost`
+    /// pipeline asserts `predicted ≥ audited` on every workload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`EncryptedContext::execute_node`].
+    pub fn execute_serial_audited(
+        &self,
+        compiled: &CompiledProgram,
+        bindings: HashMap<NodeId, NodeValue>,
+    ) -> Result<(HashMap<NodeId, NodeValue>, MemoryAudit), EvaError> {
+        let mut audit = MemoryAudit::default();
+        let outputs = self.execute_serial_inner(compiled, bindings, Some(&mut audit))?;
+        Ok((outputs, audit))
+    }
+
+    fn execute_serial_inner(
+        &self,
+        compiled: &CompiledProgram,
         mut bindings: HashMap<NodeId, NodeValue>,
+        mut audit: Option<&mut MemoryAudit>,
     ) -> Result<HashMap<NodeId, NodeValue>, EvaError> {
         let program = &compiled.program;
         let uses = program.uses();
-        // Only nodes that reach an output are executed: dead branches are not
-        // covered by the compiler's prime budget or exact-scale annotations
-        // (and running them would waste FHE kernels).
+        // Compiled programs arrive dead-free (compile() runs a final
+        // dead-code elimination and the verifier rejects any survivors), but
+        // the executor keeps its own live mask as defense in depth: a raw or
+        // tampered program could still carry dead branches, which are not
+        // covered by the prime budget or exact-scale annotations.
         let live = program.live_mask();
         let mut remaining_uses: Vec<usize> = uses
             .iter()
@@ -486,6 +518,23 @@ impl EvaluationContext {
         let mut values: Vec<Option<NodeValue>> = vec![None; program.len()];
         for (id, value) in bindings.drain() {
             values[id] = Some(value);
+        }
+        // Live-set accounting for the audit, mirroring the static forecast:
+        // the binding set is the baseline, every materialized value adds,
+        // every release subtracts, and the peak is sampled while a result
+        // coexists with its not-yet-released parents.
+        let mut current_values = 0usize;
+        let mut current_ciphers = 0usize;
+        let mut current_bytes = 0usize;
+        if audit.is_some() {
+            for value in values.iter().flatten() {
+                current_values += 1;
+                current_ciphers += usize::from(matches!(value, NodeValue::Cipher(_)));
+                current_bytes += value.memory_bytes();
+            }
+            if let Some(a) = audit.as_deref_mut() {
+                a.record(current_values, current_ciphers, current_bytes);
+            }
         }
         for id in program.topological_order() {
             if !live[id] {
@@ -501,7 +550,13 @@ impl EvaluationContext {
                     }
                 }
                 NodeKind::Constant { value } => {
-                    values[id] = Some(NodeValue::Plain(value.to_vector(program.vec_size())));
+                    let plain = NodeValue::Plain(value.to_vector(program.vec_size()));
+                    if let Some(a) = audit.as_deref_mut() {
+                        current_values += 1;
+                        current_bytes += plain.memory_bytes();
+                        a.record(current_values, current_ciphers, current_bytes);
+                    }
+                    values[id] = Some(plain);
                 }
                 NodeKind::Instruction { args, .. } => {
                     let arg_refs: Vec<&NodeValue> = args
@@ -509,6 +564,14 @@ impl EvaluationContext {
                         .map(|&a| values[a].as_ref().expect("parents computed first"))
                         .collect();
                     let result = self.execute_node(program, id, &arg_refs)?;
+                    if let Some(a) = audit.as_deref_mut() {
+                        // The result coexists with all parents for an instant.
+                        current_values += 1;
+                        current_ciphers += usize::from(matches!(result, NodeValue::Cipher(_)));
+                        current_bytes += result.memory_bytes();
+                        a.record(current_values, current_ciphers, current_bytes);
+                    }
+                    values[id] = Some(result);
                     // Release parent values that have no further consumers
                     // (the executor's memory-reuse rule from Section 6.1).
                     // Decrement once per distinct parent, matching `Program::uses`.
@@ -518,10 +581,16 @@ impl EvaluationContext {
                     for a in distinct {
                         remaining_uses[a] = remaining_uses[a].saturating_sub(1);
                         if remaining_uses[a] == 0 {
-                            values[a] = None;
+                            if let Some(released) = values[a].take() {
+                                if audit.is_some() {
+                                    current_values -= 1;
+                                    current_ciphers -=
+                                        usize::from(matches!(released, NodeValue::Cipher(_)));
+                                    current_bytes -= released.memory_bytes();
+                                }
+                            }
                         }
                     }
-                    values[id] = Some(result);
                 }
             }
         }
@@ -532,6 +601,26 @@ impl EvaluationContext {
             }
         }
         Ok(result)
+    }
+}
+
+/// The measured peak memory state of one audited serial execution — the
+/// runtime counterpart of `eva-core`'s static `MemoryForecast`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryAudit {
+    /// Maximum number of simultaneously-live values (ciphertext or plain).
+    pub peak_live_values: usize,
+    /// Maximum number of simultaneously-live **ciphertexts**.
+    pub peak_live_ciphertexts: usize,
+    /// Maximum simultaneous bytes across all live values.
+    pub peak_bytes: usize,
+}
+
+impl MemoryAudit {
+    fn record(&mut self, values: usize, ciphers: usize, bytes: usize) {
+        self.peak_live_values = self.peak_live_values.max(values);
+        self.peak_live_ciphertexts = self.peak_live_ciphertexts.max(ciphers);
+        self.peak_bytes = self.peak_bytes.max(bytes);
     }
 }
 
@@ -675,6 +764,19 @@ impl EncryptedContext {
         bindings: HashMap<NodeId, NodeValue>,
     ) -> Result<HashMap<NodeId, NodeValue>, EvaError> {
         self.eval.execute_serial(compiled, bindings)
+    }
+
+    /// Audited serial execution (delegates to the evaluation half).
+    ///
+    /// # Errors
+    ///
+    /// See [`EvaluationContext::execute_serial_audited`].
+    pub fn execute_serial_audited(
+        &self,
+        compiled: &CompiledProgram,
+        bindings: HashMap<NodeId, NodeValue>,
+    ) -> Result<(HashMap<NodeId, NodeValue>, MemoryAudit), EvaError> {
+        self.eval.execute_serial_audited(compiled, bindings)
     }
 
     /// The secret key's leak-audit probe (see
@@ -864,5 +966,40 @@ mod tests {
         p.output("out", x, 30);
         let compiled = compile(&p, &CompilerOptions::default()).unwrap();
         assert!(run_encrypted(&compiled, &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn audit_is_bounded_by_the_static_forecast() {
+        let mut p = Program::new("audited", 16);
+        let image = p.input_cipher("image", 30);
+        let weights = p.input_vector("weights", 20);
+        let shifted = p.instruction(Op::RotateLeft(3), &[image]);
+        let weighted = p.instruction(Op::Multiply, &[shifted, weights]);
+        let sum = p.instruction(Op::Add, &[weighted, image]);
+        p.output("out", sum, 30);
+        let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+
+        let inputs: HashMap<String, Vec<f64>> = [
+            ("image".to_string(), vec![0.5; 16]),
+            ("weights".to_string(), vec![-1.0; 16]),
+        ]
+        .into_iter()
+        .collect();
+        let mut context = EncryptedContext::setup(&compiled, Some(11)).unwrap();
+        let bindings = context.encrypt_inputs(&compiled, &inputs).unwrap();
+        let (values, audit) = context.execute_serial_audited(&compiled, bindings).unwrap();
+        let actual = context.decrypt_outputs(&compiled, &values).unwrap();
+        let expected = run_reference(&compiled.program, &inputs).unwrap();
+        assert!(close(&actual["out"], &expected["out"], 1e-3));
+
+        assert!(audit.peak_live_ciphertexts >= 2);
+        assert!(audit.peak_bytes > 0);
+        let forecast = eva_core::predict_peak_memory(&compiled).unwrap();
+        assert!(
+            forecast.peak_live_values >= audit.peak_live_values
+                && forecast.peak_live_ciphertexts >= audit.peak_live_ciphertexts
+                && forecast.peak_bytes >= audit.peak_bytes,
+            "forecast {forecast:?} must upper-bound audit {audit:?}"
+        );
     }
 }

@@ -49,7 +49,7 @@ pub mod reference;
 
 pub use encrypted::{
     needs_relinearization, parameters_from_spec, run_encrypted, EncryptedContext,
-    EvaluationContext, NodeValue,
+    EvaluationContext, MemoryAudit, NodeValue,
 };
 pub use keys::ProgramKeyDerivation;
 pub use parallel::{execute_parallel, execute_parallel_with_options, ExecutionStats};

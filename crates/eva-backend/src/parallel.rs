@@ -393,7 +393,10 @@ mod tests {
             p.output("out", acc, 30);
             p
         };
-        let compiled = compile(&program, &CompilerOptions::default()).unwrap();
+        // Compile unoptimized: this test exercises the executor's
+        // memory-reuse machinery, and the optimizer would compose-merge the
+        // single-use rotation chain down to one node.
+        let compiled = compile(&program, &CompilerOptions::unoptimized()).unwrap();
         let inputs: HashMap<String, Vec<f64>> =
             [("x".to_string(), vec![1.0; 8])].into_iter().collect();
 

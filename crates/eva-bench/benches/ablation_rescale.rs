@@ -40,6 +40,7 @@ fn bench_ablation(c: &mut Criterion) {
             rescale: *rescale,
             mod_switch: *mod_switch,
             max_rescale_bits: 60,
+            ..CompilerOptions::default()
         };
         match compile(program, &options) {
             Ok(compiled) => println!(
@@ -63,6 +64,7 @@ fn bench_ablation(c: &mut Criterion) {
             rescale: *rescale,
             mod_switch: *mod_switch,
             max_rescale_bits: 60,
+            ..CompilerOptions::default()
         };
         group.bench_function(*name, |b| b.iter(|| compile(program, &options).unwrap()));
     }

@@ -6,6 +6,7 @@
 //! cargo run --release -p eva-bench --bin report -- --figure 7 --full
 //! cargo run --release -p eva-bench --bin report -- --primitives     # BENCH_primitives.json
 //! cargo run --release -p eva-bench --bin report -- --analysis       # verifier + noise budgets
+//! cargo run --release -p eva-bench --bin report -- --cost           # BENCH_cost.json
 //! cargo run --release -p eva-bench --bin report -- --dot sobel.dot  # annotated graphviz dump
 //! ```
 //!
@@ -40,6 +41,10 @@ struct Options {
     /// `--analysis`: time the static verifier and dump per-output worst-case
     /// noise budgets for the example circuits (Sobel, LeNet).
     analysis: bool,
+    /// `Some(path)` when `--cost [path]` was passed: price the Sobel and
+    /// LeNet-5-small circuits with the static cost model, run one audited
+    /// encrypted execution of each and write the baseline to `path`.
+    cost: Option<String>,
     /// `Some(path)` when `--dot [path]` was passed: write the Sobel circuit
     /// as annotated Graphviz DOT (level + noise budget per node) to `path`.
     dot: Option<String>,
@@ -58,6 +63,7 @@ fn parse_args() -> Options {
         wire: None,
         service: None,
         analysis: false,
+        cost: None,
         dot: None,
     };
     let mut iter = args.iter().peekable();
@@ -104,6 +110,13 @@ fn parse_args() -> Options {
                 options.service = Some(path);
             }
             "--analysis" => options.analysis = true,
+            "--cost" => {
+                let path = match iter.peek() {
+                    Some(p) if !p.starts_with("--") => iter.next().unwrap().clone(),
+                    _ => "BENCH_cost.json".to_string(),
+                };
+                options.cost = Some(path);
+            }
             "--dot" => {
                 let path = match iter.peek() {
                     Some(p) if !p.starts_with("--") => iter.next().unwrap().clone(),
@@ -188,6 +201,43 @@ fn main() {
             resilience.resumed_retries
         );
         let json = service_json(&resilience, &[]);
+        if let Err(err) = std::fs::write(path, &json) {
+            eprintln!("failed to write {path}: {err}");
+        }
+    }
+
+    if let Some(path) = &options.cost {
+        println!("== Static cost model vs measured execution (writing {path}) ==");
+        let measurements = measure_cost(false);
+        for m in &measurements {
+            println!(
+                "{:<16} nodes {:>5} -> {:<5} rotation steps {:>3} -> {:<3} key switches {:>4} -> {:<4}",
+                m.name,
+                m.unoptimized.nodes,
+                m.optimized.nodes,
+                m.unoptimized.distinct_rotation_steps,
+                m.optimized.distinct_rotation_steps,
+                m.unoptimized.key_switches,
+                m.optimized.key_switches,
+            );
+            println!(
+                "  predicted {:>12.1}µs  measured {:>12.1}µs  peak ciphertexts predicted {} audited {}  max error {:.2e}",
+                m.optimized.predicted_us,
+                m.measured_execute_us,
+                m.forecast.peak_live_ciphertexts,
+                m.audit.peak_live_ciphertexts,
+                m.max_error,
+            );
+            assert!(
+                m.forecast.peak_bytes >= m.audit.peak_bytes
+                    && m.forecast.peak_live_ciphertexts >= m.audit.peak_live_ciphertexts,
+                "{}: static forecast {:?} must upper-bound the audit {:?}",
+                m.name,
+                m.forecast,
+                m.audit
+            );
+        }
+        let json = cost_json(&measurements);
         if let Err(err) = std::fs::write(path, &json) {
             eprintln!("failed to write {path}: {err}");
         }

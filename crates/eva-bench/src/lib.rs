@@ -1025,6 +1025,209 @@ pub fn figure7_scaling(prepared: &PreparedNetwork, threads: &[usize], seed: u64)
         .collect()
 }
 
+/// One workload's static cost-model measurement: the optimizer's effect on
+/// the static counts, the cost model's latency prediction vs one measured
+/// serial encrypted execution, and the peak-memory forecast vs the
+/// allocation-counting executor audit (the `BENCH_cost.json` entry).
+#[derive(Debug, Clone)]
+pub struct CostMeasurement {
+    /// Workload identifier, e.g. `sobel_16x16`.
+    pub name: String,
+    /// Static cost report of the unoptimized compile.
+    pub unoptimized: eva_core::CostReport,
+    /// Static cost report of the optimized compile.
+    pub optimized: eva_core::CostReport,
+    /// Referenced duplicate nodes the optimizer's CSE pass merged.
+    pub cse_merged: usize,
+    /// Dead nodes removed across all DCE runs.
+    pub dce_removed: usize,
+    /// Rotations rewritten to left-normal form, bypassed or compose-merged.
+    pub rotations_canonicalized: usize,
+    /// Rotations eliminated by baby-step/giant-step factoring.
+    pub rotations_factored: usize,
+    /// Rotations re-parented by the rotation-chaining pass.
+    pub rotations_chained: usize,
+    /// Wall-clock of one serial encrypted execution of the optimized
+    /// program, in microseconds (compare with `optimized.predicted_us`).
+    pub measured_execute_us: f64,
+    /// Static peak-memory forecast for the optimized program.
+    pub forecast: eva_core::MemoryForecast,
+    /// Allocation-counting audit of the measured execution; the forecast
+    /// must upper-bound it.
+    pub audit: eva_backend::MemoryAudit,
+    /// Maximum absolute output error of the optimized encrypted execution
+    /// vs the plaintext reference (value preservation under optimization).
+    pub max_error: f64,
+}
+
+/// The cost-model workloads: Sobel 16×16 always, LeNet-5-small unless
+/// `quick` (its serial encrypted execution takes minutes).
+fn cost_workloads(quick: bool) -> Vec<(String, eva_core::Program, HashMap<String, Vec<f64>>)> {
+    let mut out = Vec::new();
+    let sobel = eva_apps::image::sobel_program(16);
+    let image: Vec<f64> = (0..256).map(|i| ((i % 17) as f64) / 17.0).collect();
+    out.push((
+        "sobel_16x16".to_string(),
+        sobel,
+        [("image".to_string(), image)].into_iter().collect(),
+    ));
+    if !quick {
+        let network = eva_tensor::networks::lenet5_small(42);
+        let lowered = lower_network(&network, LoweringMode::Eva);
+        let packed = pack_input(&random_image(&network, 7), lowered.program.vec_size());
+        out.push((
+            "lenet5_small".to_string(),
+            lowered.program.clone(),
+            [(lowered.input_name.clone(), packed)].into_iter().collect(),
+        ));
+    }
+    out
+}
+
+/// Measures the static cost model against reality for each workload:
+/// compiles the unoptimized and optimized twins, prices both with
+/// [`eva_core::estimate_cost`], forecasts peak memory, then runs one audited
+/// serial encrypted execution of the optimized program.
+///
+/// # Panics
+///
+/// Panics on compile or backend errors (the shipped workloads always
+/// compile and execute).
+pub fn measure_cost(quick: bool) -> Vec<CostMeasurement> {
+    use eva_core::{compile, estimate_cost, CompilerOptions, CostModel};
+
+    let model = CostModel::default();
+    let mut out = Vec::new();
+    for (name, program, inputs) in cost_workloads(quick) {
+        let unopt =
+            compile(&program, &CompilerOptions::unoptimized()).expect("unoptimized compile");
+        let opt = compile(&program, &CompilerOptions::default()).expect("optimized compile");
+        let unoptimized = estimate_cost(&unopt, &model).expect("unoptimized cost");
+        let optimized = estimate_cost(&opt, &model).expect("optimized cost");
+        let forecast = eva_core::predict_peak_memory(&opt).expect("forecast");
+
+        let mut context = EncryptedContext::setup(&opt, Some(42)).expect("context setup");
+        let bindings = context.encrypt_inputs(&opt, &inputs).expect("encryption");
+        let start = Instant::now();
+        let (values, audit) = context
+            .execute_serial_audited(&opt, bindings)
+            .expect("execution");
+        let measured_execute_us = start.elapsed().as_secs_f64() * 1e6;
+        let outputs = context.decrypt_outputs(&opt, &values).expect("decryption");
+        let expected = run_reference(&opt.program, &inputs).expect("reference");
+        let max_error = outputs
+            .iter()
+            .flat_map(|(k, v)| v.iter().zip(&expected[k]).map(|(a, b)| (a - b).abs()))
+            .fold(0.0f64, f64::max);
+
+        out.push(CostMeasurement {
+            name,
+            unoptimized,
+            optimized,
+            cse_merged: opt.stats.cse_merged,
+            dce_removed: opt.stats.dce_removed,
+            rotations_canonicalized: opt.stats.rotations_canonicalized,
+            rotations_factored: opt.stats.rotations_factored,
+            rotations_chained: opt.stats.rotations_chained,
+            measured_execute_us,
+            forecast,
+            audit,
+            max_error,
+        });
+    }
+    out
+}
+
+fn cost_report_json(report: &eva_core::CostReport, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"nodes\": {}, \"adds\": {}, \"multiplies\": {}, \
+         \"multiplies_plain\": {},\n{indent}  \"rotations\": {}, \
+         \"distinct_rotation_steps\": {}, \"relinearizations\": {},\n{indent}  \
+         \"rescales\": {}, \"mod_switches\": {}, \"key_switches\": {},\n{indent}  \
+         \"ntts\": {}, \"predicted_us\": {:.1}\n{indent}}}",
+        report.nodes,
+        report.adds,
+        report.multiplies,
+        report.multiplies_plain,
+        report.rotations,
+        report.distinct_rotation_steps,
+        report.relinearizations,
+        report.rescales,
+        report.mod_switches,
+        report.key_switches,
+        report.ntts,
+        report.predicted_us,
+    )
+}
+
+/// Renders cost measurements as the `BENCH_cost.json` document. The flat
+/// `ci` section repeats the deterministic static counts under
+/// `<workload>_<metric>` keys so CI can grep single scalars for
+/// non-regression without a JSON parser.
+pub fn cost_json(measurements: &[CostMeasurement]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"eva-bench-cost-v1\",\n");
+    s.push_str(
+        "  \"note\": \"Regenerate with: cargo run --release -p eva-bench --bin report -- \
+         --cost BENCH_cost.json. The 'ci' section holds deterministic static counts; \
+         *_us and *_bytes fields are machine-dependent.\",\n",
+    );
+    s.push_str("  \"workloads\": {\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        s.push_str(&format!("    \"{}\": {{\n", m.name));
+        s.push_str(&format!(
+            "      \"unoptimized\": {},\n",
+            cost_report_json(&m.unoptimized, "      ")
+        ));
+        s.push_str(&format!(
+            "      \"optimized\": {},\n",
+            cost_report_json(&m.optimized, "      ")
+        ));
+        s.push_str(&format!(
+            "      \"optimizer_stats\": {{ \"cse_merged\": {}, \"dce_removed\": {}, \
+             \"rotations_canonicalized\": {}, \"rotations_factored\": {}, \
+             \"rotations_chained\": {} }},\n",
+            m.cse_merged,
+            m.dce_removed,
+            m.rotations_canonicalized,
+            m.rotations_factored,
+            m.rotations_chained
+        ));
+        s.push_str(&format!(
+            "      \"measured_execute_us\": {:.1},\n      \"max_error\": {:.3e},\n",
+            m.measured_execute_us, m.max_error
+        ));
+        s.push_str(&format!(
+            "      \"predicted_peak_live_ciphertexts\": {}, \
+             \"audited_peak_live_ciphertexts\": {},\n      \
+             \"predicted_peak_bytes\": {}, \"audited_peak_bytes\": {}\n    }}{comma}\n",
+            m.forecast.peak_live_ciphertexts,
+            m.audit.peak_live_ciphertexts,
+            m.forecast.peak_bytes,
+            m.audit.peak_bytes,
+        ));
+    }
+    s.push_str("  },\n  \"ci\": {\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"{0}_nodes\": {1},\n    \"{0}_distinct_rotation_steps\": {2},\n    \
+             \"{0}_key_switches\": {3},\n    \"{0}_unoptimized_nodes\": {4},\n    \
+             \"{0}_unoptimized_distinct_rotation_steps\": {5},\n    \
+             \"{0}_unoptimized_key_switches\": {6}{comma}\n",
+            m.name,
+            m.optimized.nodes,
+            m.optimized.distinct_rotation_steps,
+            m.optimized.key_switches,
+            m.unoptimized.nodes,
+            m.unoptimized.distinct_rotation_steps,
+            m.unoptimized.key_switches,
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

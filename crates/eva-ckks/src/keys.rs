@@ -419,6 +419,34 @@ mod tests {
         assert!(gk.key_for_step(5).is_err());
     }
 
+    /// Pins the canonicalization contract documented in
+    /// `eva-core::analysis::rotations`: on the slot count `nh`, the Galois
+    /// element is `5^(step mod nh) mod 2N`, so a right rotation by `s`
+    /// (spelled `−s`) and its canonical left form `nh − s` derive the *same*
+    /// automorphism — and therefore share one key-switch key.
+    #[test]
+    fn galois_element_of_negative_step_matches_canonical_left_form() {
+        let ctx = context();
+        let nh = ctx.slot_count() as i64;
+        let tool = ctx.galois();
+        for s in 1..nh {
+            assert_eq!(
+                tool.galois_elt_from_step(-s),
+                tool.galois_elt_from_step(nh - s),
+                "galois_elt(−{s}) must equal galois_elt({nh} − {s})"
+            );
+        }
+        // The shared element means the generated key material is shared too:
+        // requesting both spellings yields two step entries, one key.
+        let mut keygen = KeyGenerator::from_seed(ctx, 9);
+        let gk = keygen.create_galois_keys(&[-3, nh - 3]);
+        assert_eq!(gk.step_count(), 2);
+        let (elt_neg, _) = gk.key_for_step(-3).unwrap();
+        let (elt_left, _) = gk.key_for_step(nh - 3).unwrap();
+        assert_eq!(elt_neg, elt_left);
+        assert_eq!(gk.keys.len(), 1, "one automorphism, one key");
+    }
+
     #[test]
     fn relin_key_has_one_digit_per_data_prime() {
         let ctx = context();

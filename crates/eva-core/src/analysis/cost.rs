@@ -1,0 +1,284 @@
+//! Static cost model: predicts where a compiled program spends its time
+//! before a single ciphertext exists.
+//!
+//! After the lazy-NTT work, key-switching dominates every real circuit
+//! (BENCH_primitives.json at `N = 8192`, level 3: relinearize ≈ 4709 µs vs
+//! cipher multiply ≈ 323 µs), so the model counts the *key switches* a
+//! program performs — relinearizations plus non-identity rotations — along
+//! with multiplies, rescales and the NTTs underneath them, each weighted by
+//! the ciphertext level it executes at.
+//!
+//! # Level scaling
+//!
+//! All costs are calibrated at reference level 3 and scaled by the NTT count
+//! of the primitive at the node's actual level `ℓ` (the number of data
+//! primes still alive there):
+//!
+//! * a key switch (relinearize, rotate) performs `2ℓ(ℓ + 1) + 4` NTTs —
+//!   28 at `ℓ = 3`, matching the measured `4709 / 168 ≈ 28` ratio of
+//!   relinearize to a single forward NTT;
+//! * a rescale performs `2(ℓ + 1)` NTTs — 8 at `ℓ = 3`, matching the
+//!   measured `1297 / 168 ≈ 7.7`;
+//! * dyadic work (multiply, add) is linear in `ℓ`.
+//!
+//! Only **live** cipher nodes are costed: executors skip dead branches, and
+//! after this PR `compile()` removes them outright.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::scale::{analyze_levels, chain_lengths};
+use crate::compiler::CompiledProgram;
+use crate::error::EvaError;
+use crate::program::NodeKind;
+use crate::types::Opcode;
+
+use super::dataflow::Dataflow;
+
+/// Latency weights in microseconds at the reference level, calibrated from
+/// BENCH_primitives.json (`N = 8192`, level 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Reference level the weights were measured at.
+    pub reference_level: usize,
+    /// One key switch (relinearize / rotate) at the reference level, µs.
+    pub key_switch_us: f64,
+    /// One rescale at the reference level, µs.
+    pub rescale_us: f64,
+    /// One cipher–cipher multiply (dyadic part) at the reference level, µs.
+    pub multiply_us: f64,
+    /// One cipher–plain multiply or encode-heavy op at the reference level, µs.
+    pub multiply_plain_us: f64,
+    /// One add/sub/negate at the reference level, µs.
+    pub add_us: f64,
+    /// One forward NTT of a single polynomial at the reference size, µs.
+    pub ntt_us: f64,
+}
+
+impl Default for CostModel {
+    /// Weights measured on this repository's own benchmark harness
+    /// (`report --primitives`, checked in as BENCH_primitives.json).
+    fn default() -> Self {
+        Self {
+            reference_level: 3,
+            key_switch_us: 4709.3,   // ckks_relinearize_n8192_l3
+            rescale_us: 1297.3,      // ckks_rescale_n8192_l3
+            multiply_us: 322.7,      // ckks_multiply_n8192_l3
+            multiply_plain_us: 70.5, // dyadic_mul_n8192_l3
+            add_us: 24.4,            // dyadic_add_n8192_l3
+            ntt_us: 167.7,           // ntt_forward_n8192
+        }
+    }
+}
+
+/// Number of NTTs one key switch performs at level `l`.
+pub fn key_switch_ntts(l: usize) -> usize {
+    2 * l * (l + 1) + 4
+}
+
+/// Number of NTTs one rescale performs at level `l`.
+pub fn rescale_ntts(l: usize) -> usize {
+    2 * (l + 1)
+}
+
+/// What the static cost model predicts for one compiled program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostReport {
+    /// Total node count of the program (live and dead).
+    pub nodes: usize,
+    /// Live cipher–cipher multiplies.
+    pub multiplies: usize,
+    /// Live cipher–plain multiplies.
+    pub multiplies_plain: usize,
+    /// Live adds/subs/negates touching ciphertext.
+    pub adds: usize,
+    /// Live non-identity cipher rotations (each is one key switch).
+    pub rotations: usize,
+    /// Live relinearizations (each is one key switch).
+    pub relinearizations: usize,
+    /// Live rescales.
+    pub rescales: usize,
+    /// Live mod-switches (prime drop, no key switch).
+    pub mod_switches: usize,
+    /// Total key switches: `rotations + relinearizations`.
+    pub key_switches: usize,
+    /// Number of distinct rotation steps (= Galois keys to generate/ship).
+    pub distinct_rotation_steps: usize,
+    /// Total NTT count across all key switches and rescales.
+    pub ntts: usize,
+    /// Key switches per ciphertext level (level → count).
+    pub key_switches_per_level: BTreeMap<usize, usize>,
+    /// Predicted serial execution latency in microseconds.
+    pub predicted_us: f64,
+}
+
+/// Runs the static cost model over a compiled program.
+///
+/// # Errors
+///
+/// Returns [`EvaError`] if the program graph is cyclic or its level analysis
+/// fails (both impossible for programs produced by `compile()`, which
+/// verifies them first).
+pub fn estimate_cost(
+    compiled: &CompiledProgram,
+    model: &CostModel,
+) -> Result<CostReport, EvaError> {
+    let program = &compiled.program;
+    let df = Dataflow::try_new(program)?;
+    let max_level = compiled.parameters.data_primes.len();
+    let levels: Vec<usize> = chain_lengths(&analyze_levels(program)?)
+        .iter()
+        .map(|&consumed| max_level.saturating_sub(consumed))
+        .collect();
+
+    let ref_ks_ntts = key_switch_ntts(model.reference_level) as f64;
+    let ref_rs_ntts = rescale_ntts(model.reference_level) as f64;
+    let ref_level = model.reference_level as f64;
+
+    let mut report = CostReport {
+        nodes: program.len(),
+        distinct_rotation_steps: compiled.rotation_steps.len(),
+        ..CostReport::default()
+    };
+
+    for &id in df.order() {
+        if !df.live()[id] {
+            continue;
+        }
+        let node = program.node(id);
+        if !node.ty.is_cipher() {
+            continue;
+        }
+        let NodeKind::Instruction { op, args } = &node.kind else {
+            continue;
+        };
+        // The level the instruction's *inputs* are at (what key-switch and
+        // dyadic work operate on): maintenance ops record their own chain,
+        // so use the argument's level where one exists.
+        let level = args
+            .iter()
+            .filter(|&&a| program.node(a).ty.is_cipher())
+            .map(|&a| levels[a])
+            .max()
+            .unwrap_or(levels[id]);
+        let scale = |ref_us: f64, weight: f64| ref_us * weight;
+        match op {
+            Opcode::Multiply => {
+                let both_cipher = args.iter().all(|&a| program.node(a).ty.is_cipher());
+                if both_cipher {
+                    report.multiplies += 1;
+                    report.predicted_us += scale(model.multiply_us, level as f64 / ref_level);
+                } else {
+                    report.multiplies_plain += 1;
+                    report.predicted_us += scale(model.multiply_plain_us, level as f64 / ref_level);
+                }
+            }
+            Opcode::Add | Opcode::Sub | Opcode::Negate => {
+                report.adds += 1;
+                report.predicted_us += scale(model.add_us, level as f64 / ref_level);
+            }
+            Opcode::RotateLeft(s) if *s != 0 => {
+                report.rotations += 1;
+                let ntts = key_switch_ntts(level);
+                report.ntts += ntts;
+                *report.key_switches_per_level.entry(level).or_insert(0) += 1;
+                report.predicted_us += scale(model.key_switch_us, ntts as f64 / ref_ks_ntts);
+            }
+            Opcode::RotateRight(s) if *s != 0 => {
+                report.rotations += 1;
+                let ntts = key_switch_ntts(level);
+                report.ntts += ntts;
+                *report.key_switches_per_level.entry(level).or_insert(0) += 1;
+                report.predicted_us += scale(model.key_switch_us, ntts as f64 / ref_ks_ntts);
+            }
+            // Identity rotations are cloned by the evaluator: no key switch.
+            Opcode::RotateLeft(_) | Opcode::RotateRight(_) => {}
+            Opcode::Relinearize => {
+                report.relinearizations += 1;
+                let ntts = key_switch_ntts(level);
+                report.ntts += ntts;
+                *report.key_switches_per_level.entry(level).or_insert(0) += 1;
+                report.predicted_us += scale(model.key_switch_us, ntts as f64 / ref_ks_ntts);
+            }
+            Opcode::Rescale(_) => {
+                report.rescales += 1;
+                let ntts = rescale_ntts(level);
+                report.ntts += ntts;
+                report.predicted_us += scale(model.rescale_us, ntts as f64 / ref_rs_ntts);
+            }
+            Opcode::ModSwitch => {
+                // Dropping the top prime copies the surviving residues;
+                // negligible next to any key switch, costed as one add.
+                report.mod_switches += 1;
+                report.predicted_us += scale(model.add_us, level as f64 / ref_level);
+            }
+        }
+    }
+    report.key_switches = report.rotations + report.relinearizations;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CompilerOptions};
+    use crate::program::Program;
+    use crate::types::Opcode;
+
+    fn rotated_product() -> CompiledProgram {
+        let mut p = Program::new("rotprod", 16);
+        let x = p.input_cipher("x", 30);
+        let r = p.instruction(Opcode::RotateLeft(1), &[x]);
+        let m = p.instruction(Opcode::Multiply, &[x, r]);
+        p.output("out", m, 30);
+        compile(&p, &CompilerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn counts_key_switches_and_rotations() {
+        let compiled = rotated_product();
+        let report = estimate_cost(&compiled, &CostModel::default()).unwrap();
+        assert_eq!(report.rotations, 1);
+        assert_eq!(report.relinearizations, 1, "multiply gets relinearized");
+        assert_eq!(report.key_switches, 2);
+        assert_eq!(report.multiplies, 1);
+        assert_eq!(report.distinct_rotation_steps, 1);
+        assert!(report.predicted_us > 0.0);
+        assert_eq!(
+            report.key_switches_per_level.values().sum::<usize>(),
+            report.key_switches
+        );
+    }
+
+    #[test]
+    fn dead_nodes_cost_nothing() {
+        let mut p = Program::new("deadcost", 16);
+        let x = p.input_cipher("x", 30);
+        let live = p.instruction(Opcode::Add, &[x, x]);
+        p.output("out", live, 30);
+        let mut with_dead = p.clone();
+        let d = with_dead.instruction(Opcode::RotateLeft(2), &[x]);
+        let _dead = with_dead.instruction(Opcode::Multiply, &[d, d]);
+        // Compare compiled costs — the dead rotation must not be charged.
+        // (Compiled through the unoptimized pipeline so the dead branch is
+        // actually still present; compile() now strips it.)
+        let a = compile(&p, &CompilerOptions::default()).unwrap();
+        let report_a = estimate_cost(&a, &CostModel::default()).unwrap();
+        let b = compile(&with_dead, &CompilerOptions::default()).unwrap();
+        let report_b = estimate_cost(&b, &CostModel::default()).unwrap();
+        assert_eq!(report_a.key_switches, report_b.key_switches);
+        assert_eq!(report_a.rotations, report_b.rotations);
+    }
+
+    #[test]
+    fn ntt_formulas_match_calibration_ratios() {
+        // At the reference level the formulas must reproduce the measured
+        // primitive ratios within ~5%: relinearize/NTT ≈ 28, rescale/NTT ≈ 8.
+        let m = CostModel::default();
+        assert_eq!(key_switch_ntts(3), 28);
+        assert_eq!(rescale_ntts(3), 8);
+        let measured_ks = m.key_switch_us / m.ntt_us;
+        assert!((measured_ks - 28.0).abs() / 28.0 < 0.05, "{measured_ks}");
+        let measured_rs = m.rescale_us / m.ntt_us;
+        assert!((measured_rs - 8.0).abs() / 8.0 < 0.05, "{measured_rs}");
+    }
+}

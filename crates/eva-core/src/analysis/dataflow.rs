@@ -1,0 +1,433 @@
+//! A reusable forward/backward dataflow framework over [`Program`] graphs.
+//!
+//! Every analysis in this module family — cost ([`super::cost`]), liveness
+//! ([`super::liveness`]), the value-numbering equivalence relation driving
+//! CSE ([`value_numbers`]) — and every optimization pass in
+//! [`crate::passes`] needs the same three ingredients:
+//!
+//! * a **topological iteration order** proved safe on possibly-hostile
+//!   graphs ([`kahn_order`] — the exact Kahn's-algorithm ordering the
+//!   verifier's structural pass uses, shared here so the verifier and the
+//!   optimizer cannot drift);
+//! * **def-use chains** (who consumes each node's value);
+//! * the **live set** (which nodes reach an output).
+//!
+//! [`Dataflow`] bundles them, computed once, plus generic [`forward`]
+//! and [`backward`] propagation drivers and [`dominators`] on the DAG.
+//!
+//! [`forward`]: Dataflow::forward
+//! [`backward`]: Dataflow::backward
+//! [`dominators`]: Dataflow::dominators
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::error::EvaError;
+use crate::program::{NodeId, NodeKind, Program};
+use crate::types::Opcode;
+
+/// Computes a topological order of `program` with Kahn's algorithm, without
+/// assuming acyclicity (unlike [`Program::topological_order`], which
+/// debug-asserts it — precisely what an untrusted decoded program may
+/// violate).
+///
+/// Returns `Err` with the ids of the nodes stuck on a cycle when the graph
+/// is not a DAG. This is the ordering the IR verifier's structural pass is
+/// built on; analyses and passes share it through [`Dataflow`].
+pub fn kahn_order(program: &Program) -> Result<Vec<NodeId>, Vec<NodeId>> {
+    let node_count = program.len();
+    let mut in_degree = vec![0usize; node_count];
+    for (id, node) in program.nodes().iter().enumerate() {
+        if let NodeKind::Instruction { args, .. } = &node.kind {
+            // Count distinct parents so it matches the deduplicated use lists.
+            let mut distinct: Vec<NodeId> = args.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            in_degree[id] = distinct.len();
+        }
+    }
+    let uses = program.uses();
+    let mut queue: VecDeque<NodeId> = (0..node_count).filter(|&id| in_degree[id] == 0).collect();
+    let mut order = Vec::with_capacity(node_count);
+    while let Some(id) = queue.pop_front() {
+        order.push(id);
+        for &user in &uses[id] {
+            in_degree[user] -= 1;
+            if in_degree[user] == 0 {
+                queue.push_back(user);
+            }
+        }
+    }
+    if order.len() < node_count {
+        let mut seen = vec![false; node_count];
+        for &id in &order {
+            seen[id] = true;
+        }
+        return Err((0..node_count).filter(|&id| !seen[id]).collect());
+    }
+    Ok(order)
+}
+
+/// The shared substrate of every dataflow analysis: one program, its proven
+/// topological order, def-use chains and live set.
+#[derive(Debug)]
+pub struct Dataflow<'p> {
+    program: &'p Program,
+    order: Vec<NodeId>,
+    uses: Vec<Vec<NodeId>>,
+    live: Vec<bool>,
+}
+
+impl<'p> Dataflow<'p> {
+    /// Builds the framework over `program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaError::InvalidProgram`] if the graph has a cycle (the
+    /// same refusal the verifier's `acyclic` check produces).
+    pub fn try_new(program: &'p Program) -> Result<Self, EvaError> {
+        let order = kahn_order(program).map_err(|cyclic| {
+            EvaError::InvalidProgram(format!(
+                "program graph has a cycle through {} node(s)",
+                cyclic.len()
+            ))
+        })?;
+        Ok(Self {
+            program,
+            uses: program.uses(),
+            live: program.live_mask(),
+            order,
+        })
+    }
+
+    /// The program under analysis.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The topological order (parents before children).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Def-use chains: for every node, the nodes consuming its value
+    /// (each user listed once, as in [`Program::uses`]).
+    pub fn uses(&self) -> &[Vec<NodeId>] {
+        &self.uses
+    }
+
+    /// Which nodes reach a program output.
+    pub fn live(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Forward dataflow: computes one fact per node in topological order.
+    ///
+    /// `transfer(id, facts)` runs with `facts[arg]` final for every argument
+    /// of `id` (parents precede children in the iteration); entries of nodes
+    /// not yet visited hold `T::default()`.
+    pub fn forward<T: Default>(&self, mut transfer: impl FnMut(NodeId, &[T]) -> T) -> Vec<T> {
+        let mut facts: Vec<T> = (0..self.program.len()).map(|_| T::default()).collect();
+        for &id in &self.order {
+            facts[id] = transfer(id, &facts);
+        }
+        facts
+    }
+
+    /// Backward dataflow: computes one fact per node in reverse topological
+    /// order, with `facts[user]` final for every user of `id`.
+    pub fn backward<T: Default>(&self, mut transfer: impl FnMut(NodeId, &[T]) -> T) -> Vec<T> {
+        let mut facts: Vec<T> = (0..self.program.len()).map(|_| T::default()).collect();
+        for &id in self.order.iter().rev() {
+            facts[id] = transfer(id, &facts);
+        }
+        facts
+    }
+
+    /// Immediate dominators on the data-flow DAG (Cooper–Harvey–Kennedy over
+    /// the topological order): `idom[id]` is the unique node every path from
+    /// a root (input/constant) to `id` passes through, or `None` when the
+    /// only common dominator is the virtual root above all graph roots.
+    ///
+    /// A rotation/key-switch hoisting pass wants exactly this fact: work
+    /// common to all paths into a node can be performed once at its
+    /// dominator.
+    pub fn dominators(&self) -> Vec<Option<NodeId>> {
+        let mut position = vec![0usize; self.program.len()];
+        for (idx, &id) in self.order.iter().enumerate() {
+            position[id] = idx;
+        }
+        let mut idom: Vec<Option<NodeId>> = vec![None; self.program.len()];
+        // Walk both idom chains up to their common ancestor; `None` is the
+        // virtual root and absorbs everything.
+        let intersect = |idom: &[Option<NodeId>], a: NodeId, b: NodeId| -> Option<NodeId> {
+            let (mut a, mut b) = (Some(a), Some(b));
+            while a != b {
+                let (pa, pb) = match (a, b) {
+                    (Some(na), Some(nb)) => (position[na], position[nb]),
+                    _ => return None,
+                };
+                if pa > pb {
+                    a = idom[a.expect("checked above")];
+                } else {
+                    b = idom[b.expect("checked above")];
+                }
+            }
+            a
+        };
+        for &id in &self.order {
+            let mut distinct: Vec<NodeId> = self.program.args(id).to_vec();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let mut dom: Option<NodeId> = None;
+            for (i, &arg) in distinct.iter().enumerate() {
+                dom = if i == 0 {
+                    Some(arg)
+                } else {
+                    match dom {
+                        Some(d) => intersect(&idom, d, arg),
+                        None => None,
+                    }
+                };
+                if i > 0 && dom.is_none() {
+                    break;
+                }
+            }
+            idom[id] = dom;
+        }
+        idom
+    }
+}
+
+/// The hashable identity of a node for value numbering: two nodes with equal
+/// keys compute bit-identical values on every execution.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum VnKey {
+    /// Inputs are opaque runtime values: never merged, not even with
+    /// themselves under a different id.
+    Unique(NodeId),
+    /// Constants compare by exact bit pattern of payload *and* scale — CKKS
+    /// encodes a constant at its annotated scale, so `2.0 @ 2^20` and
+    /// `2.0 @ 2^30` are different plaintexts.
+    Constant {
+        /// Discriminant + payload bits of the [`crate::ConstantValue`].
+        payload: (u8, Vec<u64>),
+        /// `scale_log2` bit pattern.
+        scale: u64,
+    },
+    /// Instructions compare by opcode, argument equivalence classes
+    /// (operand order canonicalized for commutative ops) and stamped scale.
+    Instruction {
+        /// The operation.
+        op: Opcode,
+        /// Value numbers of the arguments.
+        args: Vec<usize>,
+        /// `scale_log2` bit pattern (0.0 for untransformed input programs;
+        /// including it keeps the relation sound on annotated programs too).
+        scale: u64,
+    },
+}
+
+/// Value-numbering equivalence analysis: assigns every node a class id such
+/// that two nodes share a class **iff** they provably compute bit-identical
+/// values — same opcode, equivalent operands (modulo commutativity of ADD
+/// and MULTIPLY), bit-identical constants.
+///
+/// FHE evaluation is deterministic given the operand ciphertexts, so merging
+/// a class onto one representative (what [`crate::passes::cse`] does)
+/// preserves outputs bit-for-bit.
+///
+/// Returns `(class_of, representative)`: `class_of[id]` is the node's class
+/// and `representative[class]` the topologically-first member of the class.
+pub fn value_numbers(df: &Dataflow<'_>) -> (Vec<usize>, Vec<NodeId>) {
+    let program = df.program();
+    let mut class_of = vec![usize::MAX; program.len()];
+    let mut representative: Vec<NodeId> = Vec::new();
+    let mut table: HashMap<VnKey, usize> = HashMap::new();
+    for &id in df.order() {
+        let node = program.node(id);
+        let key = match &node.kind {
+            NodeKind::Input { .. } => VnKey::Unique(id),
+            NodeKind::Constant { value } => VnKey::Constant {
+                payload: constant_bits(value),
+                scale: node.scale_log2.to_bits(),
+            },
+            NodeKind::Instruction { op, args } => {
+                let mut arg_classes: Vec<usize> = args.iter().map(|&a| class_of[a]).collect();
+                if matches!(op, Opcode::Add | Opcode::Multiply) {
+                    arg_classes.sort_unstable();
+                }
+                VnKey::Instruction {
+                    op: *op,
+                    args: arg_classes,
+                    scale: node.scale_log2.to_bits(),
+                }
+            }
+        };
+        let next = representative.len();
+        let class = *table.entry(key).or_insert(next);
+        if class == next {
+            representative.push(id);
+        }
+        class_of[id] = class;
+    }
+    (class_of, representative)
+}
+
+/// Exact bit representation of a constant payload (discriminant + bits), so
+/// `0.0` and `-0.0` — different CKKS plaintexts — stay distinct.
+fn constant_bits(value: &crate::types::ConstantValue) -> (u8, Vec<u64>) {
+    use crate::types::ConstantValue;
+    match value {
+        ConstantValue::Scalar(v) => (0, vec![v.to_bits()]),
+        ConstantValue::Integer(v) => (1, vec![*v as u64]),
+        ConstantValue::Vector(v) => (2, v.iter().map(|x| x.to_bits()).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ConstantValue, ValueType};
+
+    fn diamond() -> Program {
+        // x -> a, b -> c (a diamond: c is dominated by x).
+        let mut p = Program::new("diamond", 8);
+        let x = p.input_cipher("x", 30);
+        let a = p.instruction(Opcode::Negate, &[x]);
+        let b = p.instruction(Opcode::Multiply, &[x, x]);
+        let c = p.instruction(Opcode::Add, &[a, b]);
+        p.output("out", c, 30);
+        p
+    }
+
+    #[test]
+    fn kahn_matches_program_topological_order_on_dags() {
+        let p = diamond();
+        assert_eq!(kahn_order(&p).unwrap(), p.topological_order());
+    }
+
+    #[test]
+    fn kahn_reports_cyclic_nodes() {
+        let mut p = diamond();
+        // Create a cycle: a's argument becomes c (node 3).
+        p.replace_arg(1, 0, 3);
+        let cyclic = kahn_order(&p).unwrap_err();
+        assert!(cyclic.contains(&1) && cyclic.contains(&3), "{cyclic:?}");
+        assert!(Dataflow::try_new(&p).is_err());
+    }
+
+    #[test]
+    fn forward_computes_depth_backward_computes_height() {
+        let p = diamond();
+        let df = Dataflow::try_new(&p).unwrap();
+        let depth = df.forward(|id, facts: &[usize]| {
+            p.args(id).iter().map(|&a| facts[a] + 1).max().unwrap_or(0)
+        });
+        assert_eq!(depth, vec![0, 1, 1, 2]);
+        let height = df.backward(|id, facts: &[usize]| {
+            df.uses()[id]
+                .iter()
+                .map(|&u| facts[u] + 1)
+                .max()
+                .unwrap_or(0)
+        });
+        assert_eq!(height, vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn dominators_on_a_diamond() {
+        let p = diamond();
+        let df = Dataflow::try_new(&p).unwrap();
+        let idom = df.dominators();
+        assert_eq!(idom[0], None, "roots answer to the virtual root");
+        assert_eq!(idom[1], Some(0));
+        assert_eq!(idom[2], Some(0));
+        // Both paths into c pass through x.
+        assert_eq!(idom[3], Some(0));
+    }
+
+    #[test]
+    fn dominators_with_two_roots_meet_at_the_virtual_root() {
+        let mut p = Program::new("two_roots", 8);
+        let x = p.input_cipher("x", 30);
+        let y = p.input_cipher("y", 30);
+        let s = p.instruction(Opcode::Add, &[x, y]);
+        p.output("out", s, 30);
+        let df = Dataflow::try_new(&p).unwrap();
+        assert_eq!(df.dominators()[s], None);
+    }
+
+    #[test]
+    fn value_numbering_merges_structural_duplicates() {
+        let mut p = Program::new("dups", 8);
+        let x = p.input_cipher("x", 30);
+        let a = p.instruction(Opcode::Multiply, &[x, x]);
+        let b = p.instruction(Opcode::Multiply, &[x, x]);
+        let sum = p.instruction(Opcode::Add, &[a, b]);
+        p.output("out", sum, 30);
+        let df = Dataflow::try_new(&p).unwrap();
+        let (classes, reps) = value_numbers(&df);
+        assert_eq!(classes[a], classes[b]);
+        assert_eq!(reps[classes[a]], a, "representative is topologically first");
+        assert_ne!(classes[x], classes[a]);
+    }
+
+    #[test]
+    fn value_numbering_canonicalizes_commutative_operands_only() {
+        let mut p = Program::new("comm", 8);
+        let x = p.input_cipher("x", 30);
+        let y = p.input_cipher("y", 30);
+        let axy = p.instruction(Opcode::Add, &[x, y]);
+        let ayx = p.instruction(Opcode::Add, &[y, x]);
+        let sxy = p.instruction(Opcode::Sub, &[x, y]);
+        let syx = p.instruction(Opcode::Sub, &[y, x]);
+        let m = p.instruction(Opcode::Multiply, &[axy, ayx]);
+        let n = p.instruction(Opcode::Multiply, &[sxy, syx]);
+        let out = p.instruction(Opcode::Add, &[m, n]);
+        p.output("out", out, 30);
+        let df = Dataflow::try_new(&p).unwrap();
+        let (classes, _) = value_numbers(&df);
+        assert_eq!(classes[axy], classes[ayx], "ADD is commutative");
+        assert_ne!(classes[sxy], classes[syx], "SUB is not");
+    }
+
+    #[test]
+    fn value_numbering_never_merges_inputs_and_respects_constant_bits() {
+        let mut p = Program::new("consts", 8);
+        let x = p.input_cipher("x", 30);
+        let y = p.input_cipher("y", 30);
+        let c1 = p.constant(ConstantValue::Scalar(2.0), 20);
+        let c2 = p.constant(ConstantValue::Scalar(2.0), 20);
+        let c3 = p.constant(ConstantValue::Scalar(2.0), 30);
+        let m1 = p.instruction(Opcode::Multiply, &[x, c1]);
+        let m2 = p.instruction(Opcode::Multiply, &[y, c2]);
+        let m3 = p.instruction(Opcode::Multiply, &[x, c3]);
+        let s = p.instruction(Opcode::Add, &[m1, m2]);
+        let t = p.instruction(Opcode::Add, &[s, m3]);
+        p.output("out", t, 30);
+        let df = Dataflow::try_new(&p).unwrap();
+        let (classes, _) = value_numbers(&df);
+        assert_ne!(classes[x], classes[y], "inputs are opaque");
+        assert_eq!(classes[c1], classes[c2], "bit-identical constants merge");
+        assert_ne!(classes[c1], classes[c3], "different scales do not");
+        assert_ne!(classes[m1], classes[m2]);
+        assert_ne!(classes[m1], classes[m3]);
+    }
+
+    #[test]
+    fn value_numbering_is_transitive_through_operands() {
+        let mut p = Program::new("transitive", 8);
+        let x = p.input_cipher("x", 30);
+        let a1 = p.instruction(Opcode::Negate, &[x]);
+        let a2 = p.instruction(Opcode::Negate, &[x]);
+        // b1/b2 use *different* node ids with the same class.
+        let b1 = p.instruction(Opcode::Multiply, &[a1, a1]);
+        let b2 = p.instruction(Opcode::Multiply, &[a2, a2]);
+        let s = p.instruction(Opcode::Add, &[b1, b2]);
+        p.output("out", s, 30);
+        let df = Dataflow::try_new(&p).unwrap();
+        let (classes, _) = value_numbers(&df);
+        assert_eq!(classes[b1], classes[b2]);
+        let _ = (ValueType::Cipher, s);
+    }
+}

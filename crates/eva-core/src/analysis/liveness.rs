@@ -1,0 +1,224 @@
+//! Liveness and peak-memory analysis: predicts, before execution, the
+//! maximum number of simultaneously-live ciphertexts — and bytes — the
+//! serial executor will hold.
+//!
+//! The executor releases a value as soon as its last live consumer has run
+//! (the memory-reuse rule of paper Section 6.1). This analysis replays that
+//! exact discipline symbolically over the [`Dataflow`] def-use chains:
+//!
+//! * bindings start with every **live input** (dead inputs are never bound);
+//! * constants materialize as plaintext vectors when first visited;
+//! * an instruction's result coexists with all of its parents for one
+//!   instant — the peak is sampled there, *before* the parents are
+//!   released — then each distinct parent's remaining-use count drops;
+//! * output values survive to the end (decryption reads them).
+//!
+//! Byte sizes replay the backend's accounting exactly: a ciphertext at
+//! level `ℓ` with `p` polynomials holds `p · ℓ · degree` 8-byte residues
+//! (`Ciphertext::memory_bytes`), a plaintext vector `vec_size` 8-byte
+//! floats. Levels come from the same chain analysis the verifier uses and
+//! polynomial counts from [`analyze_num_polys`], so the prediction is an
+//! upper bound that the allocation-counting executor audit
+//! (`eva-backend`'s `execute_serial_audited`) can meet but not exceed.
+//!
+//! The service layer uses [`predict_peak_memory`] for admission control:
+//! a program whose predicted footprint exceeds the configured budget is
+//! refused at load time with a named `peak-memory` finding.
+
+use crate::analysis::scale::{analyze_levels, analyze_num_polys, chain_lengths};
+use crate::compiler::CompiledProgram;
+use crate::error::EvaError;
+use crate::program::NodeKind;
+
+use super::dataflow::Dataflow;
+
+/// The predicted peak memory state of one serial execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryForecast {
+    /// Maximum number of simultaneously-live values (ciphertext or plain).
+    pub peak_live_values: usize,
+    /// Maximum number of simultaneously-live **ciphertexts**.
+    pub peak_live_ciphertexts: usize,
+    /// Maximum simultaneous bytes across all live values.
+    pub peak_bytes: usize,
+    /// The node being computed when the byte peak occurs (`None` when the
+    /// peak is the initial binding set of a program with no instructions).
+    pub at_node: Option<usize>,
+}
+
+/// Predicts the serial executor's peak memory for a compiled program.
+///
+/// # Errors
+///
+/// Returns [`EvaError`] if the program graph is cyclic or level analysis
+/// fails (impossible for programs `compile()` has verified).
+pub fn predict_peak_memory(compiled: &CompiledProgram) -> Result<MemoryForecast, EvaError> {
+    let program = &compiled.program;
+    let df = Dataflow::try_new(program)?;
+    let live = df.live();
+    let degree = compiled.parameters.degree;
+    let max_level = compiled.parameters.data_primes.len();
+    let levels: Vec<usize> = chain_lengths(&analyze_levels(program)?)
+        .iter()
+        .map(|&consumed| max_level.saturating_sub(consumed))
+        .collect();
+    let polys = analyze_num_polys(program);
+    let plain_bytes = program.vec_size() * std::mem::size_of::<f64>();
+
+    // Bytes each node's value occupies while live, mirroring
+    // `NodeValue::memory_bytes` on the backend.
+    let bytes_of = |id: usize| -> usize {
+        if program.node(id).ty.is_cipher() {
+            polys[id] * levels[id] * degree * std::mem::size_of::<u64>()
+        } else {
+            plain_bytes
+        }
+    };
+
+    // Remaining live consumers per node, plus one per output reference —
+    // the executor's release discipline verbatim.
+    let mut remaining_uses: Vec<usize> = df
+        .uses()
+        .iter()
+        .map(|u| u.iter().filter(|&&c| live[c]).count())
+        .collect();
+    for output in program.outputs() {
+        remaining_uses[output.node] += 1;
+    }
+
+    let mut is_live_value = vec![false; program.len()];
+    let mut forecast = MemoryForecast::default();
+    let mut current_bytes = 0usize;
+    let mut current_values = 0usize;
+    let mut current_ciphers = 0usize;
+
+    // Initial bindings: every live input (encrypt_inputs skips dead ones).
+    for (id, node) in program.nodes().iter().enumerate() {
+        if live[id] && matches!(node.kind, NodeKind::Input { .. }) {
+            is_live_value[id] = true;
+            current_values += 1;
+            current_ciphers += usize::from(node.ty.is_cipher());
+            current_bytes += bytes_of(id);
+        }
+    }
+    forecast.peak_live_values = current_values;
+    forecast.peak_live_ciphertexts = current_ciphers;
+    forecast.peak_bytes = current_bytes;
+
+    for &id in df.order() {
+        if !live[id] {
+            continue;
+        }
+        let node = program.node(id);
+        match &node.kind {
+            NodeKind::Input { .. } => {}
+            NodeKind::Constant { .. } => {
+                is_live_value[id] = true;
+                current_values += 1;
+                current_bytes += bytes_of(id);
+                if current_bytes > forecast.peak_bytes {
+                    forecast.peak_bytes = current_bytes;
+                    forecast.at_node = Some(id);
+                }
+                forecast.peak_live_values = forecast.peak_live_values.max(current_values);
+            }
+            NodeKind::Instruction { args, .. } => {
+                // The result exists alongside every parent for one instant.
+                let result_bytes = bytes_of(id);
+                let result_cipher = usize::from(node.ty.is_cipher());
+                current_values += 1;
+                current_ciphers += result_cipher;
+                current_bytes += result_bytes;
+                if current_bytes > forecast.peak_bytes {
+                    forecast.peak_bytes = current_bytes;
+                    forecast.at_node = Some(id);
+                }
+                forecast.peak_live_values = forecast.peak_live_values.max(current_values);
+                forecast.peak_live_ciphertexts =
+                    forecast.peak_live_ciphertexts.max(current_ciphers);
+                is_live_value[id] = true;
+                // Release parents whose last live consumer just ran.
+                let mut distinct = args.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                for a in distinct {
+                    remaining_uses[a] = remaining_uses[a].saturating_sub(1);
+                    if remaining_uses[a] == 0 && is_live_value[a] {
+                        is_live_value[a] = false;
+                        current_values -= 1;
+                        current_ciphers -= usize::from(program.node(a).ty.is_cipher());
+                        current_bytes -= bytes_of(a);
+                    }
+                }
+            }
+        }
+    }
+    Ok(forecast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CompilerOptions};
+    use crate::program::Program;
+    use crate::types::Opcode;
+
+    fn chain(depth: usize) -> CompiledProgram {
+        let mut p = Program::new("chain", 16);
+        let x = p.input_cipher("x", 30);
+        let mut acc = x;
+        for _ in 0..depth {
+            acc = p.instruction(Opcode::Add, &[acc, acc]);
+        }
+        p.output("out", acc, 30);
+        compile(&p, &CompilerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn a_linear_chain_keeps_two_ciphertexts_live() {
+        let compiled = chain(5);
+        let f = predict_peak_memory(&compiled).unwrap();
+        // At each step the new value coexists with its (about-to-be-released)
+        // parent: never more than two ciphertexts at once.
+        assert_eq!(f.peak_live_ciphertexts, 2);
+        assert!(f.peak_bytes > 0);
+        assert!(f.at_node.is_some());
+    }
+
+    #[test]
+    fn wide_fanout_holds_every_branch_live() {
+        let mut p = Program::new("fan", 16);
+        let x = p.input_cipher("x", 30);
+        let branches: Vec<_> = (1..=4)
+            .map(|s| p.instruction(Opcode::RotateLeft(s), &[x]))
+            .collect();
+        let mut acc = branches[0];
+        for &b in &branches[1..] {
+            acc = p.instruction(Opcode::Add, &[acc, b]);
+        }
+        p.output("out", acc, 30);
+        // Compile unoptimized: rotation chaining would serialize the fan-out
+        // (that reduction is exactly what the optimizer is for).
+        let compiled = compile(&p, &CompilerOptions::unoptimized()).unwrap();
+        let f = predict_peak_memory(&compiled).unwrap();
+        // x + all four rotations live at once (x is consumed by every branch).
+        assert!(f.peak_live_ciphertexts >= 5, "{f:?}");
+        // The optimized twin predicts no more live ciphertexts than this.
+        let optimized = compile(&p, &CompilerOptions::default()).unwrap();
+        let g = predict_peak_memory(&optimized).unwrap();
+        assert!(g.peak_live_ciphertexts <= f.peak_live_ciphertexts, "{g:?}");
+    }
+
+    #[test]
+    fn deeper_programs_do_not_shrink_the_forecast_bytes_per_ct() {
+        // A fresh ciphertext at max level must dominate the byte count of a
+        // rescaled one: sanity-check the level-aware byte model.
+        let shallow = predict_peak_memory(&chain(1)).unwrap();
+        assert!(shallow.peak_bytes >= 2 * 2 * shallow_level_bytes(&chain(1)));
+    }
+
+    fn shallow_level_bytes(c: &CompiledProgram) -> usize {
+        // One polynomial's bytes at the top level.
+        c.parameters.data_primes.len() * c.parameters.degree * 8
+    }
+}

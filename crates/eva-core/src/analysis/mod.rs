@@ -6,6 +6,9 @@
 // even though the rest of the crate only warns.
 #![deny(missing_docs)]
 
+pub mod cost;
+pub mod dataflow;
+pub mod liveness;
 pub mod noise;
 pub mod parameters;
 pub mod rotations;
@@ -13,11 +16,14 @@ pub mod scale;
 pub mod validation;
 pub mod verifier;
 
+pub use cost::{estimate_cost, CostModel, CostReport};
+pub use dataflow::{kahn_order, value_numbers, Dataflow};
+pub use liveness::{predict_peak_memory, MemoryForecast};
 pub use noise::{
     check_noise, estimate_noise, NoiseModel, NoiseReport, OutputBudget, DEFAULT_SAFETY_MARGIN_BITS,
 };
 pub use parameters::{select_parameters, ParameterSpec};
-pub use rotations::select_rotation_steps;
+pub use rotations::{canonical_left_step, select_rotation_steps};
 pub use scale::{
     analyze_exact_scales, analyze_levels, analyze_num_polys, analyze_scales, match_scale_delta,
     prime_log2s, ChainEntry,

@@ -51,7 +51,7 @@
 //! assert!(report.has_error(Check::Parameters));
 //! ```
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 
 use crate::analysis::parameters::max_bits_for_degree;
 use crate::analysis::rotations::select_rotation_steps;
@@ -75,8 +75,9 @@ pub enum Check {
     Outputs,
     /// Constants are plaintext-typed and fit the program vector size.
     Constants,
-    /// Dead-node hygiene: instruction nodes that cannot reach any output
-    /// (reported as warnings — compiled programs may carry dead nodes).
+    /// Dead-node hygiene: instruction nodes that cannot reach any output.
+    /// A warning for raw input programs; an **error** for compiled programs,
+    /// which `compile()` always strips of dead code before shipping.
     DeadCode,
     /// Paper Constraint 1: operands of binary cipher ops have conforming,
     /// equal-length rescale/modswitch chains (equal coefficient moduli).
@@ -411,53 +412,39 @@ impl<'a> Verifier<'a> {
             return false;
         }
 
-        // Cycle check: Kahn's algorithm, reimplemented here because
-        // `Program::topological_order` assumes (and debug-asserts) acyclicity
-        // — precisely what an untrusted decoded program may violate.
-        let mut in_degree = vec![0usize; node_count];
-        for (id, node) in program.nodes().iter().enumerate() {
-            if let NodeKind::Instruction { args, .. } = &node.kind {
-                let mut distinct: Vec<NodeId> = args.clone();
-                distinct.sort_unstable();
-                distinct.dedup();
-                in_degree[id] = distinct.len();
+        // Cycle check: the shared Kahn ordering from `analysis::dataflow`
+        // (used here rather than `Program::topological_order`, which assumes
+        // — and debug-asserts — acyclicity, precisely what an untrusted
+        // decoded program may violate). Sharing the implementation keeps the
+        // verifier and every dataflow-driven optimizer pass iterating in the
+        // same proven order.
+        match crate::analysis::dataflow::kahn_order(program) {
+            Ok(order) => self.order = order,
+            Err(mut cyclic) => {
+                let stuck = cyclic.len();
+                cyclic.truncate(8);
+                self.error(
+                    Check::Acyclic,
+                    cyclic.first().copied(),
+                    format!(
+                        "program graph has a cycle through {stuck} node(s), including {}",
+                        cyclic
+                            .iter()
+                            .map(|&id| format!("%{id}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                );
+                return false;
             }
         }
-        let uses = program.uses();
-        let mut queue: VecDeque<NodeId> =
-            (0..node_count).filter(|&id| in_degree[id] == 0).collect();
-        let mut order = Vec::with_capacity(node_count);
-        while let Some(id) = queue.pop_front() {
-            order.push(id);
-            for &user in &uses[id] {
-                in_degree[user] -= 1;
-                if in_degree[user] == 0 {
-                    queue.push_back(user);
-                }
-            }
-        }
-        if order.len() < node_count {
-            let mut cyclic: Vec<NodeId> =
-                (0..node_count).filter(|&id| !order.contains(&id)).collect();
-            cyclic.truncate(8);
-            self.error(
-                Check::Acyclic,
-                cyclic.first().copied(),
-                format!(
-                    "program graph has a cycle through {} node(s), including {}",
-                    node_count - order.len(),
-                    cyclic
-                        .iter()
-                        .map(|&id| format!("%{id}"))
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ),
-            );
-            return false;
-        }
-        self.order = order;
 
         // Dead-node hygiene: instruction nodes that cannot reach any output.
+        // For a *compiled* program this is an error: `compile()` always runs
+        // a final dead-code sweep, so dead nodes in a compiled artifact mean
+        // it was tampered with (or produced by something else) — and dead
+        // branches are exactly where prime-budget and exact-scale guarantees
+        // do not hold. For raw input programs it stays a warning.
         self.live = program.live_mask();
         let dead: Vec<NodeId> = (0..node_count)
             .filter(|&id| !self.live[id] && program.opcode(id).is_some())
@@ -469,15 +456,16 @@ impl<'a> Verifier<'a> {
             } else {
                 ""
             };
-            self.warn(
-                Check::DeadCode,
-                dead.first().copied(),
-                format!(
-                    "{} instruction node(s) never reach an output: {}{suffix}",
-                    dead.len(),
-                    shown.join(", ")
-                ),
+            let message = format!(
+                "{} instruction node(s) never reach an output: {}{suffix}",
+                dead.len(),
+                shown.join(", ")
             );
+            if self.compiled.is_some() {
+                self.error(Check::DeadCode, dead.first().copied(), message);
+            } else {
+                self.warn(Check::DeadCode, dead.first().copied(), message);
+            }
         }
         true
     }
@@ -1024,6 +1012,34 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.check == Check::DeadCode && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn dead_nodes_are_errors_in_compiled_programs() {
+        // `compile()` guarantees dead-free output, so a dead instruction in a
+        // compiled artifact means tampering — an error, not a warning.
+        let mut compiled = compiled_rotsum();
+        let x = 0; // the input node
+        let dead = compiled
+            .program
+            .push_instruction(Opcode::Negate, vec![x], ValueType::Cipher);
+        let _ = dead;
+        let report = verify_compiled(&compiled);
+        assert!(report.has_error(Check::DeadCode), "{report}");
+        assert!(report
+            .errors()
+            .any(|d| d.check == Check::DeadCode && d.node == Some(dead)));
+    }
+
+    #[test]
+    fn compiled_programs_verify_dead_free() {
+        let compiled = compiled_rotsum();
+        let report = verify_compiled(&compiled);
+        assert!(report.is_clean(), "{report}");
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.check == Check::DeadCode));
     }
 
     #[test]

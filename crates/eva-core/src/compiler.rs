@@ -1,16 +1,19 @@
 //! The compiler driver (paper Algorithm 1): transform, validate, select
 //! encryption parameters, select rotation keys.
 
+use std::collections::HashSet;
+
 use crate::analysis::noise::{check_noise, estimate_noise, NoiseModel};
 use crate::analysis::scale::{analyze_levels, chain_lengths};
-use crate::analysis::verifier::verify_compiled;
+use crate::analysis::verifier::{verify_compiled, verify_program, Check};
 use crate::analysis::{
     select_parameters, select_rotation_steps, validate_transformed, ParameterSpec,
 };
 use crate::error::EvaError;
 use crate::passes::{
-    apply_exact_scales, insert_always_rescale, insert_eager_modswitch, insert_lazy_modswitch,
-    insert_match_scale, insert_relinearize, insert_waterline_rescale,
+    apply_exact_scales, canonicalize_rotations, chain_rotations, eliminate_common_subexpressions,
+    eliminate_dead_code, factor_rotation_sums, insert_always_rescale, insert_eager_modswitch,
+    insert_lazy_modswitch, insert_match_scale, insert_relinearize, insert_waterline_rescale,
 };
 use crate::program::Program;
 
@@ -37,6 +40,53 @@ pub enum ModSwitchStrategy {
     Lazy,
 }
 
+/// Which analysis-driven optimization passes run before the maintenance
+/// pipeline (all on by default — each is individually re-verified by the
+/// IR verifier after it runs, so disabling them is only useful for
+/// ablations and for producing bit-stable unoptimized twins in tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerOptions {
+    /// Global common-subexpression elimination via value numbering
+    /// (bit-preserving).
+    pub cse: bool,
+    /// Dead-code elimination before the maintenance pipeline
+    /// (bit-preserving; a final sweep after exact-scale annotation always
+    /// runs regardless, so compiled programs are dead-free either way).
+    pub dce: bool,
+    /// Rotation canonicalization, compose-merging and differential chaining
+    /// (value-preserving: decoded outputs are equal, ciphertext bits and
+    /// Galois-key sets differ).
+    pub rotation_min: bool,
+    /// Maximum differential-chain depth for rotation chaining. Deeper chains
+    /// collapse more Galois keys but accumulate more rotation noise; the
+    /// compile-time noise gate bounds how far this can be pushed.
+    pub rotation_chain_depth: u32,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        Self {
+            cse: true,
+            dce: true,
+            rotation_min: true,
+            rotation_chain_depth: 4,
+        }
+    }
+}
+
+impl OptimizerOptions {
+    /// All optimization passes off (the pre-optimizer pipeline, for
+    /// ablations and unoptimized-twin tests).
+    pub fn disabled() -> Self {
+        Self {
+            cse: false,
+            dce: false,
+            rotation_min: false,
+            rotation_chain_depth: 0,
+        }
+    }
+}
+
 /// Options controlling compilation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompilerOptions {
@@ -47,6 +97,8 @@ pub struct CompilerOptions {
     /// Maximum rescale value / prime size in bits (the paper's `log2 s_f`,
     /// 60 in SEAL).
     pub max_rescale_bits: u32,
+    /// Analysis-driven optimization passes.
+    pub optimizer: OptimizerOptions,
 }
 
 impl Default for CompilerOptions {
@@ -55,6 +107,17 @@ impl Default for CompilerOptions {
             rescale: RescaleStrategy::Waterline,
             mod_switch: ModSwitchStrategy::Eager,
             max_rescale_bits: 60,
+            optimizer: OptimizerOptions::default(),
+        }
+    }
+}
+
+impl CompilerOptions {
+    /// Default options with every optimization pass disabled.
+    pub fn unoptimized() -> Self {
+        Self {
+            optimizer: OptimizerOptions::disabled(),
+            ..Self::default()
         }
     }
 }
@@ -75,6 +138,18 @@ pub struct CompilationStats {
     pub exact_scale_fixes_inserted: usize,
     /// Total node count of the transformed program.
     pub node_count: usize,
+    /// Duplicate nodes merged by common-subexpression elimination.
+    pub cse_merged: usize,
+    /// Dead nodes removed (pre-pipeline DCE plus the final sweep).
+    pub dce_removed: usize,
+    /// Rotation rewrites by canonicalization (spelling, identity bypass,
+    /// compose-merge).
+    pub rotations_canonicalized: usize,
+    /// Rotations eliminated by baby-step/giant-step factoring of
+    /// rotate–multiply–accumulate sums.
+    pub rotations_factored: usize,
+    /// Rotations re-parented into differential chains.
+    pub rotations_chained: usize,
 }
 
 /// The result of compilation: the transformed executable program plus the
@@ -143,28 +218,116 @@ impl CompiledProgram {
     }
 }
 
-/// Compiles an input EVA program (paper Algorithm 1).
+/// Checks that an optimizer pass introduced no new *class* of verifier error.
 ///
-/// The transformation step applies, in order: RESCALE insertion, MODSWITCH
-/// insertion, MATCH-SCALE and RELINEARIZE. The transformed program is then
-/// validated against Constraints 1–4 — if validation fails the compiler
-/// returns an error instead of producing a program that would throw inside
-/// the FHE library — and encryption parameters (including the actual primes)
-/// are selected. A second, exact scale phase then re-annotates the program
+/// Raw input programs legitimately fail some nominal checks (e.g. ADD scale
+/// matching before MATCH-SCALE has run), so the guard compares the set of
+/// failing check names against the pre-optimization baseline instead of
+/// demanding a clean report: a pass may only leave error classes unchanged
+/// or fixed, never add one.
+fn optimizer_guard(
+    program: &Program,
+    max_rescale_bits: u32,
+    baseline: &HashSet<Check>,
+    pass: &str,
+) -> Result<(), EvaError> {
+    let report = verify_program(program, max_rescale_bits);
+    for diagnostic in report.errors() {
+        if !baseline.contains(&diagnostic.check) {
+            return Err(EvaError::Validation(format!(
+                "optimizer pass {pass} introduced a new verifier error [{}]: {}",
+                diagnostic.check, diagnostic.message
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Compiles an input EVA program (paper Algorithm 1, preceded by this
+/// reproduction's analysis-driven optimizer).
+///
+/// First the optimization passes run — rotation canonicalization, global
+/// common-subexpression elimination, baby-step/giant-step rotation
+/// factoring, rotation chaining and dead-code elimination, each re-checked
+/// by the IR verifier. The transformation step
+/// then applies, in order: RESCALE insertion, MODSWITCH insertion,
+/// MATCH-SCALE and RELINEARIZE. The transformed program is validated
+/// against Constraints 1–4 — if validation fails the compiler returns an
+/// error instead of producing a program that would throw inside the FHE
+/// library — and encryption parameters (including the actual primes) are
+/// selected. A second, exact scale phase then re-annotates the program
 /// against the chosen primes, inserting exact match-scale corrections where
 /// rescale drift would otherwise break the evaluator's exact scale-equality
 /// check, and validates that every annotation is bit-identical to what the
-/// executor will observe (see [`crate::analysis::scale`]). Finally rotation
-/// steps are selected.
+/// executor will observe (see [`crate::analysis::scale`]). A final
+/// dead-code sweep (unconditional — optimizer on or off) guarantees shipped
+/// programs are dead-free, and rotation steps are selected last so they
+/// reflect the optimized graph.
 ///
 /// # Errors
 ///
-/// Returns [`EvaError`] if the input program is malformed, a constraint is
-/// violated after transformation, or no supported ring degree can hold the
-/// required coefficient modulus.
+/// Returns [`EvaError`] if the input program is malformed, an optimizer
+/// pass introduces a new verifier error class, a constraint is violated
+/// after transformation, or no supported ring degree can hold the required
+/// coefficient modulus.
 pub fn compile(input: &Program, options: &CompilerOptions) -> Result<CompiledProgram, EvaError> {
     input.validate_as_input()?;
     let mut program = input.clone();
+
+    // Analysis-driven optimization passes (this PR's addition to the paper's
+    // pipeline): rotation canonicalization, CSE, baby-step/giant-step
+    // rotation factoring, rotation chaining, DCE — in that order, so CSE
+    // sees canonical rotation spellings, factoring sees deduplicated
+    // single-use rotations, and chaining sees the factored baby/giant step
+    // sets. Every pass is re-checked by the IR verifier before the next one
+    // runs.
+    let opt = &options.optimizer;
+    let mut cse_merged = 0;
+    let mut dce_removed = 0;
+    let mut rotations_canonicalized = 0;
+    let mut rotations_factored = 0;
+    let mut rotations_chained = 0;
+    if opt.cse || opt.dce || opt.rotation_min {
+        let baseline: HashSet<Check> = verify_program(&program, options.max_rescale_bits)
+            .errors()
+            .map(|d| d.check)
+            .collect();
+        if opt.rotation_min {
+            rotations_canonicalized = canonicalize_rotations(&mut program);
+            optimizer_guard(
+                &program,
+                options.max_rescale_bits,
+                &baseline,
+                "rotation-canonicalize",
+            )?;
+        }
+        if opt.cse {
+            cse_merged = eliminate_common_subexpressions(&mut program);
+            optimizer_guard(&program, options.max_rescale_bits, &baseline, "cse")?;
+        }
+        if opt.rotation_min {
+            rotations_factored = factor_rotation_sums(&mut program);
+            optimizer_guard(
+                &program,
+                options.max_rescale_bits,
+                &baseline,
+                "rotation-factor",
+            )?;
+        }
+        if opt.rotation_min {
+            rotations_chained = chain_rotations(&mut program, opt.rotation_chain_depth);
+            optimizer_guard(
+                &program,
+                options.max_rescale_bits,
+                &baseline,
+                "rotation-chain",
+            )?;
+        }
+        if opt.dce {
+            dce_removed = eliminate_dead_code(&mut program);
+            optimizer_guard(&program, options.max_rescale_bits, &baseline, "dce")?;
+        }
+    }
 
     let rescales_inserted = match options.rescale {
         RescaleStrategy::Waterline => {
@@ -186,6 +349,12 @@ pub fn compile(input: &Program, options: &CompilerOptions) -> Result<CompiledPro
     // and correct the sub-bit drift the nominal phase cannot see.
     let exact_scale_fixes_inserted = apply_exact_scales(&mut program, &parameters)?;
 
+    // Unconditional final dead-code sweep: maintenance passes can orphan
+    // nodes, and `verify_compiled` now treats dead code in a compiled
+    // program as an error, so every shipped program must be dead-free —
+    // optimizer on or off. DCE preserves exact annotations verbatim.
+    dce_removed += eliminate_dead_code(&mut program);
+
     let rotation_steps = select_rotation_steps(&program);
 
     let stats = CompilationStats {
@@ -195,6 +364,11 @@ pub fn compile(input: &Program, options: &CompilerOptions) -> Result<CompiledPro
         relinearizations_inserted,
         exact_scale_fixes_inserted,
         node_count: program.len(),
+        cse_merged,
+        dce_removed,
+        rotations_canonicalized,
+        rotations_factored,
+        rotations_chained,
     };
     let compiled = CompiledProgram {
         program,
@@ -267,6 +441,7 @@ mod tests {
                     rescale,
                     mod_switch,
                     max_rescale_bits: 60,
+                    optimizer: OptimizerOptions::default(),
                 };
                 let compiled = compile(&program, &options).unwrap();
                 assert!(compiled.parameters.total_bits() > 0);
@@ -282,10 +457,59 @@ mod tests {
         let b = p.instruction(Opcode::RotateRight(4), &[x]);
         let sum = p.instruction(Opcode::Add, &[a, b]);
         p.output("out", sum, 30);
+        // The optimizer canonicalizes RotateRight(4) to RotateLeft(60); the
+        // chain rewrite is refused here ({1, 59} is no smaller than {1, 60}).
         let compiled = compile(&p, &CompilerOptions::default()).unwrap();
-        assert_eq!(compiled.rotation_steps, vec![-4, 1]);
+        assert_eq!(compiled.rotation_steps, vec![1, 60]);
+        assert_eq!(compiled.stats.rotations_canonicalized, 1);
         assert_eq!(compiled.vec_size(), 64);
         assert_eq!(compiled.name(), "rot");
+        // The unoptimized pipeline preserves the spelled steps.
+        let unopt = compile(&p, &CompilerOptions::unoptimized()).unwrap();
+        assert_eq!(unopt.rotation_steps, vec![-4, 1]);
+    }
+
+    #[test]
+    fn optimizer_strips_dead_code_and_merges_duplicates() {
+        let mut p = Program::new("opt", 8);
+        let x = p.input_cipher("x", 30);
+        let a = p.instruction(Opcode::Multiply, &[x, x]);
+        let b = p.instruction(Opcode::Multiply, &[x, x]);
+        let s = p.instruction(Opcode::Add, &[a, b]);
+        let dead = p.instruction(Opcode::Negate, &[x]);
+        let _dead2 = p.instruction(Opcode::Multiply, &[dead, dead]);
+        p.output("out", s, 30);
+        let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+        assert_eq!(compiled.stats.cse_merged, 1);
+        assert!(compiled.stats.dce_removed >= 3, "{:?}", compiled.stats);
+        // One shared square → one relinearization instead of two.
+        assert_eq!(compiled.stats.relinearizations_inserted, 1);
+        // Compiled output carries no dead instruction nodes.
+        let live = compiled.program.live_mask();
+        for (id, node) in compiled.program.nodes().iter().enumerate() {
+            if matches!(node.kind, crate::program::NodeKind::Instruction { .. }) {
+                assert!(live[id], "dead instruction {id} survived compile()");
+            }
+        }
+    }
+
+    #[test]
+    fn unoptimized_compiles_are_also_dead_free() {
+        // The final DCE sweep runs regardless of optimizer options, so the
+        // dead-code-as-error rule of `verify_compiled` holds universally.
+        let mut p = Program::new("deadfree", 8);
+        let x = p.input_cipher("x", 30);
+        let live = p.instruction(Opcode::Add, &[x, x]);
+        let _dead = p.instruction(Opcode::Multiply, &[x, x]);
+        p.output("out", live, 30);
+        let compiled = compile(&p, &CompilerOptions::unoptimized()).unwrap();
+        assert!(compiled.stats.dce_removed >= 1);
+        let live_mask = compiled.program.live_mask();
+        for (id, node) in compiled.program.nodes().iter().enumerate() {
+            if matches!(node.kind, crate::program::NodeKind::Instruction { .. }) {
+                assert!(live_mask[id], "dead instruction {id} survived");
+            }
+        }
     }
 
     #[test]

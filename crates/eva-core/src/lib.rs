@@ -56,11 +56,13 @@ pub mod serialize;
 pub mod types;
 
 pub use analysis::{
-    check_noise, estimate_noise, select_rotation_steps, verify_compiled, verify_program,
-    NoiseModel, NoiseReport, ParameterSpec, VerifierReport,
+    check_noise, estimate_cost, estimate_noise, predict_peak_memory, select_rotation_steps,
+    verify_compiled, verify_program, CostModel, CostReport, MemoryForecast, NoiseModel,
+    NoiseReport, ParameterSpec, VerifierReport,
 };
 pub use compiler::{
-    compile, CompilationStats, CompiledProgram, CompilerOptions, ModSwitchStrategy, RescaleStrategy,
+    compile, CompilationStats, CompiledProgram, CompilerOptions, ModSwitchStrategy,
+    OptimizerOptions, RescaleStrategy,
 };
 pub use error::EvaError;
 pub use program::{Node, NodeId, NodeKind, OutputInfo, Program};

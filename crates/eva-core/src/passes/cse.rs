@@ -1,0 +1,121 @@
+//! Global common-subexpression elimination (hash-consing), driven by the
+//! value-numbering analysis of [`crate::analysis::dataflow`].
+//!
+//! Two nodes in the same value-numbering class compute bit-identical values
+//! on every execution (FHE evaluation is deterministic given its operands),
+//! so every class is merged onto its topologically-first representative:
+//! all uses and output references of the other members are redirected to it.
+//! The duplicates become dead and are swept by
+//! [`super::dce::eliminate_dead_code`].
+//!
+//! Because the representative precedes every duplicate in topological order
+//! and graph edges only point backward along that order, redirection can
+//! never create a cycle. The pass is **bit-preserving**: it changes neither
+//! the rotation-step set nor the evaluator's RNG draw order, so optimized
+//! and unoptimized programs decrypt to bit-identical outputs under the same
+//! seed.
+
+use crate::analysis::dataflow::{value_numbers, Dataflow};
+use crate::program::Program;
+
+/// Merges every value-numbering class onto its representative, returning the
+/// number of duplicate nodes whose uses were redirected.
+///
+/// Programs whose graph is cyclic are left untouched (the verifier gate in
+/// `compile()` reports the cycle with a precise diagnostic instead).
+pub fn eliminate_common_subexpressions(program: &mut Program) -> usize {
+    let Ok(df) = Dataflow::try_new(program) else {
+        return 0;
+    };
+    let (classes, representatives) = value_numbers(&df);
+    let uses = df.uses();
+    // Collect the redirections first: the Dataflow view borrows the program.
+    let mut redirects: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+    for id in 0..program.len() {
+        let rep = representatives[classes[id]];
+        if rep == id {
+            continue;
+        }
+        let referenced =
+            !uses[id].is_empty() || program.outputs().iter().any(|output| output.node == id);
+        if referenced {
+            redirects.push((id, rep, uses[id].clone()));
+        }
+    }
+    let merged = redirects.len();
+    for (dup, rep, users) in redirects {
+        for user in users {
+            program.replace_arg(user, dup, rep);
+        }
+        program.redirect_outputs(dup, rep);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ConstantValue, Opcode};
+
+    #[test]
+    fn merges_duplicate_subtrees_across_outputs() {
+        let mut p = Program::new("cse", 8);
+        let x = p.input_cipher("x", 30);
+        let a = p.instruction(Opcode::Multiply, &[x, x]);
+        let b = p.instruction(Opcode::Multiply, &[x, x]);
+        let s = p.instruction(Opcode::Add, &[a, b]);
+        p.output("sum", s, 30);
+        p.output("sq", b, 30);
+        let merged = eliminate_common_subexpressions(&mut p);
+        assert_eq!(merged, 1);
+        assert_eq!(p.args(s), &[a, a], "both operands now the representative");
+        assert_eq!(p.outputs()[1].node, a, "output redirected too");
+        assert!(!p.live_mask()[b], "duplicate went dead");
+    }
+
+    #[test]
+    fn merges_transitively_through_operand_classes() {
+        let mut p = Program::new("cse2", 8);
+        let x = p.input_cipher("x", 30);
+        let n1 = p.instruction(Opcode::Negate, &[x]);
+        let n2 = p.instruction(Opcode::Negate, &[x]);
+        let m1 = p.instruction(Opcode::Multiply, &[n1, n1]);
+        let m2 = p.instruction(Opcode::Multiply, &[n2, n2]);
+        let s = p.instruction(Opcode::Add, &[m1, m2]);
+        p.output("out", s, 30);
+        let merged = eliminate_common_subexpressions(&mut p);
+        assert_eq!(merged, 2, "negate and multiply duplicates both merge");
+        assert_eq!(p.args(s), &[m1, m1]);
+    }
+
+    #[test]
+    fn merges_commutative_operand_orders_and_duplicate_constants() {
+        let mut p = Program::new("cse3", 8);
+        let x = p.input_cipher("x", 30);
+        let c1 = p.constant(ConstantValue::Scalar(3.0), 20);
+        let c2 = p.constant(ConstantValue::Scalar(3.0), 20);
+        let m1 = p.instruction(Opcode::Multiply, &[x, c1]);
+        let m2 = p.instruction(Opcode::Multiply, &[c2, x]);
+        let s = p.instruction(Opcode::Add, &[m1, m2]);
+        p.output("out", s, 30);
+        let merged = eliminate_common_subexpressions(&mut p);
+        assert!(
+            merged >= 2,
+            "constant and commuted multiply merge: {merged}"
+        );
+        assert_eq!(p.args(s), &[m1, m1]);
+    }
+
+    #[test]
+    fn leaves_distinct_computations_alone() {
+        let mut p = Program::new("nocse", 8);
+        let x = p.input_cipher("x", 30);
+        let y = p.input_cipher("y", 30);
+        let a = p.instruction(Opcode::Sub, &[x, y]);
+        let b = p.instruction(Opcode::Sub, &[y, x]);
+        let s = p.instruction(Opcode::Add, &[a, b]);
+        p.output("out", s, 30);
+        assert_eq!(eliminate_common_subexpressions(&mut p), 0);
+        assert_eq!(p.args(s), &[a, b]);
+    }
+}

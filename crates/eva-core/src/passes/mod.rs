@@ -6,15 +6,23 @@
 //! insert maintenance instructions between a node and (a subset of) its
 //! children in O(degree) time.
 
+pub mod cse;
+pub mod dce;
 pub mod match_scale;
 pub mod modswitch;
 pub mod relinearize;
 pub mod rescale;
+pub mod rotation_factor;
+pub mod rotation_min;
 
+pub use cse::eliminate_common_subexpressions;
+pub use dce::eliminate_dead_code;
 pub use match_scale::{apply_exact_scales, insert_match_scale};
 pub use modswitch::{insert_eager_modswitch, insert_lazy_modswitch};
 pub use relinearize::insert_relinearize;
 pub use rescale::{insert_always_rescale, insert_waterline_rescale};
+pub use rotation_factor::factor_rotation_sums;
+pub use rotation_min::{canonicalize_rotations, chain_rotations};
 
 use crate::program::{NodeId, Program};
 use crate::types::{Opcode, ValueType};

@@ -525,6 +525,34 @@ impl Program {
         })
     }
 
+    /// Appends an already-built node verbatim, preserving its exact scale
+    /// annotation. Dead-code elimination rebuilds programs through this so
+    /// exact (non-integral) scales stamped by the compiler survive the copy.
+    pub(crate) fn push_node(&mut self, node: Node) -> NodeId {
+        self.push(node)
+    }
+
+    /// Rewrites the opcode and argument list of an existing instruction node
+    /// in place, without re-checking any invariant. Rotation-set minimization
+    /// uses this to re-parent rotations onto each other; the per-pass
+    /// verifier run in `compile()` guards the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an instruction.
+    pub(crate) fn replace_instruction(&mut self, node: NodeId, op: Opcode, args: Vec<NodeId>) {
+        match &mut self.nodes[node].kind {
+            NodeKind::Instruction {
+                op: slot_op,
+                args: slot_args,
+            } => {
+                *slot_op = op;
+                *slot_args = args;
+            }
+            other => panic!("node %{node} is not an instruction: {other:?}"),
+        }
+    }
+
     /// Replaces occurrences of `old_arg` with `new_arg` in the argument list of
     /// `node`, without re-checking any invariant.
     pub fn replace_arg(&mut self, node: NodeId, old_arg: NodeId, new_arg: NodeId) {

@@ -14,10 +14,11 @@
 //! |---|---|---|
 //! | [`Program`] | `EVAP` | 3 |
 //! | [`ParameterSpec`] | `EVAS` | 1 |
-//! | [`CompiledProgram`] (the `.evaprog` bundle) | `EVAB` | 1 |
+//! | [`CompiledProgram`] (the `.evaprog` bundle) | `EVAB` | 2 |
 //!
 //! Version history of `EVAP`: v2 switched scales to exact `f64` log2 values;
-//! v3 adopted the shared length-prefixed envelope.
+//! v3 adopted the shared length-prefixed envelope. `EVAB` v2 extended the
+//! statistics block from 6 to 10 `u64` counts (optimizer pass counters).
 
 use crate::analysis::ParameterSpec;
 use crate::compiler::{CompilationStats, CompiledProgram};
@@ -301,7 +302,10 @@ impl WireObject for ParameterSpec {
 
 impl WireObject for CompiledProgram {
     const MAGIC: [u8; 4] = *b"EVAB";
-    const VERSION: u32 = 1;
+    // v2 extended the statistics block from 6 to 11 counts (optimizer pass
+    // counters: CSE merges, DCE removals, rotation canonicalizations,
+    // factorings and chainings).
+    const VERSION: u32 = 2;
 
     fn encode_body(&self, w: &mut Writer) {
         self.program.encode(w);
@@ -318,6 +322,11 @@ impl WireObject for CompiledProgram {
             stats.relinearizations_inserted,
             stats.exact_scale_fixes_inserted,
             stats.node_count,
+            stats.cse_merged,
+            stats.dce_removed,
+            stats.rotations_canonicalized,
+            stats.rotations_factored,
+            stats.rotations_chained,
         ] {
             w.u64(count as u64);
         }
@@ -331,7 +340,7 @@ impl WireObject for CompiledProgram {
         for _ in 0..step_count {
             rotation_steps.push(r.i64()?);
         }
-        let mut counts = [0usize; 6];
+        let mut counts = [0usize; 11];
         for slot in &mut counts {
             *slot = r.u64()? as usize;
         }
@@ -342,6 +351,11 @@ impl WireObject for CompiledProgram {
             relinearizations_inserted: counts[3],
             exact_scale_fixes_inserted: counts[4],
             node_count: counts[5],
+            cse_merged: counts[6],
+            dce_removed: counts[7],
+            rotations_canonicalized: counts[8],
+            rotations_factored: counts[9],
+            rotations_chained: counts[10],
         };
         Ok(CompiledProgram {
             program,

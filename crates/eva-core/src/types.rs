@@ -40,7 +40,10 @@ impl std::fmt::Display for ValueType {
 /// The first group may appear in input programs; the FHE-specific maintenance
 /// instructions of the second group are inserted by the compiler and are not
 /// accepted from frontends.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Eq`/`Hash` are sound because no variant carries floating-point payload;
+/// value numbering (`analysis::dataflow`) keys hash tables on opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Opcode {
     /// Negate each element of the argument.
     Negate,

@@ -28,7 +28,7 @@ use eva_ckks::{CkksContext, GaloisKeys, RelinearizationKey};
 use eva_core::analysis::noise::{check_noise, NoiseModel};
 use eva_core::analysis::verifier::{verify_compiled, VerifierReport};
 use eva_core::serialize::compiled_from_bytes;
-use eva_core::CompiledProgram;
+use eva_core::{predict_peak_memory, CompiledProgram};
 use eva_wire::{fingerprint_eval_key_payload, KeyFingerprint, ProgramDiagnostics, WireDiagnostic};
 
 use crate::error::ServiceError;
@@ -268,6 +268,13 @@ pub const DEFAULT_KEY_CACHE_CAPACITY: usize = 32;
 /// as well as entries.
 pub const DEFAULT_KEY_CACHE_BUDGET_BYTES: usize = 1 << 30;
 
+/// Default peak-memory admission budget per loaded program (4 GiB of
+/// simultaneously-live ciphertext/plaintext bytes, as predicted by
+/// `eva_core::predict_peak_memory`). Programs forecast to exceed the budget
+/// are refused at load time with a `peak-memory` finding; tune with
+/// [`EvaServer::new_with_memory_budget`].
+pub const DEFAULT_MEMORY_BUDGET_BYTES: u64 = 4 << 30;
+
 impl EvaServer {
     /// Builds a server around a compiled program, instantiating the CKKS
     /// context from the compiler's parameter spec (the actual primes, so the
@@ -302,6 +309,24 @@ impl EvaServer {
     /// server.serve_forever(&listener).unwrap();
     /// ```
     pub fn new(compiled: CompiledProgram) -> Result<Self, ServiceError> {
+        Self::new_with_memory_budget(compiled, Some(DEFAULT_MEMORY_BUDGET_BYTES))
+    }
+
+    /// [`new`](Self::new) with an explicit peak-memory admission budget.
+    ///
+    /// `eva_core::predict_peak_memory` forecasts the serial executor's peak
+    /// simultaneously-live bytes for the program; a forecast above
+    /// `budget_bytes` refuses the program at load time with a `peak-memory`
+    /// finding in the [`ServiceError::InvalidProgram`] diagnostics payload.
+    /// `None` disables the admission check.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new), plus the budget refusal described above.
+    pub fn new_with_memory_budget(
+        compiled: CompiledProgram,
+        budget_bytes: Option<u64>,
+    ) -> Result<Self, ServiceError> {
         // The program is untrusted input (it usually arrives as a `.evaprog`
         // file): run the full static verifier and the worst-case noise gate
         // before building any FHE state, and refuse to serve on any finding.
@@ -321,6 +346,35 @@ impl EvaServer {
                     message: err.to_string(),
                 }],
             }));
+        }
+        if let Some(budget) = budget_bytes {
+            // Admission control: refuse programs whose forecast peak memory
+            // exceeds the configured budget, before any FHE state exists.
+            let forecast = predict_peak_memory(&compiled).map_err(|e| {
+                ServiceError::InvalidProgram(ProgramDiagnostics {
+                    program: compiled.name().to_string(),
+                    diagnostics: vec![WireDiagnostic {
+                        check: "peak-memory".to_string(),
+                        node: None,
+                        message: e.to_string(),
+                    }],
+                })
+            })?;
+            if forecast.peak_bytes as u64 > budget {
+                return Err(ServiceError::InvalidProgram(ProgramDiagnostics {
+                    program: compiled.name().to_string(),
+                    diagnostics: vec![WireDiagnostic {
+                        check: "peak-memory".to_string(),
+                        node: forecast.at_node.map(|n| n as u64),
+                        message: format!(
+                            "predicted peak of {} simultaneously-live bytes \
+                             ({} ciphertexts) exceeds the admission budget of \
+                             {budget} bytes",
+                            forecast.peak_bytes, forecast.peak_live_ciphertexts
+                        ),
+                    }],
+                }));
+            }
         }
         let params = parameters_from_spec(&compiled.parameters)
             .map_err(|e| ServiceError::InvalidParameters(e.to_string()))?;
@@ -1165,6 +1219,38 @@ mod tests {
             ServiceError::Remote("internal error: the session worker crashed".into())
                 .is_transient()
         );
+    }
+
+    #[test]
+    fn over_budget_programs_are_refused_with_a_peak_memory_finding() {
+        use eva_core::{compile, CompilerOptions, Opcode, Program};
+
+        let mut p = Program::new("square", 8);
+        let x = p.input_cipher("x", 30);
+        let sq = p.instruction(Opcode::Multiply, &[x, x]);
+        p.output("out", sq, 30);
+        let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+
+        // The default budget admits this tiny program...
+        assert!(EvaServer::new(compiled.clone()).is_ok());
+        // ...an impossible budget refuses it, naming the check.
+        let err = EvaServer::new_with_memory_budget(compiled.clone(), Some(1)).unwrap_err();
+        match err {
+            ServiceError::InvalidProgram(payload) => {
+                assert_eq!(payload.program, "square");
+                assert_eq!(payload.diagnostics.len(), 1);
+                let d = &payload.diagnostics[0];
+                assert_eq!(d.check, "peak-memory");
+                assert!(
+                    d.message.contains("admission budget"),
+                    "unexpected message: {}",
+                    d.message
+                );
+            }
+            other => panic!("expected InvalidProgram, got {other:?}"),
+        }
+        // `None` disables admission entirely.
+        assert!(EvaServer::new_with_memory_budget(compiled, None).is_ok());
     }
 
     #[test]

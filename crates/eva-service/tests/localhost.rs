@@ -397,3 +397,55 @@ fn evaluating_with_wrong_input_names_is_a_clean_remote_error() {
     // The server sees a clean hang-up, not a crash.
     let _ = server_thread.join().unwrap();
 }
+
+/// The optimizer acceptance contract, end-to-end over the service: the
+/// structurally optimized (CSE + DCE) Sobel twin returns bit-identical
+/// outputs to the unoptimized twin through real client/server evaluations
+/// with the same deterministic handshake, and the fully optimized twin
+/// (rotation factoring re-associates sums) agrees to working precision.
+#[test]
+fn optimized_sobel_twin_matches_unoptimized_over_the_service() {
+    let program = eva_apps::image::sobel_program(16);
+    let mut structural_options = CompilerOptions::default();
+    structural_options.optimizer.rotation_min = false;
+
+    let image: Vec<f64> = (0..256).map(|i| ((i % 17) as f64) / 17.0).collect();
+    let inputs: HashMap<String, Vec<f64>> = [("image".to_string(), image)].into_iter().collect();
+    let seed = 42u64;
+
+    let serve = |compiled: eva_core::CompiledProgram| {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = EvaServer::new(compiled).unwrap();
+        let server_thread = std::thread::spawn(move || server.serve_sessions(&listener, 1));
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut client = EvaClient::handshake_deterministic(stream, seed).unwrap();
+        let outputs = client.evaluate(&inputs).unwrap();
+        client.finish().unwrap();
+        server_thread.join().unwrap().unwrap();
+        outputs
+    };
+
+    let unopt = compile(&program, &CompilerOptions::unoptimized()).unwrap();
+    let baseline = serve(unopt);
+    let structural = compile(&program, &structural_options).unwrap();
+    let structural_outputs = serve(structural);
+    let full = compile(&program, &CompilerOptions::default()).unwrap();
+    let full_outputs = serve(full);
+
+    for (name, expected) in &baseline {
+        for (i, (a, b)) in structural_outputs[name].iter().zip(expected).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "structural twin {name}[{i}]: {a} != {b}"
+            );
+        }
+        for (a, b) in full_outputs[name].iter().zip(expected) {
+            assert!(
+                (a - b).abs() < 1e-2 * b.abs().max(1.0),
+                "full twin {name}: {a} vs {b}"
+            );
+        }
+    }
+}

@@ -81,7 +81,8 @@ proptest! {
             (RescaleStrategy::Waterline, ModSwitchStrategy::Eager),
             (RescaleStrategy::Waterline, ModSwitchStrategy::Lazy),
         ] {
-            let options = CompilerOptions { rescale, mod_switch, max_rescale_bits: 60 };
+            let options =
+                CompilerOptions { rescale, mod_switch, max_rescale_bits: 60, ..Default::default() };
             let Ok(mut compiled) = compile(&program, &options) else {
                 // Oversized random programs may exceed every ring degree.
                 continue;

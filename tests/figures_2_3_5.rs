@@ -106,6 +106,7 @@ fn compiled_programs_always_validate_across_strategies() {
                 rescale: RescaleStrategy::Waterline,
                 mod_switch,
                 max_rescale_bits: 60,
+                ..CompilerOptions::default()
             };
             let compiled = compile(&program, &options).expect("compilation must succeed");
             assert!(compiled.parameters.chain_length() >= 2);

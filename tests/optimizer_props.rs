@@ -1,0 +1,261 @@
+//! Property-based tests for the analysis-driven optimizer.
+//!
+//! Three properties from the optimizer's contract, plus an extension of the
+//! verifier mutation corpus to optimized programs:
+//!
+//! 1. **Verified output** — every optimized compile passes `verify_compiled`
+//!    with zero errors (the in-pipeline guards re-check after each pass; this
+//!    re-checks the final artifact from outside).
+//! 2. **Bit-identity of the structural subset** — CSE + DCE are
+//!    bit-preserving: a twin compiled with only those passes decrypts to
+//!    exactly the same `f64` bits as the unoptimized twin after encrypted
+//!    execution with the same seed, whenever both twins select the same
+//!    encryption parameters. (The rotation passes are only
+//!    *value*-preserving — they re-associate sums and re-encode constants —
+//!    so they are excluded here and covered by tolerance-based tests.
+//!    Parameters can legitimately differ when the unoptimized twin carries a
+//!    dead cipher branch with a deeper rescale chain than any live path:
+//!    parameter selection runs before the final dead-code sweep, so only the
+//!    optimized twin gets the smaller modulus chain. That is an optimizer
+//!    win, not a bug — in that case the outputs agree to working precision
+//!    instead of bitwise.)
+//! 3. **Monotone cost** — the fully optimized twin never has more nodes,
+//!    rotations, distinct rotation steps or key switches than the
+//!    unoptimized twin.
+//! 4. **Mutation corpus** — corrupting an optimized compiled program (a
+//!    rotation by an unrequested step smuggled in front of an output) is
+//!    caught by the matching named check.
+
+use std::collections::HashMap;
+
+use eva::backend::EncryptedContext;
+use eva::ir::analysis::verifier::{verify_compiled, Check};
+use eva::ir::{
+    compile, estimate_cost, CompiledProgram, CompilerOptions, CostModel, Opcode, Program, ValueType,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Same shape as the generator in `verifier_props.rs`: a random DAG over
+/// cipher/plain inputs with arithmetic, rotations and negation. Random
+/// programs are duplicate-heavy (small pools resample the same operands), so
+/// CSE and DCE both get real work.
+fn random_program(seed: u64, node_budget: usize) -> Program {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vec_size = 16usize;
+    let mut program = Program::new(format!("random_{seed}"), vec_size);
+    let mut pool = vec![
+        program.input_cipher("a", rng.gen_range(20..=35)),
+        program.input_cipher("b", rng.gen_range(20..=35)),
+        program.input_vector("v", rng.gen_range(10..=20)),
+    ];
+    for _ in 0..node_budget {
+        let lhs = pool[rng.gen_range(0..pool.len())];
+        let rhs = pool[rng.gen_range(0..pool.len())];
+        let node = match rng.gen_range(0..6) {
+            0 => program.instruction(Opcode::Add, &[lhs, rhs]),
+            1 => program.instruction(Opcode::Sub, &[lhs, rhs]),
+            2 | 3 => program.instruction(Opcode::Multiply, &[lhs, rhs]),
+            4 => program.instruction(Opcode::RotateLeft(rng.gen_range(0..8)), &[lhs]),
+            _ => program.instruction(Opcode::Negate, &[lhs]),
+        };
+        pool.push(node);
+    }
+    let outputs = pool.len().saturating_sub(2);
+    for (i, &node) in pool[outputs..].iter().enumerate() {
+        if program.node(node).ty.is_cipher() {
+            program.output(format!("out{i}"), node, 30);
+        }
+    }
+    if program.outputs().is_empty() {
+        program.output("fallback", pool[0], 30);
+    }
+    program
+}
+
+fn inputs_for(seed: u64) -> HashMap<String, Vec<f64>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xbeef);
+    ["a", "b", "v"]
+        .iter()
+        .map(|name| {
+            let v: Vec<f64> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            (name.to_string(), v)
+        })
+        .collect()
+}
+
+/// Options with only the bit-preserving structural passes enabled.
+fn cse_dce_only() -> CompilerOptions {
+    let mut options = CompilerOptions::default();
+    options.optimizer.rotation_min = false;
+    options
+}
+
+/// One seeded encrypted execution: setup, encrypt, run, decrypt.
+fn run_seeded(
+    compiled: &CompiledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    seed: u64,
+) -> HashMap<String, Vec<f64>> {
+    let mut context = EncryptedContext::setup(compiled, Some(seed)).expect("setup");
+    let bindings = context.encrypt_inputs(compiled, inputs).expect("encrypt");
+    let values = context.execute_serial(compiled, bindings).expect("execute");
+    context.decrypt_outputs(compiled, &values).expect("decrypt")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // (1) The fully optimized artifact passes the standalone verifier.
+    #[test]
+    fn optimized_programs_verify_cleanly(seed in any::<u64>(), budget in 3usize..25) {
+        if let Ok(compiled) = compile(&random_program(seed, budget), &CompilerOptions::default()) {
+            let report = verify_compiled(&compiled);
+            prop_assert!(report.is_clean(), "optimized output failed verification:\n{report}");
+        }
+    }
+
+    // (3) Optimization never increases the static cost counters.
+    #[test]
+    fn optimization_is_cost_monotone(seed in any::<u64>(), budget in 3usize..25) {
+        let program = random_program(seed, budget);
+        let (Ok(unopt), Ok(opt)) = (
+            compile(&program, &CompilerOptions::unoptimized()),
+            compile(&program, &CompilerOptions::default()),
+        ) else { return Ok(()); };
+        let model = CostModel::default();
+        let before = estimate_cost(&unopt, &model).unwrap();
+        let after = estimate_cost(&opt, &model).unwrap();
+        prop_assert!(after.nodes <= before.nodes, "{} > {} nodes", after.nodes, before.nodes);
+        prop_assert!(after.rotations <= before.rotations,
+            "{} > {} rotations", after.rotations, before.rotations);
+        prop_assert!(after.distinct_rotation_steps <= before.distinct_rotation_steps,
+            "{} > {} steps", after.distinct_rotation_steps, before.distinct_rotation_steps);
+        prop_assert!(after.key_switches <= before.key_switches,
+            "{} > {} key switches", after.key_switches, before.key_switches);
+    }
+
+    // (4) Mutation corpus, extended to optimized programs: a rotation by an
+    // unrequested step inserted in front of an output must be caught by the
+    // rotation-key coverage check.
+    #[test]
+    fn smuggled_rotation_step_is_caught(seed in any::<u64>(), budget in 6usize..25) {
+        let Ok(mut compiled) = compile(&random_program(seed, budget), &CompilerOptions::default())
+        else { return Ok(()); };
+        let vec_size = compiled.program.vec_size() as i64;
+        // A canonical step the compiled program did not request a key for.
+        let Some(step) = (1..vec_size).find(|s| !compiled.rotation_steps.contains(s))
+        else { return Ok(()); };
+        let out_node = compiled.program.outputs()[0].node;
+        let scale = compiled.program.node(out_node).scale_log2;
+        let extra = compiled.program.push_instruction(
+            Opcode::RotateLeft(step as i32),
+            vec![out_node],
+            ValueType::Cipher,
+        );
+        compiled.program.set_scale_log2(extra, scale);
+        compiled.program.redirect_outputs(out_node, extra);
+        let report = verify_compiled(&compiled);
+        prop_assert!(report.has_error(Check::RotationKeys),
+            "uncovered rotation step {step} survived verification:\n{report}");
+    }
+}
+
+proptest! {
+    // Encrypted executions are expensive; fewer cases, still fresh programs
+    // every run.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // (2) CSE + DCE are bit-preserving through the encrypted backend.
+    #[test]
+    fn cse_dce_twin_is_bit_identical(seed in any::<u64>(), budget in 3usize..14) {
+        let program = random_program(seed, budget);
+        let (Ok(unopt), Ok(opt)) = (
+            compile(&program, &CompilerOptions::unoptimized()),
+            compile(&program, &cse_dce_only()),
+        ) else { return Ok(()); };
+        let inputs = inputs_for(seed);
+        let baseline = run_seeded(&unopt, &inputs, 42);
+        let optimized = run_seeded(&opt, &inputs, 42);
+        prop_assert_eq!(baseline.len(), optimized.len());
+        let same_parameters = unopt.parameters == opt.parameters;
+        for (name, expected) in &baseline {
+            let actual = &optimized[name];
+            for (i, (a, b)) in actual.iter().zip(expected).enumerate() {
+                if same_parameters {
+                    prop_assert!(a.to_bits() == b.to_bits(),
+                        "output {name}[{i}]: {a} != {b} (bitwise)");
+                } else {
+                    // DCE shrank the modulus chain (see module docs): the
+                    // twins run under different primes, so require value
+                    // preservation instead of bit-identity.
+                    prop_assert!((a - b).abs() < 1e-3 * b.abs().max(1.0),
+                        "output {name}[{i}]: {a} vs {b}");
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance workload, deterministically: on compiled Sobel 16×16 the
+/// optimizer strictly reduces node count, distinct rotation steps and key
+/// switches, and the optimized program still decrypts to the unoptimized
+/// twin's outputs within CKKS noise.
+#[test]
+fn sobel_16x16_is_strictly_reduced_and_value_preserving() {
+    let program = eva::apps::image::sobel_program(16);
+    let unopt = compile(&program, &CompilerOptions::unoptimized()).unwrap();
+    let opt = compile(&program, &CompilerOptions::default()).unwrap();
+    let model = CostModel::default();
+    let before = estimate_cost(&unopt, &model).unwrap();
+    let after = estimate_cost(&opt, &model).unwrap();
+    assert!(
+        after.nodes < before.nodes,
+        "{} !< {}",
+        after.nodes,
+        before.nodes
+    );
+    assert!(
+        after.distinct_rotation_steps < before.distinct_rotation_steps,
+        "{} !< {}",
+        after.distinct_rotation_steps,
+        before.distinct_rotation_steps
+    );
+    assert!(
+        after.key_switches < before.key_switches,
+        "{} !< {}",
+        after.key_switches,
+        before.key_switches
+    );
+
+    let image: Vec<f64> = (0..256).map(|i| ((i % 17) as f64) / 17.0).collect();
+    let inputs: HashMap<String, Vec<f64>> = [("image".to_string(), image)].into_iter().collect();
+    let baseline = run_seeded(&unopt, &inputs, 42);
+
+    // The structural subset (CSE + DCE) is exactly bit-identical on Sobel.
+    let structural = compile(&program, &cse_dce_only()).unwrap();
+    assert_eq!(structural.parameters, unopt.parameters);
+    for (name, expected) in &baseline {
+        for (i, (a, b)) in run_seeded(&structural, &inputs, 42)[name]
+            .iter()
+            .zip(expected)
+            .enumerate()
+        {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{name}[{i}]: {a} != {b} (bitwise)"
+            );
+        }
+    }
+
+    // The full optimizer re-associates rotation sums: value-preserving.
+    let optimized = run_seeded(&opt, &inputs, 42);
+    for (name, expected) in &baseline {
+        for (a, b) in optimized[name].iter().zip(expected) {
+            assert!(
+                (a - b).abs() < 1e-2 * b.abs().max(1.0),
+                "{name}: {a} vs {b}"
+            );
+        }
+    }
+}

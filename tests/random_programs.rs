@@ -75,7 +75,8 @@ proptest! {
             (RescaleStrategy::Waterline, ModSwitchStrategy::Eager),
             (RescaleStrategy::Waterline, ModSwitchStrategy::Lazy),
         ] {
-            let options = CompilerOptions { rescale, mod_switch, max_rescale_bits: 60 };
+            let options =
+                CompilerOptions { rescale, mod_switch, max_rescale_bits: 60, ..Default::default() };
             match compile(&program, &options) {
                 Ok(compiled) => {
                     // The transformed program must compute the same values.
