@@ -21,7 +21,7 @@
 //! constant against the fully rotated ciphertext. Ciphertext rotations drop
 //! from `|S|` (one per distinct step) to `|babies ≠ 0| + |giants ≠ 0|`,
 //! roughly `2·√|S|` for dense step sets: fewer key-switches *executed*, and
-//! usually fewer distinct steps for [`select_rotation_steps`] too.
+//! usually fewer distinct steps for [`select_rotation_steps`](crate::analysis::rotations::select_rotation_steps) too.
 //!
 //! The pass only fires where it is provably a pure win:
 //!

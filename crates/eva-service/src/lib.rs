@@ -70,9 +70,12 @@ pub mod error;
 pub mod keystore;
 pub mod limits;
 pub mod protocol;
+mod reactor;
 pub mod record;
 pub mod retry;
+mod sched;
 pub mod server;
+mod session;
 
 pub use chaos::{ChaosStream, Fault};
 pub use client::{EvaClient, SessionTicket};

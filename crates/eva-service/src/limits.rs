@@ -50,6 +50,12 @@ pub struct ServerConfig {
     /// Per-session cumulative byte quota for `Inputs` frames, checked the
     /// same way.
     pub input_quota: u64,
+    /// Evaluation worker threads the reactor's shared scheduler runs
+    /// (cross-session: every queued evaluation competes for this pool).
+    /// `0` sizes the pool automatically from the machine's available
+    /// parallelism. Ignored by the legacy blocking transport, which
+    /// evaluates inline on its per-session threads.
+    pub eval_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +70,7 @@ impl Default for ServerConfig {
             // Many evaluation rounds of seeded inputs fit comfortably; a
             // peer needing more opens a new session.
             input_quota: 1 << 30,
+            eval_workers: 0,
         }
     }
 }

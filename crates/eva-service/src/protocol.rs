@@ -42,6 +42,7 @@ use eva_core::{CompiledProgram, NodeKind, ValueType};
 use eva_wire::{KeyFingerprint, Reader, WireError, WireObject, Writer};
 
 use crate::error::ServiceError;
+use crate::session::FrameAssembler;
 
 /// Version of the session protocol (checked in the Hello message).
 ///
@@ -533,11 +534,21 @@ pub(crate) fn read_frame<S: Read>(stream: &mut S) -> Result<Option<(u8, Vec<u8>)
     read_frame_checked(stream, |_, _| Ok(()))
 }
 
+/// Bytes a blocking frame read requests from the socket at a time. The
+/// assembler caps each request at the current frame's remaining bytes, so a
+/// read never consumes bytes of the *next* pipelined frame.
+pub(crate) const READ_CHUNK_BYTES: usize = 64 * 1024;
+
 /// [`read_frame`] with an admission check run against the frame header —
 /// tag and **announced** length — before a single payload byte is read. The
 /// server threads its per-session byte quotas through here: an over-quota
 /// frame is refused at the cost of its 9-byte header, not of buffering the
 /// payload.
+///
+/// The payload is streamed through the shared [`FrameAssembler`] in
+/// [`READ_CHUNK_BYTES`] chunks — the same chunked path the reactor uses —
+/// so memory grows only as announced bytes actually arrive, and an
+/// EvalKeys payload is content-fingerprinted incrementally as it streams.
 ///
 /// # Errors
 ///
@@ -546,36 +557,49 @@ pub(crate) fn read_frame_checked<S: Read>(
     stream: &mut S,
     admit: impl FnOnce(u8, u64) -> Result<(), ServiceError>,
 ) -> Result<Option<(u8, Vec<u8>)>, ServiceError> {
-    let mut tag = [0u8; 1];
-    // A bare `read` (unlike `read_exact`) surfaces EINTR; retry it so a
-    // signal delivered while idle between frames does not kill the session.
+    let mut admit = Some(admit);
+    let mut assembler = FrameAssembler::new();
+    let mut out = std::collections::VecDeque::new();
+    let mut buf = [0u8; READ_CHUNK_BYTES];
     loop {
-        match stream.read(&mut tag) {
-            Ok(0) => return Ok(None),
-            Ok(_) => break,
+        let want = assembler.bytes_wanted().min(buf.len() as u64) as usize;
+        // A bare `read` (unlike `read_exact`) surfaces EINTR; retry it so a
+        // signal delivered mid-frame does not kill the session.
+        let n = match stream.read(&mut buf[..want]) {
+            Ok(n) => n,
             Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(err) => return Err(err.into()),
+        };
+        if n == 0 {
+            // EOF between frames is a clean close; inside one, a disconnect.
+            return if assembler.is_idle() {
+                Ok(None)
+            } else {
+                Err(ServiceError::Disconnected)
+            };
+        }
+        assembler.push(
+            &buf[..n],
+            &mut |tag, len| (admit.take().expect("reads stop at the frame boundary"))(tag, len),
+            &mut out,
+        )?;
+        if let Some(frame) = out.pop_front() {
+            return Ok(Some((frame.tag, frame.payload)));
         }
     }
-    let mut len_bytes = [0u8; 8];
-    stream.read_exact(&mut len_bytes)?;
-    let len = u64::from_le_bytes(len_bytes);
-    if len > MAX_FRAME_BYTES {
-        return Err(ServiceError::Protocol(format!(
-            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
-        )));
+}
+
+/// The human name of a message (for "expected X, got Y" protocol errors).
+pub(crate) fn message_name(message: &Message) -> &'static str {
+    match message {
+        Message::Hello { .. } => "Hello",
+        Message::Manifest { .. } => "Manifest",
+        Message::EvalKeys { .. } => "EvalKeys",
+        Message::Inputs(_) => "Inputs",
+        Message::Outputs(_) => "Outputs",
+        Message::Error(_) => "Error",
+        Message::Bye => "Bye",
     }
-    admit(tag[0], len)?;
-    // Read through `take(..).read_to_end`, which grows the buffer as bytes
-    // actually arrive: a peer lying about the length must send that many
-    // bytes to make us hold them, so a 9-byte connection cannot reserve
-    // gigabytes up front.
-    let mut payload = Vec::new();
-    let read = std::io::Read::take(&mut *stream, len).read_to_end(&mut payload)?;
-    if (read as u64) < len {
-        return Err(ServiceError::Disconnected);
-    }
-    Ok(Some((tag[0], payload)))
 }
 
 /// Reads one message, treating end-of-stream as a protocol violation (used

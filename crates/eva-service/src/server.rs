@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -28,16 +28,17 @@ use eva_ckks::{CkksContext, GaloisKeys, RelinearizationKey};
 use eva_core::analysis::noise::{check_noise, NoiseModel};
 use eva_core::analysis::verifier::{verify_compiled, VerifierReport};
 use eva_core::serialize::compiled_from_bytes;
-use eva_core::{predict_peak_memory, CompiledProgram};
+use eva_core::{estimate_cost, predict_peak_memory, CompiledProgram, CostModel};
 use eva_wire::{fingerprint_eval_key_payload, KeyFingerprint, ProgramDiagnostics, WireDiagnostic};
 
 use crate::error::ServiceError;
 use crate::keystore::DiskKeyStore;
 use crate::limits::{DeadlineStream, ServerConfig, SessionQuotas};
 use crate::protocol::{
-    decode_payload, expect_message, partition_inputs, read_frame_checked, write_message, Message,
-    OutputValue, ProgramManifest, PROTOCOL_VERSION, TAG_EVAL_KEYS,
+    decode_payload, expect_message, message_name, partition_inputs, read_frame_checked,
+    write_message, Message, OutputValue, ProgramManifest, PROTOCOL_VERSION, TAG_EVAL_KEYS,
 };
+use crate::sched::SchedGauges;
 
 /// Converts a verifier report into the wire payload a refused load carries:
 /// error-severity findings only, each with its stable check name and node.
@@ -70,9 +71,17 @@ pub struct SessionReport {
 /// One client's evaluation keys as held by the server, shared across
 /// sessions through the key cache.
 #[derive(Debug, Clone)]
-struct SessionKeys {
+pub(crate) struct SessionKeys {
     relin: Option<Arc<RelinearizationKey>>,
     galois: Arc<GaloisKeys>,
+}
+
+impl SessionKeys {
+    /// Builds the per-session evaluation context around the server's shared
+    /// CKKS context and these keys.
+    pub(crate) fn into_evaluation_context(self, context: CkksContext) -> EvaluationContext {
+        EvaluationContext::from_shared(context, self.relin, self.galois)
+    }
 }
 
 #[derive(Debug)]
@@ -191,26 +200,41 @@ struct ServerInner {
     config: Mutex<ServerConfig>,
     stats: StatCounters,
     session_ids: AtomicU64,
-    /// Sessions currently being served; paired with `idle` for shutdown drain.
-    active: Mutex<usize>,
+    /// Sessions currently being served — admission is a lock-free
+    /// compare-exchange on this counter; `idle_lock`/`idle` exist only so
+    /// [`EvaServer::wait_idle`] can sleep instead of spin.
+    active: AtomicUsize,
+    idle_lock: Mutex<()>,
     idle: Condvar,
     shutting_down: AtomicBool,
     /// Where the serving listener is bound, so [`EvaServer::begin_shutdown`]
     /// can wake a blocking `accept` with a throwaway connection.
     listener_addr: Mutex<Option<SocketAddr>>,
+    /// `CostReport::predicted_us` for the loaded program (the scheduler's
+    /// shortest-job-first key), computed once at load.
+    cost_us: f64,
+    /// `MemoryForecast::peak_bytes` for the loaded program (the scheduler's
+    /// admission weight), computed once at load.
+    peak_bytes: u64,
+    /// The peak-memory budget concurrent evaluations are admitted under
+    /// (`None` disables concurrency admission, like the load-time gate).
+    memory_budget: Option<u64>,
+    /// Live scheduler gauges (queue depth, jobs in flight), shared with
+    /// whichever reactor run is currently serving.
+    gauges: Arc<SchedGauges>,
 }
 
 /// Internal atomic counters behind [`ServerStats`].
 #[derive(Debug, Default)]
-struct StatCounters {
-    started: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    panicked: AtomicU64,
-    busy_rejected: AtomicU64,
-    resumed: AtomicU64,
-    disk_resumed: AtomicU64,
-    evaluations: AtomicU64,
+pub(crate) struct StatCounters {
+    pub(crate) started: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) panicked: AtomicU64,
+    pub(crate) busy_rejected: AtomicU64,
+    pub(crate) resumed: AtomicU64,
+    pub(crate) disk_resumed: AtomicU64,
+    pub(crate) evaluations: AtomicU64,
 }
 
 /// A point-in-time snapshot of the server's lifetime counters
@@ -239,21 +263,28 @@ pub struct ServerStats {
     pub disk_resumptions: u64,
     /// Evaluation rounds served across all completed sessions.
     pub evaluations: u64,
+    /// Evaluation jobs currently queued (admitted sessions whose `Inputs`
+    /// round is waiting for a scheduler worker). Zero outside a reactor run.
+    pub queue_depth: u64,
+    /// Evaluation jobs currently executing on scheduler workers. Zero
+    /// outside a reactor run.
+    pub jobs_inflight: u64,
 }
 
 /// Decrements the active-session count (and wakes shutdown waiters) when a
 /// session ends, however it ends — the guard pattern keeps the count honest
 /// across error paths and caught panics alike.
 #[derive(Debug)]
-struct SessionGuard {
+pub(crate) struct SessionGuard {
     inner: Arc<ServerInner>,
 }
 
 impl Drop for SessionGuard {
     fn drop(&mut self) {
-        let mut active = self.inner.active.lock().expect("active lock poisoned");
-        *active -= 1;
-        drop(active);
+        self.inner.active.fetch_sub(1, Ordering::SeqCst);
+        // Taking the lock before notifying closes the race with a waiter
+        // that observed a non-zero count and is about to sleep.
+        drop(self.inner.idle_lock.lock().expect("idle lock poisoned"));
         self.inner.idle.notify_all();
     }
 }
@@ -347,19 +378,25 @@ impl EvaServer {
                 }],
             }));
         }
+        // The analysis products drive the scheduler at serve time: predicted
+        // cost orders the shared job queue (shortest-job-first) and the peak
+        // forecast weighs concurrent-evaluation admission.
+        let forecast = predict_peak_memory(&compiled).map_err(|e| {
+            ServiceError::InvalidProgram(ProgramDiagnostics {
+                program: compiled.name().to_string(),
+                diagnostics: vec![WireDiagnostic {
+                    check: "peak-memory".to_string(),
+                    node: None,
+                    message: e.to_string(),
+                }],
+            })
+        })?;
+        let cost_us = estimate_cost(&compiled, &CostModel::default())
+            .map(|report| report.predicted_us)
+            .unwrap_or(0.0);
         if let Some(budget) = budget_bytes {
             // Admission control: refuse programs whose forecast peak memory
             // exceeds the configured budget, before any FHE state exists.
-            let forecast = predict_peak_memory(&compiled).map_err(|e| {
-                ServiceError::InvalidProgram(ProgramDiagnostics {
-                    program: compiled.name().to_string(),
-                    diagnostics: vec![WireDiagnostic {
-                        check: "peak-memory".to_string(),
-                        node: None,
-                        message: e.to_string(),
-                    }],
-                })
-            })?;
             if forecast.peak_bytes as u64 > budget {
                 return Err(ServiceError::InvalidProgram(ProgramDiagnostics {
                     program: compiled.name().to_string(),
@@ -394,10 +431,15 @@ impl EvaServer {
                 config: Mutex::new(ServerConfig::default()),
                 stats: StatCounters::default(),
                 session_ids: AtomicU64::new(0),
-                active: Mutex::new(0),
+                active: AtomicUsize::new(0),
+                idle_lock: Mutex::new(()),
                 idle: Condvar::new(),
                 shutting_down: AtomicBool::new(false),
                 listener_addr: Mutex::new(None),
+                cost_us,
+                peak_bytes: forecast.peak_bytes as u64,
+                memory_budget: budget_bytes,
+                gauges: Arc::new(SchedGauges::default()),
             }),
             threads: 1,
         })
@@ -485,6 +527,8 @@ impl EvaServer {
             resumed_sessions: stats.resumed.load(Ordering::Relaxed),
             disk_resumptions: stats.disk_resumed.load(Ordering::Relaxed),
             evaluations: stats.evaluations.load(Ordering::Relaxed),
+            queue_depth: self.inner.gauges.queue_depth.load(Ordering::Relaxed),
+            jobs_inflight: self.inner.gauges.jobs_inflight.load(Ordering::Relaxed),
         }
     }
 
@@ -509,9 +553,9 @@ impl EvaServer {
     /// shutdown — in-flight evaluations run to completion, they are never
     /// aborted).
     pub fn wait_idle(&self) {
-        let mut active = self.inner.active.lock().expect("active lock poisoned");
-        while *active > 0 {
-            active = self.inner.idle.wait(active).expect("active lock poisoned");
+        let mut guard = self.inner.idle_lock.lock().expect("idle lock poisoned");
+        while self.inner.active.load(Ordering::SeqCst) > 0 {
+            guard = self.inner.idle.wait(guard).expect("idle lock poisoned");
         }
     }
 
@@ -530,17 +574,39 @@ impl EvaServer {
     }
 
     /// Admits a new session under the concurrency limit, returning the
-    /// guard that releases the slot, or `None` at capacity.
-    fn try_begin_session(&self) -> Option<SessionGuard> {
+    /// guard that releases the slot, or `None` at capacity. Lock-free: a
+    /// compare-exchange loop on the active-session counter.
+    pub(crate) fn try_begin_session(&self) -> Option<SessionGuard> {
         let max = self.config().max_sessions.max(1);
-        let mut active = self.inner.active.lock().expect("active lock poisoned");
-        if *active >= max {
-            return None;
+        let mut current = self.inner.active.load(Ordering::SeqCst);
+        loop {
+            if current >= max {
+                return None;
+            }
+            match self.inner.active.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Some(SessionGuard {
+                        inner: Arc::clone(&self.inner),
+                    })
+                }
+                Err(actual) => current = actual,
+            }
         }
-        *active += 1;
-        Some(SessionGuard {
-            inner: Arc::clone(&self.inner),
-        })
+    }
+
+    /// The wire message a connection rejected at the concurrency limit gets
+    /// (the bare `busy:`-prefixed text the client's transient-error
+    /// classifier keys on), shared by both transports.
+    pub(crate) fn busy_message(&self) -> String {
+        format!(
+            "busy: server is at its {}-session limit; retry with backoff",
+            self.config().max_sessions.max(1)
+        )
     }
 
     /// Politely rejects a connection at the concurrency limit: a `busy:`
@@ -552,14 +618,8 @@ impl EvaServer {
             .stats
             .busy_rejected
             .fetch_add(1, Ordering::Relaxed);
-        let config = self.config();
-        // The bare `busy:`-prefixed message goes on the wire (the client's
-        // transient-error classifier keys on the prefix).
-        let message = format!(
-            "busy: server is at its {}-session limit; retry with backoff",
-            config.max_sessions.max(1)
-        );
-        stream.set_write_timeout(config.write_timeout).ok();
+        let message = self.busy_message();
+        stream.set_write_timeout(self.config().write_timeout).ok();
         let _ = write_message(&mut stream, &Message::Error(message.clone()));
         // The rejected client has a Hello in flight we never read; see
         // `drain_before_close` for why closing on top of it would race the
@@ -568,8 +628,62 @@ impl EvaServer {
         ServiceError::Protocol(message)
     }
 
-    fn next_session_id(&self) -> u64 {
+    pub(crate) fn next_session_id(&self) -> u64 {
         self.inner.session_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Publishes where the serving listener is bound so
+    /// [`EvaServer::begin_shutdown`] can wake it with a self-connection.
+    pub(crate) fn set_listener_addr(&self, addr: Option<SocketAddr>) {
+        *self
+            .inner
+            .listener_addr
+            .lock()
+            .expect("listener addr lock poisoned") = addr;
+    }
+
+    /// The raw lifetime counters, for transports that account sessions
+    /// themselves (the reactor counts admissions and outcomes directly).
+    pub(crate) fn counters(&self) -> &StatCounters {
+        &self.inner.stats
+    }
+
+    /// The scheduler gauges surfaced through [`ServerStats`].
+    pub(crate) fn sched_gauges(&self) -> Arc<SchedGauges> {
+        Arc::clone(&self.inner.gauges)
+    }
+
+    /// A clone of the shared CKKS context (cheap: the context is internally
+    /// reference-counted).
+    pub(crate) fn shared_context(&self) -> CkksContext {
+        self.inner.context.clone()
+    }
+
+    /// The server's CKKS context.
+    pub(crate) fn context(&self) -> &CkksContext {
+        &self.inner.context
+    }
+
+    /// Executor worker threads used per evaluation.
+    pub(crate) fn executor_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The loaded program's predicted serial cost in microseconds (the
+    /// scheduler's shortest-job-first key).
+    pub(crate) fn job_cost_us(&self) -> f64 {
+        self.inner.cost_us
+    }
+
+    /// The loaded program's forecast peak simultaneously-live bytes (the
+    /// scheduler's admission weight).
+    pub(crate) fn job_peak_bytes(&self) -> u64 {
+        self.inner.peak_bytes
+    }
+
+    /// The peak-memory budget concurrent evaluations are admitted under.
+    pub(crate) fn memory_budget(&self) -> Option<u64> {
+        self.inner.memory_budget
     }
 
     /// Sets how many distinct evaluation-key sets the resumption cache holds
@@ -635,17 +749,36 @@ impl EvaServer {
         &self.inner.compiled
     }
 
-    /// Accepts exactly `sessions` connections from `listener` and serves each
-    /// in its own thread (sessions run **concurrently**; a slow client does
-    /// not block the next accept). Returns the per-session reports in accept
-    /// order once every session has ended; per-session failures — including
+    /// Accepts exactly `sessions` connections from `listener` and serves
+    /// them **concurrently** on the event-driven reactor: one IO thread
+    /// multiplexes every connection and a bounded worker pool runs the
+    /// evaluations, ordered shortest-job-first and admitted under the
+    /// peak-memory budget. Returns the per-session reports in accept order
+    /// once every session has ended; per-session failures — including
     /// `busy:` rejections at the concurrency limit — are reported in the
     /// result slots rather than aborting the other sessions.
     ///
     /// # Errors
     ///
-    /// Returns [`ServiceError::Io`] if accepting a connection fails.
+    /// Returns [`ServiceError::Io`] if the listener or the reactor's poller
+    /// fails.
     pub fn serve_sessions(
+        &self,
+        listener: &TcpListener,
+        sessions: usize,
+    ) -> Result<Vec<Result<SessionReport, ServiceError>>, ServiceError> {
+        crate::reactor::Reactor::new(self.clone())?.serve_sessions(listener, sessions)
+    }
+
+    /// [`serve_sessions`](Self::serve_sessions) on the legacy blocking
+    /// transport: one OS thread per session, evaluations inline on the
+    /// session thread. Kept as the baseline the reactor is benchmarked
+    /// against (`eva-bench report --throughput`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Io`] if accepting a connection fails.
+    pub fn serve_sessions_blocking(
         &self,
         listener: &TcpListener,
         sessions: usize,
@@ -692,15 +825,28 @@ impl EvaServer {
     }
 
     /// Serves connections until [`EvaServer::begin_shutdown`] (or
-    /// [`EvaServer::shutdown`]) is called, one thread per session, honoring
-    /// the concurrency limit with `busy:` rejections. On shutdown the accept
-    /// loop stops and in-flight sessions are **drained** — evaluations run
-    /// to completion — before this returns.
+    /// [`EvaServer::shutdown`]) is called, multiplexing every session on the
+    /// event-driven reactor with evaluations on a bounded worker pool,
+    /// honoring the concurrency limit with `busy:` rejections. On shutdown
+    /// the accept loop stops and in-flight sessions are **drained** —
+    /// evaluations run to completion — before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Io`] when the listener or the reactor's
+    /// poller fails.
+    pub fn serve_forever(&self, listener: &TcpListener) -> Result<(), ServiceError> {
+        crate::reactor::Reactor::new(self.clone())?.serve_forever(listener)
+    }
+
+    /// [`serve_forever`](Self::serve_forever) on the legacy blocking
+    /// transport: one OS thread per session, evaluations inline. Kept as the
+    /// baseline the reactor is benchmarked against.
     ///
     /// # Errors
     ///
     /// Returns [`ServiceError::Io`] when the listener fails.
-    pub fn serve_forever(&self, listener: &TcpListener) -> Result<(), ServiceError> {
+    pub fn serve_forever_blocking(&self, listener: &TcpListener) -> Result<(), ServiceError> {
         *self
             .inner
             .listener_addr
@@ -881,41 +1027,15 @@ impl EvaServer {
                 // payload equals hashing the decoded keys).
                 let (tag, payload) = read_frame_checked(stream, |tag, len| quotas.admit(tag, len))?
                     .ok_or(ServiceError::Disconnected)?;
-                let (relin, galois) = match decode_payload(tag, &payload)? {
-                    Message::EvalKeys { relin, galois } => (relin.map(|k| *k), *galois),
-                    other => {
-                        return Err(ServiceError::Protocol(format!(
-                            "expected EvalKeys, got {}",
-                            message_name(&other)
-                        )))
-                    }
-                };
-                debug_assert_eq!(tag, TAG_EVAL_KEYS);
-                self.validate_eval_keys(relin.as_ref(), &galois)?;
-                // The client computes the same digest locally over the bytes
-                // it sent, so nothing fingerprint-shaped ever needs to be
-                // trusted off the wire.
-                let fingerprint = fingerprint_eval_key_payload(&payload);
-                let keys = SessionKeys {
-                    relin: relin.map(Arc::new),
-                    galois: Arc::new(galois),
-                };
-                self.inner
-                    .key_cache
-                    .lock()
-                    .expect("key cache lock poisoned")
-                    .insert(fingerprint, keys.clone(), payload.len());
-                // Persist through to the disk layer (if configured) so the
-                // resumption outlives this process. Persistence failure is
-                // an operational warning, never a session error.
-                if let Some(store) = self.key_store() {
-                    if let Err(err) = store.store(&fingerprint, &payload) {
-                        eprintln!(
-                            "eva-service: failed to persist evaluation keys to {}: {err}",
-                            store.root().display()
-                        );
-                    }
+                if tag != TAG_EVAL_KEYS {
+                    let message = decode_payload(tag, &payload)?;
+                    return Err(ServiceError::Protocol(format!(
+                        "expected EvalKeys, got {}",
+                        message_name(&message)
+                    )));
                 }
+                let fingerprint = fingerprint_eval_key_payload(&payload);
+                let keys = self.accept_key_upload(&payload, fingerprint)?;
                 report.key_fingerprint = Some(fingerprint);
                 keys
             }
@@ -950,6 +1070,55 @@ impl EvaServer {
         }
     }
 
+    /// Accepts one uploaded evaluation-key payload: decodes it, validates
+    /// the keys against the server context and manifest, caches them under
+    /// `fingerprint` (computed by the transport over the payload **as
+    /// received** — streaming for the reactor, one-shot for the blocking
+    /// path; both digests are byte-identical) and persists them through the
+    /// disk layer if one is configured. Shared by both transports.
+    pub(crate) fn accept_key_upload(
+        &self,
+        payload: &[u8],
+        fingerprint: KeyFingerprint,
+    ) -> Result<SessionKeys, ServiceError> {
+        debug_assert_eq!(
+            fingerprint,
+            fingerprint_eval_key_payload(payload),
+            "transport-computed fingerprint must match the one-shot digest"
+        );
+        let (relin, galois) = match decode_payload(TAG_EVAL_KEYS, payload)? {
+            Message::EvalKeys { relin, galois } => (relin.map(|k| *k), *galois),
+            other => {
+                return Err(ServiceError::Protocol(format!(
+                    "expected EvalKeys, got {}",
+                    message_name(&other)
+                )))
+            }
+        };
+        self.validate_eval_keys(relin.as_ref(), &galois)?;
+        let keys = SessionKeys {
+            relin: relin.map(Arc::new),
+            galois: Arc::new(galois),
+        };
+        self.inner
+            .key_cache
+            .lock()
+            .expect("key cache lock poisoned")
+            .insert(fingerprint, keys.clone(), payload.len());
+        // Persist through to the disk layer (if configured) so the
+        // resumption outlives this process. Persistence failure is an
+        // operational warning, never a session error.
+        if let Some(store) = self.key_store() {
+            if let Err(err) = store.store(&fingerprint, payload) {
+                eprintln!(
+                    "eva-service: failed to persist evaluation keys to {}: {err}",
+                    store.root().display()
+                );
+            }
+        }
+        Ok(keys)
+    }
+
     /// Resolves a resumption fingerprint: the in-memory LRU first, then the
     /// disk store (if configured). A disk hit is **re-verified** end to end —
     /// the store checks the fingerprint over the bytes read back, and the
@@ -958,7 +1127,7 @@ impl EvaServer {
     /// entry that decodes but fails validation (e.g. a store directory
     /// shared with a server of different parameters) is ignored without
     /// being evicted; corrupt bytes were already deleted by the store.
-    fn lookup_keys(&self, fingerprint: &KeyFingerprint) -> Option<SessionKeys> {
+    pub(crate) fn lookup_keys(&self, fingerprint: &KeyFingerprint) -> Option<SessionKeys> {
         if let Some(keys) = self
             .inner
             .key_cache
@@ -1078,25 +1247,13 @@ fn drain_before_close(stream: &TcpStream) {
 
 /// Best-effort rendering of a caught panic payload (panics carry `&str` or
 /// `String` in practice; anything else is opaque).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
         "<non-string panic payload>".to_string()
-    }
-}
-
-fn message_name(message: &Message) -> &'static str {
-    match message {
-        Message::Hello { .. } => "Hello",
-        Message::Manifest { .. } => "Manifest",
-        Message::EvalKeys { .. } => "EvalKeys",
-        Message::Inputs(_) => "Inputs",
-        Message::Outputs(_) => "Outputs",
-        Message::Error(_) => "Error",
-        Message::Bye => "Bye",
     }
 }
 

@@ -228,10 +228,44 @@ pub fn fingerprint_eval_keys(
 /// the corruption tests), so hashing received bytes equals hashing the
 /// decoded keys.
 pub fn fingerprint_eval_key_payload(payload: &[u8]) -> KeyFingerprint {
-    let mut hasher = Sha256::new();
-    hasher.update(FINGERPRINT_DOMAIN);
+    let mut hasher = EvalKeyPayloadHasher::new();
     hasher.update(payload);
-    KeyFingerprint(hasher.finalize())
+    hasher.finalize()
+}
+
+/// Streaming form of [`fingerprint_eval_key_payload`]: feed the EvalKeys
+/// frame payload in arbitrary chunks as it arrives off the wire and finalize
+/// once — the digest is byte-identical to the one-shot function, so a server
+/// reading a multi-megabyte key upload in bounded chunks never has to make a
+/// second full pass over the payload just to fingerprint it.
+#[derive(Debug, Clone)]
+pub struct EvalKeyPayloadHasher {
+    inner: Sha256,
+}
+
+impl EvalKeyPayloadHasher {
+    /// Starts a fingerprint computation (the domain prefix is hashed here).
+    pub fn new() -> Self {
+        let mut inner = Sha256::new();
+        inner.update(FINGERPRINT_DOMAIN);
+        Self { inner }
+    }
+
+    /// Absorbs the next chunk of the payload.
+    pub fn update(&mut self, chunk: &[u8]) {
+        self.inner.update(chunk);
+    }
+
+    /// Completes the digest over everything absorbed so far.
+    pub fn finalize(self) -> KeyFingerprint {
+        KeyFingerprint(self.inner.finalize())
+    }
+}
+
+impl Default for EvalKeyPayloadHasher {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]

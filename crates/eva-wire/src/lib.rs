@@ -63,7 +63,8 @@ pub mod runtime;
 
 pub use diagnostics::{ProgramDiagnostics, WireDiagnostic};
 pub use fingerprint::{
-    fingerprint_eval_key_payload, fingerprint_eval_keys, KeyFingerprint, Sha256,
+    fingerprint_eval_key_payload, fingerprint_eval_keys, EvalKeyPayloadHasher, KeyFingerprint,
+    Sha256,
 };
 pub use frame::{Reader, WireError, WireObject, Writer};
 pub use runtime::{

@@ -1,0 +1,318 @@
+//! Minimal epoll-backed readiness polling for the eva-service reactor.
+//!
+//! This is the offline stand-in for the `polling` crate: a [`Poller`] wraps
+//! one level-triggered epoll instance and exposes exactly the surface the
+//! reactor needs — register/modify/deregister a file descriptor with a
+//! `u64` token and read/write interest, then [`Poller::wait`] for readiness
+//! events with an optional timeout. All unsafe FFI is contained here so the
+//! service crate itself can keep `#![forbid(unsafe_code)]`.
+//!
+//! The wrapper is Linux-only (epoll *is* Linux-only); the workspace's tier-1
+//! environment is Linux, and nothing else links this crate.
+
+use std::io;
+use std::os::raw::c_int;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// Mirror of the kernel's `struct epoll_event`. On x86-64 the kernel ABI
+/// packs the struct (no padding between the 32-bit mask and the 64-bit
+/// data); other architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the file descriptor was registered with.
+    pub token: u64,
+    /// The descriptor is readable (or a peer hang-up made it so: EOF is
+    /// reported as readable so the owner observes it with a zero-length
+    /// read, exactly like blocking IO would).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// The kernel flagged an error or hang-up condition (`EPOLLERR` /
+    /// `EPOLLHUP` / `EPOLLRDHUP`). The owner should read/write to surface
+    /// the concrete `io::Error`.
+    pub closed: bool,
+}
+
+/// Read/write interest for one registered descriptor. Level-triggered: the
+/// descriptor reports ready on every [`Poller::wait`] until the condition is
+/// cleared, so pausing a connection is just registering empty interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the descriptor has bytes to read (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the descriptor can accept writes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Read and write interest.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// No interest: the descriptor stays registered (keeping its token) but
+    /// delivers only error/hang-up events.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+
+    fn mask(self) -> u32 {
+        let mut mask = 0;
+        if self.readable {
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// A level-triggered epoll instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+// The epoll fd is just an fd; all operations are kernel-synchronized.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Creates a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Self> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+        let mut event = event;
+        let ptr = event
+            .as_mut()
+            .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, ptr) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            Some(EpollEvent {
+                events: interest.mask(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Updates the interest (and token) of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            Some(EpollEvent {
+                events: interest.mask(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Deregisters `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Waits for readiness, appending into `events` (cleared first). With a
+    /// timeout of `None` the wait is unbounded. Returns the number of events
+    /// delivered; a timer expiry or an interrupting signal delivers zero
+    /// events rather than an error, so callers just re-evaluate their timers
+    /// and loop.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: c_int = match timeout {
+            // Round up: a 0.3 ms timer must not become a busy-looping 0 ms
+            // epoll_wait.
+            Some(t) => {
+                let ms = t.as_millis() + u128::from(t.subsec_nanos() % 1_000_000 != 0);
+                ms.min(c_int::MAX as u128) as c_int
+            }
+            None => -1,
+        };
+        const CAPACITY: usize = 64;
+        let mut raw = [EpollEvent { events: 0, data: 0 }; CAPACITY];
+        let n = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), CAPACITY as c_int, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for raw_event in raw.iter().take(n as usize) {
+            let mask = raw_event.events;
+            events.push(Event {
+                token: raw_event.data,
+                readable: mask & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0,
+                writable: mask & EPOLLOUT != 0,
+                closed: mask & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Instant;
+
+    #[test]
+    fn readiness_is_level_triggered_and_tokened() {
+        let poller = Poller::new().unwrap();
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.add(a.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing to read yet: the wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        b.write_all(b"x").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        assert!(!events[0].writable);
+
+        // Level-triggered: the byte is still there, so it reports again...
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        // ...until consumed.
+        let mut buf = [0u8; 8];
+        assert_eq!(a.read(&mut buf).unwrap(), 1);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn interest_can_be_paused_and_modified() {
+        let poller = Poller::new().unwrap();
+        let (a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.add(a.as_raw_fd(), 1, Interest::NONE).unwrap();
+        b.write_all(b"y").unwrap();
+
+        let mut events = Vec::new();
+        // Paused: data is pending but no interest is registered.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        // Resume read interest (with a new token) and the event arrives.
+        poller.modify(a.as_raw_fd(), 2, Interest::READ).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 2);
+        poller.delete(a.as_raw_fd()).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn hangup_reports_as_readable_and_closed() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.add(a.as_raw_fd(), 3, Interest::READ).unwrap();
+        drop(b);
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable, "EOF must surface as a readable event");
+        assert!(events[0].closed);
+    }
+
+    #[test]
+    fn timeouts_round_up_not_down() {
+        let poller = Poller::new().unwrap();
+        let started = Instant::now();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_micros(1500)))
+            .unwrap();
+        // 1.5 ms rounds up to 2 ms, never down to a 1 ms (or 0 ms) spin.
+        assert!(started.elapsed() >= Duration::from_micros(1500));
+    }
+}
