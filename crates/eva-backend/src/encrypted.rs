@@ -13,6 +13,7 @@ use eva_ckks::{
     Ciphertext, CkksContext, CkksEncoder, CkksError, CkksParameters, Decryptor, Evaluator,
     GaloisKeys, KeyGenerator, RelinearizationKey, SymmetricEncryptor,
 };
+use eva_core::passes::group_rotation_fanouts;
 use eva_core::{CompiledProgram, EvaError, NodeId, NodeKind, Opcode, Program, ValueType};
 
 use crate::keys::ProgramKeyDerivation;
@@ -458,8 +459,61 @@ impl EvaluationContext {
         Ok(NodeValue::Cipher(result))
     }
 
+    /// Executes one rotation fan-out group hoisted: the shared source is
+    /// RNS-decomposed once and every member's Galois key is applied to the
+    /// shared digits (`Evaluator::rotate_hoisted`). Returns the member
+    /// values in `members` order.
+    ///
+    /// Both executors route fan-out members through this kernel; a plaintext
+    /// source falls back to reference rotation semantics per member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaError::Execution`] if the CKKS backend rejects the
+    /// hoisted rotation (e.g. a missing Galois key).
+    pub fn execute_rotation_group(
+        &self,
+        program: &Program,
+        members: &[(NodeId, i64)],
+        source: &NodeValue,
+    ) -> Result<Vec<NodeValue>, EvaError> {
+        match source {
+            NodeValue::Plain(v) => Ok(members
+                .iter()
+                .map(|&(_, step)| NodeValue::Plain(plain_rotate(v, step, program.vec_size())))
+                .collect()),
+            NodeValue::Cipher(ct) => {
+                let steps: Vec<i64> = members.iter().map(|&(_, s)| s).collect();
+                let rotated = self
+                    .evaluator
+                    .rotate_hoisted(ct, &steps, &self.galois_keys)
+                    .map_err(to_eva_error)?;
+                Ok(members
+                    .iter()
+                    .zip(rotated)
+                    .map(|(&(id, _), result)| {
+                        debug_assert_eq!(
+                            result.scale_log2().to_bits(),
+                            program.node(id).scale_log2.to_bits(),
+                            "hoisted node {id}: executor scale 2^{} deviates from the \
+                             compiler's exact annotation 2^{}",
+                            result.scale_log2(),
+                            program.node(id).scale_log2,
+                        );
+                        NodeValue::Cipher(result)
+                    })
+                    .collect())
+            }
+        }
+    }
+
     /// Serial execution of the whole program: computes every node in
     /// topological order and returns the values of the output nodes.
+    ///
+    /// Rotation fan-outs (two or more live rotations of one source, per
+    /// [`group_rotation_fanouts`]) execute hoisted: when the first member is
+    /// reached in topological order, the whole group is computed at once and
+    /// the remaining members' values are pre-stored.
     ///
     /// # Errors
     ///
@@ -519,6 +573,15 @@ impl EvaluationContext {
         for (id, value) in bindings.drain() {
             values[id] = Some(value);
         }
+        // Rotation fan-outs execute hoisted: map each member node to its
+        // group so the first member reached triggers the whole group.
+        let fanouts = group_rotation_fanouts(program);
+        let mut member_group: HashMap<NodeId, usize> = HashMap::new();
+        for (g, fanout) in fanouts.iter().enumerate() {
+            for &(id, _) in &fanout.members {
+                member_group.insert(id, g);
+            }
+        }
         // Live-set accounting for the audit, mirroring the static forecast:
         // the binding set is the baseline, every materialized value adds,
         // every release subtracts, and the peak is sampled while a result
@@ -559,19 +622,45 @@ impl EvaluationContext {
                     values[id] = Some(plain);
                 }
                 NodeKind::Instruction { args, .. } => {
-                    let arg_refs: Vec<&NodeValue> = args
-                        .iter()
-                        .map(|&a| values[a].as_ref().expect("parents computed first"))
-                        .collect();
-                    let result = self.execute_node(program, id, &arg_refs)?;
-                    if let Some(a) = audit.as_deref_mut() {
-                        // The result coexists with all parents for an instant.
-                        current_values += 1;
-                        current_ciphers += usize::from(matches!(result, NodeValue::Cipher(_)));
-                        current_bytes += result.memory_bytes();
-                        a.record(current_values, current_ciphers, current_bytes);
+                    if values[id].is_none() {
+                        if let Some(&g) = member_group.get(&id) {
+                            // First member of a fan-out reached: execute the
+                            // whole group hoisted and pre-store every
+                            // member's value.
+                            let fanout = &fanouts[g];
+                            let source = values[fanout.source]
+                                .as_ref()
+                                .expect("fan-out source computed first");
+                            let results =
+                                self.execute_rotation_group(program, &fanout.members, source)?;
+                            for (&(mid, _), result) in fanout.members.iter().zip(results) {
+                                if let Some(a) = audit.as_deref_mut() {
+                                    current_values += 1;
+                                    current_ciphers +=
+                                        usize::from(matches!(result, NodeValue::Cipher(_)));
+                                    current_bytes += result.memory_bytes();
+                                    a.record(current_values, current_ciphers, current_bytes);
+                                }
+                                values[mid] = Some(result);
+                            }
+                        } else {
+                            let arg_refs: Vec<&NodeValue> = args
+                                .iter()
+                                .map(|&a| values[a].as_ref().expect("parents computed first"))
+                                .collect();
+                            let result = self.execute_node(program, id, &arg_refs)?;
+                            if let Some(a) = audit.as_deref_mut() {
+                                // The result coexists with all parents for an
+                                // instant.
+                                current_values += 1;
+                                current_ciphers +=
+                                    usize::from(matches!(result, NodeValue::Cipher(_)));
+                                current_bytes += result.memory_bytes();
+                                a.record(current_values, current_ciphers, current_bytes);
+                            }
+                            values[id] = Some(result);
+                        }
                     }
-                    values[id] = Some(result);
                     // Release parent values that have no further consumers
                     // (the executor's memory-reuse rule from Section 6.1).
                     // Decrement once per distinct parent, matching `Program::uses`.

@@ -9,11 +9,12 @@
 //! same two properties: cross-kernel parallelism and memory reuse.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crossbeam::queue::SegQueue;
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use eva_core::passes::{group_rotation_fanouts, RotationFanout};
 use eva_core::{CompiledProgram, EvaError, NodeId, NodeKind};
 
 use crate::encrypted::{EvaluationContext, NodeValue};
@@ -44,6 +45,16 @@ struct Shared<'a> {
     bytes_retired: AtomicUsize,
     error: Mutex<Option<EvaError>>,
     reuse_memory: bool,
+    /// Rotation fan-out groups (two or more live rotations of one source),
+    /// executed hoisted by whichever worker claims the group first.
+    fanouts: Vec<RotationFanout>,
+    /// Member node → index into [`Shared::fanouts`].
+    member_group: HashMap<NodeId, usize>,
+    /// One claim flag per fan-out group: every member lands in the ready
+    /// queue when the shared source completes, the first worker to pop any
+    /// member CAS-claims the group and executes it whole, and later pops of
+    /// the remaining members no-op.
+    group_claimed: Vec<AtomicBool>,
     /// Guards the sleep/wake handshake: a worker only blocks on [`Shared::wake`]
     /// while holding this lock *after* re-checking the ready queue and the
     /// termination conditions, and every producer notifies while holding the
@@ -143,6 +154,15 @@ pub fn execute_parallel_with_options(
         remaining_uses.push(AtomicUsize::new(use_count));
     }
 
+    let fanouts = group_rotation_fanouts(program);
+    let mut member_group = HashMap::new();
+    for (g, fanout) in fanouts.iter().enumerate() {
+        for &(id, _) in &fanout.members {
+            member_group.insert(id, g);
+        }
+    }
+    let group_claimed = (0..fanouts.len()).map(|_| AtomicBool::new(false)).collect();
+
     let shared = Shared {
         context,
         program,
@@ -156,6 +176,9 @@ pub fn execute_parallel_with_options(
         bytes_retired: AtomicUsize::new(0),
         error: Mutex::new(None),
         reuse_memory,
+        fanouts,
+        member_group,
+        group_claimed,
         wake_lock: Mutex::new(()),
         wake: Condvar::new(),
     };
@@ -261,11 +284,63 @@ fn next_ready(shared: &Shared<'_>) -> Option<NodeId> {
     }
 }
 
+/// Executes one claimed rotation fan-out group hoisted and performs every
+/// member's bookkeeping (value store, parent retire, child notification,
+/// node-count decrement) on behalf of the workers that popped — or will
+/// pop — the other members.
+fn execute_group(shared: &Shared<'_>, g: usize, uses: &[Vec<NodeId>], executed: &AtomicUsize) {
+    let fanout = &shared.fanouts[g];
+    let result = {
+        let guard = shared.values[fanout.source].read();
+        let source = guard
+            .as_ref()
+            .expect("fan-out source is live until every member retires it");
+        shared
+            .context
+            .execute_rotation_group(shared.program, &fanout.members, source)
+    };
+    match result {
+        Ok(results) => {
+            for (&(mid, _), value) in fanout.members.iter().zip(results) {
+                shared.record_allocation(value.memory_bytes());
+                *shared.values[mid].write() = Some(value);
+                executed.fetch_add(1, Ordering::Relaxed);
+                // Each member retires its (shared) parent once, exactly as
+                // the unhoisted path would.
+                if shared.remaining_uses[fanout.source].fetch_sub(1, Ordering::SeqCst) == 1
+                    && shared.reuse_memory
+                {
+                    let mut slot = shared.values[fanout.source].write();
+                    if let Some(old) = slot.take() {
+                        shared.record_release(old.memory_bytes());
+                    }
+                }
+                notify_children(shared, mid, uses);
+                if shared.remaining_nodes.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    let _guard = shared.wake_lock.lock();
+                    shared.wake.notify_all();
+                }
+            }
+        }
+        Err(err) => shared.fail(err),
+    }
+}
+
 fn worker(shared: &Shared<'_>, uses: &[Vec<NodeId>], executed: &AtomicUsize) {
     loop {
         let Some(id) = next_ready(shared) else {
             return;
         };
+
+        // Fan-out members are executed as a whole group by whichever worker
+        // claims the group first; everyone else drops the node on the floor
+        // (the owner does all of its bookkeeping).
+        if let Some(&g) = shared.member_group.get(&id) {
+            if !shared.group_claimed[g].swap(true, Ordering::SeqCst) {
+                execute_group(shared, g, uses, executed);
+            }
+            continue;
+        }
 
         // Gather argument values (shared read locks).
         let program = shared.program;

@@ -319,6 +319,31 @@ pub fn measure_primitives(quick: bool) -> Vec<KernelTiming> {
         out.push(time_kernel("ckks_rescale_n8192_l3", samples, || {
             let _ = evaluator.rescale_to_next(&ct_a).unwrap();
         }));
+        // Rotation fan-out baseline: one lone rotation, then an 8-way
+        // fan-out applying eight Galois keys to one shared RNS
+        // decomposition. The hoisted kernel must come in well under 8×
+        // the single-rotation time — CI pins that ratio. The single
+        // rotation draws its step round-robin from the same eight-step
+        // set so both kernels touch the fan-out's full Galois-key working
+        // set; rotating by one perpetually cache-hot key would flatter
+        // the sequential baseline.
+        let fanout_steps: Vec<i64> = (1..=8).collect();
+        let galois_keys = keygen.create_galois_keys(&fanout_steps);
+        let mut next_step = 0usize;
+        out.push(time_kernel("ckks_rotate_n8192_l3", samples, || {
+            let step = fanout_steps[next_step % fanout_steps.len()];
+            next_step += 1;
+            let _ = evaluator.rotate(&ct_a, step, &galois_keys).unwrap();
+        }));
+        out.push(time_kernel(
+            "ckks_rotate_hoisted_x8_n8192_l3",
+            samples,
+            || {
+                let _ = evaluator
+                    .rotate_hoisted(&ct_a, &fanout_steps, &galois_keys)
+                    .unwrap();
+            },
+        ));
     }
     out
 }
@@ -1385,6 +1410,7 @@ fn cost_report_json(report: &eva_core::CostReport, indent: &str) -> String {
          \"multiplies_plain\": {},\n{indent}  \"rotations\": {}, \
          \"distinct_rotation_steps\": {}, \"relinearizations\": {},\n{indent}  \
          \"rescales\": {}, \"mod_switches\": {}, \"key_switches\": {},\n{indent}  \
+         \"hoisted_groups\": {}, \"hoisted_rotations\": {},\n{indent}  \
          \"ntts\": {}, \"predicted_us\": {:.1}\n{indent}}}",
         report.nodes,
         report.adds,
@@ -1396,6 +1422,8 @@ fn cost_report_json(report: &eva_core::CostReport, indent: &str) -> String {
         report.rescales,
         report.mod_switches,
         report.key_switches,
+        report.hoisted_groups,
+        report.hoisted_rotations,
         report.ntts,
         report.predicted_us,
     )
@@ -1453,13 +1481,16 @@ pub fn cost_json(measurements: &[CostMeasurement]) -> String {
         let comma = if i + 1 == measurements.len() { "" } else { "," };
         s.push_str(&format!(
             "    \"{0}_nodes\": {1},\n    \"{0}_distinct_rotation_steps\": {2},\n    \
-             \"{0}_key_switches\": {3},\n    \"{0}_unoptimized_nodes\": {4},\n    \
-             \"{0}_unoptimized_distinct_rotation_steps\": {5},\n    \
-             \"{0}_unoptimized_key_switches\": {6}{comma}\n",
+             \"{0}_key_switches\": {3},\n    \"{0}_hoisted_groups\": {4},\n    \
+             \"{0}_hoisted_rotations\": {5},\n    \"{0}_unoptimized_nodes\": {6},\n    \
+             \"{0}_unoptimized_distinct_rotation_steps\": {7},\n    \
+             \"{0}_unoptimized_key_switches\": {8}{comma}\n",
             m.name,
             m.optimized.nodes,
             m.optimized.distinct_rotation_steps,
             m.optimized.key_switches,
+            m.optimized.hoisted_groups,
+            m.optimized.hoisted_rotations,
             m.unoptimized.nodes,
             m.unoptimized.distinct_rotation_steps,
             m.unoptimized.key_switches,

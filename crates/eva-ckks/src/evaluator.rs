@@ -20,7 +20,84 @@ use crate::ciphertext::Ciphertext;
 use crate::context::CkksContext;
 use crate::encoder::Plaintext;
 use crate::error::CkksError;
-use crate::keys::{GaloisKeys, KeySwitchKey, RelinearizationKey};
+use crate::keys::{GaloisKeys, KeySwitchKey, RelinearizationKey, RotationKey};
+
+/// Reusable RNS decomposition of a key-switch target.
+///
+/// Produced by [`Evaluator::decompose_for_key_switch`]: for each data prime
+/// `q_j` of the target's chain it holds the digit `target mod q_j` lifted to
+/// every modulus of the extended basis (data primes + special prime) in NTT
+/// form. Decomposing costs `l(l+2)` NTTs and is independent of the key being
+/// applied, so a rotation fan-out decomposes its source **once** and applies
+/// each Galois key to the shared digits — hoisted key-switching. The
+/// automorphism commutes with the decomposition (it is applied to the
+/// decomposed digits as a pure NTT-domain permutation), which is what makes
+/// the sharing sound.
+#[derive(Debug, Clone)]
+pub struct KeySwitchDecomposition {
+    level: usize,
+    digits: Vec<RnsPoly>,
+}
+
+impl KeySwitchDecomposition {
+    /// Number of data primes in the decomposed target's chain.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The lifted digits: `digits()[j]` spans `level() + 1` NTT rows, where
+    /// row `pos < level()` is modulus `q_pos` and the last row is the special
+    /// prime.
+    pub fn digits(&self) -> &[RnsPoly] {
+        &self.digits
+    }
+}
+
+/// Reusable key-switch work buffers (see
+/// [`Evaluator::key_switch_scratch`]): lazy accumulator pair plus the
+/// special-row and delta rows of the mod-down. A hoisted rotation fan-out
+/// allocates one of these and threads it through every member, so the
+/// ~0.5 MB of intermediates is mapped and faulted once per fan-out rather
+/// than once per rotation.
+struct KeySwitchScratch {
+    acc0: Vec<u64>,
+    acc1: Vec<u64>,
+    special: Vec<u64>,
+    delta: Vec<u64>,
+}
+
+/// Extended key-switch accumulators in **lazy** `[0, 2q)` form.
+///
+/// Produced by [`Evaluator::apply_key_switch_lazy`], which keeps every limb
+/// lazily reduced across the fused digit-accumulation loop instead of
+/// canonicalizing per multiply-accumulate step.
+/// [`Evaluator::finish_key_switch`] canonicalizes once and mods away the
+/// special prime. Row `pos < level` of either accumulator is modulus `q_pos`;
+/// row `level` is the special prime.
+#[derive(Debug, Clone)]
+pub struct LazyKeySwitchAcc {
+    level: usize,
+    degree: usize,
+    acc0: Vec<u64>,
+    acc1: Vec<u64>,
+}
+
+impl LazyKeySwitchAcc {
+    /// Number of data primes (the accumulators carry `level() + 1` rows).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Lazy rows of the first accumulator (`d0` after finishing).
+    pub fn rows0(&self) -> impl Iterator<Item = &[u64]> {
+        self.acc0.chunks_exact(self.degree)
+    }
+
+    /// Lazy rows of the second accumulator (`d1` after finishing).
+    pub fn rows1(&self) -> impl Iterator<Item = &[u64]> {
+        self.acc1.chunks_exact(self.degree)
+    }
+}
 
 /// Stateless homomorphic evaluator bound to one [`CkksContext`].
 #[derive(Debug, Clone)]
@@ -307,6 +384,9 @@ impl Evaluator {
     /// Rotates the encrypted slot vector left by `steps` positions (negative
     /// steps rotate right), using the corresponding Galois key.
     ///
+    /// Rotation by step 0 is a scale-preserving no-op clone and requires no
+    /// Galois key.
+    ///
     /// # Errors
     ///
     /// Fails if no Galois key for `steps` exists or the ciphertext has more
@@ -326,22 +406,87 @@ impl Evaluator {
         if steps == 0 {
             return Ok(ct.clone());
         }
-        let (galois_elt, key) = keys.key_for_step(steps)?;
-        let basis = self.context.key_basis();
+        let decomp = self.decompose_for_key_switch(&ct.polys()[1], ct.level());
+        let mut scratch = self.key_switch_scratch(ct.level());
+        self.rotate_decomposed(ct, &decomp, steps, keys, &mut scratch)
+    }
 
-        let rotate_poly = |poly: &RnsPoly| -> RnsPoly {
-            let mut coeff = poly.clone();
-            coeff.to_coeff(basis);
-            coeff.apply_galois(galois_elt, basis)
-        };
+    /// Rotates one ciphertext by every step in `steps` with **hoisted**
+    /// key-switching: the expensive RNS decomposition of `c1` is computed
+    /// once and each Galois key is applied to the shared digits, so `k`
+    /// rotations cost one decompose plus `k` cheap applies instead of `k`
+    /// full key-switches.
+    ///
+    /// Results are **bit-identical** to calling [`Evaluator::rotate`] once
+    /// per step (both routes run the same decompose → permute → apply →
+    /// mod-down primitives). Step 0 entries yield a no-op clone and require
+    /// no Galois key.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ciphertext does not have exactly two polynomials or a
+    /// Galois key for any non-zero step is missing.
+    pub fn rotate_hoisted(
+        &self,
+        ct: &Ciphertext,
+        steps: &[i64],
+        keys: &GaloisKeys,
+    ) -> Result<Vec<Ciphertext>, CkksError> {
+        if ct.size() != 2 {
+            return Err(CkksError::InvalidCiphertextSize {
+                found: ct.size(),
+                expected: 2,
+            });
+        }
+        let mut decomp = None;
+        let mut scratch = self.key_switch_scratch(ct.level());
+        let mut out = Vec::with_capacity(steps.len());
+        for &step in steps {
+            if step == 0 {
+                out.push(ct.clone());
+                continue;
+            }
+            let decomp = decomp
+                .get_or_insert_with(|| self.decompose_for_key_switch(&ct.polys()[1], ct.level()));
+            out.push(self.rotate_decomposed(ct, decomp, step, keys, &mut scratch)?);
+        }
+        Ok(out)
+    }
 
-        let mut c0_rot = rotate_poly(&ct.polys()[0]);
-        c0_rot.to_ntt(basis);
-        let mut c1_rot = rotate_poly(&ct.polys()[1]);
-        c1_rot.to_ntt(basis);
+    /// One rotation given an already-decomposed `c1`: permute `c0` and the
+    /// shared digits by the automorphism (NTT-domain gathers), apply the
+    /// Galois key lazily and mod away the special prime. Accumulator and
+    /// mod-down buffers come from `scratch`, so a hoisted fan-out touches
+    /// each large intermediate's pages once instead of once per member.
+    fn rotate_decomposed(
+        &self,
+        ct: &Ciphertext,
+        decomp: &KeySwitchDecomposition,
+        steps: i64,
+        keys: &GaloisKeys,
+        scratch: &mut KeySwitchScratch,
+    ) -> Result<Ciphertext, CkksError> {
+        let (galois_elt, _) = keys.key_for_step(steps)?;
+        let rot =
+            keys.rotation_key_for(galois_elt, self.context.galois(), self.context.key_basis());
 
-        let (d0, d1) = self.switch_key(&c1_rot, key, ct.level());
-        c0_rot.add_assign(&d0, basis);
+        self.apply_rotation_into(decomp, rot, &mut scratch.acc0, &mut scratch.acc1);
+        let c0_rot = self.mod_down_into(
+            &scratch.acc0,
+            decomp.level,
+            Some(&rot.table),
+            Some(&ct.polys()[0]),
+            &mut scratch.special,
+            &mut scratch.delta,
+        );
+        let d1 = self.mod_down_into(
+            &scratch.acc1,
+            decomp.level,
+            Some(&rot.table),
+            None,
+            &mut scratch.special,
+            &mut scratch.delta,
+        );
         Ok(Ciphertext::from_parts(
             vec![c0_rot, d1],
             ct.scale_log2(),
@@ -349,102 +494,371 @@ impl Evaluator {
         ))
     }
 
-    /// Key switching: given a polynomial `target` (NTT form, spanning `level`
-    /// data primes) that multiplies some source key `s_src` in a decryption
-    /// equation, produce `(d0, d1)` such that `d0 + d1·s ≈ target · s_src`.
-    ///
-    /// The extended accumulators are two contiguous [`RnsPoly`] buffers whose
-    /// data rows are rewritten in place by the final mod-down, so they
-    /// *become* the outputs; the per-(digit, prime) lifted-digit row and the
-    /// mod-down delta row are reused scratch buffers rather than fresh
-    /// allocations inside the loops.
-    fn switch_key(&self, target: &RnsPoly, key: &KeySwitchKey, level: usize) -> (RnsPoly, RnsPoly) {
+    /// Allocates the reusable buffers one key switch at `level` needs: the
+    /// two lazy extended accumulators plus the special-row and delta rows of
+    /// the mod-down. Reused across every member of a hoisted fan-out.
+    fn key_switch_scratch(&self, level: usize) -> KeySwitchScratch {
+        let n = self.context.degree();
+        let ext = level + 1;
+        KeySwitchScratch {
+            acc0: vec![0u64; ext * n],
+            acc1: vec![0u64; ext * n],
+            special: vec![0u64; n],
+            delta: vec![0u64; level * n],
+        }
+    }
+
+    /// RNS-decomposes a key-switch target (NTT form, spanning `level` data
+    /// primes): digit `j` is the target's residue `j` lifted to every
+    /// modulus of the extended basis (data primes + special prime), forward
+    /// transformed. This is the key-independent half of key switching —
+    /// `l(l+2)` NTTs — reusable across every key applied to the same target.
+    pub fn decompose_for_key_switch(
+        &self,
+        target: &RnsPoly,
+        level: usize,
+    ) -> KeySwitchDecomposition {
         let basis = self.context.key_basis();
         let n = self.context.degree();
         let special = self.context.special_index();
+        let ext = level + 1;
 
         let mut target_coeff = target.clone();
         target_coeff.to_coeff(basis);
 
-        // Extended accumulators: rows 0..level are the data primes, row
-        // `level` is the special prime (basis index `special`).
-        let ext = level + 1;
-        let mut acc0 = RnsPoly::zero(n, ext, PolyForm::Ntt);
-        let mut acc1 = RnsPoly::zero(n, ext, PolyForm::Ntt);
-        let mut lifted = vec![0u64; n];
+        let digits = (0..level)
+            .map(|j| {
+                let digit = target_coeff.residue(j);
+                let mut lifted = RnsPoly::zero(n, ext, PolyForm::Ntt);
+                for pos in 0..ext {
+                    let m_idx = if pos == level { special } else { pos };
+                    let modulus = &basis.moduli()[m_idx];
+                    let row = lifted.residue_mut(pos);
+                    for (dst, &c) in row.iter_mut().zip(digit) {
+                        *dst = modulus.reduce(c);
+                    }
+                    basis.ntt_tables()[m_idx].forward(row);
+                }
+                lifted
+            })
+            .collect();
+        KeySwitchDecomposition { level, digits }
+    }
 
-        for j in 0..level {
-            let digit = target_coeff.residue(j);
-            let (k0, k1) = &key.digits[j];
+    /// The key-dependent half of key switching: multiply-accumulates every
+    /// decomposed digit against the key's digit pair, keeping both extended
+    /// accumulators in lazy `[0, 2q)` form across the whole fused loop (one
+    /// canonicalization happens later, in
+    /// [`Evaluator::finish_key_switch`]). When `ntt_permutation` is given
+    /// (a table from `GaloisTool::ntt_permutation`), the automorphism is
+    /// applied to the digits on the fly — fused into the gather of the
+    /// multiply-accumulate, costing zero extra passes.
+    pub fn apply_key_switch_lazy(
+        &self,
+        decomp: &KeySwitchDecomposition,
+        key: &KeySwitchKey,
+        ntt_permutation: Option<&[u32]>,
+    ) -> LazyKeySwitchAcc {
+        let n = self.context.degree();
+        let ext = decomp.level + 1;
+        let mut acc0 = vec![0u64; ext * n];
+        let mut acc1 = vec![0u64; ext * n];
+        self.apply_key_switch_into(decomp, key, ntt_permutation, &mut acc0, &mut acc1);
+        LazyKeySwitchAcc {
+            level: decomp.level,
+            degree: n,
+            acc0,
+            acc1,
+        }
+    }
+
+    /// [`Evaluator::apply_key_switch_lazy`] writing into caller-owned
+    /// accumulator buffers (each `(level + 1) * degree` long). Every element
+    /// is overwritten — the first digit writes instead of accumulating — so
+    /// the buffers need no clearing between reuses.
+    fn apply_key_switch_into(
+        &self,
+        decomp: &KeySwitchDecomposition,
+        key: &KeySwitchKey,
+        ntt_permutation: Option<&[u32]>,
+        acc0: &mut [u64],
+        acc1: &mut [u64],
+    ) {
+        let basis = self.context.key_basis();
+        let n = self.context.degree();
+        let special = self.context.special_index();
+        let level = decomp.level;
+        let ext = level + 1;
+        debug_assert_eq!(acc0.len(), ext * n);
+        debug_assert_eq!(acc1.len(), ext * n);
+        let shoup = key.shoup_quotients(basis);
+        // The ring degree is a power of two, so masking a gather index keeps
+        // it provably in range (the permutation's entries already are) and
+        // lets the compiler drop the bounds check in the hot loop.
+        let idx_mask = n - 1;
+
+        for (digit_idx, (digit, ((k0, k1), (s0, s1)))) in decomp
+            .digits
+            .iter()
+            .zip(key.digits.iter().zip(shoup))
+            .enumerate()
+        {
             for pos in 0..ext {
                 let m_idx = if pos == level { special } else { pos };
                 let modulus = &basis.moduli()[m_idx];
-                for (dst, &c) in lifted.iter_mut().zip(digit) {
-                    *dst = modulus.reduce(c);
-                }
-                basis.ntt_tables()[m_idx].forward(&mut lifted);
-                let k0_row = k0.residue(m_idx);
-                let k1_row = k1.residue(m_idx);
-                let acc0_row = acc0.residue_mut(pos);
-                for ((a, &t), &k) in acc0_row.iter_mut().zip(&lifted).zip(k0_row) {
-                    *a = modulus.add(*a, modulus.mul(t, k));
-                }
-                let acc1_row = acc1.residue_mut(pos);
-                for ((a, &t), &k) in acc1_row.iter_mut().zip(&lifted).zip(k1_row) {
-                    *a = modulus.add(*a, modulus.mul(t, k));
+                let q = modulus.value();
+                let two_q = q << 1;
+                let digit_row = digit.residue(pos);
+                let k0_row = &k0.residue(m_idx)[..n];
+                let k1_row = &k1.residue(m_idx)[..n];
+                let s0_row = &s0[m_idx * n..(m_idx + 1) * n];
+                let s1_row = &s1[m_idx * n..(m_idx + 1) * n];
+                let a0 = &mut acc0[pos * n..(pos + 1) * n];
+                let a1 = &mut acc1[pos * n..(pos + 1) * n];
+                // Lazy accumulate with Shoup-precomputed key operands: the
+                // product lands in [0, 2q) for any digit representative, the
+                // running sum in [0, 4q); one mask-selected subtraction of 2q
+                // restores the [0, 2q) invariant without canonicalizing. The
+                // first digit writes its products directly instead of
+                // accumulating into the zeroed rows.
+                let prod = |t: u64, k: u64, kq: u64| -> u64 {
+                    let hi = ((t as u128 * kq as u128) >> 64) as u64;
+                    t.wrapping_mul(k).wrapping_sub(hi.wrapping_mul(q))
+                };
+                let lazy_add = |a: u64, p: u64| -> u64 {
+                    let s = a + p;
+                    s - (two_q & ((s >= two_q) as u64).wrapping_neg())
+                };
+                match (ntt_permutation, digit_idx == 0) {
+                    (Some(table), true) => {
+                        for i in 0..n {
+                            let t = digit_row[table[i] as usize & idx_mask];
+                            a0[i] = prod(t, k0_row[i], s0_row[i]);
+                            a1[i] = prod(t, k1_row[i], s1_row[i]);
+                        }
+                    }
+                    (Some(table), false) => {
+                        for i in 0..n {
+                            let t = digit_row[table[i] as usize & idx_mask];
+                            a0[i] = lazy_add(a0[i], prod(t, k0_row[i], s0_row[i]));
+                            a1[i] = lazy_add(a1[i], prod(t, k1_row[i], s1_row[i]));
+                        }
+                    }
+                    (None, true) => {
+                        for i in 0..n {
+                            let t = digit_row[i];
+                            a0[i] = prod(t, k0_row[i], s0_row[i]);
+                            a1[i] = prod(t, k1_row[i], s1_row[i]);
+                        }
+                    }
+                    (None, false) => {
+                        for i in 0..n {
+                            let t = digit_row[i];
+                            a0[i] = lazy_add(a0[i], prod(t, k0_row[i], s0_row[i]));
+                            a1[i] = lazy_add(a1[i], prod(t, k1_row[i], s1_row[i]));
+                        }
+                    }
                 }
             }
         }
-
-        let mut special_coeff = lifted; // reuse as the mod-down scratch
-        let mut delta = vec![0u64; n];
-        self.mod_down_special(&mut acc0, level, &mut special_coeff, &mut delta);
-        self.mod_down_special(&mut acc1, level, &mut special_coeff, &mut delta);
-        (acc0, acc1)
     }
 
-    /// Floors away the special-prime row of an extended accumulator (rows
-    /// 0..level = data primes in NTT form, row `level` = special prime),
-    /// dividing the data rows by `P` in place and dropping the special row.
+    /// Floors the special prime away from lazy key-switch accumulators,
+    /// yielding the canonical `(d0, d1)` key-switch output pair over the
+    /// data primes.
     ///
-    /// `special_coeff` and `delta` are caller-provided row-sized scratch
-    /// buffers, reused across invocations.
-    fn mod_down_special(
+    /// The lazy `[0, 2q)` rows never see a separate canonicalization pass:
+    /// the special row feeds the inverse NTT directly (Harvey butterflies
+    /// accept lazy input) and the data rows are canonicalized inside the
+    /// flooring multiply itself, whose Shoup product tolerates any `u64`
+    /// representative.
+    pub fn finish_key_switch(&self, lazy: LazyKeySwitchAcc) -> (RnsPoly, RnsPoly) {
+        let n = self.context.degree();
+        let mut special = vec![0u64; n];
+        let mut delta = vec![0u64; lazy.level * n];
+        let d0 = self.mod_down_into(&lazy.acc0, lazy.level, None, None, &mut special, &mut delta);
+        let d1 = self.mod_down_into(&lazy.acc1, lazy.level, None, None, &mut special, &mut delta);
+        (d0, d1)
+    }
+
+    /// The rotation fast path's multiply-accumulate: every decomposed digit
+    /// against a [`RotationKey`]'s inverse-permuted interleaved stream. All
+    /// loads are sequential — digits, key operands and Shoup quotients
+    /// stream linearly — and the result is the **pre-automorphism**
+    /// accumulator pair `b = Σ dⱼ·σ⁻¹(kⱼ)`; the mod-down applies the
+    /// automorphism gather (`σ(b)` equals what
+    /// [`Evaluator::apply_key_switch_lazy`] with a fused permutation
+    /// computes, limb for limb). Lazy `[0, 2q)` form throughout, first
+    /// digit writes instead of accumulating.
+    fn apply_rotation_into(
         &self,
-        acc: &mut RnsPoly,
-        level: usize,
-        special_coeff: &mut [u64],
-        delta: &mut [u64],
+        decomp: &KeySwitchDecomposition,
+        rot: &RotationKey,
+        acc0: &mut [u64],
+        acc1: &mut [u64],
     ) {
         let basis = self.context.key_basis();
+        let n = self.context.degree();
+        let special = self.context.special_index();
+        let level = decomp.level;
+        let ext = level + 1;
+        debug_assert_eq!(acc0.len(), ext * n);
+        debug_assert_eq!(acc1.len(), ext * n);
+
+        for (digit_idx, (digit, kd)) in decomp.digits.iter().zip(&rot.digits).enumerate() {
+            for pos in 0..ext {
+                let m_idx = if pos == level { special } else { pos };
+                let modulus = &basis.moduli()[m_idx];
+                let q = modulus.value();
+                let two_q = q << 1;
+                let digit_row = &digit.residue(pos)[..n];
+                let krow = &kd[m_idx * 4 * n..(m_idx + 1) * 4 * n];
+                let a0 = &mut acc0[pos * n..(pos + 1) * n];
+                let a1 = &mut acc1[pos * n..(pos + 1) * n];
+                let prod = |t: u64, k: u64, kq: u64| -> u64 {
+                    let hi = ((t as u128 * kq as u128) >> 64) as u64;
+                    t.wrapping_mul(k).wrapping_sub(hi.wrapping_mul(q))
+                };
+                let lazy_add = |a: u64, p: u64| -> u64 {
+                    let s = a + p;
+                    s - (two_q & ((s >= two_q) as u64).wrapping_neg())
+                };
+                if digit_idx == 0 {
+                    for (i, quad) in krow.chunks_exact(4).enumerate() {
+                        let t = digit_row[i];
+                        a0[i] = prod(t, quad[0], quad[1]);
+                        a1[i] = prod(t, quad[2], quad[3]);
+                    }
+                } else {
+                    for (i, quad) in krow.chunks_exact(4).enumerate() {
+                        let t = digit_row[i];
+                        a0[i] = lazy_add(a0[i], prod(t, quad[0], quad[1]));
+                        a1[i] = lazy_add(a1[i], prod(t, quad[2], quad[3]));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Floors the special prime off one lazy accumulator (see
+    /// [`Evaluator::finish_key_switch`]), with `special_coeff` (`degree`
+    /// long) and `delta` (`level × degree`, one row per data prime) as
+    /// caller-owned work rows.
+    ///
+    /// When `out_perm` is given, the accumulator is read **through** the
+    /// automorphism gather table — this is how the rotation fast path
+    /// applies `σ` to the pre-automorphism accumulators of
+    /// [`Evaluator::apply_rotation_into`], fused into reads the mod-down
+    /// makes anyway. When `fold` carries a ciphertext polynomial, it is
+    /// gathered through the same table and added into the output in the
+    /// same pass — the permuted `c0` of a rotation never exists as a
+    /// separate polynomial.
+    fn mod_down_into(
+        &self,
+        flat: &[u64],
+        level: usize,
+        out_perm: Option<&[u32]>,
+        fold: Option<&RnsPoly>,
+        special_coeff: &mut [u64],
+        delta: &mut [u64],
+    ) -> RnsPoly {
+        let basis = self.context.key_basis();
+        let n = self.context.degree();
         let special = self.context.special_index();
         let p_value = self.context.params().special_prime();
         let half_p = p_value / 2;
+        let idx_mask = n - 1;
 
-        special_coeff.copy_from_slice(acc.residue(level));
+        let special_row = &flat[level * n..(level + 1) * n];
+        match out_perm {
+            Some(table) => {
+                for (d, &t) in special_coeff.iter_mut().zip(table) {
+                    *d = special_row[t as usize & idx_mask];
+                }
+            }
+            None => special_coeff.copy_from_slice(special_row),
+        }
         basis.ntt_tables()[special].inverse(special_coeff);
 
-        for i in 0..level {
-            let q_i = &basis.moduli()[i];
-            let inv_p = q_i
-                .inv(q_i.reduce(p_value))
-                .expect("special prime is invertible modulo data primes");
-            let pre = q_i.shoup(inv_p);
-            let p_mod_qi = q_i.reduce(p_value);
-            for (d, &c) in delta.iter_mut().zip(special_coeff.iter()) {
-                *d = if c > half_p {
-                    q_i.sub(q_i.reduce(c), p_mod_qi)
-                } else {
-                    q_i.reduce(c)
-                };
-            }
-            basis.ntt_tables()[i].forward(delta);
-            let row = acc.residue_mut(i);
-            for (a, &d) in row.iter_mut().zip(delta.iter()) {
-                *a = q_i.mul_shoup(q_i.sub(*a, d), &pre);
+        // Centered round of the special residue into every data prime in one
+        // pass over the coefficients (the `> P/2` test is shared; each prime
+        // gets its own reduction into its delta row) ...
+        let consts: Vec<_> = (0..level)
+            .map(|i| {
+                let q_i = &basis.moduli()[i];
+                let inv_p = q_i
+                    .inv(q_i.reduce(p_value))
+                    .expect("special prime is invertible modulo data primes");
+                (q_i, q_i.shoup(inv_p), q_i.reduce(p_value))
+            })
+            .collect();
+        for (ci, &c) in special_coeff.iter().enumerate() {
+            let wrap = c > half_p;
+            for (m, (q_i, _, p_mod_qi)) in consts.iter().enumerate() {
+                let r = q_i.reduce(c);
+                delta[m * n + ci] = if wrap { q_i.sub(r, *p_mod_qi) } else { r };
             }
         }
-        acc.drop_last();
+
+        // ... transformed lazily (outputs in [0, 4q)) and floored off in one
+        // fused pass per row: acc − delta as the representative
+        // `acc + 4q − delta < 6q`, then × P⁻¹ via the any-input Shoup
+        // product, reduced once to canonical form.
+        let mut data = Vec::with_capacity(level * n);
+        for (m, (q_i, pre, _)) in consts.iter().enumerate() {
+            let four_q = q_i.value() << 2;
+            let drow = &mut delta[m * n..(m + 1) * n];
+            basis.ntt_tables()[m].forward_lazy(drow);
+            let acc_row = &flat[m * n..(m + 1) * n];
+            let floored = |a: u64, d: u64| q_i.reduce_once(q_i.mul_shoup_lazy(a + four_q - d, pre));
+            match (out_perm, fold) {
+                (Some(table), Some(poly)) => {
+                    let fold_row = &poly.residue(m)[..n];
+                    data.extend(drow.iter().zip(table).map(|(&d, &t)| {
+                        let s = t as usize & idx_mask;
+                        q_i.add(floored(acc_row[s], d), fold_row[s])
+                    }));
+                }
+                (Some(table), None) => {
+                    data.extend(
+                        drow.iter()
+                            .zip(table)
+                            .map(|(&d, &t)| floored(acc_row[t as usize & idx_mask], d)),
+                    );
+                }
+                (None, Some(poly)) => {
+                    let fold_row = &poly.residue(m)[..n];
+                    data.extend(
+                        acc_row
+                            .iter()
+                            .zip(drow.iter())
+                            .zip(fold_row)
+                            .map(|((&a, &d), &f)| q_i.add(floored(a, d), f)),
+                    );
+                }
+                (None, None) => {
+                    data.extend(
+                        acc_row
+                            .iter()
+                            .zip(drow.iter())
+                            .map(|(&a, &d)| floored(a, d)),
+                    );
+                }
+            }
+        }
+        RnsPoly::from_flat(n, data, PolyForm::Ntt)
+    }
+
+    /// Key switching: given a polynomial `target` (NTT form, spanning `level`
+    /// data primes) that multiplies some source key `s_src` in a decryption
+    /// equation, produce `(d0, d1)` such that `d0 + d1·s ≈ target · s_src`.
+    ///
+    /// Composition of the three public primitives: decompose, lazy apply,
+    /// finish.
+    fn switch_key(&self, target: &RnsPoly, key: &KeySwitchKey, level: usize) -> (RnsPoly, RnsPoly) {
+        let decomp = self.decompose_for_key_switch(target, level);
+        let lazy = self.apply_key_switch_lazy(&decomp, key, None);
+        self.finish_key_switch(lazy)
     }
 }
 
@@ -647,9 +1061,39 @@ mod tests {
         let mut f = fixture();
         let xs = vec![1.25; 128];
         let ct = f.encryptor.encrypt(&f.encoder.encode(&xs, 40.0, 2));
+        // Step 0 must require no Galois key at all — neither at keygen (no
+        // key material is generated for it) nor at rotate time (no lookup).
         let gk = f.keygen.create_galois_keys(&[]);
         let out = f.evaluator.rotate(&ct, 0, &gk).unwrap();
+        assert_eq!(out.polys(), ct.polys(), "step 0 is a bit-exact clone");
+        assert_eq!(out.scale_log2(), ct.scale_log2(), "scale is preserved");
         assert_close(&f.decryptor.decrypt_to_values(&out, 128), &xs, 1e-4);
+        // Same through the hoisted path.
+        let hoisted = f.evaluator.rotate_hoisted(&ct, &[0], &gk).unwrap();
+        assert_eq!(hoisted.len(), 1);
+        assert_eq!(hoisted[0].polys(), ct.polys());
+    }
+
+    #[test]
+    fn hoisted_rotations_are_bit_identical_to_sequential() {
+        let mut f = fixture();
+        let scale = 40.0;
+        let xs: Vec<f64> = (0..f.slots).map(|i| (i as f64).sin()).collect();
+        let ct = f.encryptor.encrypt(&f.encoder.encode(&xs, scale, 4));
+        let steps = [1i64, 3, -2, 0, 7];
+        let gk = f.keygen.create_galois_keys(&steps);
+
+        let hoisted = f.evaluator.rotate_hoisted(&ct, &steps, &gk).unwrap();
+        assert_eq!(hoisted.len(), steps.len());
+        for (h, &step) in hoisted.iter().zip(&steps) {
+            let sequential = f.evaluator.rotate(&ct, step, &gk).unwrap();
+            assert_eq!(h.polys(), sequential.polys(), "step {step}");
+            assert_eq!(h.scale_log2(), sequential.scale_log2());
+            let expected: Vec<f64> = (0..f.slots)
+                .map(|i| xs[(i as i64 + step).rem_euclid(f.slots as i64) as usize])
+                .collect();
+            assert_close(&f.decryptor.decrypt_to_values(h, f.slots), &expected, 1e-3);
+        }
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! `target · s_src` under the target secret `s`.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
-use eva_poly::{PolyForm, RnsPoly};
+use eva_math::galois::GaloisTool;
+use eva_poly::{PolyForm, RnsBasis, RnsPoly};
 use rand::rngs::{ChaCha20Rng, StdRng};
 use rand::{RngCore, SeedableRng};
 
@@ -78,18 +80,45 @@ impl PublicKey {
 #[derive(Debug, Clone)]
 pub struct KeySwitchKey {
     pub(crate) digits: Vec<(RnsPoly, RnsPoly)>,
+    /// Per-digit Shoup quotients (`floor(k·2^64/q)` for every key element,
+    /// flat `rows × degree` matching the digit polynomials), built lazily on
+    /// the first key switch and reused by every later apply. A cache of
+    /// derived constants only — never serialized, never compared.
+    pub(crate) shoup: OnceLock<Vec<(Vec<u64>, Vec<u64>)>>,
 }
 
 impl KeySwitchKey {
     /// Reassembles a key-switching key from its digit pairs (wire codec
     /// constructor).
     pub fn from_digits(digits: Vec<(RnsPoly, RnsPoly)>) -> Self {
-        Self { digits }
+        Self {
+            digits,
+            shoup: OnceLock::new(),
+        }
     }
 
     /// The `(k0_j, k1_j)` pair for every data prime digit `j`.
     pub fn digits(&self) -> &[(RnsPoly, RnsPoly)] {
         &self.digits
+    }
+
+    /// The Shoup quotient tables for this key's digits over `basis`, built
+    /// on first use (one `u128` division per key element, amortized across
+    /// every subsequent key-switch apply).
+    pub(crate) fn shoup_quotients(&self, basis: &RnsBasis) -> &[(Vec<u64>, Vec<u64>)] {
+        self.shoup.get_or_init(|| {
+            let quotients = |poly: &RnsPoly| -> Vec<u64> {
+                let mut flat = Vec::with_capacity(poly.level() * poly.degree());
+                for (row, modulus) in poly.rows().zip(basis.moduli()) {
+                    flat.extend(row.iter().map(|&k| modulus.shoup(k).quotient));
+                }
+                flat
+            };
+            self.digits
+                .iter()
+                .map(|(k0, k1)| (quotients(k0), quotients(k1)))
+                .collect()
+        })
     }
 }
 
@@ -124,6 +153,26 @@ pub struct GaloisKeys {
     pub(crate) keys: HashMap<u64, KeySwitchKey>,
     /// Rotation step → Galois element, for convenient lookup.
     pub(crate) steps: HashMap<i64, u64>,
+    /// Galois element → rotation-ready key form, built lazily on the first
+    /// rotation and shared by every later one. Derived constants only —
+    /// never serialized, never compared.
+    pub(crate) tables: OnceLock<HashMap<u64, RotationKey>>,
+}
+
+/// Rotation-ready form of one Galois key.
+///
+/// Holds the NTT-domain automorphism gather table plus, per digit, the
+/// **inverse-permuted** key operands interleaved with their Shoup quotients
+/// (`[k0, q0, k1, q1]` per ring index, row-major over the key basis).
+/// Because `σ(d)·k = σ(d · σ⁻¹(k))`, storing `σ⁻¹(k)` lets the fan-out
+/// multiply-accumulate read every stream linearly; the automorphism gather
+/// moves into the mod-down, fused into passes it already makes.
+#[derive(Debug, Clone)]
+pub(crate) struct RotationKey {
+    /// `output[i] = input[table[i]]` gather table for the automorphism.
+    pub(crate) table: Vec<u32>,
+    /// One flat `rows × degree × 4` interleaved stream per digit.
+    pub(crate) digits: Vec<Vec<u64>>,
 }
 
 impl GaloisKeys {
@@ -136,6 +185,7 @@ impl GaloisKeys {
         Self {
             steps: steps.into_iter().collect(),
             keys: keys.into_iter().collect(),
+            tables: OnceLock::new(),
         }
     }
 
@@ -175,6 +225,53 @@ impl GaloisKeys {
             .get(&elt)
             .ok_or(CkksError::MissingGaloisKey { step })?;
         Ok((elt, key))
+    }
+
+    /// The cached rotation-ready form of the key for `elt`, computing the
+    /// forms for every held Galois element on first use (one scatter and
+    /// one Shoup division per key element, amortized across every later
+    /// rotation).
+    pub(crate) fn rotation_key_for(
+        &self,
+        elt: u64,
+        galois: &GaloisTool,
+        basis: &RnsBasis,
+    ) -> &RotationKey {
+        let cache = self.tables.get_or_init(|| {
+            self.keys
+                .iter()
+                .map(|(&e, key)| {
+                    let table = galois.ntt_permutation(e);
+                    let n = table.len();
+                    let digits = key
+                        .digits
+                        .iter()
+                        .map(|(k0, k1)| {
+                            let mut flat = vec![0u64; k0.level() * n * 4];
+                            for (m, ((r0, r1), modulus)) in
+                                k0.rows().zip(k1.rows()).zip(basis.moduli()).enumerate()
+                            {
+                                let dst = &mut flat[m * n * 4..(m + 1) * n * 4];
+                                // Scatter through the table: the permuted key
+                                // satisfies `k'[table[i]] = k[i]`, i.e.
+                                // `k' = σ⁻¹(k)` for the gather convention
+                                // `σ(x)[i] = x[table[i]]`.
+                                for i in 0..n {
+                                    let d = 4 * table[i] as usize;
+                                    dst[d] = r0[i];
+                                    dst[d + 1] = modulus.shoup(r0[i]).quotient;
+                                    dst[d + 2] = r1[i];
+                                    dst[d + 3] = modulus.shoup(r1[i]).quotient;
+                                }
+                            }
+                            flat
+                        })
+                        .collect();
+                    (e, RotationKey { table, digits })
+                })
+                .collect()
+        });
+        &cache[&elt]
     }
 }
 
@@ -283,13 +380,17 @@ impl KeyGenerator {
 
     /// Generates Galois keys for the given rotation steps.
     ///
-    /// Duplicate steps are collapsed; step 0 is accepted and ignored at use
-    /// time (a rotation by zero is the identity).
+    /// Duplicate steps are collapsed; step 0 is skipped entirely — a
+    /// rotation by zero is a no-op clone in the evaluator, so no key
+    /// material is generated (and none needs to be uploaded) for it.
     pub fn create_galois_keys(&mut self, steps: &[i64]) -> GaloisKeys {
         let context = self.context.clone();
         let basis = context.key_basis();
         let mut galois_keys = GaloisKeys::default();
         for &step in steps {
+            if step == 0 {
+                continue;
+            }
             let elt = self.context.galois().galois_elt_from_step(step);
             galois_keys.steps.insert(step, elt);
             if galois_keys.keys.contains_key(&elt) {
@@ -332,7 +433,7 @@ impl KeyGenerator {
             debug_assert!(special == full - 1);
             digits.push((k0, a));
         }
-        KeySwitchKey { digits }
+        KeySwitchKey::from_digits(digits)
     }
 }
 
@@ -417,6 +518,21 @@ mod tests {
         assert!(!gk.supports_step(5));
         assert_eq!(gk.step_count(), 3);
         assert!(gk.key_for_step(5).is_err());
+    }
+
+    #[test]
+    fn step_zero_generates_no_key_material() {
+        let ctx = context();
+        let mut keygen = KeyGenerator::from_seed(ctx, 11);
+        let gk = keygen.create_galois_keys(&[0, 1, 0]);
+        // Rotation by zero is a no-op clone in the evaluator, so requesting
+        // it must not cost any key material (elt = 1 would otherwise be a
+        // full useless key-switch key) nor a steps entry.
+        assert_eq!(gk.step_count(), 1);
+        assert!(gk.supports_step(1));
+        assert!(!gk.supports_step(0));
+        assert_eq!(gk.keys.len(), 1);
+        assert!(!gk.keys.contains_key(&1));
     }
 
     /// Pins the canonicalization contract documented in

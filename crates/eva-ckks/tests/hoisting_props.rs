@@ -1,0 +1,200 @@
+//! Differential key-switch test harness for hoisted rotations.
+//!
+//! Two contracts are pinned here, over random rotation sets, levels and ring
+//! degrees:
+//!
+//! 1. **Bit identity**: `Evaluator::rotate_hoisted` (decompose once, apply
+//!    every Galois key to the shared digits) produces ciphertexts that are
+//!    bit-identical to sequential `Evaluator::rotate` calls.
+//! 2. **Lazy-form invariant**: the split key-switch primitives keep every
+//!    accumulator limb strictly below `2q` across the fused apply loop, and
+//!    one canonicalization pass lands exactly on the value a fully canonical
+//!    (`add`/`mul` per step) accumulation computes.
+
+use eva_ckks::{
+    Ciphertext, CkksContext, CkksEncoder, CkksParameters, Decryptor, Encryptor, Evaluator,
+    KeyGenerator, KeySwitchDecomposition, KeySwitchKey,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Harness {
+    context: CkksContext,
+    evaluator: Evaluator,
+    decryptor: Decryptor,
+    keygen: KeyGenerator,
+    ct: Ciphertext,
+    values: Vec<f64>,
+}
+
+fn build(degree: usize, levels: usize, level: usize, seed: u64) -> Harness {
+    let bits = vec![40u32; levels];
+    let params = CkksParameters::new_insecure(degree, &bits, 45).unwrap();
+    let context = CkksContext::new(params).unwrap();
+    let mut keygen = KeyGenerator::from_seed(context.clone(), seed ^ 0xA5A5);
+    let pk = keygen.create_public_key();
+    let mut encryptor = Encryptor::from_seed(context.clone(), pk, seed ^ 0x5A5A);
+    let encoder = CkksEncoder::new(context.clone());
+    let decryptor = Decryptor::new(context.clone(), keygen.secret_key().clone());
+
+    let slots = context.slot_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let ct = encryptor.encrypt(&encoder.encode(&values, 40.0, level));
+    Harness {
+        evaluator: Evaluator::new(context.clone()),
+        context,
+        decryptor,
+        keygen,
+        ct,
+        values,
+    }
+}
+
+/// The modulus backing accumulator row `pos` of a level-`level` key switch
+/// (rows `0..level` are the data primes, row `level` is the special prime).
+fn row_modulus(context: &CkksContext, level: usize, pos: usize) -> eva_math::Modulus {
+    let idx = if pos == level {
+        context.special_index()
+    } else {
+        pos
+    };
+    context.key_basis().moduli()[idx]
+}
+
+/// Strict reference accumulation: the same digit × key sums as
+/// `apply_key_switch_lazy`, but canonicalizing after every single
+/// multiply-accumulate step.
+fn canonical_accumulate(
+    context: &CkksContext,
+    decomp: &KeySwitchDecomposition,
+    key: &KeySwitchKey,
+    table: Option<&[u32]>,
+) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+    let n = context.degree();
+    let level = decomp.level();
+    let ext = level + 1;
+    let mut acc0 = vec![vec![0u64; n]; ext];
+    let mut acc1 = vec![vec![0u64; n]; ext];
+    for (digit, (k0, k1)) in decomp.digits().iter().zip(key.digits()) {
+        for pos in 0..ext {
+            let m_idx = if pos == level {
+                context.special_index()
+            } else {
+                pos
+            };
+            let q = &context.key_basis().moduli()[m_idx];
+            let digit_row = digit.residue(pos);
+            let k0_row = k0.residue(m_idx);
+            let k1_row = k1.residue(m_idx);
+            for i in 0..n {
+                let t = match table {
+                    Some(tb) => digit_row[tb[i] as usize],
+                    None => digit_row[i],
+                };
+                acc0[pos][i] = q.add(acc0[pos][i], q.mul(t, k0_row[i]));
+                acc1[pos][i] = q.add(acc1[pos][i], q.mul(t, k1_row[i]));
+            }
+        }
+    }
+    (acc0, acc1)
+}
+
+/// Maps raw random draws onto a valid rotation-step set for `slots` slots
+/// (steps in `[-(slots-1), slots-1]`, including 0 and duplicates).
+fn shape_steps(raw: &[i64], count: usize, slots: i64) -> Vec<i64> {
+    raw[..count]
+        .iter()
+        .map(|s| s.rem_euclid(2 * slots - 1) - (slots - 1))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Hoisted rotation fan-outs are bit-identical to sequential rotations,
+    // across random degrees, chain lengths, operating levels and step sets
+    // (including step 0 and duplicate steps).
+    #[test]
+    fn hoisted_rotations_match_sequential_bit_exactly(
+        degree in prop::sample::select(vec![64usize, 128, 256]),
+        levels in 2usize..=4,
+        level_pick in any::<u64>(),
+        seed in any::<u64>(),
+        raw_steps in prop::collection::vec(any::<i64>(), 6),
+        step_count in 1usize..=6,
+    ) {
+        let level = 1 + (level_pick as usize) % levels;
+        let steps = shape_steps(&raw_steps, step_count, (degree / 2) as i64);
+        let mut h = build(degree, levels, level, seed);
+        let gk = h.keygen.create_galois_keys(&steps);
+
+        let hoisted = h.evaluator.rotate_hoisted(&h.ct, &steps, &gk).unwrap();
+        prop_assert_eq!(hoisted.len(), steps.len());
+        let slots = h.context.slot_count();
+        for (rotated, &step) in hoisted.iter().zip(&steps) {
+            let sequential = h.evaluator.rotate(&h.ct, step, &gk).unwrap();
+            prop_assert_eq!(rotated.polys(), sequential.polys());
+            prop_assert_eq!(rotated.scale_log2(), sequential.scale_log2());
+            prop_assert_eq!(rotated.level(), level);
+
+            // And both actually rotate: decrypt and compare slot-wise.
+            let decrypted = h.decryptor.decrypt_to_values(rotated, slots);
+            for i in 0..slots {
+                let src = (i as i64 + step).rem_euclid(slots as i64) as usize;
+                prop_assert!((decrypted[i] - h.values[src]).abs() < 1e-2,
+                    "step {}, slot {}: {} vs {}", step, i, decrypted[i], h.values[src]);
+            }
+        }
+    }
+
+    // Every accumulator limb stays in lazy [0, 2q) form across the fused
+    // apply loop, and a single canonicalization pass agrees exactly with a
+    // per-step canonical accumulation — with and without a fused
+    // automorphism permutation.
+    #[test]
+    fn lazy_limbs_below_two_q_and_canonicalize_exactly(
+        degree in prop::sample::select(vec![64usize, 128, 256]),
+        levels in 2usize..=4,
+        level_pick in any::<u64>(),
+        seed in any::<u64>(),
+        raw_step in any::<i64>(),
+    ) {
+        let level = 1 + (level_pick as usize) % levels;
+        let slots = (degree / 2) as i64;
+        // A non-zero step (zero performs no key switch at all).
+        let step = 1 + raw_step.rem_euclid(slots - 1);
+        let mut h = build(degree, levels, level, seed);
+        let gk = h.keygen.create_galois_keys(&[step]);
+        let elt = h.context.galois().galois_elt_from_step(step);
+        let (_, key) = gk
+            .element_keys()
+            .into_iter()
+            .find(|&(e, _)| e == elt)
+            .expect("key for the requested step");
+
+        let decomp = h
+            .evaluator
+            .decompose_for_key_switch(&h.ct.polys()[1], level);
+        let table = h.context.galois().ntt_permutation(elt);
+        for table in [None, Some(table.as_slice())] {
+            let lazy = h.evaluator.apply_key_switch_lazy(&decomp, key, table);
+            let (exp0, exp1) = canonical_accumulate(&h.context, &decomp, key, table);
+            for (acc, expected) in [
+                (lazy.rows0().collect::<Vec<_>>(), &exp0),
+                (lazy.rows1().collect::<Vec<_>>(), &exp1),
+            ] {
+                for (pos, row) in acc.iter().enumerate() {
+                    let q = row_modulus(&h.context, level, pos);
+                    let two_q = 2 * q.value();
+                    for (i, &limb) in row.iter().enumerate() {
+                        prop_assert!(limb < two_q,
+                            "row {}, limb {}: {} >= 2q = {}", pos, i, limb, two_q);
+                        prop_assert_eq!(q.reduce_once(limb), expected[pos][i]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -24,11 +24,12 @@
 //! Only **live** cipher nodes are costed: executors skip dead branches, and
 //! after this PR `compile()` removes them outright.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::analysis::scale::{analyze_levels, chain_lengths};
 use crate::compiler::CompiledProgram;
 use crate::error::EvaError;
+use crate::passes::group_rotation_fanouts;
 use crate::program::NodeKind;
 use crate::types::Opcode;
 
@@ -52,6 +53,9 @@ pub struct CostModel {
     pub add_us: f64,
     /// One forward NTT of a single polynomial at the reference size, µs.
     pub ntt_us: f64,
+    /// One hoisted follower rotation (per-key apply + mod-down against a
+    /// fan-out group's shared decomposition) at the reference level, µs.
+    pub hoisted_apply_us: f64,
 }
 
 impl Default for CostModel {
@@ -66,6 +70,8 @@ impl Default for CostModel {
             multiply_plain_us: 70.5, // dyadic_mul_n8192_l3
             add_us: 24.4,            // dyadic_add_n8192_l3
             ntt_us: 167.7,           // ntt_forward_n8192
+            // (ckks_rotate_hoisted_x8_n8192_l3 − ckks_rotate_n8192_l3) / 7
+            hoisted_apply_us: 1650.0,
         }
     }
 }
@@ -78,6 +84,15 @@ pub fn key_switch_ntts(l: usize) -> usize {
 /// Number of NTTs one rescale performs at level `l`.
 pub fn rescale_ntts(l: usize) -> usize {
     2 * (l + 1)
+}
+
+/// Effective NTTs one hoisted follower rotation performs at level `l`: the
+/// `2(l + 1)` literal NTTs of canonicalize + mod-down, plus ~2 NTTs' worth
+/// of fused permute/multiply-accumulate work against the shared digits
+/// (matching the measured `hoisted_apply_us / ntt_us ≈ 10` ratio at the
+/// reference level).
+pub fn hoisted_apply_ntts(l: usize) -> usize {
+    2 * (l + 1) + 2
 }
 
 /// What the static cost model predicts for one compiled program.
@@ -103,6 +118,11 @@ pub struct CostReport {
     pub key_switches: usize,
     /// Number of distinct rotation steps (= Galois keys to generate/ship).
     pub distinct_rotation_steps: usize,
+    /// Rotation fan-out groups executed hoisted (shared decomposition).
+    pub hoisted_groups: usize,
+    /// Rotations priced as hoisted followers (group members beyond the
+    /// first, which pay only the per-key apply).
+    pub hoisted_rotations: usize,
     /// Total NTT count across all key switches and rescales.
     pub ntts: usize,
     /// Key switches per ciphertext level (level → count).
@@ -132,11 +152,22 @@ pub fn estimate_cost(
 
     let ref_ks_ntts = key_switch_ntts(model.reference_level) as f64;
     let ref_rs_ntts = rescale_ntts(model.reference_level) as f64;
+    let ref_ha_ntts = hoisted_apply_ntts(model.reference_level) as f64;
     let ref_level = model.reference_level as f64;
+
+    // The executors run rotation fan-outs hoisted: the group's first member
+    // pays a full key switch (it funds the shared decomposition), every
+    // other member only the per-key apply.
+    let fanouts = group_rotation_fanouts(program);
+    let followers: BTreeSet<usize> = fanouts
+        .iter()
+        .flat_map(|f| f.members.iter().skip(1).map(|&(id, _)| id))
+        .collect();
 
     let mut report = CostReport {
         nodes: program.len(),
         distinct_rotation_steps: compiled.rotation_steps.len(),
+        hoisted_groups: fanouts.len(),
         ..CostReport::default()
     };
 
@@ -176,19 +207,19 @@ pub fn estimate_cost(
                 report.adds += 1;
                 report.predicted_us += scale(model.add_us, level as f64 / ref_level);
             }
-            Opcode::RotateLeft(s) if *s != 0 => {
+            Opcode::RotateLeft(s) | Opcode::RotateRight(s) if *s != 0 => {
                 report.rotations += 1;
-                let ntts = key_switch_ntts(level);
-                report.ntts += ntts;
                 *report.key_switches_per_level.entry(level).or_insert(0) += 1;
-                report.predicted_us += scale(model.key_switch_us, ntts as f64 / ref_ks_ntts);
-            }
-            Opcode::RotateRight(s) if *s != 0 => {
-                report.rotations += 1;
-                let ntts = key_switch_ntts(level);
-                report.ntts += ntts;
-                *report.key_switches_per_level.entry(level).or_insert(0) += 1;
-                report.predicted_us += scale(model.key_switch_us, ntts as f64 / ref_ks_ntts);
+                if followers.contains(&id) {
+                    report.hoisted_rotations += 1;
+                    let ntts = hoisted_apply_ntts(level);
+                    report.ntts += ntts;
+                    report.predicted_us += scale(model.hoisted_apply_us, ntts as f64 / ref_ha_ntts);
+                } else {
+                    let ntts = key_switch_ntts(level);
+                    report.ntts += ntts;
+                    report.predicted_us += scale(model.key_switch_us, ntts as f64 / ref_ks_ntts);
+                }
             }
             // Identity rotations are cloned by the evaluator: no key switch.
             Opcode::RotateLeft(_) | Opcode::RotateRight(_) => {}
@@ -272,13 +303,47 @@ mod tests {
     #[test]
     fn ntt_formulas_match_calibration_ratios() {
         // At the reference level the formulas must reproduce the measured
-        // primitive ratios within ~5%: relinearize/NTT ≈ 28, rescale/NTT ≈ 8.
+        // primitive ratios within ~5%: relinearize/NTT ≈ 28, rescale/NTT ≈ 8,
+        // hoisted follower apply/NTT ≈ 10.
         let m = CostModel::default();
         assert_eq!(key_switch_ntts(3), 28);
         assert_eq!(rescale_ntts(3), 8);
+        assert_eq!(hoisted_apply_ntts(3), 10);
         let measured_ks = m.key_switch_us / m.ntt_us;
         assert!((measured_ks - 28.0).abs() / 28.0 < 0.05, "{measured_ks}");
         let measured_rs = m.rescale_us / m.ntt_us;
         assert!((measured_rs - 8.0).abs() / 8.0 < 0.05, "{measured_rs}");
+        let measured_ha = m.hoisted_apply_us / m.ntt_us;
+        assert!((measured_ha - 10.0).abs() / 10.0 < 0.05, "{measured_ha}");
+    }
+
+    #[test]
+    fn fanout_followers_are_priced_as_hoisted_applies() {
+        // An 8-way rotation fan-out: the first member funds the shared
+        // decomposition (full key switch), the other seven pay only the
+        // per-key apply — so the predicted rotation time must come in well
+        // under eight sequential key switches.
+        let mut p = Program::new("fanout", 256);
+        let x = p.input_cipher("x", 30);
+        let mut acc = None;
+        for step in [1, 2, 16, 17, 18, 32, 33, 34] {
+            let r = p.instruction(Opcode::RotateLeft(step), &[x]);
+            acc = Some(match acc {
+                None => r,
+                Some(prev) => p.instruction(Opcode::Add, &[prev, r]),
+            });
+        }
+        p.output("out", acc.unwrap(), 30);
+        let compiled = compile(&p, &CompilerOptions::default()).unwrap();
+        let m = CostModel::default();
+        let report = estimate_cost(&compiled, &m).unwrap();
+        assert_eq!(report.rotations, 8);
+        assert_eq!(report.hoisted_groups, 1);
+        assert_eq!(report.hoisted_rotations, 7);
+        // Rotation cost alone: 1 full switch + 7 applies vs 8 full switches.
+        let hoisted = m.key_switch_us + 7.0 * m.hoisted_apply_us;
+        let sequential = 8.0 * m.key_switch_us;
+        assert!(sequential / hoisted >= 2.0, "{}", sequential / hoisted);
+        assert!(report.predicted_us < sequential);
     }
 }

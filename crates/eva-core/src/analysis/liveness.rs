@@ -25,9 +25,12 @@
 //! a program whose predicted footprint exceeds the configured budget is
 //! refused at load time with a named `peak-memory` finding.
 
+use std::collections::HashMap;
+
 use crate::analysis::scale::{analyze_levels, analyze_num_polys, chain_lengths};
 use crate::compiler::CompiledProgram;
 use crate::error::EvaError;
+use crate::passes::group_rotation_fanouts;
 use crate::program::NodeKind;
 
 use super::dataflow::Dataflow;
@@ -86,6 +89,17 @@ pub fn predict_peak_memory(compiled: &CompiledProgram) -> Result<MemoryForecast,
         remaining_uses[output.node] += 1;
     }
 
+    // Rotation fan-outs execute hoisted: the serial executor materializes
+    // every member of a group when it reaches the group's first member in
+    // topological order, so the forecast must charge them all at once there.
+    let fanouts = group_rotation_fanouts(program);
+    let mut member_group: HashMap<usize, usize> = HashMap::new();
+    for (g, fanout) in fanouts.iter().enumerate() {
+        for &(id, _) in &fanout.members {
+            member_group.insert(id, g);
+        }
+    }
+
     let mut is_live_value = vec![false; program.len()];
     let mut forecast = MemoryForecast::default();
     let mut current_bytes = 0usize;
@@ -124,11 +138,25 @@ pub fn predict_peak_memory(compiled: &CompiledProgram) -> Result<MemoryForecast,
             }
             NodeKind::Instruction { args, .. } => {
                 // The result exists alongside every parent for one instant.
-                let result_bytes = bytes_of(id);
-                let result_cipher = usize::from(node.ty.is_cipher());
-                current_values += 1;
-                current_ciphers += result_cipher;
-                current_bytes += result_bytes;
+                // A fan-out member reached first materializes its *whole*
+                // group (the hoisted executor pre-stores every member);
+                // members reached later were already charged.
+                let materialized: Vec<usize> = match member_group.get(&id) {
+                    Some(&g) if !is_live_value[id] => fanouts[g]
+                        .members
+                        .iter()
+                        .map(|&(m, _)| m)
+                        .filter(|&m| !is_live_value[m])
+                        .collect(),
+                    Some(_) => Vec::new(),
+                    None => vec![id],
+                };
+                for m in materialized {
+                    current_values += 1;
+                    current_ciphers += usize::from(program.node(m).ty.is_cipher());
+                    current_bytes += bytes_of(m);
+                    is_live_value[m] = true;
+                }
                 if current_bytes > forecast.peak_bytes {
                     forecast.peak_bytes = current_bytes;
                     forecast.at_node = Some(id);
@@ -136,7 +164,6 @@ pub fn predict_peak_memory(compiled: &CompiledProgram) -> Result<MemoryForecast,
                 forecast.peak_live_values = forecast.peak_live_values.max(current_values);
                 forecast.peak_live_ciphertexts =
                     forecast.peak_live_ciphertexts.max(current_ciphers);
-                is_live_value[id] = true;
                 // Release parents whose last live consumer just ran.
                 let mut distinct = args.clone();
                 distinct.sort_unstable();

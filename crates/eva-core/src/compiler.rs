@@ -11,9 +11,10 @@ use crate::analysis::{
 };
 use crate::error::EvaError;
 use crate::passes::{
-    apply_exact_scales, canonicalize_rotations, chain_rotations, eliminate_common_subexpressions,
-    eliminate_dead_code, factor_rotation_sums, insert_always_rescale, insert_eager_modswitch,
-    insert_lazy_modswitch, insert_match_scale, insert_relinearize, insert_waterline_rescale,
+    apply_exact_scales, canonicalize_rotations, chain_rotations_if_profitable,
+    eliminate_common_subexpressions, eliminate_dead_code, factor_rotation_sums,
+    insert_always_rescale, insert_eager_modswitch, insert_lazy_modswitch, insert_match_scale,
+    insert_relinearize, insert_waterline_rescale,
 };
 use crate::program::Program;
 
@@ -315,7 +316,13 @@ pub fn compile(input: &Program, options: &CompilerOptions) -> Result<CompiledPro
             )?;
         }
         if opt.rotation_min {
-            rotations_chained = chain_rotations(&mut program, opt.rotation_chain_depth);
+            // Chaining shrinks the Galois-key set but re-parents fan-out
+            // members onto each other, destroying the same-source structure
+            // hoisted key-switching exploits at runtime. The gate commits
+            // the rewrite only when the hoisted NTT estimate does not get
+            // worse — on fan-out-shaped programs it declines.
+            rotations_chained =
+                chain_rotations_if_profitable(&mut program, opt.rotation_chain_depth);
             optimizer_guard(
                 &program,
                 options.max_rescale_bits,

@@ -6,6 +6,7 @@
 //! and applies the automorphism to coefficient-domain polynomials.
 
 use crate::modulus::Modulus;
+use crate::ntt::bit_reverse;
 
 /// Computes Galois elements and applies automorphisms for a fixed ring degree.
 #[derive(Debug, Clone)]
@@ -79,11 +80,60 @@ impl GaloisTool {
             }
         }
     }
+
+    /// Precomputes the index permutation that implements `X ↦ X^galois_elt`
+    /// directly on NTT-domain rows: `output[i] = input[table[i]]`.
+    ///
+    /// The negacyclic NTT stores at index `i` the evaluation of the
+    /// polynomial at `ψ^(2·bitrev(i)+1)` (ψ a primitive 2N-th root), so the
+    /// automorphism only permutes evaluations — no negations and no modular
+    /// arithmetic are needed, and the table depends only on the ring degree
+    /// and the Galois element, never on the modulus. One table therefore
+    /// serves every residue row of an RNS polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `galois_elt` is even (not a unit modulo `2N`) or out of
+    /// range.
+    pub fn ntt_permutation(&self, galois_elt: u64) -> Vec<u32> {
+        assert!(
+            galois_elt % 2 == 1 && (galois_elt as usize) < self.m,
+            "galois element {galois_elt} must be an odd unit modulo {}",
+            self.m
+        );
+        let log_n = self.degree.trailing_zeros();
+        (0..self.degree)
+            .map(|i| {
+                // Output slot `i` wants the evaluation at exponent
+                // e = galois_elt · (2·bitrev(i)+1) mod 2N, which the input
+                // stores at index bitrev((e-1)/2).
+                let odd = 2 * bit_reverse(i, log_n) + 1;
+                let e = galois_elt as usize * odd % self.m;
+                bit_reverse((e - 1) >> 1, log_n) as u32
+            })
+            .collect()
+    }
+
+    /// Applies a permutation produced by [`GaloisTool::ntt_permutation`] to
+    /// one NTT-domain row: a pure gather, `output[i] = input[table[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ from the ring degree.
+    pub fn apply_ntt(&self, input: &[u64], table: &[u32], output: &mut [u64]) {
+        assert_eq!(input.len(), self.degree);
+        assert_eq!(table.len(), self.degree);
+        assert_eq!(output.len(), self.degree);
+        for (o, &t) in output.iter_mut().zip(table) {
+            *o = input[t as usize];
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ntt::NttTables;
 
     #[test]
     fn galois_elements_are_units() {
@@ -114,6 +164,42 @@ mod tests {
         let mut output = vec![0u64; 8];
         tool.apply(&input, 1, &q, &mut output);
         assert_eq!(output, input);
+    }
+
+    #[test]
+    fn ntt_permutation_is_identity_for_element_one() {
+        let tool = GaloisTool::new(32);
+        let table = tool.ntt_permutation(1);
+        assert!(table.iter().enumerate().all(|(i, &t)| t as usize == i));
+    }
+
+    #[test]
+    fn ntt_permutation_matches_coefficient_domain_path() {
+        // The NTT-domain gather must be bit-identical to the reference
+        // route: inverse NTT -> coefficient-domain automorphism -> forward
+        // NTT. Pinned across degrees, moduli and Galois elements (rotation
+        // elements 5^k and the conjugation element 2N-1).
+        for (degree, q) in [(8usize, 97u64), (32, 7681), (64, 7681), (256, 65537)] {
+            let modulus = Modulus::new(q).unwrap();
+            let tables = NttTables::new(degree, modulus).unwrap();
+            let tool = GaloisTool::new(degree);
+            let mut elements: Vec<u64> = (0..5).map(|s| tool.galois_elt_from_step(s)).collect();
+            elements.push(tool.galois_elt_from_step(-3));
+            elements.push(tool.galois_elt_conjugate());
+            let input: Vec<u64> = (0..degree as u64).map(|i| (i * 31 + 7) % q).collect();
+            let mut input_ntt = input.clone();
+            tables.forward(&mut input_ntt);
+            for elt in elements {
+                let mut expected = vec![0u64; degree];
+                tool.apply(&input, elt, &modulus, &mut expected);
+                tables.forward(&mut expected);
+
+                let table = tool.ntt_permutation(elt);
+                let mut actual = vec![0u64; degree];
+                tool.apply_ntt(&input_ntt, &table, &mut actual);
+                assert_eq!(actual, expected, "degree {degree}, q {q}, elt {elt}");
+            }
+        }
     }
 
     #[test]

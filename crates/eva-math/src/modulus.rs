@@ -128,6 +128,19 @@ impl Modulus {
     /// Reduces an arbitrary 128-bit value modulo `q` using Barrett reduction.
     #[inline]
     pub fn reduce_u128(&self, z: u128) -> u64 {
+        let mut r = self.reduce_u128_raw(z);
+        // The Barrett estimate undershoots the true quotient by at most a couple,
+        // so a short correction loop restores the canonical representative.
+        while r >= self.value {
+            r -= self.value;
+        }
+        r
+    }
+
+    /// The uncorrected Barrett step: a representative of `z mod q` in
+    /// `[0, 4q)` (the quotient estimate undershoots by at most a couple).
+    #[inline]
+    fn reduce_u128_raw(&self, z: u128) -> u64 {
         let (r0, r1) = self.const_ratio;
         let z0 = z as u64;
         let z1 = (z >> 64) as u64;
@@ -145,13 +158,7 @@ impl Modulus {
             .wrapping_add(carry as u128);
         let q_hat = z1.wrapping_mul(r1).wrapping_add((mid >> 64) as u64);
 
-        let mut r = z0.wrapping_sub(q_hat.wrapping_mul(self.value));
-        // The Barrett estimate undershoots the true quotient by at most a couple,
-        // so a short correction loop restores the canonical representative.
-        while r >= self.value {
-            r -= self.value;
-        }
-        r
+        z0.wrapping_sub(q_hat.wrapping_mul(self.value))
     }
 
     /// Modular addition of two residues already in `[0, q)`.
@@ -232,6 +239,23 @@ impl Modulus {
     pub fn mul(&self, a: u64, b: u64) -> u64 {
         debug_assert!(a < self.value && b < self.value);
         self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Lazy modular multiplication: inputs in `[0, q)`, output in `[0, 2q)`.
+    ///
+    /// Runs the same Barrett step as [`Modulus::mul`] but settles for a lazy
+    /// representative with one mask-selected subtraction of `2q` instead of
+    /// the canonical correction loop — the form fused key-switch
+    /// accumulation loops keep until the single canonicalization pass at the
+    /// end.
+    #[inline]
+    pub fn mul_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        let r = self.reduce_u128_raw(a as u128 * b as u128);
+        let two_q = self.value << 1;
+        let r = r - (two_q & ((r >= two_q) as u64).wrapping_neg());
+        debug_assert!(r < two_q);
+        r
     }
 
     /// Modular exponentiation `a^e mod q` by square-and-multiply.
@@ -349,6 +373,24 @@ mod tests {
                 assert_eq!(q.sub(s, b), a);
             }
             assert_eq!(q.add(a, q.neg(a)), 0);
+        }
+    }
+
+    #[test]
+    fn mul_lazy_is_congruent_and_below_two_q() {
+        let values = [97u64, (1 << 40) - 87, (1 << 61) + 20 * 8192 + 1];
+        for q in values {
+            let modulus = Modulus::new(q).unwrap();
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for _ in 0..1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let a = x % q;
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let b = x % q;
+                let lazy = modulus.mul_lazy(a, b);
+                assert!(lazy < 2 * q);
+                assert_eq!(modulus.reduce_once(lazy), naive_mul(a, b, q));
+            }
         }
     }
 

@@ -85,7 +85,7 @@ impl std::fmt::Display for NttError {
 
 impl std::error::Error for NttError {}
 
-fn bit_reverse(mut value: usize, bits: u32) -> usize {
+pub(crate) fn bit_reverse(mut value: usize, bits: u32) -> usize {
     let mut result = 0usize;
     for _ in 0..bits {
         result = (result << 1) | (value & 1);

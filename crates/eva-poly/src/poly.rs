@@ -368,6 +368,32 @@ impl RnsPoly {
         out
     }
 
+    /// Applies a precomputed NTT-domain Galois permutation (from
+    /// [`GaloisTool::ntt_permutation`]) to every residue row, returning the
+    /// permuted polynomial. A pure gather — no modular arithmetic and no
+    /// transform — so the same table serves all rows regardless of their
+    /// moduli.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial is not in NTT form or the table length does
+    /// not match the ring degree.
+    pub fn permute_ntt(&self, table: &[u32]) -> RnsPoly {
+        assert_eq!(
+            self.form,
+            PolyForm::Ntt,
+            "NTT-domain Galois permutations require NTT form"
+        );
+        assert_eq!(table.len(), self.degree, "permutation table length");
+        let mut out = RnsPoly::zero(self.degree, self.level, PolyForm::Ntt);
+        for (src, dst) in self.rows().zip(out.data.chunks_exact_mut(self.degree)) {
+            for (o, &t) in dst.iter_mut().zip(table) {
+                *o = src[t as usize];
+            }
+        }
+        out
+    }
+
     /// Returns a copy of this polynomial restricted to its first `level`
     /// residues (the same polynomial under a smaller prefix of the chain).
     ///
@@ -568,6 +594,22 @@ mod tests {
         let b = basis(16, &[20]);
         let mut a = random_poly(&b, 1, 7);
         a.drop_last();
+    }
+
+    #[test]
+    fn permute_ntt_matches_coefficient_domain_galois() {
+        let b = basis(32, &[40, 41]);
+        let tool = GaloisTool::new(32);
+        for (seed, step) in [(3u64, 1i64), (4, 5), (5, -2)] {
+            let elt = tool.galois_elt_from_step(step);
+            let a = random_poly(&b, 2, seed);
+            let mut expected = a.apply_galois(elt, &b);
+            expected.to_ntt(&b);
+            let mut a_ntt = a.clone();
+            a_ntt.to_ntt(&b);
+            let actual = a_ntt.permute_ntt(&tool.ntt_permutation(elt));
+            assert_eq!(actual, expected);
+        }
     }
 
     #[test]
